@@ -1,0 +1,125 @@
+"""Cost-model validation: predicted vs. measured kernel times.
+
+The dynamic optimizer is only as good as its cost model (paper section
+III-C).  This bench measures every kernel family across a grid of tile
+densities and checks that the model's predictions *rank* the kernels
+correctly — rank fidelity is what the optimizer needs; absolute scale is
+calibrated separately.
+
+Reported: per-workpoint measured/predicted times, the fraction of grid
+points where the model picks the truly fastest input-kind pair, and the
+Spearman rank correlation between predicted and measured times.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.cost import CostModel, calibrate
+from repro.formats.convert import dense_to_csr
+from repro.formats.dense import DenseMatrix
+from repro.kernels import by_name
+from repro.kinds import StorageKind, kernel_name
+
+from .conftest import register_report
+
+SIZE = 192
+DENSITIES = [0.005, 0.05, 0.25, 0.7]
+
+_ROWS = []
+_RANKING = {"agreements": 0, "total": 0}
+
+
+def _operands(density: float):
+    rng = np.random.default_rng(int(density * 1e4))
+    array = np.where(
+        rng.random((SIZE, SIZE)) < density, rng.random((SIZE, SIZE)), 0.0
+    )
+    dense = DenseMatrix(array, copy=False)
+    return dense_to_csr(dense), dense
+
+
+@pytest.fixture(scope="module")
+def model() -> CostModel:
+    return CostModel(calibrate(size=128, density=0.05, repeats=1))
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+def test_prediction_grid(benchmark, model, density):
+    """Measure the four input-kind pairs into a dense target."""
+    csr, dense = _operands(density)
+    rho_c = min(1.0, density * density * SIZE * 2)
+
+    measured = {}
+    predicted = {}
+
+    def run_all():
+        for a_kind in StorageKind:
+            for b_kind in StorageKind:
+                name = kernel_name(a_kind, b_kind, StorageKind.DENSE)
+                op_a = csr if a_kind is StorageKind.SPARSE else dense
+                op_b = csr if b_kind is StorageKind.SPARSE else dense
+                start = time.perf_counter()
+                by_name(name)(op_a, op_b)
+                measured[name] = time.perf_counter() - start
+                predicted[name] = model.product_cost(
+                    a_kind, b_kind, StorageKind.DENSE,
+                    SIZE, SIZE, SIZE, density, density, rho_c,
+                )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=0)
+
+    best_measured = min(measured, key=measured.get)
+    best_predicted = min(predicted, key=predicted.get)
+    _RANKING["total"] += 1
+    if best_measured == best_predicted:
+        _RANKING["agreements"] += 1
+    for name in measured:
+        _ROWS.append(
+            [
+                f"{density:.3f}",
+                name,
+                f"{measured[name] * 1e3:.2f}",
+                f"{predicted[name] * 1e3:.2f}",
+            ]
+        )
+
+
+def _spearman(x, y):
+    def ranks(values):
+        order = np.argsort(values)
+        out = np.empty(len(values))
+        out[order] = np.arange(len(values))
+        return out
+
+    rx, ry = ranks(np.asarray(x)), ranks(np.asarray(y))
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denom = np.sqrt((rx**2).sum() * (ry**2).sum())
+    return float((rx * ry).sum() / denom) if denom else 0.0
+
+
+def test_zz_cost_model_report(benchmark, capsys):
+    register_report(benchmark)
+    measured = [float(row[2]) for row in _ROWS]
+    predicted = [float(row[3]) for row in _ROWS]
+    correlation = _spearman(measured, predicted) if _ROWS else 0.0
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["density", "kernel", "measured ms", "predicted ms"],
+                _ROWS,
+                title=f"cost model validation on {SIZE}x{SIZE} tiles",
+            )
+        )
+        total = _RANKING["total"] or 1
+        print(
+            f"\noptimizer-relevant accuracy: best kernel identified in "
+            f"{_RANKING['agreements']}/{_RANKING['total']} grid points; "
+            f"Spearman rank correlation {correlation:.2f}"
+        )
+    if _ROWS:
+        assert correlation > 0.5, "cost model must rank kernels usefully"

@@ -1,0 +1,92 @@
+"""Fig. 5: the water-level method.
+
+Left: the 1-D histogram of logical block densities of an estimated
+result matrix.  Right: the projected memory consumption as a function of
+the write density threshold, and the thresholds the water-level method
+picks for a sweep of memory limits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.density import estimate_product_density, water_level_threshold
+from repro.density.water_level import memory_at_threshold
+
+from .conftest import register_report, BENCH_CONFIG, bench_once, selected_keys
+
+KEY = next(iter(selected_keys(generated=False)), None) or "R3"
+
+
+@pytest.fixture(scope="module")
+def estimate(matrices):
+    dm = matrices.at(KEY).density_map()
+    return estimate_product_density(dm, dm)
+
+
+def test_water_level_runtime(benchmark, estimate, collector):
+    """The sweep must be negligible next to a multiplication."""
+    all_dense = memory_at_threshold(estimate, 0.0, BENCH_CONFIG)
+    all_sparse = memory_at_threshold(estimate, 2.0, BENCH_CONFIG)
+    limit = 0.5 * (all_sparse + all_dense)  # halfway down the water column
+    result, seconds = bench_once(
+        benchmark,
+        lambda: water_level_threshold(estimate, limit, BENCH_CONFIG),
+    )
+    collector.record("fig5", "water_level", KEY, seconds)
+    assert result.total_bytes <= limit
+
+
+def test_zz_fig5_report(benchmark, estimate, capsys):
+    register_report(benchmark)
+    densities = estimate.grid.ravel()
+    bins = np.linspace(0.0, 1.0, 11)
+    histogram, _ = np.histogram(densities, bins=bins)
+    hist_rows = [
+        [f"{lo:.1f}-{hi:.1f}", int(count), "#" * min(60, int(count))]
+        for lo, hi, count in zip(bins[:-1], bins[1:], histogram)
+    ]
+    all_dense = memory_at_threshold(estimate, 0.0, BENCH_CONFIG)
+    all_sparse = memory_at_threshold(estimate, 2.0, BENCH_CONFIG)
+    sweep_rows = []
+    for threshold in np.linspace(0.0, 1.0, 11):
+        sweep_rows.append(
+            [f"{threshold:.1f}", f"{memory_at_threshold(estimate, float(threshold), BENCH_CONFIG) / 1e6:.2f}"]
+        )
+    level_rows = []
+    for fraction in (1.0, 0.8, 0.6, 0.4, 0.2):
+        limit = all_sparse + fraction * max(0.0, all_dense - all_sparse)
+        result = water_level_threshold(estimate, limit, BENCH_CONFIG)
+        level_rows.append(
+            [
+                f"{limit / 1e6:.2f}",
+                f"{result.threshold:.3f}",
+                result.dense_blocks,
+                f"{result.total_bytes / 1e6:.2f}",
+            ]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["density bin", "blocks", ""],
+                hist_rows,
+                title=f"Fig. 5 left: histogram of estimated block densities ({KEY} self-product)",
+            )
+        )
+        print()
+        print(
+            format_table(
+                ["threshold", "memory MB"],
+                sweep_rows,
+                title="Fig. 5 right: projected memory vs. write density threshold",
+            )
+        )
+        print()
+        print(
+            format_table(
+                ["flexible limit MB", "chosen rho_D_W", "dense blocks", "projected MB"],
+                level_rows,
+                title="water-level outcomes for a sweep of memory limits",
+            )
+        )

@@ -1,0 +1,70 @@
+"""Fig. 7: duration of the partitioning components vs. one multiplication.
+
+The paper reports, per real-world matrix, the relative duration of the
+partitioning components — the Z-order sort, the ZBlockCnts creation, and
+the recursive partitioning incl. tile materialization — normalized to one
+execution of the traditional sparse multiplication.  The expected shape:
+partitioning is cheaper than one multiplication except for R8-like cases
+(large dims, small multiplication result).
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.core.builder import ATMatrixBuilder
+from repro.kernels import spspsp_gemm
+
+from .conftest import register_report, BENCH_CONFIG, bench_once, selected_keys
+
+_REPORTS = {}
+_MULT_SECONDS = {}
+
+
+@pytest.mark.parametrize("key", selected_keys(generated=False))
+def test_partition(benchmark, matrices, collector, key):
+    staged = matrices.staged(key)
+    builder = ATMatrixBuilder(BENCH_CONFIG)
+    (at, report), seconds = bench_once(
+        benchmark, lambda: builder.build_with_report(staged)
+    )
+    _REPORTS[key] = report
+    collector.record("fig7", "partitioning", key, seconds)
+    assert at.nnz == staged.nnz
+
+
+@pytest.mark.parametrize("key", selected_keys(generated=False))
+def test_reference_multiplication(benchmark, matrices, collector, key):
+    csr = matrices.csr(key)
+    _, seconds = bench_once(benchmark, lambda: spspsp_gemm(csr, csr))
+    _MULT_SECONDS[key] = seconds
+    collector.record("fig7", "spspsp_gemm", key, seconds)
+
+
+def test_zz_fig7_report(benchmark, capsys):
+    register_report(benchmark)
+    rows = []
+    for key in selected_keys(generated=False):
+        report = _REPORTS.get(key)
+        mult = _MULT_SECONDS.get(key)
+        if report is None or mult is None:
+            continue
+        parts = report.as_dict()
+        rows.append(
+            [
+                key,
+                f"{parts['z_sort'] / mult:.3f}",
+                f"{parts['zblockcnts'] / mult:.3f}",
+                f"{(parts['recursive_partitioning'] + parts['materialization']) / mult:.3f}",
+                f"{report.total_seconds / mult:.3f}",
+                "yes" if report.total_seconds < mult else "NO",
+            ]
+        )
+    table = format_table(
+        ["matrix", "z-sort", "ZBlockCnts", "partition+materialize", "total", "< 1 mult?"],
+        rows,
+        title="Fig. 7: partitioning components relative to one spspsp_gemm run",
+    )
+    with capsys.disabled():
+        print()
+        print(table)
+        print("paper shape: total < 1.0 for all matrices except R8")

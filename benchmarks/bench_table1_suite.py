@@ -1,0 +1,58 @@
+"""Table I: the evaluation matrix suite and its statistics.
+
+Regenerates the paper's Table I for the scaled suite: dimensions, nnz,
+density, COO binary size, and the self-product result size.  The paper
+reports result sizes of the C = A * A multiplications; we measure them
+with the density estimator (exact counting would run every product here;
+the exact sizes appear in the Fig. 8 bench).
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.density import estimate_product_density
+from repro.generate import SUITE
+
+from .conftest import register_report, BENCH_CONFIG, bench_once, selected_keys
+
+
+@pytest.mark.parametrize("key", selected_keys())
+def test_generate_suite_matrix(benchmark, matrices, collector, key):
+    """Time the (deterministic) generation of each suite matrix."""
+    staged, seconds = bench_once(benchmark, lambda: SUITE[key].load())
+    collector.record("table1", "generate", key, seconds)
+    assert staged.nnz > 0
+
+
+def test_zz_table1_report(benchmark, matrices, capsys):
+    register_report(benchmark)
+    rows = []
+    for key in selected_keys():
+        staged = matrices.staged(key)
+        at = matrices.at(key)
+        dm = at.density_map()
+        estimated_result = estimate_product_density(dm, dm)
+        rows.append(
+            [
+                key,
+                SUITE[key].name,
+                SUITE[key].domain,
+                f"{staged.rows} x {staged.cols}",
+                f"{staged.nnz / 1e3:.2f} K",
+                f"{100 * staged.density:.3f}",
+                f"{staged.memory_bytes() / 1e6:.1f} MB",
+                f"{estimated_result.estimated_nnz() * 16 / 1e6:.1f} MB",
+            ]
+        )
+    table = format_table(
+        ["No.", "Name", "Domain", "Dimensions", "N_nz", "rho [%]", "Bin. Size", "Est. Result Size"],
+        rows,
+        title="Table I (scaled): sparse matrices of different dimensions and densities",
+    )
+    with capsys.disabled():
+        print()
+        print(table)
+        print(
+            f"(LLC {BENCH_CONFIG.llc_bytes // 1024} KiB, "
+            f"b_atomic {BENCH_CONFIG.b_atomic}; paper: 24 MiB / 1024)"
+        )

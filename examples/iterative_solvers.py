@@ -1,0 +1,77 @@
+"""Iterative solvers on AT Matrices: PageRank and the dominant eigenpair.
+
+Graph algorithms "in the language of linear algebra" (the paper's [4])
+run as repeated matrix-vector products.  This example keeps a skewed
+RMAT web graph in an AT Matrix — its hub structure produces a dense
+corner block — and drives two classic iterations over ATMV.  The advisor
+is consulted first, demonstrating the paper's goal of automating the
+storage decision.
+
+Run:  python examples/iterative_solvers.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import SystemConfig, atmv, atmv_transposed, build_at_matrix, power_iteration, recommend
+from repro.generate import rmat_matrix
+
+
+def pagerank(adjacency_at, *, damping=0.85, tolerance=1e-10, max_iterations=200):
+    """Power-method PageRank; each step is one transposed ATMV."""
+    n = adjacency_at.rows
+    out_degree = atmv(adjacency_at, np.ones(n))  # row sums
+    ranks = np.full(n, 1.0 / n)
+    dangling = out_degree == 0.0
+    inverse_degree = np.where(dangling, 0.0, 1.0 / np.maximum(out_degree, 1e-300))
+    for iteration in range(1, max_iterations + 1):
+        spread = atmv_transposed(adjacency_at, ranks * inverse_degree)
+        dangling_mass = ranks[dangling].sum() / n
+        updated = (1 - damping) / n + damping * (spread + dangling_mass)
+        delta = np.abs(updated - ranks).sum()
+        ranks = updated
+        if delta < tolerance:
+            return ranks, iteration
+    return ranks, max_iterations
+
+
+def main() -> None:
+    vertices, edges = 4096, 60_000
+    graph = rmat_matrix(
+        vertices, edges, 0.6, 0.15, 0.15, 0.1, seed=17, values="ones"
+    )
+    config = SystemConfig()
+
+    recommendation = recommend(graph, config)
+    print("advisor report:")
+    print(recommendation.summary())
+    print()
+
+    adjacency = build_at_matrix(graph, config)
+    print(f"adjacency: {adjacency}")
+
+    start = time.perf_counter()
+    ranks, iterations = pagerank(adjacency)
+    elapsed = time.perf_counter() - start
+    top = np.argsort(ranks)[::-1][:5]
+    print(f"\nPageRank converged in {iterations} iterations ({elapsed:.2f} s)")
+    print("top vertices:", ", ".join(f"{v} ({ranks[v]:.2e})" for v in top))
+    assert abs(ranks.sum() - 1.0) < 1e-6  # probability mass preserved
+
+    start = time.perf_counter()
+    result = power_iteration(adjacency, max_iterations=300, tolerance=1e-10)
+    elapsed = time.perf_counter() - start
+    print(f"\npower iteration: lambda_max ~= {result.eigenvalue:.4f} "
+          f"after {result.iterations} iterations ({elapsed:.2f} s, "
+          f"converged={result.converged})")
+
+    # The dominant eigenvector concentrates on the RMAT hub region.
+    heavy = np.argsort(np.abs(result.eigenvector))[::-1][:5]
+    print("heaviest eigenvector entries at vertices:", heavy.tolist())
+    hub_share = (heavy < vertices // 4).mean()
+    print(f"share of heavy entries in the hub quadrant: {hub_share:.0%}")
+
+
+if __name__ == "__main__":
+    main()

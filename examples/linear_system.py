@@ -1,0 +1,82 @@
+"""Solving a sparse linear system on an AT Matrix.
+
+"Solving linear systems" opens the paper's list of driving applications.
+This example assembles a 2-D Poisson/stiffness system — the same matrix
+family as the paper's structural-engineering matrices R8/R9 (banded FEM
+topology) — and solves it with conjugate gradients where every iteration
+is a tile-granular ATMV.  A diagonally dominant variant is solved with
+Jacobi for comparison.
+
+Run:  python examples/linear_system.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import COOMatrix, SystemConfig, build_at_matrix, conjugate_gradient, jacobi, recommend
+
+
+def poisson_2d(grid: int) -> COOMatrix:
+    """The standard 5-point Laplacian on a grid x grid mesh (SPD)."""
+    n = grid * grid
+    rows, cols, vals = [], [], []
+    for i in range(grid):
+        for j in range(grid):
+            k = i * grid + j
+            rows.append(k), cols.append(k), vals.append(4.0)
+            for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                ni, nj = i + di, j + dj
+                if 0 <= ni < grid and 0 <= nj < grid:
+                    rows.append(k), cols.append(ni * grid + nj), vals.append(-1.0)
+    return COOMatrix(n, n, rows, cols, vals)
+
+
+def main() -> None:
+    grid = 48
+    system = poisson_2d(grid)
+    n = system.rows
+    print(f"2-D Poisson system: {n} unknowns, nnz={system.nnz} "
+          f"(banded FEM topology, like the paper's R8/R9)")
+
+    config = SystemConfig()
+    print("\nadvisor verdict:")
+    verdict = recommend(system, config)
+    print(f"  topology class: {verdict.profile.topology_class}; "
+          f"partition worthwhile: {verdict.partition_worthwhile}")
+
+    matrix = build_at_matrix(system, config)
+    print(f"\nsystem as AT Matrix: {matrix}")
+
+    rng = np.random.default_rng(3)
+    x_true = rng.random(n)
+    rhs = np.array(matrix.to_csr().to_dense() @ x_true)
+
+    start = time.perf_counter()
+    cg = conjugate_gradient(matrix, rhs, tolerance=1e-10).raise_if_failed()
+    cg_seconds = time.perf_counter() - start
+    error = np.abs(cg.solution - x_true).max()
+    print(f"\nconjugate gradients: {cg.iterations} iterations in "
+          f"{cg_seconds:.2f} s, max |x - x_true| = {error:.2e}")
+    assert error < 1e-6
+
+    # A diagonally dominant variant for Jacobi.
+    dominant = COOMatrix(
+        n, n, system.row_ids, system.col_ids, system.values.copy()
+    )
+    diag_mask = dominant.row_ids == dominant.col_ids
+    dominant.values[diag_mask] += 1.0  # 5 on the diagonal: strictly dominant
+    dominant_at = build_at_matrix(dominant, config)
+    rhs2 = np.array(dominant_at.to_csr().to_dense() @ x_true)
+    start = time.perf_counter()
+    jac = jacobi(dominant_at, rhs2, tolerance=1e-10, max_iterations=5000)
+    jac_seconds = time.perf_counter() - start
+    print(f"Jacobi (dominant variant): {jac.iterations} iterations in "
+          f"{jac_seconds:.2f} s, converged={jac.converged}")
+    assert jac.converged
+
+    print("\nboth solvers verified against the constructed solution")
+
+
+if __name__ == "__main__":
+    main()

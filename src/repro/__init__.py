@@ -1,0 +1,147 @@
+"""repro: Adaptive Tile Matrices and topology-aware sparse multiplication.
+
+A faithful, pure-Python reproduction of
+
+    D. Kernert, W. Lehner, F. Koehler:
+    "Topology-Aware Optimization of Big Sparse Matrices and Matrix
+    Multiplications on Main-Memory Systems", ICDE 2016.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import COOMatrix, build_at_matrix, atmult, SystemConfig
+>>> rng = np.random.default_rng(7)
+>>> dense_block = rng.random((64, 64))
+>>> raw = np.zeros((256, 256)); raw[:64, :64] = dense_block
+>>> staged = COOMatrix.from_dense(raw)
+>>> config = SystemConfig(llc_bytes=32 * 1024, b_atomic=32)
+>>> a = build_at_matrix(staged, config)
+>>> c, report = atmult(a, a, config=config)
+>>> bool(np.allclose(c.to_dense(), raw @ raw))
+True
+"""
+
+from .config import DEFAULT_CONFIG, S_DENSE, S_SPARSE, SystemConfig
+from .kinds import StorageKind, kernel_name
+from .errors import (
+    ConfigError,
+    FormatError,
+    MemoryLimitError,
+    ParseError,
+    PartitionError,
+    ReproError,
+    SchedulerError,
+    ShapeError,
+)
+from .formats import (
+    COOMatrix,
+    load_at_matrix,
+    save_at_matrix,
+    CSRMatrix,
+    DenseMatrix,
+    read_matrix_market,
+    write_matrix_market,
+)
+from .density import DensityMap, estimate_product_density, water_level_threshold
+from .cost import CostCoefficients, CostModel, calibrate
+from .core import (
+    ATMatrix,
+    ChainPlan,
+    align_to_operand,
+    multiply_chain,
+    plan_chain,
+    retile,
+    add,
+    scale,
+    atmv,
+    atmv_transposed,
+    power_iteration,
+    parallel_atmult,
+    ATMatrixBuilder,
+    BuildReport,
+    MultiplyReport,
+    Tile,
+    atmult,
+    build_at_matrix,
+    fixed_grid_at_matrix,
+    multiply,
+)
+from .expr import M, MatrixExpr
+from .solve import SolveResult, conjugate_gradient, jacobi, richardson
+from .tune import TuningResult, autotune
+from .advisor import Recommendation, TopologyProfile, profile_topology, recommend
+from .topology import (
+    ScheduleResult,
+    SystemTopology,
+    WorkerTeamScheduler,
+    distribute_tile_rows,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "DEFAULT_CONFIG",
+    "S_DENSE",
+    "S_SPARSE",
+    "StorageKind",
+    "kernel_name",
+    "ReproError",
+    "ShapeError",
+    "FormatError",
+    "ParseError",
+    "ConfigError",
+    "MemoryLimitError",
+    "PartitionError",
+    "SchedulerError",
+    "COOMatrix",
+    "CSRMatrix",
+    "DenseMatrix",
+    "read_matrix_market",
+    "write_matrix_market",
+    "save_at_matrix",
+    "load_at_matrix",
+    "DensityMap",
+    "estimate_product_density",
+    "water_level_threshold",
+    "CostModel",
+    "CostCoefficients",
+    "calibrate",
+    "ATMatrix",
+    "ATMatrixBuilder",
+    "BuildReport",
+    "Tile",
+    "MultiplyReport",
+    "atmult",
+    "multiply",
+    "build_at_matrix",
+    "fixed_grid_at_matrix",
+    "ChainPlan",
+    "plan_chain",
+    "multiply_chain",
+    "align_to_operand",
+    "retile",
+    "add",
+    "scale",
+    "atmv",
+    "atmv_transposed",
+    "power_iteration",
+    "parallel_atmult",
+    "SystemTopology",
+    "WorkerTeamScheduler",
+    "ScheduleResult",
+    "distribute_tile_rows",
+    "recommend",
+    "profile_topology",
+    "Recommendation",
+    "TopologyProfile",
+    "M",
+    "MatrixExpr",
+    "conjugate_gradient",
+    "jacobi",
+    "richardson",
+    "SolveResult",
+    "autotune",
+    "TuningResult",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Benchmark harness helpers: timing, algorithm registry and reporting."""
+
+from .runner import AlgorithmResult, run_algorithms, time_call
+from .report import format_relative_table, format_series, format_table
+
+__all__ = [
+    "AlgorithmResult",
+    "run_algorithms",
+    "time_call",
+    "format_table",
+    "format_relative_table",
+    "format_series",
+]

@@ -1,0 +1,113 @@
+"""Render paper-style figures from ``bench_results.json`` as ASCII bars.
+
+The benches dump every raw timing into ``benchmarks/bench_results.json``;
+this module (also runnable as ``python -m repro.bench.figures``) turns an
+experiment's series into horizontal bar charts like the paper's Fig. 8a,
+normalized to a chosen baseline algorithm.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..errors import ParseError
+
+#: Width of the bar area in characters.
+BAR_WIDTH = 40
+
+
+def load_results(path: str | Path) -> dict:
+    """Read and validate a bench_results.json payload."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ParseError(f"cannot read bench results from {path}: {exc}") from exc
+    if "seconds" not in payload:
+        raise ParseError(f"{path} is not a bench_results.json (no 'seconds' key)")
+    return payload
+
+
+def render_experiment(
+    payload: dict,
+    experiment: str,
+    *,
+    baseline: str | None = None,
+    bar_width: int = BAR_WIDTH,
+) -> str:
+    """Bar chart of one experiment, one group of bars per workload.
+
+    Bar lengths show speed relative to the baseline algorithm (longer =
+    faster); without a baseline, bars show inverse absolute time
+    normalized to the fastest entry.
+    """
+    series = payload["seconds"].get(experiment)
+    if not series:
+        known = ", ".join(sorted(payload["seconds"]))
+        raise ParseError(f"no experiment {experiment!r}; available: {known}")
+    algorithms = sorted(series)
+    if baseline is not None and baseline not in series:
+        raise ParseError(f"baseline {baseline!r} not in experiment {experiment!r}")
+    workloads = sorted({w for algo in series.values() for w in algo})
+
+    lines = [f"{experiment}" + (f" (relative to {baseline})" if baseline else "")]
+    label_width = max(len(a) for a in algorithms)
+    for workload in workloads:
+        lines.append(f"\n{workload}:")
+        speeds = {}
+        for algorithm in algorithms:
+            seconds = series[algorithm].get(workload)
+            if seconds is None or seconds <= 0:
+                continue
+            if baseline is not None:
+                base = series[baseline].get(workload)
+                if base is None:
+                    continue
+                speeds[algorithm] = base / seconds
+            else:
+                speeds[algorithm] = 1.0 / seconds
+        if not speeds:
+            lines.append("  (no data)")
+            continue
+        peak = max(speeds.values())
+        for algorithm in algorithms:
+            if algorithm not in speeds:
+                continue
+            value = speeds[algorithm]
+            bar = "#" * max(1, int(round(value / peak * bar_width)))
+            suffix = f"{value:6.2f}x" if baseline else f"{1 / value:9.4f} s"
+            lines.append(f"  {algorithm:<{label_width}} |{bar:<{bar_width}} {suffix}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.figures",
+        description="render bench_results.json experiments as ASCII bars",
+    )
+    parser.add_argument("results", help="path to bench_results.json")
+    parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment id (e.g. fig8); omit to list available ids",
+    )
+    parser.add_argument("--baseline", default=None, help="baseline algorithm")
+    args = parser.parse_args(argv)
+    try:
+        payload = load_results(args.results)
+        if args.experiment is None:
+            print("available experiments:")
+            for name in sorted(payload["seconds"]):
+                algorithms = ", ".join(sorted(payload["seconds"][name]))
+                print(f"  {name}: {algorithms}")
+            return 0
+        print(render_experiment(payload, args.experiment, baseline=args.baseline))
+        return 0
+    except ParseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

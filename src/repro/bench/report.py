@@ -1,0 +1,71 @@
+"""Plain-text table/series formatting for the benchmark output.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and readable in
+pytest's captured output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Fixed-width table with a separator under the header."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_relative_table(
+    workloads: Sequence[str],
+    series: Mapping[str, Mapping[str, float]],
+    *,
+    baseline: str,
+    title: str = "",
+) -> str:
+    """Per-workload speeds relative to a baseline algorithm (paper Fig. 8a).
+
+    ``series[algorithm][workload]`` holds absolute seconds; output cells
+    are ``baseline_seconds / algorithm_seconds`` so the baseline column
+    is identically 1.0 and larger is faster.
+    """
+    headers = ["workload"] + list(series)
+    rows = []
+    for workload in workloads:
+        base = series[baseline].get(workload)
+        row: list[object] = [workload]
+        for algorithm in series:
+            seconds = series[algorithm].get(workload)
+            if base is None or seconds is None or seconds == 0:
+                row.append("-")
+            else:
+                row.append(f"{base / seconds:.2f}x")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_series(
+    points: Mapping[str, float], *, unit: str = "", title: str = ""
+) -> str:
+    """One-line-per-point series (for figure-style data dumps)."""
+    lines = [title] if title else []
+    for key, value in points.items():
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"  {key}: {value:.4g}{suffix}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,260 @@
+"""Command-line interface: inspect, partition and multiply .mtx matrices.
+
+Usage (also via ``python -m repro``):
+
+    repro info matrix.mtx
+    repro partition matrix.mtx --llc-kib 384
+    repro multiply a.mtx b.mtx -o c.mtx --memory-limit-mb 64
+    repro generate R3 -o r3.mtx
+    repro calibrate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .config import SystemConfig
+from .core.atmult import atmult
+from .core.builder import ATMatrixBuilder
+from .cost.calibrate import calibrate, describe
+from .errors import ReproError
+from .formats.matrix_market import read_matrix_market, write_matrix_market
+from .generate.suite import SUITE, load_matrix
+from .kinds import StorageKind
+from .viz.ascii_map import render_density_map, render_tile_layout
+
+
+def _config_from_args(args: argparse.Namespace) -> SystemConfig:
+    kwargs = {}
+    if args.llc_kib is not None:
+        kwargs["llc_bytes"] = args.llc_kib * 1024
+    if getattr(args, "b_atomic", None) is not None:
+        kwargs["b_atomic"] = args.b_atomic
+    return SystemConfig(**kwargs)
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--llc-kib", type=int, default=None,
+        help="last-level cache size in KiB (default: library default)",
+    )
+    parser.add_argument(
+        "--b-atomic", type=int, default=None,
+        help="atomic block edge (power of two; default: derived from LLC)",
+    )
+    parser.add_argument(
+        "--read-threshold", type=float, default=0.25,
+        help="density above which a tile is stored dense (paper rho0_R)",
+    )
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    staged = read_matrix_market(args.matrix).sum_duplicates()
+    config = _config_from_args(args)
+    print(f"{args.matrix}: {staged.rows} x {staged.cols}, nnz={staged.nnz}, "
+          f"density={100 * staged.density:.4f}%")
+    print(f"COO binary size: {staged.memory_bytes() / 1e6:.2f} MB")
+    from .density.map import DensityMap
+
+    assert config.b_atomic is not None
+    dm = DensityMap.from_coordinates(
+        staged.rows, staged.cols, staged.row_ids, staged.col_ids, config.b_atomic
+    )
+    print(f"\nblock density map (b_atomic={config.b_atomic}):")
+    print(render_density_map(dm, max_cells=48))
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    staged = read_matrix_market(args.matrix).sum_duplicates()
+    config = _config_from_args(args)
+    builder = ATMatrixBuilder(config, args.read_threshold)
+    matrix, report = builder.build_with_report(staged)
+    dense = matrix.num_tiles(StorageKind.DENSE)
+    sparse = matrix.num_tiles(StorageKind.SPARSE)
+    print(f"partitioned into {len(matrix.tiles)} tiles "
+          f"({dense} dense, {sparse} sparse) in {report.total_seconds:.3f} s")
+    for component, seconds in report.as_dict().items():
+        print(f"  {component:>24}: {seconds * 1e3:8.2f} ms")
+    print(f"memory: {matrix.memory_bytes() / 1e6:.2f} MB "
+          f"(plain CSR would be {staged.nnz * 16 / 1e6:.2f} MB)")
+    print(f"\ntile layout ('/' = dense):")
+    print(render_tile_layout(matrix, max_cells=48))
+    return 0
+
+
+def cmd_multiply(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    a_staged = read_matrix_market(args.a).sum_duplicates()
+    b_staged = (
+        a_staged if args.b == args.a
+        else read_matrix_market(args.b).sum_duplicates()
+    )
+    builder = ATMatrixBuilder(config, args.read_threshold)
+    a = builder.build(a_staged)
+    b = a if b_staged is a_staged else builder.build(b_staged)
+    limit = args.memory_limit_mb * 1e6 if args.memory_limit_mb else None
+    start = time.perf_counter()
+    result, report = atmult(a, b, config=config, memory_limit_bytes=limit)
+    elapsed = time.perf_counter() - start
+    print(f"C = A x B: {result.rows} x {result.cols}, nnz={result.nnz}, "
+          f"{elapsed:.3f} s")
+    print(f"  estimation {report.estimate_fraction:.1%}, "
+          f"optimization {report.optimize_fraction:.1%}, "
+          f"{report.conversions} tile conversions")
+    print(f"  kernels: {report.kernel_counts}")
+    print(f"  output memory: {result.memory_bytes() / 1e6:.2f} MB")
+    if args.output:
+        write_matrix_market(result.to_coo(), args.output,
+                            comment="produced by repro ATMULT")
+        print(f"  written to {args.output}")
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    from .advisor import recommend
+
+    staged = read_matrix_market(args.matrix).sum_duplicates()
+    config = _config_from_args(args)
+    recommendation = recommend(staged, config)
+    print(recommendation.summary())
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.key not in SUITE:
+        print(f"unknown suite key {args.key!r}; known: {', '.join(sorted(SUITE))}",
+              file=sys.stderr)
+        return 2
+    matrix = load_matrix(args.key)
+    entry = SUITE[args.key]
+    write_matrix_market(
+        matrix, args.output,
+        comment=f"repro suite {args.key}: {entry.name} ({entry.domain})",
+    )
+    print(f"{args.key} ({entry.name}): {matrix.rows} x {matrix.cols}, "
+          f"nnz={matrix.nnz} -> {args.output}")
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .solve import conjugate_gradient, jacobi
+
+    staged = read_matrix_market(args.matrix).sum_duplicates()
+    config = _config_from_args(args)
+    matrix = ATMatrixBuilder(config, args.read_threshold).build(staged)
+    if args.rhs:
+        rhs_matrix = read_matrix_market(args.rhs)
+        rhs = rhs_matrix.to_dense().ravel()
+    else:
+        rhs = np.ones(matrix.rows)
+    solver = conjugate_gradient if args.method == "cg" else jacobi
+    result = solver(
+        matrix, rhs, tolerance=args.tolerance, max_iterations=args.max_iterations
+    )
+    status = "converged" if result.converged else "NOT converged"
+    print(f"{args.method}: {status} after {result.iterations} iterations "
+          f"(residual {result.residual_norm:.3e})")
+    if args.output:
+        solution = _vector_as_coo(result.solution)
+        write_matrix_market(solution, args.output, comment="repro solve solution")
+        print(f"solution written to {args.output}")
+    return 0 if result.converged else 3
+
+
+def _vector_as_coo(vector):
+    """A length-n vector as an n x 1 COO matrix (for .mtx output)."""
+    import numpy as np
+
+    from .formats.coo import COOMatrix
+
+    nz = np.flatnonzero(vector)
+    return COOMatrix(
+        len(vector), 1, nz, np.zeros(len(nz), dtype=np.int64), vector[nz]
+    )
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    coefficients = calibrate(size=args.size, repeats=args.repeats)
+    print(describe(coefficients))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive Tile Matrix toolkit (ICDE'16 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="matrix statistics + density map")
+    info.add_argument("matrix", help="Matrix Market (.mtx) file")
+    _add_config_arguments(info)
+    info.set_defaults(handler=cmd_info)
+
+    partition = commands.add_parser("partition", help="build and show an AT Matrix")
+    partition.add_argument("matrix", help="Matrix Market (.mtx) file")
+    _add_config_arguments(partition)
+    partition.set_defaults(handler=cmd_partition)
+
+    multiply = commands.add_parser("multiply", help="C = A x B with ATMULT")
+    multiply.add_argument("a", help="left operand (.mtx)")
+    multiply.add_argument("b", help="right operand (.mtx); pass the same "
+                                    "path as A for a self-product")
+    multiply.add_argument("-o", "--output", help="write the result (.mtx)")
+    multiply.add_argument("--memory-limit-mb", type=float, default=None,
+                          help="memory SLA for the output matrix")
+    _add_config_arguments(multiply)
+    multiply.set_defaults(handler=cmd_multiply)
+
+    advise = commands.add_parser(
+        "advise", help="recommend storage/strategy for a matrix"
+    )
+    advise.add_argument("matrix", help="Matrix Market (.mtx) file")
+    _add_config_arguments(advise)
+    advise.set_defaults(handler=cmd_advise)
+
+    generate = commands.add_parser("generate", help="emit a Table-I suite matrix")
+    generate.add_argument("key", help="suite key, e.g. R3 or G5")
+    generate.add_argument("-o", "--output", required=True, help="target .mtx")
+    generate.set_defaults(handler=cmd_generate)
+
+    solve = commands.add_parser("solve", help="solve A x = b iteratively")
+    solve.add_argument("matrix", help="system matrix (.mtx)")
+    solve.add_argument("--rhs", help="right-hand side (.mtx vector); default ones")
+    solve.add_argument("--method", choices=["cg", "jacobi"], default="cg")
+    solve.add_argument("--tolerance", type=float, default=1e-10)
+    solve.add_argument("--max-iterations", type=int, default=2000)
+    solve.add_argument("-o", "--output", help="write the solution (.mtx)")
+    _add_config_arguments(solve)
+    solve.set_defaults(handler=cmd_solve)
+
+    calibrate_cmd = commands.add_parser(
+        "calibrate", help="fit cost-model coefficients on this machine"
+    )
+    calibrate_cmd.add_argument("--size", type=int, default=256)
+    calibrate_cmd.add_argument("--repeats", type=int, default=3)
+    calibrate_cmd.set_defaults(handler=cmd_calibrate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

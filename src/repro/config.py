@@ -1,0 +1,127 @@
+"""System configuration: cache geometry, element sizes, tiling parameters.
+
+The paper derives its tile-size bounds from the last-level cache (LLC) of
+the host machine (Eqs. 1 and 2) and fixes the atomic block size
+``b_atomic = 2**k`` to match.  :class:`SystemConfig` carries those machine
+parameters plus the tunables ``alpha``/``beta`` so every component of the
+library (partitioner, cost model, scheduler) reads the same values.
+
+Two size notions appear throughout:
+
+``S_DENSE``
+    bytes per element in the dense row-major representation (a double).
+``S_SPARSE``
+    bytes per element in the sparse CSR representation (value + column id
+    + amortized row pointer, 16 bytes in the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+#: Bytes per element of a dense (row-major double) matrix, paper's S_d.
+S_DENSE = 8
+
+#: Bytes per element of a sparse CSR matrix (value + coordinate), paper's S_sp.
+S_SPARSE = 16
+
+#: Default simulated last-level cache size.  The paper's machine has a 24 MiB
+#: LLC and uses b_atomic = 1024; we default to a scaled 384 KiB which yields
+#: b_atomic = 128 through exactly the same formula, preserving every
+#: dimensionless ratio (see DESIGN.md section 5).
+DEFAULT_LLC_BYTES = 384 * 1024
+
+
+def _floor_pow2(value: int) -> int:
+    """Largest power of two that is <= ``value`` (``value`` >= 1)."""
+    return 1 << (int(value).bit_length() - 1)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Machine and tiling parameters shared across the library.
+
+    Parameters
+    ----------
+    llc_bytes:
+        Last-level cache size in bytes.  Drives the maximum tile sizes of
+        paper Eqs. (1) and (2).
+    alpha:
+        Number of tiles that must fit into the LLC simultaneously
+        (paper: ``alpha >= 3`` preserves locality for binary operators).
+    beta:
+        Number of accumulator arrays of one tile-width that must fit into
+        the LLC (second bound of Eq. 2).
+    b_atomic:
+        Atomic (logical) block edge length; must be a power of two.  When
+        ``None`` it is derived as the largest power of two not exceeding
+        the maximum dense tile size, which reproduces the paper's choice
+        of ``b_atomic = tau_d_max = 1024`` on a 24 MiB LLC.
+    """
+
+    llc_bytes: int = DEFAULT_LLC_BYTES
+    alpha: int = 3
+    beta: int = 3
+    b_atomic: int | None = None
+    dense_element_bytes: int = S_DENSE
+    sparse_element_bytes: int = S_SPARSE
+
+    def __post_init__(self) -> None:
+        if self.llc_bytes <= 0:
+            raise ConfigError(f"llc_bytes must be positive, got {self.llc_bytes}")
+        if self.alpha < 1:
+            raise ConfigError(f"alpha must be >= 1, got {self.alpha}")
+        if self.beta < 1:
+            raise ConfigError(f"beta must be >= 1, got {self.beta}")
+        if self.dense_element_bytes <= 0 or self.sparse_element_bytes <= 0:
+            raise ConfigError("element byte sizes must be positive")
+        if self.b_atomic is None:
+            derived = _floor_pow2(max(2, self.max_dense_tile_dim()))
+            object.__setattr__(self, "b_atomic", derived)
+        else:
+            b = self.b_atomic
+            if b < 2 or (b & (b - 1)) != 0:
+                raise ConfigError(
+                    f"b_atomic must be a power of two >= 2, got {b}"
+                )
+
+    # -- paper Eq. (1) ----------------------------------------------------
+    def max_dense_tile_dim(self) -> int:
+        """Maximum dense tile edge ``tau_d_max = sqrt(LLC / (alpha * S_d))``."""
+        return max(1, int(math.sqrt(self.llc_bytes / (self.alpha * self.dense_element_bytes))))
+
+    # -- paper Eq. (2) ----------------------------------------------------
+    def max_sparse_tile_dim(self, density: float) -> int:
+        """Maximum sparse tile edge for a tile of the given density.
+
+        ``tau_sp_max = min( sqrt(LLC / (alpha * rho * S_sp)),
+        LLC / (beta * S_d) )``.  The first bound keeps the tile's memory
+        footprint under ``LLC / alpha``; the second keeps ``beta``
+        accumulator arrays of one tile-width inside the LLC.
+        """
+        if not 0.0 <= density <= 1.0:
+            raise ConfigError(f"density must be in [0, 1], got {density}")
+        dim_bound = self.llc_bytes // (self.beta * self.dense_element_bytes)
+        if density == 0.0:
+            return max(1, dim_bound)
+        mem_bound = math.sqrt(
+            self.llc_bytes / (self.alpha * density * self.sparse_element_bytes)
+        )
+        return max(1, int(min(mem_bound, dim_bound)))
+
+    @property
+    def k_atomic(self) -> int:
+        """Exponent of the atomic block size, ``b_atomic = 2**k_atomic``."""
+        assert self.b_atomic is not None
+        return self.b_atomic.bit_length() - 1
+
+    def with_llc(self, llc_bytes: int) -> "SystemConfig":
+        """A copy with a different LLC size and re-derived ``b_atomic``."""
+        return replace(self, llc_bytes=llc_bytes, b_atomic=None)
+
+
+#: Library-wide default configuration.
+DEFAULT_CONFIG = SystemConfig()

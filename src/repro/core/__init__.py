@@ -1,0 +1,46 @@
+"""The paper's primary contribution: AT MATRIX and the ATMULT operator."""
+
+from .tile import Tile
+from .atmatrix import ATMatrix
+from .partition import QuadtreePartitioner, TileSpec
+from .builder import ATMatrixBuilder, BuildReport, build_at_matrix
+from .fixed import fixed_grid_at_matrix
+from .optimizer import DynamicOptimizer, OptimizerStats
+from .atmult import MultiplyReport, as_at_matrix, atmult, multiply, operand_density_map
+from .chain import ChainPlan, multiply_chain, plan_chain
+from .retile import align_to_operand, retile, split_tiles_at_cols
+from .arith import add, scale
+from .atmv import PowerIterationResult, atmv, atmv_transposed, power_iteration
+from .parallel import ParallelReport, parallel_atmult
+
+__all__ = [
+    "Tile",
+    "ATMatrix",
+    "QuadtreePartitioner",
+    "TileSpec",
+    "ATMatrixBuilder",
+    "BuildReport",
+    "build_at_matrix",
+    "fixed_grid_at_matrix",
+    "DynamicOptimizer",
+    "OptimizerStats",
+    "MultiplyReport",
+    "atmult",
+    "multiply",
+    "as_at_matrix",
+    "operand_density_map",
+    "ChainPlan",
+    "plan_chain",
+    "multiply_chain",
+    "align_to_operand",
+    "retile",
+    "split_tiles_at_cols",
+    "add",
+    "scale",
+    "atmv",
+    "atmv_transposed",
+    "power_iteration",
+    "PowerIterationResult",
+    "parallel_atmult",
+    "ParallelReport",
+]

@@ -1,0 +1,77 @@
+"""Element-wise arithmetic on AT Matrices.
+
+Multiplication is the paper's focus, but its companion system SLACID [8]
+integrates sparse matrices into a DBMS where addition and scaling are
+everyday operations (e.g. accumulating update deltas).  ``add`` merges
+the operands' contents and re-partitions, because the sum's topology can
+differ from either operand's; ``scale`` is a pure per-tile payload
+operation that preserves the existing tiling (scaling never changes the
+non-zero pattern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import ShapeError
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from ..formats.dense import DenseMatrix
+from .atmatrix import ATMatrix
+from .builder import build_at_matrix
+from .tile import Tile
+
+
+def add(
+    a: ATMatrix,
+    b: ATMatrix,
+    *,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    config: SystemConfig | None = None,
+    read_threshold: float = 0.25,
+) -> ATMatrix:
+    """``alpha * A + beta * B`` as a freshly partitioned AT Matrix.
+
+    The result is rebuilt through the quadtree partitioner because the
+    sum's density topology (and hence its optimal tiling) generally
+    matches neither operand.
+    """
+    if a.shape != b.shape:
+        raise ShapeError(f"shape mismatch: {a.shape} vs {b.shape}")
+    coo_a = a.to_coo()
+    coo_b = b.to_coo()
+    merged = COOMatrix(
+        a.rows,
+        a.cols,
+        np.concatenate([coo_a.row_ids, coo_b.row_ids]),
+        np.concatenate([coo_a.col_ids, coo_b.col_ids]),
+        np.concatenate([alpha * coo_a.values, beta * coo_b.values]),
+        check=False,
+    ).sum_duplicates()
+    return build_at_matrix(
+        merged, config or a.config, read_threshold=read_threshold
+    )
+
+
+def scale(matrix: ATMatrix, factor: float) -> ATMatrix:
+    """``factor * A`` with the tiling preserved (pattern is unchanged)."""
+    tiles = []
+    for tile in matrix.tiles:
+        if isinstance(tile.data, CSRMatrix):
+            payload: CSRMatrix | DenseMatrix = tile.data.scale(factor)
+        else:
+            payload = DenseMatrix(tile.data.array * factor, copy=False)
+        tiles.append(
+            Tile(
+                tile.row0,
+                tile.col0,
+                tile.rows,
+                tile.cols,
+                tile.kind,
+                payload,
+                numa_node=tile.numa_node,
+            )
+        )
+    return ATMatrix(matrix.rows, matrix.cols, matrix.config, tiles)

@@ -1,0 +1,392 @@
+"""ATMULT: the tile-granular, cost-optimized multiplication operator.
+
+Implements paper Algorithm 2 for ``C' = C + A x B`` where each operand is
+independently a plain matrix (dense array or CSR) or an AT Matrix:
+
+1. estimate the result's block-density map by probability propagation;
+2. derive the effective write density threshold from the static
+   ``rho0_W`` and the water-level method under the memory limit;
+3. iterate tile-row/tile-column pairs; allocate each target tile dense or
+   sparse according to its estimated final density;
+4. for every matching inner tile pair, compute the reference windows and
+   let the dynamic optimizer pick (and JIT-convert to) the cheapest input
+   representations before dispatching the kernel.
+
+Note on the threshold combination: Alg. 2 line 3 of the paper prints
+``min{rho0_W, waterlevel(...)}``; since lowering the threshold *increases*
+memory for sub-half densities, honoring the memory SLA requires the
+*stricter* (larger) of the two thresholds, so this implementation combines
+them with ``max``.  With an unbounded memory limit the water level drops
+to 0 and the static ``rho0_W`` decides alone, which reproduces the
+paper's described behavior in both regimes.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, SystemConfig
+from ..cost.model import CostModel
+from ..density.estimate import coarsen, estimate_product_density
+from ..density.map import DensityMap
+from ..density.water_level import WaterLevelResult, water_level_threshold
+from ..errors import ShapeError
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from ..formats.dense import DenseMatrix
+from ..kernels.accumulator import DenseAccumulator, make_accumulator
+from ..kernels.registry import run_tile_product
+from ..kernels.window import Window
+from ..kinds import StorageKind, kernel_name
+from ..topology.trace import TaskRecord
+from .atmatrix import ATMatrix
+from .optimizer import DynamicOptimizer
+from .tile import Tile
+
+logger = logging.getLogger("repro.atmult")
+
+MatrixOperand = ATMatrix | CSRMatrix | DenseMatrix
+
+
+@dataclass
+class MultiplyReport:
+    """Phase timing and optimizer statistics of one ATMULT run.
+
+    The three phases mirror the paper's runtime breakdown (Figs. 8b, 9c,
+    9d): density estimation, dynamic optimization (decisions, water level
+    and just-in-time conversions), and the tile multiplications proper.
+    """
+
+    estimate_seconds: float = 0.0
+    optimize_seconds: float = 0.0
+    multiply_seconds: float = 0.0
+    conversions: int = 0
+    write_threshold: float = 0.0
+    water_level: WaterLevelResult | None = None
+    kernel_counts: dict[str, int] = field(default_factory=dict)
+    tasks: list[TaskRecord] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.estimate_seconds + self.optimize_seconds + self.multiply_seconds
+
+    @property
+    def estimate_fraction(self) -> float:
+        """Share of total runtime spent estimating densities."""
+        total = self.total_seconds
+        return self.estimate_seconds / total if total else 0.0
+
+    @property
+    def optimize_fraction(self) -> float:
+        """Share of total runtime spent optimizing (incl. conversions)."""
+        total = self.total_seconds
+        return self.optimize_seconds / total if total else 0.0
+
+
+def as_at_matrix(operand: MatrixOperand, config: SystemConfig) -> ATMatrix:
+    """View a plain operand as a single-tile AT Matrix (zero partitioning).
+
+    This is how ATMULT supports "plain matrix structures such as dense
+    arrays or sparse CSR matrices" as independent operand types.
+    """
+    if isinstance(operand, ATMatrix):
+        return operand
+    kind = StorageKind.SPARSE if isinstance(operand, CSRMatrix) else StorageKind.DENSE
+    tile = Tile(0, 0, operand.rows, operand.cols, kind, operand)
+    return ATMatrix(operand.rows, operand.cols, config, [tile])
+
+
+def operand_density_map(operand: MatrixOperand, config: SystemConfig) -> DensityMap:
+    """Block-density map of any operand type at ``config.b_atomic``.
+
+    An AT Matrix partitioned under a *different* granularity has its
+    cached map brought to the requested block size: coarsened when the
+    requested size is a multiple of the matrix's own, recomputed from the
+    flattened content otherwise.
+    """
+    block = config.b_atomic
+    assert block is not None
+    if isinstance(operand, ATMatrix):
+        own = operand.density_map()
+        if own.block == block:
+            return own
+        if block % own.block == 0:
+            return coarsen(own, block // own.block)
+        coo = operand.to_coo()
+        return DensityMap.from_coordinates(
+            operand.rows, operand.cols, coo.row_ids, coo.col_ids, block
+        )
+    if isinstance(operand, CSRMatrix):
+        coo_rows = _csr_row_ids(operand)
+        return DensityMap.from_coordinates(
+            operand.rows, operand.cols, coo_rows, operand.indices, block
+        )
+    return DensityMap.from_dense(operand.array, block)
+
+
+def _csr_row_ids(matrix: CSRMatrix) -> np.ndarray:
+    return np.repeat(np.arange(matrix.rows, dtype=np.int64), matrix.row_nnz())
+
+
+def atmult(
+    a: MatrixOperand,
+    b: MatrixOperand,
+    c: MatrixOperand | None = None,
+    *,
+    config: SystemConfig | None = None,
+    cost_model: CostModel | None = None,
+    memory_limit_bytes: float | None = None,
+    dynamic_conversion: bool = True,
+    use_estimation: bool = True,
+) -> tuple[ATMatrix, MultiplyReport]:
+    """Multiply ``C' = C + A x B`` with tile-granular optimization.
+
+    Parameters
+    ----------
+    a, b, c:
+        Operands; each may be an :class:`ATMatrix`, :class:`CSRMatrix`
+        or :class:`DenseMatrix`.  ``c`` is an optional matrix added into
+        the result.
+    config:
+        System configuration; defaults to the library default.
+    cost_model:
+        Cost oracle for the optimizer; a default model is created if
+        omitted.
+    memory_limit_bytes:
+        Memory SLA for the output matrix, enforced through the
+        water-level method.  ``None`` disables the limit.
+    dynamic_conversion:
+        Enable the just-in-time input conversions (ablation step 6).
+    use_estimation:
+        Enable density estimation and dense target tiles (ablation
+        step 3+); when off, all target tiles are sparse.
+
+    Returns
+    -------
+    (result, report):
+        The product as an :class:`ATMatrix` plus the phase report.
+    """
+    config = config or DEFAULT_CONFIG
+    cost_model = cost_model or CostModel()
+    if a.cols != b.rows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    if c is not None and c.shape != (a.rows, b.cols):
+        raise ShapeError(f"C shape {c.shape} != result shape {(a.rows, b.cols)}")
+    report = MultiplyReport()
+
+    at_a = as_at_matrix(a, config)
+    at_b = as_at_matrix(b, config)
+    at_c = as_at_matrix(c, config) if c is not None else None
+
+    # -- phase 1: density estimation (Alg. 2 line 2) ----------------------
+    estimate: DensityMap | None = None
+    if use_estimation:
+        start = time.perf_counter()
+        map_a = operand_density_map(at_a, config)
+        map_b = operand_density_map(at_b, config)
+        estimate = estimate_product_density(map_a, map_b)
+        report.estimate_seconds = time.perf_counter() - start
+
+    # -- phase 2: write threshold via the water level (line 3) --------------
+    start = time.perf_counter()
+    if estimate is not None:
+        level = water_level_threshold(estimate, memory_limit_bytes, config)
+        report.water_level = level
+        write_threshold = max(cost_model.write_threshold, level.threshold)
+    else:
+        write_threshold = float("inf")  # no estimation: sparse targets only
+    report.write_threshold = write_threshold
+    optimizer = DynamicOptimizer(cost_model, enabled=dynamic_conversion)
+    report.optimize_seconds += time.perf_counter() - start
+
+    # -- phase 3: tile loop (lines 4-10) ---------------------------------------
+    row_cuts = at_a.row_cuts()
+    col_cuts = at_b.col_cuts()
+    result_tiles: list[Tile] = []
+    for ti in range(len(row_cuts) - 1):
+        r0, r1 = row_cuts[ti], row_cuts[ti + 1]
+        a_strip = at_a.tiles_overlapping(r0, r1, 0, at_a.cols)
+        team_node = a_strip[0].numa_node if a_strip else 0
+        for tj in range(len(col_cuts) - 1):
+            c0, c1 = col_cuts[tj], col_cuts[tj + 1]
+            b_strip = at_b.tiles_overlapping(0, at_b.rows, c0, c1)
+
+            if estimate is not None:
+                rho_c = estimate.region_density(r0, r1, c0, c1)
+            else:
+                rho_c = 0.0
+            c_kind = (
+                StorageKind.DENSE if rho_c >= write_threshold else StorageKind.SPARSE
+            )
+            accumulator = make_accumulator(c_kind, r1 - r0, c1 - c0)
+
+            if at_c is not None:
+                _seed_accumulator(accumulator, at_c, r0, r1, c0, c1)
+
+            wrote_any = accumulator.writes > 0
+            for a_tile in a_strip:
+                for b_tile in b_strip:
+                    k0 = max(a_tile.col0, b_tile.row0)
+                    k1 = min(a_tile.col1, b_tile.row1)
+                    if k0 >= k1:
+                        continue
+                    wa = Window(
+                        max(r0, a_tile.row0) - a_tile.row0,
+                        min(r1, a_tile.row1) - a_tile.row0,
+                        k0 - a_tile.col0,
+                        k1 - a_tile.col0,
+                    )
+                    wb = Window(
+                        k0 - b_tile.row0,
+                        k1 - b_tile.row0,
+                        max(c0, b_tile.col0) - b_tile.col0,
+                        min(c1, b_tile.col1) - b_tile.col0,
+                    )
+                    start = time.perf_counter()
+                    payload_a, payload_b = optimizer.choose(
+                        a_tile, b_tile, c_kind, wa.rows, wa.cols, wb.cols, rho_c
+                    )
+                    opt_elapsed = time.perf_counter() - start
+
+                    start = time.perf_counter()
+                    run_tile_product(
+                        payload_a,
+                        wa,
+                        payload_b,
+                        wb,
+                        accumulator,
+                        max(r0, a_tile.row0) - r0,
+                        max(c0, b_tile.col0) - c0,
+                    )
+                    mult_elapsed = time.perf_counter() - start
+                    report.multiply_seconds += mult_elapsed
+                    report.optimize_seconds += opt_elapsed
+
+                    name = kernel_name(
+                        _payload_kind(payload_a), _payload_kind(payload_b), c_kind
+                    )
+                    report.kernel_counts[name] = report.kernel_counts.get(name, 0) + 1
+                    report.tasks.append(
+                        TaskRecord(
+                            pair=(ti, tj),
+                            team_node=team_node,
+                            seconds=opt_elapsed + mult_elapsed,
+                            bytes_by_node={
+                                a_tile.numa_node: a_tile.memory_bytes(),
+                                b_tile.numa_node: b_tile.memory_bytes(),
+                            },
+                        )
+                    )
+                    wrote_any = True
+
+            start = time.perf_counter()
+            if wrote_any:
+                payload = accumulator.finalize()
+                if payload.nnz or isinstance(accumulator, DenseAccumulator):
+                    tile = Tile(
+                        r0,
+                        c0,
+                        r1 - r0,
+                        c1 - c0,
+                        c_kind,
+                        payload,
+                        numa_node=team_node,
+                    )
+                    if tile.nnz:
+                        result_tiles.append(tile)
+            report.multiply_seconds += time.perf_counter() - start
+
+    report.conversions = optimizer.stats.conversions
+    result = ATMatrix(a.rows, b.cols, config, result_tiles)
+    logger.debug(
+        "atmult %sx%s @ %sx%s -> nnz=%d in %.3fs "
+        "(estimate %.1f%%, optimize %.1f%%, %d conversions, kernels %s)",
+        a.rows, a.cols, b.rows, b.cols, result.nnz, report.total_seconds,
+        100 * report.estimate_fraction, 100 * report.optimize_fraction,
+        report.conversions, dict(report.kernel_counts),
+    )
+    if memory_limit_bytes is not None and not np.isinf(memory_limit_bytes):
+        start = time.perf_counter()
+        enforce_memory_limit(result, memory_limit_bytes)
+        report.optimize_seconds += time.perf_counter() - start
+    return result, report
+
+
+def _payload_kind(payload) -> StorageKind:
+    return StorageKind.SPARSE if isinstance(payload, CSRMatrix) else StorageKind.DENSE
+
+
+def _seed_accumulator(accumulator, at_c: ATMatrix, r0, r1, c0, c1) -> None:
+    """Add the prior C content of a region into a fresh accumulator."""
+    for tile in at_c.tiles_overlapping(r0, r1, c0, c1):
+        row_lo = max(r0, tile.row0)
+        row_hi = min(r1, tile.row1)
+        col_lo = max(c0, tile.col0)
+        col_hi = min(c1, tile.col1)
+        if isinstance(tile.data, DenseMatrix):
+            view = tile.data.window_view(
+                row_lo - tile.row0, row_hi - tile.row0,
+                col_lo - tile.col0, col_hi - tile.col0,
+            )
+            accumulator.add_dense(row_lo - r0, col_lo - c0, view)
+        else:
+            rows, cols, values = tile.data.window_mask(
+                row_lo - tile.row0, row_hi - tile.row0,
+                col_lo - tile.col0, col_hi - tile.col0,
+            )
+            accumulator.add_triples(row_lo - r0, col_lo - c0, rows, cols, values)
+
+
+def enforce_memory_limit(result: ATMatrix, memory_limit_bytes: float) -> int:
+    """Demote dense result tiles to CSR until the matrix fits the limit.
+
+    The water-level threshold acts on *estimated* densities, so the
+    materialized result can overshoot the SLA by the estimation error.
+    This repair pass converts dense tiles to sparse in ascending density
+    order (each such conversion shrinks a tile with density < S_d/S_sp)
+    until the limit holds.  Returns the number of demoted tiles; raises
+    :class:`MemoryLimitError` when even the all-sparse layout does not
+    fit.
+    """
+    from ..errors import MemoryLimitError
+    from ..formats.convert import dense_to_csr
+
+    total = result.memory_bytes()
+    if total <= memory_limit_bytes:
+        return 0
+    demotable = sorted(
+        (
+            tile
+            for tile in result.tiles
+            if isinstance(tile.data, DenseMatrix)
+        ),
+        key=lambda tile: tile.density,
+    )
+    demoted = 0
+    for tile in demotable:
+        if total <= memory_limit_bytes:
+            break
+        sparse_payload = dense_to_csr(tile.data)
+        if sparse_payload.memory_bytes() >= tile.memory_bytes():
+            continue  # denser than S_d/S_sp: demotion would not shrink it
+        total += sparse_payload.memory_bytes() - tile.memory_bytes()
+        result.replace_tile(tile, tile.with_payload(sparse_payload))
+        demoted += 1
+    if total > memory_limit_bytes:
+        raise MemoryLimitError(
+            f"result needs {total:.0f} B even all-sparse; limit is "
+            f"{memory_limit_bytes:.0f} B"
+        )
+    return demoted
+
+
+def multiply(
+    a: MatrixOperand, b: MatrixOperand, **kwargs
+) -> ATMatrix:
+    """Convenience wrapper around :func:`atmult` returning only the result."""
+    result, _ = atmult(a, b, **kwargs)
+    return result

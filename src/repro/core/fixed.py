@@ -1,0 +1,75 @@
+"""Fixed-size tilings, used by the Fig. 10 ablation levels.
+
+The paper contrasts the adaptive tiling against "naive matrix tiling with
+fixed block size, as it is done in some implementations" (section II-B).
+:func:`fixed_grid_at_matrix` builds such a tiling: every occupied
+``block x block`` grid cell becomes one tile, stored sparse, or dense if
+``mixed`` is set and the cell's density reaches the read threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..formats.coo import COOMatrix
+from ..formats.csr import CSRMatrix
+from ..formats.dense import DenseMatrix
+from ..kinds import StorageKind
+from .atmatrix import ATMatrix
+from .tile import Tile
+
+
+def fixed_grid_at_matrix(
+    staged: COOMatrix,
+    config: SystemConfig,
+    *,
+    block: int | None = None,
+    mixed: bool = False,
+    read_threshold: float = 0.25,
+) -> ATMatrix:
+    """Tile a staged matrix on a fixed ``block`` grid (default ``b_atomic``).
+
+    Empty grid cells produce no tile.  With ``mixed=False`` every tile is
+    CSR (ablation steps 2-3); with ``mixed=True`` cells whose density
+    reaches ``read_threshold`` are stored dense (step 4).
+    """
+    block = block or config.b_atomic
+    assert block is not None
+    grid_cols = -(-staged.cols // block)
+    keys = (staged.row_ids // block) * grid_cols + (staged.col_ids // block)
+    order = np.argsort(keys, kind="stable")
+    keys_sorted = keys[order]
+    row_sorted = staged.row_ids[order]
+    col_sorted = staged.col_ids[order]
+    val_sorted = staged.values[order]
+    boundaries = np.empty(len(keys_sorted), dtype=bool)
+    tiles: list[Tile] = []
+    if len(keys_sorted):
+        boundaries[0] = True
+        np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=boundaries[1:])
+        starts = np.flatnonzero(boundaries)
+        ends = np.append(starts[1:], len(keys_sorted))
+        for start, end in zip(starts, ends):
+            cell = int(keys_sorted[start])
+            block_row, block_col = divmod(cell, grid_cols)
+            row0 = block_row * block
+            col0 = block_col * block
+            rows = min(block, staged.rows - row0)
+            cols = min(block, staged.cols - col0)
+            tile_rows = row_sorted[start:end] - row0
+            tile_cols = col_sorted[start:end] - col0
+            tile_vals = val_sorted[start:end]
+            density = (end - start) / (rows * cols)
+            if mixed and density >= read_threshold:
+                array = np.zeros((rows, cols), dtype=np.float64)
+                np.add.at(array, (tile_rows, tile_cols), tile_vals)
+                payload: CSRMatrix | DenseMatrix = DenseMatrix(array, copy=False)
+                kind = StorageKind.DENSE
+            else:
+                payload = CSRMatrix.from_arrays_unsorted(
+                    rows, cols, tile_rows, tile_cols, tile_vals
+                )
+                kind = StorageKind.SPARSE
+            tiles.append(Tile(row0, col0, rows, cols, kind, payload))
+    return ATMatrix(staged.rows, staged.cols, config, tiles)

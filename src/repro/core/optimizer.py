@@ -1,0 +1,119 @@
+"""The dynamic multiplication optimizer (paper Alg. 2, line 9).
+
+Before each tile product the optimizer asks the cost model for the
+cheapest input-representation pair, charging any representation change
+its one-off conversion cost.  Conversions are cached per source tile so a
+tile converted for one product is reused by every later product in the
+same ATMULT invocation — the paper's worst case is therefore one
+conversion per tile.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..cost.model import CostModel
+from ..formats.convert import csr_to_dense, dense_to_csr
+from ..formats.csr import CSRMatrix
+from ..formats.dense import DenseMatrix
+from ..kinds import StorageKind
+from .tile import Tile, TilePayload
+
+
+@dataclass
+class OptimizerStats:
+    """Conversion bookkeeping of one ATMULT run."""
+
+    decisions: int = 0
+    conversions: int = 0
+    conversion_seconds: float = 0.0
+    decision_seconds: float = 0.0
+    kernel_counts: dict[str, int] = field(default_factory=dict)
+
+    def record_kernel(self, name: str) -> None:
+        self.kernel_counts[name] = self.kernel_counts.get(name, 0) + 1
+
+
+class DynamicOptimizer:
+    """Per-product kernel selection with cached just-in-time conversions."""
+
+    def __init__(self, cost_model: CostModel, *, enabled: bool = True) -> None:
+        self.cost_model = cost_model
+        self.enabled = enabled
+        self.stats = OptimizerStats()
+        self._converted: dict[int, TilePayload] = {}
+        self._decision_cache: dict[tuple, tuple[StorageKind, StorageKind]] = {}
+
+    def choose(
+        self,
+        a_tile: Tile,
+        b_tile: Tile,
+        c_kind: StorageKind,
+        m: int,
+        k: int,
+        n: int,
+        rho_c: float,
+    ) -> tuple[TilePayload, TilePayload]:
+        """Payloads to multiply (possibly converted copies).
+
+        ``m, k, n`` are the dimensions of the *windowed* product; operand
+        densities are taken from the full tiles (the optimizer's estimate
+        of the windowed part).
+        """
+        if not self.enabled:
+            return a_tile.data, b_tile.data
+        start = time.perf_counter()
+        # Quantized memoization: densities are bucketed to 2 significant
+        # decimals — far finer than any cost-crossover the model exhibits —
+        # so repeated products over similar tiles skip the 4-way search.
+        key = (
+            a_tile.kind,
+            b_tile.kind,
+            c_kind,
+            m,
+            k,
+            n,
+            round(a_tile.density, 2),
+            round(b_tile.density, 2),
+            round(rho_c, 2),
+        )
+        cached = self._decision_cache.get(key)
+        if cached is None:
+            kind_a, kind_b, _cost = self.cost_model.cheapest_input_kinds(
+                a_tile.kind,
+                b_tile.kind,
+                c_kind,
+                m,
+                k,
+                n,
+                a_tile.density,
+                b_tile.density,
+                rho_c,
+            )
+            self._decision_cache[key] = (kind_a, kind_b)
+        else:
+            kind_a, kind_b = cached
+        self.stats.decisions += 1
+        self.stats.decision_seconds += time.perf_counter() - start
+        payload_a = self._payload_as(a_tile, kind_a)
+        payload_b = self._payload_as(b_tile, kind_b)
+        return payload_a, payload_b
+
+    def _payload_as(self, tile: Tile, kind: StorageKind) -> TilePayload:
+        if kind is tile.kind:
+            return tile.data
+        cached = self._converted.get(id(tile))
+        if cached is not None:
+            return cached
+        start = time.perf_counter()
+        if kind is StorageKind.DENSE:
+            assert isinstance(tile.data, CSRMatrix)
+            converted: TilePayload = csr_to_dense(tile.data)
+        else:
+            assert isinstance(tile.data, DenseMatrix)
+            converted = dense_to_csr(tile.data)
+        self.stats.conversions += 1
+        self.stats.conversion_seconds += time.perf_counter() - start
+        self._converted[id(tile)] = converted
+        return converted

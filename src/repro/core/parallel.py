@@ -1,0 +1,188 @@
+"""Thread-parallel ATMULT: the paper's two-level execution for real.
+
+Paper section III-F: pairs ``(ti, tj)`` of A tile-rows and B tile-columns
+form independent task sets; all tile products of one pair run on the same
+worker team, different pairs run on different teams concurrently.  This
+module executes that scheme with a thread pool — one worker per simulated
+socket — on top of the same kernels and optimizer ATMULT uses.
+
+Two facts make this sound in Python:
+
+* different pairs write *different* target accumulators, so pair tasks
+  share no mutable state except the optimizer's conversion cache (guarded
+  by a lock);
+* the heavy numpy/BLAS kernels release the GIL, so dense-dominated
+  workloads overlap on multicore hosts (on a single-core host the result
+  is identical, just serialized).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..config import DEFAULT_CONFIG, SystemConfig
+from ..cost.model import CostModel
+from ..density.water_level import water_level_threshold
+from ..errors import ShapeError
+from ..kernels.accumulator import make_accumulator
+from ..kernels.registry import run_tile_product
+from ..kernels.window import Window
+from ..kinds import StorageKind
+from ..topology.system import SystemTopology
+from .atmatrix import ATMatrix
+from .atmult import MatrixOperand, as_at_matrix, operand_density_map
+from .optimizer import DynamicOptimizer
+from .tile import Tile
+
+
+@dataclass
+class ParallelReport:
+    """Outcome statistics of one parallel ATMULT run."""
+
+    wall_seconds: float = 0.0
+    pairs: int = 0
+    products: int = 0
+    conversions: int = 0
+    workers: int = 1
+    #: busy seconds accumulated per worker thread
+    worker_busy_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Total busy time over (workers x wall time)."""
+        if not self.worker_busy_seconds or self.wall_seconds == 0.0:
+            return 1.0
+        busy = sum(self.worker_busy_seconds.values())
+        return busy / (self.workers * self.wall_seconds)
+
+
+class _LockedOptimizer(DynamicOptimizer):
+    """DynamicOptimizer with a lock around the shared conversion cache."""
+
+    def __init__(self, cost_model: CostModel, *, enabled: bool = True) -> None:
+        super().__init__(cost_model, enabled=enabled)
+        self._lock = threading.Lock()
+
+    def _payload_as(self, tile: Tile, kind: StorageKind):
+        if kind is tile.kind:
+            return tile.data
+        with self._lock:
+            return super()._payload_as(tile, kind)
+
+
+def parallel_atmult(
+    a: MatrixOperand,
+    b: MatrixOperand,
+    *,
+    topology: SystemTopology,
+    config: SystemConfig | None = None,
+    cost_model: CostModel | None = None,
+    memory_limit_bytes: float | None = None,
+    dynamic_conversion: bool = True,
+) -> tuple[ATMatrix, ParallelReport]:
+    """Multiply ``C = A x B`` with one worker team per socket.
+
+    Semantically identical to :func:`~repro.core.atmult.atmult`; the
+    tile-row/tile-column pairs are dispatched to a thread pool of
+    ``topology.sockets`` workers instead of a sequential loop.
+    """
+    config = config or DEFAULT_CONFIG
+    cost_model = cost_model or CostModel()
+    if a.cols != b.rows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+
+    at_a = as_at_matrix(a, config)
+    at_b = as_at_matrix(b, config)
+
+    from ..density.estimate import estimate_product_density
+
+    estimate = estimate_product_density(
+        operand_density_map(at_a, config), operand_density_map(at_b, config)
+    )
+    level = water_level_threshold(estimate, memory_limit_bytes, config)
+    write_threshold = max(cost_model.write_threshold, level.threshold)
+    optimizer = _LockedOptimizer(cost_model, enabled=dynamic_conversion)
+
+    row_cuts = at_a.row_cuts()
+    col_cuts = at_b.col_cuts()
+    report = ParallelReport(workers=topology.sockets)
+    busy_lock = threading.Lock()
+
+    def run_pair(ti: int, tj: int) -> Tile | None:
+        start = time.perf_counter()
+        r0, r1 = row_cuts[ti], row_cuts[ti + 1]
+        c0, c1 = col_cuts[tj], col_cuts[tj + 1]
+        a_strip = at_a.tiles_overlapping(r0, r1, 0, at_a.cols)
+        b_strip = at_b.tiles_overlapping(0, at_b.rows, c0, c1)
+        rho_c = estimate.region_density(r0, r1, c0, c1)
+        c_kind = StorageKind.DENSE if rho_c >= write_threshold else StorageKind.SPARSE
+        accumulator = make_accumulator(c_kind, r1 - r0, c1 - c0)
+        products = 0
+        for a_tile in a_strip:
+            for b_tile in b_strip:
+                k0 = max(a_tile.col0, b_tile.row0)
+                k1 = min(a_tile.col1, b_tile.row1)
+                if k0 >= k1:
+                    continue
+                wa = Window(
+                    max(r0, a_tile.row0) - a_tile.row0,
+                    min(r1, a_tile.row1) - a_tile.row0,
+                    k0 - a_tile.col0,
+                    k1 - a_tile.col0,
+                )
+                wb = Window(
+                    k0 - b_tile.row0,
+                    k1 - b_tile.row0,
+                    max(c0, b_tile.col0) - b_tile.col0,
+                    min(c1, b_tile.col1) - b_tile.col0,
+                )
+                payload_a, payload_b = optimizer.choose(
+                    a_tile, b_tile, c_kind, wa.rows, wa.cols, wb.cols, rho_c
+                )
+                run_tile_product(
+                    payload_a,
+                    wa,
+                    payload_b,
+                    wb,
+                    accumulator,
+                    max(r0, a_tile.row0) - r0,
+                    max(c0, b_tile.col0) - c0,
+                )
+                products += 1
+        elapsed = time.perf_counter() - start
+        name = threading.current_thread().name
+        with busy_lock:
+            report.products += products
+            report.worker_busy_seconds[name] = (
+                report.worker_busy_seconds.get(name, 0.0) + elapsed
+            )
+        if not products:
+            return None
+        payload = accumulator.finalize()
+        if not payload.nnz and c_kind is StorageKind.SPARSE:
+            return None
+        tile = Tile(r0, c0, r1 - r0, c1 - c0, c_kind, payload)
+        return tile if tile.nnz else None
+
+    pairs = [
+        (ti, tj)
+        for ti in range(len(row_cuts) - 1)
+        for tj in range(len(col_cuts) - 1)
+    ]
+    report.pairs = len(pairs)
+    start = time.perf_counter()
+    with ThreadPoolExecutor(
+        max_workers=topology.sockets, thread_name_prefix="team"
+    ) as pool:
+        tiles = [tile for tile in pool.map(lambda p: run_pair(*p), pairs) if tile]
+    report.wall_seconds = time.perf_counter() - start
+    report.conversions = optimizer.stats.conversions
+    result = ATMatrix(a.rows, b.cols, config, tiles)
+    if memory_limit_bytes is not None:
+        from .atmult import enforce_memory_limit
+
+        enforce_memory_limit(result, memory_limit_bytes)
+    return result, report

@@ -1,0 +1,208 @@
+"""Recursive quadtree partitioning (paper Algorithm 1).
+
+The partitioner recurses over the Z-ordered atomic-block count array
+(``ZBlockCnts``).  On the way back up it *melts* four homogeneous child
+quadrants — same density type, melted tile still within the maximum-size
+criteria of Eqs. (1)/(2) — into a four-times-larger logical block, and
+*materializes* tiles whenever heterogeneity or a size bound stops the
+melting.  Out-of-bounds Z-cells (padding) are ignored.
+
+The output is a list of :class:`TileSpec` — tile positions/sizes in block
+space plus the decided storage kind — which the builder then materializes
+from the Z-sorted staging data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import PartitionError
+from ..kinds import StorageKind
+from ..zorder.morton import morton_decode_scalar
+from ..zorder.zspace import OUT_OF_BOUNDS, ZSpace
+
+
+class _Status(enum.Enum):
+    OUT_OF_BOUNDS = "out_of_bounds"
+    FORWARD = "forward"
+    MATERIALIZED = "materialized"
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """A tile decided by the partitioner, in block-space coordinates.
+
+    ``block_row0``/``block_col0`` locate the tile on the atomic-block
+    grid; ``size_blocks`` is its (power-of-two) edge length in blocks.
+    """
+
+    block_row0: int
+    block_col0: int
+    size_blocks: int
+    nnz: int
+    kind: StorageKind
+
+    def element_bounds(self, zspace: ZSpace) -> tuple[int, int, int, int]:
+        """Clipped half-open element bounds ``(row0, row1, col0, col1)``."""
+        b = zspace.b_atomic
+        row0 = self.block_row0 * b
+        col0 = self.block_col0 * b
+        row1 = min(zspace.rows, row0 + self.size_blocks * b)
+        col1 = min(zspace.cols, col0 + self.size_blocks * b)
+        return row0, row1, col0, col1
+
+
+@dataclass(frozen=True)
+class _NodeResult:
+    status: _Status
+    nnz: int = 0
+    area: int = 0  # real (clipped) element cells covered
+
+
+class QuadtreePartitioner:
+    """Runs paper Alg. 1 over a Z-ordered block-count array."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        *,
+        read_threshold: float = 0.25,
+    ) -> None:
+        self.config = config
+        self.read_threshold = read_threshold
+
+    # -- public API ----------------------------------------------------------
+    def partition(self, zcounts: np.ndarray, zspace: ZSpace) -> list[TileSpec]:
+        """Partition a matrix given its Z-ordered block counts.
+
+        Returns tile specs for every non-empty region.  Empty (all-zero)
+        regions produce no tile at all — absence of a tile means absence
+        of data.
+        """
+        if len(zcounts) != zspace.num_cells:
+            raise PartitionError(
+                f"ZBlockCnts length {len(zcounts)} != Z-space size {zspace.num_cells}"
+            )
+        self._zspace = zspace
+        self._tiles: list[TileSpec] = []
+        # Prefix sums let the recursion resolve any quadrant's total
+        # count and out-of-bounds population in O(1), so fully empty or
+        # fully padded quadrants are pruned without descending — the
+        # recursion cost scales with the *occupied* blocks, not with the
+        # padded Z-space size (important for hypersparse matrices).
+        counts_clipped = np.where(zcounts == OUT_OF_BOUNDS, 0, zcounts)
+        self._count_prefix = np.concatenate([[0], np.cumsum(counts_clipped)])
+        self._oob_prefix = np.concatenate(
+            [[0], np.cumsum(zcounts == OUT_OF_BOUNDS)]
+        )
+        root = self._recurse(zcounts, 0, zspace.num_cells)
+        if root.status is _Status.FORWARD:
+            # The whole matrix melted into a single tile (the hypersparse
+            # case of section II-B2: no substructure worth adding).
+            self._materialize(0, zspace.num_cells, root)
+        return self._tiles
+
+    # -- recursion ---------------------------------------------------------
+    def _recurse(self, zcounts: np.ndarray, z_start: int, size: int) -> _NodeResult:
+        if size == 1:
+            count = int(zcounts[z_start])
+            if count == OUT_OF_BOUNDS:
+                return _NodeResult(_Status.OUT_OF_BOUNDS)
+            block_row, block_col = morton_decode_scalar(z_start)
+            area = self._zspace.block_area(block_row, block_col)
+            return _NodeResult(_Status.FORWARD, count, area)
+
+        total = int(
+            self._count_prefix[z_start + size] - self._count_prefix[z_start]
+        )
+        oob = int(self._oob_prefix[z_start + size] - self._oob_prefix[z_start])
+        if oob == size:
+            return _NodeResult(_Status.OUT_OF_BOUNDS)
+        if total == 0:
+            # Empty quadrant: forward without descending.  This cannot
+            # change the result — any melt the parent attempts is bound
+            # by Eq. (2) at the *merged* density, which is at least as
+            # strict as the bound the empty children would have hit.
+            return _NodeResult(_Status.FORWARD, 0, self._quadrant_area(z_start, size))
+
+        stride = size // 4
+        children = [
+            self._recurse(zcounts, z_start + i * stride, stride) for i in range(4)
+        ]
+        live = [c for c in children if c.status is not _Status.OUT_OF_BOUNDS]
+        if not live:
+            return _NodeResult(_Status.OUT_OF_BOUNDS)
+
+        if all(c.status is _Status.FORWARD for c in live) and self._can_melt(
+            live, size
+        ):
+            return _NodeResult(
+                _Status.FORWARD,
+                sum(c.nnz for c in live),
+                sum(c.area for c in live),
+            )
+
+        # Heterogeneous (or too large): materialize the FORWARD children.
+        for i, child in enumerate(children):
+            if child.status is _Status.FORWARD:
+                self._materialize(z_start + i * stride, stride, child)
+        return _NodeResult(_Status.MATERIALIZED)
+
+    def _quadrant_area(self, z_start: int, size: int) -> int:
+        """Real (clipped) element cells covered by an aligned quadrant."""
+        block_row, block_col = morton_decode_scalar(z_start)
+        edge = int(round(size**0.5))
+        b = self._zspace.b_atomic
+        rows = max(
+            0, min(self._zspace.rows, (block_row + edge) * b) - block_row * b
+        )
+        cols = max(
+            0, min(self._zspace.cols, (block_col + edge) * b) - block_col * b
+        )
+        return rows * cols
+
+    def _can_melt(self, live: list[_NodeResult], melted_cells: int) -> bool:
+        """Homogeneity check: same type and melted tile within Eqs. (1)/(2)."""
+        types = {self._density_type(c) for c in live}
+        if len(types) != 1:
+            return False
+        total_nnz = sum(c.nnz for c in live)
+        total_area = sum(c.area for c in live)
+        if total_area == 0:
+            return True
+        density = total_nnz / total_area
+        # Edge of the melted tile in elements (sqrt of the cell count).
+        edge_blocks = int(round(melted_cells**0.5))
+        edge_elements = edge_blocks * self._zspace.b_atomic
+        if next(iter(types)) is StorageKind.DENSE:
+            return edge_elements <= self.config.max_dense_tile_dim()
+        return edge_elements <= self.config.max_sparse_tile_dim(density)
+
+    def _density_type(self, node: _NodeResult) -> StorageKind:
+        density = node.nnz / node.area if node.area else 0.0
+        return (
+            StorageKind.DENSE
+            if density >= self.read_threshold
+            else StorageKind.SPARSE
+        )
+
+    def _materialize(self, z_start: int, size: int, node: _NodeResult) -> None:
+        if node.nnz == 0:
+            return  # empty regions carry no tile
+        edge_blocks = int(round(size**0.5))
+        if edge_blocks * edge_blocks != size:
+            raise PartitionError(f"non-square quadrant of {size} cells")
+        block_row, block_col = morton_decode_scalar(z_start)
+        density = node.nnz / node.area if node.area else 0.0
+        kind = (
+            StorageKind.DENSE
+            if density >= self.read_threshold
+            else StorageKind.SPARSE
+        )
+        self._tiles.append(
+            TileSpec(block_row, block_col, edge_blocks, node.nnz, kind)
+        )

@@ -1,0 +1,100 @@
+"""Pre-multiplication re-tiling (the paper's future-work optimization).
+
+Paper section IV-C observes that ATMULT loses on the hypersparse R7 in
+the sparse x dense case because "the overhead results from the implicit
+slicing of A in the multiplication, due to referenced submatrix
+multiplications caused by the actual partitioning of B.  Such situations
+could be avoided by a dynamic re-tiling of the left-hand matrix as a
+part of a pre-multiplication optimization, which, however, is left for
+future work."
+
+This module implements that optimization: :func:`align_to_operand`
+splits the tiles of ``A`` at the row cuts of ``B`` (the inner-dimension
+boundaries), so every tile product in the subsequent ATMULT covers full
+tile windows instead of binary-searched column ranges.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from ..config import SystemConfig
+from ..formats.csr import CSRMatrix
+from ..kinds import StorageKind
+from .atmatrix import ATMatrix
+from .tile import Tile
+
+
+def split_tiles_at_cols(matrix: ATMatrix, cuts: list[int]) -> ATMatrix:
+    """A copy of ``matrix`` whose tiles do not straddle the given column
+    boundaries.
+
+    ``cuts`` are column positions (matrix coordinates).  Tiles that span
+    a cut are split into adjacent tiles with extracted payloads; tiles
+    already contained between two cuts are shared, not copied.
+    """
+    interior = sorted({c for c in cuts if 0 < c < matrix.cols})
+    new_tiles: list[Tile] = []
+    for tile in matrix.tiles:
+        lo = bisect_right(interior, tile.col0)
+        hi = bisect_left(interior, tile.col1)
+        inner = interior[lo:hi]
+        if not inner:
+            new_tiles.append(tile)
+            continue
+        boundaries = [tile.col0] + inner + [tile.col1]
+        for col0, col1 in zip(boundaries[:-1], boundaries[1:]):
+            if isinstance(tile.data, CSRMatrix):
+                payload = tile.data.extract_window(
+                    0, tile.rows, col0 - tile.col0, col1 - tile.col0
+                )
+                kind = StorageKind.SPARSE
+            else:
+                payload = tile.data.extract_window(
+                    0, tile.rows, col0 - tile.col0, col1 - tile.col0
+                )
+                kind = StorageKind.DENSE
+            if payload.nnz == 0 and kind is StorageKind.SPARSE:
+                continue  # empty slices need no tile
+            new_tiles.append(
+                Tile(
+                    tile.row0,
+                    col0,
+                    tile.rows,
+                    col1 - col0,
+                    kind,
+                    payload,
+                    numa_node=tile.numa_node,
+                )
+            )
+    return ATMatrix(matrix.rows, matrix.cols, matrix.config, new_tiles)
+
+
+def align_to_operand(a: ATMatrix, b: ATMatrix) -> ATMatrix:
+    """Re-tile ``A`` so its column boundaries match ``B``'s row cuts.
+
+    The returned matrix multiplies against ``B`` without any referenced
+    column slicing on the inner dimension — the paper's proposed
+    pre-multiplication optimization for cases like R7 x dense.
+    """
+    return split_tiles_at_cols(a, b.row_cuts())
+
+
+def retile(
+    matrix: ATMatrix,
+    config: SystemConfig | None = None,
+    *,
+    read_threshold: float = 0.25,
+) -> ATMatrix:
+    """Fully re-partition a matrix under a (possibly different) config.
+
+    Runs the complete builder pipeline on the flattened content; useful
+    after many accumulative writes have degraded an output matrix's
+    layout, or to move a matrix between machines with different cache
+    geometry.
+    """
+    from .builder import build_at_matrix
+
+    return build_at_matrix(
+        matrix.to_coo(), config or matrix.config, read_threshold=read_threshold
+    )

@@ -1,0 +1,103 @@
+"""Matrix tiles: the physical units of the AT Matrix.
+
+A tile is the bounding box of a physical representation covering a
+quadtree-aligned region of the matrix (paper section II-B).  Tiles are
+square in *block* space (their edge is a power-of-two multiple of
+``b_atomic``) but may be clipped by the real matrix bounds, so the stored
+payload can be rectangular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FormatError
+from ..formats.csr import CSRMatrix
+from ..formats.dense import DenseMatrix
+from ..kinds import StorageKind
+
+TilePayload = CSRMatrix | DenseMatrix
+
+
+@dataclass
+class Tile:
+    """One materialized tile of an AT Matrix.
+
+    Attributes
+    ----------
+    row0, col0:
+        Element offset of the tile's upper-left corner in the matrix.
+    rows, cols:
+        Clipped element extent of the tile.
+    kind:
+        Physical representation (:class:`StorageKind`).
+    data:
+        The payload, a :class:`CSRMatrix` or :class:`DenseMatrix` whose
+        shape equals ``(rows, cols)``.
+    numa_node:
+        Simulated memory node the payload lives on (set during the
+        round-robin tile-row distribution, paper section III-F).
+    """
+
+    row0: int
+    col0: int
+    rows: int
+    cols: int
+    kind: StorageKind
+    data: TilePayload
+    numa_node: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise FormatError(f"tile extent must be positive, got {self.extent}")
+        if self.data.shape != (self.rows, self.cols):
+            raise FormatError(
+                f"payload shape {self.data.shape} != tile extent {(self.rows, self.cols)}"
+            )
+        expected = (
+            StorageKind.SPARSE if isinstance(self.data, CSRMatrix) else StorageKind.DENSE
+        )
+        if self.kind is not expected:
+            raise FormatError(f"kind {self.kind} inconsistent with payload {type(self.data)}")
+
+    # -- geometry ---------------------------------------------------------
+    @property
+    def row1(self) -> int:
+        return self.row0 + self.rows
+
+    @property
+    def col1(self) -> int:
+        return self.col0 + self.cols
+
+    @property
+    def extent(self) -> tuple[int, int, int, int]:
+        """``(row0, row1, col0, col1)`` half-open element bounds."""
+        return self.row0, self.row1, self.col0, self.col1
+
+    def overlaps(self, row0: int, row1: int, col0: int, col1: int) -> bool:
+        """Whether the tile intersects the half-open element region."""
+        return self.row0 < row1 and row0 < self.row1 and self.col0 < col1 and col0 < self.col1
+
+    # -- payload statistics -------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return self.data.nnz
+
+    @property
+    def density(self) -> float:
+        return self.nnz / (self.rows * self.cols)
+
+    def memory_bytes(self) -> int:
+        """Paper-model footprint of the payload."""
+        return self.data.memory_bytes()
+
+    def with_payload(self, data: TilePayload) -> "Tile":
+        """A tile at the same position with a different representation."""
+        kind = StorageKind.SPARSE if isinstance(data, CSRMatrix) else StorageKind.DENSE
+        return Tile(self.row0, self.col0, self.rows, self.cols, kind, data, self.numa_node)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tile([{self.row0}:{self.row1}, {self.col0}:{self.col1}], "
+            f"{self.kind.code}, nnz={self.nnz})"
+        )

@@ -1,0 +1,13 @@
+"""The eightfold multiplication cost model and its calibration.
+
+Paper section III-C: every kernel has a cost function over the operand
+dimensions ``m x k`` / ``k x n`` and densities ``rho_A``, ``rho_B`` and
+the *estimated* result density ``rho_C``.  The dynamic optimizer consults
+these functions — plus representation-conversion costs — to pick the
+cheapest kernel per tile product.
+"""
+
+from .model import CostCoefficients, CostModel, DEFAULT_COEFFICIENTS
+from .calibrate import calibrate
+
+__all__ = ["CostCoefficients", "CostModel", "DEFAULT_COEFFICIENTS", "calibrate"]

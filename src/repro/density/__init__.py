@@ -1,0 +1,20 @@
+"""Block-density maps, result-density estimation, and the water-level method.
+
+These components mirror the paper's use of database-style cardinality
+estimation (section III-D): a :class:`DensityMap` is the 2-D histogram of
+per-atomic-block densities, :func:`estimate_product_density` propagates
+operand maps into a result-map estimate, and
+:func:`~repro.density.water_level.water_level_threshold` turns an estimate
+plus a memory limit into a write density threshold (section III-E).
+"""
+
+from .map import DensityMap
+from .estimate import estimate_product_density
+from .water_level import WaterLevelResult, water_level_threshold
+
+__all__ = [
+    "DensityMap",
+    "estimate_product_density",
+    "WaterLevelResult",
+    "water_level_threshold",
+]

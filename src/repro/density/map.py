@@ -1,0 +1,137 @@
+"""Block-granular density maps.
+
+A :class:`DensityMap` holds, for every atomic ``b_atomic x b_atomic``
+block of a matrix, the fraction of populated cells — the paper's "density
+map" (e.g. Fig. 2c).  Boundary blocks are normalized by their *real*
+(clipped) area so a full boundary block reports density 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+
+
+@dataclass(frozen=True)
+class DensityMap:
+    """Per-block densities of a ``rows x cols`` matrix at a fixed block size."""
+
+    rows: int
+    cols: int
+    block: int
+    grid: np.ndarray  # (grid_rows, grid_cols) float64 densities in [0, 1]
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ShapeError(f"dimensions must be positive, got {self.shape}")
+        if self.block <= 0:
+            raise FormatError(f"block size must be positive, got {self.block}")
+        expected = (_ceil_div(self.rows, self.block), _ceil_div(self.cols, self.block))
+        if self.grid.shape != expected:
+            raise FormatError(
+                f"grid shape {self.grid.shape} does not match expected {expected}"
+            )
+        if self.grid.size and (self.grid.min() < 0.0 or self.grid.max() > 1.0 + 1e-12):
+            raise FormatError("block densities must lie in [0, 1]")
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def from_coordinates(
+        cls,
+        rows: int,
+        cols: int,
+        row_ids: np.ndarray,
+        col_ids: np.ndarray,
+        block: int,
+    ) -> "DensityMap":
+        """Count coordinates into blocks and normalize by clipped block area."""
+        grid_rows = _ceil_div(rows, block)
+        grid_cols = _ceil_div(cols, block)
+        counts = np.zeros((grid_rows, grid_cols), dtype=np.float64)
+        if len(row_ids):
+            np.add.at(
+                counts,
+                (np.asarray(row_ids) // block, np.asarray(col_ids) // block),
+                1.0,
+            )
+        return cls(rows, cols, block, counts / cls._areas(rows, cols, block))
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray, block: int) -> "DensityMap":
+        """Density map of a 2-D numpy array (non-zeros by value)."""
+        array = np.asarray(array)
+        row_ids, col_ids = np.nonzero(array)
+        return cls.from_coordinates(array.shape[0], array.shape[1], row_ids, col_ids, block)
+
+    @classmethod
+    def uniform(cls, rows: int, cols: int, block: int, density: float) -> "DensityMap":
+        """A map with the same density in every block."""
+        grid = np.full(
+            (_ceil_div(rows, block), _ceil_div(cols, block)), float(density)
+        )
+        return cls(rows, cols, block, grid)
+
+    @staticmethod
+    def _areas(rows: int, cols: int, block: int) -> np.ndarray:
+        """Clipped cell counts of every block (for boundary normalization)."""
+        row_sizes = np.minimum(
+            block, rows - np.arange(_ceil_div(rows, block)) * block
+        ).astype(np.float64)
+        col_sizes = np.minimum(
+            block, cols - np.arange(_ceil_div(cols, block)) * block
+        ).astype(np.float64)
+        return np.outer(row_sizes, col_sizes)
+
+    # -- properties -------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.rows, self.cols
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        return self.grid.shape
+
+    def block_areas(self) -> np.ndarray:
+        """Clipped cell count of every block."""
+        return self._areas(self.rows, self.cols, self.block)
+
+    def estimated_nnz(self) -> float:
+        """Total non-zero count implied by the map."""
+        return float((self.grid * self.block_areas()).sum())
+
+    def overall_density(self) -> float:
+        """Whole-matrix density implied by the map."""
+        return self.estimated_nnz() / (self.rows * self.cols)
+
+    def region_density(self, row0: int, row1: int, col0: int, col1: int) -> float:
+        """Area-weighted mean density of an element region.
+
+        Resolved at block granularity: a region that is not aligned to
+        the block grid is measured over the covering blocks (density is
+        only known per block — the paper's unit of granularity).
+        """
+        if not (0 <= row0 <= row1 <= self.rows and 0 <= col0 <= col1 <= self.cols):
+            raise ShapeError(
+                f"region [{row0}:{row1}, {col0}:{col1}] outside {self.shape}"
+            )
+        br0, bc0 = row0 // self.block, col0 // self.block
+        br1 = _ceil_div(row1, self.block)
+        bc1 = _ceil_div(col1, self.block)
+        areas = self.block_areas()[br0:br1, bc0:bc1]
+        total = areas.sum()
+        if total == 0:
+            return 0.0
+        return float((self.grid[br0:br1, bc0:bc1] * areas).sum() / total)
+
+    def __repr__(self) -> str:
+        return (
+            f"DensityMap(shape={self.shape}, block={self.block}, "
+            f"grid={self.grid_shape}, rho={self.overall_density():.4g})"
+        )
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

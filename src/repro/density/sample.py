@@ -1,0 +1,83 @@
+"""Sampling-based result-size estimation.
+
+An alternative to probability propagation: execute the Gustavson row
+expansion for a uniform sample of A's rows and extrapolate.  This is
+the join-sampling analogue of the paper's "cardinality estimation for
+relational join processing" framing — more expensive than the density
+map (it touches real data) but unbiased for the *flop* count and usually
+tighter for the result size on skewed data, where the independence
+assumption of probability propagation breaks down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..formats.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class SampledEstimate:
+    """Extrapolated result statistics from a row sample."""
+
+    result_nnz: float
+    flops: float
+    sampled_rows: int
+    total_rows: int
+
+    @property
+    def result_density(self) -> float:
+        """Implied overall density (needs cols recorded by the caller)."""
+        return self.result_nnz
+
+    def scale(self) -> float:
+        return self.total_rows / max(1, self.sampled_rows)
+
+
+def sample_product_size(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    *,
+    sample_rows: int = 64,
+    seed: int = 0,
+) -> SampledEstimate:
+    """Estimate nnz(C) and flops of ``C = A @ B`` from sampled A rows.
+
+    For each sampled row ``i``, the exact number of distinct result
+    columns is computed by merging the column sets of the B rows indexed
+    by A's row ``i`` — exactly what the real kernel would produce for
+    that row.  Totals are extrapolated by the sampling fraction.
+    """
+    if a.cols != b.rows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    if sample_rows <= 0:
+        raise ShapeError(f"sample_rows must be positive, got {sample_rows}")
+    rng = np.random.default_rng(seed)
+    count = min(sample_rows, a.rows)
+    rows = (
+        np.arange(a.rows)
+        if count == a.rows
+        else rng.choice(a.rows, size=count, replace=False)
+    )
+    b_row_nnz = b.row_nnz()
+    total_result = 0
+    total_flops = 0
+    for row in rows:
+        cols, _ = a.row_slice(int(row))
+        if not len(cols):
+            continue
+        total_flops += int(b_row_nnz[cols].sum())
+        segments = [b.row_slice(int(k))[0] for k in cols]
+        if segments:
+            merged = np.unique(np.concatenate(segments))
+            total_result += len(merged)
+    scale = a.rows / count
+    return SampledEstimate(
+        result_nnz=total_result * scale,
+        flops=total_flops * scale,
+        sampled_rows=count,
+        total_rows=a.rows,
+    )

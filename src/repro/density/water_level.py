@@ -1,0 +1,120 @@
+"""The water-level method for memory-bounded write thresholds.
+
+Paper section III-E / Fig. 5: given the estimated block-density map of the
+result matrix and a total memory limit, find the write density threshold
+``rho_D_W`` such that storing every block with density >= threshold as
+dense (``S_d`` bytes/cell) and every other block as sparse
+(``rho * S_sp`` bytes/cell) keeps the total within the limit.
+
+The 2-D histogram view reduces to one dimension: sort blocks by density
+descending and "lower the water level" — sweep a split point from the
+densest block to the sparsest, tracking accumulated memory.  The chosen
+level is the lowest one whose total memory still fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import MemoryLimitError
+from .map import DensityMap
+
+
+@dataclass(frozen=True)
+class WaterLevelResult:
+    """Outcome of the water-level sweep.
+
+    Attributes
+    ----------
+    threshold:
+        The write density threshold ``rho_D_W``; blocks with estimated
+        density >= threshold may be stored dense.
+    total_bytes:
+        Estimated memory footprint at that threshold.
+    dense_blocks:
+        Number of blocks at or above the threshold.
+    all_sparse_bytes / all_dense_bytes:
+        Footprints of the two homogeneous extremes (for reporting).
+    """
+
+    threshold: float
+    total_bytes: float
+    dense_blocks: int
+    all_sparse_bytes: float
+    all_dense_bytes: float
+
+
+def memory_at_threshold(
+    estimate: DensityMap, threshold: float, config: SystemConfig
+) -> float:
+    """Estimated output bytes if blocks >= ``threshold`` are stored dense."""
+    areas = estimate.block_areas()
+    dense_mask = estimate.grid >= threshold
+    dense_bytes = areas[dense_mask].sum() * config.dense_element_bytes
+    sparse_bytes = (
+        (estimate.grid[~dense_mask] * areas[~dense_mask]).sum()
+        * config.sparse_element_bytes
+    )
+    return float(dense_bytes + sparse_bytes)
+
+
+def water_level_threshold(
+    estimate: DensityMap,
+    memory_limit_bytes: float | None,
+    config: SystemConfig,
+) -> WaterLevelResult:
+    """Lower the water level until the memory limit is met.
+
+    Returns the lowest threshold whose projected footprint fits within
+    ``memory_limit_bytes``.  With no limit (``None`` or ``inf``) the level
+    drops to 0, i.e. every block may be dense.  Raises
+    :class:`MemoryLimitError` when no level satisfies the limit — note
+    that blocks denser than ``S_d / S_sp`` (0.5 in the default
+    configuration) are *smaller* dense than sparse, so the minimal
+    footprint is a mixed layout, not the all-sparse one.
+    """
+    areas = estimate.block_areas().ravel()
+    densities = estimate.grid.ravel()
+    order = np.argsort(densities)[::-1]  # densest first: water drops onto them
+    densities = densities[order]
+    areas = areas[order]
+
+    sparse_bytes = densities * areas * config.sparse_element_bytes
+    dense_bytes = areas * config.dense_element_bytes
+    all_sparse = float(sparse_bytes.sum())
+    all_dense = float(dense_bytes.sum())
+
+    if memory_limit_bytes is None or np.isinf(memory_limit_bytes):
+        return WaterLevelResult(0.0, all_dense, len(densities), all_sparse, all_dense)
+
+    # totals[i]: memory when the i densest blocks are dense, the rest sparse.
+    dense_prefix = np.concatenate([[0.0], np.cumsum(dense_bytes)])
+    sparse_suffix = np.concatenate([np.cumsum(sparse_bytes[::-1])[::-1], [0.0]])
+    totals = dense_prefix + sparse_suffix
+
+    # A threshold can only separate *distinct* density values, so the level
+    # may rest exactly at a value v (all blocks >= v dense) or above the
+    # maximum (no dense block).  Sweep candidates from the lowest level up.
+    distinct_counts = np.flatnonzero(
+        np.concatenate([densities[:-1] != densities[1:], [True]])
+    ) + 1  # prefix lengths ending at a tie boundary, ascending density order
+    candidate_counts = list(distinct_counts[::-1]) + [0]
+    for count in candidate_counts:
+        if totals[count] <= memory_limit_bytes:
+            if count == 0:
+                threshold = (
+                    float(np.nextafter(densities[0], np.inf)) if len(densities) else 1.0
+                )
+            else:
+                threshold = float(densities[count - 1])
+            return WaterLevelResult(
+                threshold, float(totals[count]), int(count), all_sparse, all_dense
+            )
+    minimal = float(np.minimum(sparse_bytes, dense_bytes).sum())
+    raise MemoryLimitError(
+        f"no water level satisfies the memory limit {memory_limit_bytes:.0f} B"
+        f" (minimal mixed footprint is {minimal:.0f} B)"
+    )

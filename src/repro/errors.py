@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything this package raises with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Operand shapes are incompatible (e.g. inner dimensions differ)."""
+
+
+class FormatError(ReproError, ValueError):
+    """A matrix payload violates its format's structural invariants."""
+
+
+class ParseError(ReproError, ValueError):
+    """A serialized matrix (e.g. Matrix Market) could not be parsed."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A system/tuning configuration value is out of its valid domain."""
+
+
+class MemoryLimitError(ReproError, RuntimeError):
+    """A memory SLA cannot be satisfied even with the sparsest layout."""
+
+
+class PartitionError(ReproError, RuntimeError):
+    """The quadtree partitioner reached an inconsistent state."""
+
+
+class SchedulerError(ReproError, RuntimeError):
+    """The simulated task scheduler was driven into an invalid state."""

@@ -1,0 +1,186 @@
+"""BCSR (block compressed sparse row) format.
+
+The register-blocking representation of Vuduc et al. the paper surveys
+(section V-C: "their maximum block size is 3x3 — hence, their focus is
+rather on microscopic tuning than on high-level tile optimizations").
+BCSR stores small fixed-size dense blocks instead of single elements:
+a CSR structure over the ``ceil(m/r) x ceil(n/c)`` block grid with an
+``(nblocks, r, c)`` payload array.
+
+Included to contrast the paper's macroscopic adaptive tiles against
+microscopic register blocking in the SpMV format comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+from .csr import CSRMatrix
+
+
+class BCSRMatrix:
+    """Fixed-size dense-block CSR."""
+
+    __slots__ = ("rows", "cols", "block_rows", "block_cols", "indptr", "indices", "blocks")
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        block_rows: int,
+        block_cols: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        blocks: np.ndarray,
+        *,
+        check: bool = True,
+    ) -> None:
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.block_rows = int(block_rows)
+        self.block_cols = int(block_cols)
+        self.indptr = np.array(indptr, dtype=np.int64)
+        self.indices = np.array(indices, dtype=np.int64)
+        self.blocks = np.array(blocks, dtype=np.float64)
+        if check:
+            self._validate()
+
+    def _validate(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ShapeError(f"dimensions must be positive, got {self.shape}")
+        if self.block_rows <= 0 or self.block_cols <= 0:
+            raise FormatError("block dimensions must be positive")
+        grid_rows = -(-self.rows // self.block_rows)
+        grid_cols = -(-self.cols // self.block_cols)
+        if len(self.indptr) != grid_rows + 1:
+            raise FormatError(
+                f"indptr length {len(self.indptr)} != block rows + 1 = {grid_rows + 1}"
+            )
+        if self.blocks.shape != (len(self.indices), self.block_rows, self.block_cols):
+            raise FormatError(
+                f"blocks shape {self.blocks.shape} inconsistent with "
+                f"{len(self.indices)} blocks of {self.block_rows}x{self.block_cols}"
+            )
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= grid_cols
+        ):
+            raise FormatError("block column indices outside the block grid")
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_csr(
+        cls, matrix: CSRMatrix, block_rows: int = 3, block_cols: int = 3
+    ) -> "BCSRMatrix":
+        """Convert from CSR; occupied grid cells become dense blocks."""
+        grid_cols = -(-matrix.cols // block_cols)
+        rows = np.repeat(np.arange(matrix.rows, dtype=np.int64), matrix.row_nnz())
+        cols = matrix.indices
+        cell_keys = (rows // block_rows) * grid_cols + (cols // block_cols)
+        order = np.argsort(cell_keys, kind="stable")
+        cell_sorted = cell_keys[order]
+        unique_cells, starts = np.unique(cell_sorted, return_index=True)
+        ends = np.append(starts[1:], len(cell_sorted))
+        blocks = np.zeros(
+            (len(unique_cells), block_rows, block_cols), dtype=np.float64
+        )
+        rows_sorted = rows[order]
+        cols_sorted = cols[order]
+        values_sorted = matrix.values[order]
+        for i, (start, end) in enumerate(zip(starts, ends)):
+            local_rows = rows_sorted[start:end] % block_rows
+            local_cols = cols_sorted[start:end] % block_cols
+            blocks[i, local_rows, local_cols] = values_sorted[start:end]
+        grid_rows = -(-matrix.rows // block_rows)
+        block_row_ids = unique_cells // grid_cols
+        indptr = np.zeros(grid_rows + 1, dtype=np.int64)
+        np.add.at(indptr, block_row_ids + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(
+            matrix.rows,
+            matrix.cols,
+            block_rows,
+            block_cols,
+            indptr,
+            unique_cells % grid_cols,
+            blocks,
+            check=False,
+        )
+
+    # -- properties ------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.rows, self.cols
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.indices)
+
+    @property
+    def nnz(self) -> int:
+        """Non-zeros by value (blocks may contain explicit zeros)."""
+        return int(np.count_nonzero(self.blocks))
+
+    def memory_bytes(self) -> int:
+        """Payload bytes: full blocks plus one id per block."""
+        return self.blocks.size * 8 + self.num_blocks * 8
+
+    @property
+    def fill_ratio(self) -> float:
+        """Stored cells per actual non-zero (>= 1; the BCSR overhead)."""
+        nnz = self.nnz
+        return self.blocks.size / nnz if nnz else 1.0
+
+    # -- operations ----------------------------------------------------------
+    def spmv(self, vector: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` via per-block dense gemv contributions."""
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if len(vector) != self.cols:
+            raise ShapeError(f"vector length {len(vector)} != cols {self.cols}")
+        padded_cols = -(-self.cols // self.block_cols) * self.block_cols
+        x = np.zeros(padded_cols)
+        x[: self.cols] = vector
+        segments = x.reshape(-1, self.block_cols)
+        out = np.zeros((-(-self.rows // self.block_rows), self.block_rows))
+        if self.num_blocks:
+            # (nblocks, r, c) @ (nblocks, c) -> (nblocks, r), reduced per
+            # block row with a segmented sum.
+            contributions = np.einsum(
+                "brc,bc->br", self.blocks, segments[self.indices]
+            )
+            lengths = np.diff(self.indptr)
+            occupied = np.flatnonzero(lengths)
+            out[occupied] = np.add.reduceat(
+                contributions, self.indptr[occupied], axis=0
+            )
+        return out.ravel()[: self.rows]
+
+    def to_csr(self) -> CSRMatrix:
+        """Convert back to CSR (explicit zeros dropped)."""
+        if not self.num_blocks:
+            return CSRMatrix.empty(self.rows, self.cols)
+        block_rows = np.repeat(
+            np.arange(len(self.indptr) - 1, dtype=np.int64), np.diff(self.indptr)
+        )
+        nz_block, nz_r, nz_c = np.nonzero(self.blocks)
+        rows = block_rows[nz_block] * self.block_rows + nz_r
+        cols = self.indices[nz_block] * self.block_cols + nz_c
+        keep = (rows < self.rows) & (cols < self.cols)
+        return CSRMatrix.from_arrays_unsorted(
+            self.rows,
+            self.cols,
+            rows[keep],
+            cols[keep],
+            self.blocks[nz_block, nz_r, nz_c][keep],
+            sum_duplicates=False,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_csr().to_dense()
+
+    def __repr__(self) -> str:
+        return (
+            f"BCSRMatrix(shape={self.shape}, "
+            f"block={self.block_rows}x{self.block_cols}, "
+            f"blocks={self.num_blocks}, fill={self.fill_ratio:.2f})"
+        )

@@ -1,0 +1,57 @@
+"""Conversions between COO, CSR and dense representations.
+
+The dynamic optimizer of ATMULT performs just-in-time tile conversions
+(paper section III-C); these helpers are that conversion layer.  Every
+function returns a new object; nothing aliases caller-owned buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .dense import DenseMatrix
+
+
+def coo_to_csr(matrix: COOMatrix) -> CSRMatrix:
+    """COO staging table -> CSR (duplicates summed, columns sorted)."""
+    return CSRMatrix.from_arrays_unsorted(
+        matrix.rows, matrix.cols, matrix.row_ids, matrix.col_ids, matrix.values
+    )
+
+
+def coo_to_dense(matrix: COOMatrix) -> DenseMatrix:
+    """COO staging table -> dense array (duplicates summed)."""
+    return DenseMatrix(matrix.to_dense(), copy=False)
+
+
+def csr_to_coo(matrix: CSRMatrix) -> COOMatrix:
+    """CSR -> COO triple table (row-major element order)."""
+    rows = np.repeat(np.arange(matrix.rows, dtype=np.int64), matrix.row_nnz())
+    return COOMatrix(
+        matrix.rows, matrix.cols, rows, matrix.indices, matrix.values, check=False
+    )
+
+
+def csr_to_dense(matrix: CSRMatrix) -> DenseMatrix:
+    """CSR -> dense array."""
+    return DenseMatrix(matrix.to_dense(), copy=False)
+
+
+def dense_to_coo(matrix: DenseMatrix) -> COOMatrix:
+    """Dense array -> COO table of the non-zero entries."""
+    return COOMatrix.from_dense(matrix.array)
+
+
+def dense_to_csr(matrix: DenseMatrix) -> CSRMatrix:
+    """Dense array -> CSR of the non-zero entries."""
+    row_ids, col_ids = np.nonzero(matrix.array)
+    return CSRMatrix.from_arrays_unsorted(
+        matrix.rows,
+        matrix.cols,
+        row_ids.astype(np.int64),
+        col_ids.astype(np.int64),
+        matrix.array[row_ids, col_ids],
+        sum_duplicates=False,
+    )

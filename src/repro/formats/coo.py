@@ -1,0 +1,200 @@
+"""COO (coordinate / triple) staging format.
+
+The paper loads raw matrices into "a temporary, unordered staging
+representation, which is simply a table of the matrix tuples" (section
+II-C1).  :class:`COOMatrix` is that table: three parallel numpy arrays of
+``(row, col, value)``.  It supports duplicate summation, Z-ordering, and
+size accounting in the paper's ``<int, int, double>`` binary triple format
+(Table I's "Bin. Size" column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+from ..zorder.morton import morton_encode
+
+#: Bytes per COO triple: two 4-byte ints plus one 8-byte double.
+COO_TRIPLE_BYTES = 16
+
+
+@dataclass
+class COOMatrix:
+    """A sparse matrix as parallel coordinate/value arrays.
+
+    The arrays are owned (never aliased to caller data after construction)
+    and may be in any element order unless a method documents otherwise.
+    """
+
+    rows: int
+    cols: int
+    row_ids: np.ndarray
+    col_ids: np.ndarray
+    values: np.ndarray
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        row_ids: np.ndarray,
+        col_ids: np.ndarray,
+        values: np.ndarray,
+        *,
+        check: bool = True,
+        copy: bool = True,
+    ) -> None:
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.row_ids = np.array(row_ids, dtype=np.int64, copy=copy).ravel()
+        self.col_ids = np.array(col_ids, dtype=np.int64, copy=copy).ravel()
+        self.values = np.array(values, dtype=np.float64, copy=copy).ravel()
+        if check:
+            self._validate()
+
+    def _validate(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ShapeError(f"dimensions must be positive, got {self.shape}")
+        if not (len(self.row_ids) == len(self.col_ids) == len(self.values)):
+            raise FormatError("COO arrays must have equal lengths")
+        if self.nnz:
+            if self.row_ids.min() < 0 or self.col_ids.min() < 0:
+                raise FormatError("negative coordinates in COO matrix")
+            if self.row_ids.max() >= self.rows or self.col_ids.max() >= self.cols:
+                raise FormatError("COO coordinates outside matrix dimensions")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def empty(cls, rows: int, cols: int) -> "COOMatrix":
+        """A matrix of the given shape with no stored elements."""
+        zero = np.empty(0, dtype=np.int64)
+        return cls(rows, cols, zero, zero, np.empty(0, dtype=np.float64), copy=False)
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray) -> "COOMatrix":
+        """Extract the non-zero entries of a 2-D numpy array."""
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim != 2:
+            raise ShapeError(f"expected a 2-D array, got ndim={array.ndim}")
+        row_ids, col_ids = np.nonzero(array)
+        return cls(array.shape[0], array.shape[1], row_ids, col_ids, array[row_ids, col_ids])
+
+    # -- basic properties ----------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.rows, self.cols
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (duplicates counted individually)."""
+        return len(self.values)
+
+    @property
+    def density(self) -> float:
+        """Population density ``rho = nnz / (rows * cols)``."""
+        return self.nnz / (self.rows * self.cols)
+
+    def memory_bytes(self) -> int:
+        """Size in the paper's binary triple format (Table I, "Bin. Size")."""
+        return self.nnz * COO_TRIPLE_BYTES
+
+    # -- transformations -----------------------------------------------------
+    def sum_duplicates(self) -> "COOMatrix":
+        """A copy with duplicate coordinates summed and zeros dropped,
+        sorted row-major."""
+        if not self.nnz:
+            return COOMatrix.empty(self.rows, self.cols)
+        keys = self.row_ids * self.cols + self.col_ids
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        values = self.values[order]
+        boundaries = np.empty(len(keys), dtype=bool)
+        boundaries[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=boundaries[1:])
+        starts = np.flatnonzero(boundaries)
+        summed = np.add.reduceat(values, starts)
+        unique_keys = keys[starts]
+        keep = summed != 0.0
+        unique_keys = unique_keys[keep]
+        summed = summed[keep]
+        return COOMatrix(
+            self.rows,
+            self.cols,
+            unique_keys // self.cols,
+            unique_keys % self.cols,
+            summed,
+            check=False,
+            copy=False,
+        )
+
+    def z_ordered(self, *, copy: bool = True) -> "COOMatrix":
+        """A copy with elements sorted by their Morton (Z) code.
+
+        This is the "locality-aware element reordering" step of paper
+        section II-C1 that makes every quadtree quadrant contiguous.
+        """
+        if not self.nnz:
+            return COOMatrix.empty(self.rows, self.cols)
+        order = np.argsort(morton_encode(self.row_ids, self.col_ids), kind="stable")
+        return COOMatrix(
+            self.rows,
+            self.cols,
+            self.row_ids[order],
+            self.col_ids[order],
+            self.values[order],
+            check=False,
+            copy=copy,
+        )
+
+    def transpose(self) -> "COOMatrix":
+        """The transposed matrix (coordinates swapped)."""
+        return COOMatrix(
+            self.cols, self.rows, self.col_ids, self.row_ids, self.values, check=False
+        )
+
+    def extract_window(
+        self, row0: int, row1: int, col0: int, col1: int
+    ) -> "COOMatrix":
+        """Entries inside the half-open window, re-based to window origin."""
+        if not (0 <= row0 <= row1 <= self.rows and 0 <= col0 <= col1 <= self.cols):
+            raise ShapeError(
+                f"window [{row0}:{row1}, {col0}:{col1}] outside {self.shape}"
+            )
+        mask = (
+            (self.row_ids >= row0)
+            & (self.row_ids < row1)
+            & (self.col_ids >= col0)
+            & (self.col_ids < col1)
+        )
+        return COOMatrix(
+            max(1, row1 - row0),
+            max(1, col1 - col0),
+            self.row_ids[mask] - row0,
+            self.col_ids[mask] - col0,
+            self.values[mask],
+            check=False,
+            copy=False,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a 2-D numpy array (duplicates summed)."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.row_ids, self.col_ids), self.values)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, COOMatrix):
+            return NotImplemented
+        if self.shape != other.shape:
+            return False
+        a, b = self.sum_duplicates(), other.sum_duplicates()
+        return (
+            np.array_equal(a.row_ids, b.row_ids)
+            and np.array_equal(a.col_ids, b.col_ids)
+            and np.array_equal(a.values, b.values)
+        )
+
+    def __repr__(self) -> str:
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,130 @@
+"""ELLPACK (ELL) sparse format.
+
+One of the alternative representations the paper surveys (section V-A:
+"The data representations used are either CSR, ELLPACK storage (ELL),
+the coordinate storage format (COO), or blocked representations").  ELL
+pads every row to the maximum row width, storing column ids and values
+in dense ``rows x width`` arrays — great for vector units when row
+lengths are even, wasteful when one row is much longer than the rest.
+
+Provided so the SpMV format comparison that motivated the paper's choice
+of CSR can be reproduced (see ``benchmarks/bench_spmv_formats.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+from .csr import CSRMatrix
+
+#: Column-id sentinel for padding slots.
+PAD = -1
+
+
+class ELLMatrix:
+    """ELLPACK storage: fixed-width padded rows."""
+
+    __slots__ = ("rows", "cols", "indices", "data")
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        indices: np.ndarray,
+        data: np.ndarray,
+        *,
+        check: bool = True,
+    ) -> None:
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.indices = np.array(indices, dtype=np.int64)
+        self.data = np.array(data, dtype=np.float64)
+        if check:
+            self._validate()
+
+    def _validate(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ShapeError(f"dimensions must be positive, got {self.shape}")
+        if self.indices.shape != self.data.shape:
+            raise FormatError("indices and data must have identical shapes")
+        if self.indices.ndim != 2 or self.indices.shape[0] != self.rows:
+            raise FormatError(
+                f"expected ({self.rows}, width) arrays, got {self.indices.shape}"
+            )
+        valid = self.indices != PAD
+        if valid.any():
+            cols_used = self.indices[valid]
+            if cols_used.min() < 0 or cols_used.max() >= self.cols:
+                raise FormatError("column indices outside matrix width")
+        if ((~valid) & (self.data != 0.0)).any():
+            raise FormatError("padding slots must hold zero values")
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_csr(cls, matrix: CSRMatrix) -> "ELLMatrix":
+        """Convert from CSR, padding to the maximum row width."""
+        row_nnz = matrix.row_nnz()
+        width = int(row_nnz.max()) if matrix.nnz else 0
+        indices = np.full((matrix.rows, max(width, 0)), PAD, dtype=np.int64)
+        data = np.zeros((matrix.rows, max(width, 0)), dtype=np.float64)
+        for row in range(matrix.rows):
+            start, end = matrix.indptr[row], matrix.indptr[row + 1]
+            count = end - start
+            indices[row, :count] = matrix.indices[start:end]
+            data[row, :count] = matrix.values[start:end]
+        return cls(matrix.rows, matrix.cols, indices, data, check=False)
+
+    # -- properties ------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.rows, self.cols
+
+    @property
+    def width(self) -> int:
+        """Padded row width (max nnz per row)."""
+        return self.indices.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int((self.indices != PAD).sum())
+
+    def memory_bytes(self) -> int:
+        """Footprint including padding: 16 bytes per slot (id + value)."""
+        return self.indices.size * 16
+
+    @property
+    def padding_fraction(self) -> float:
+        """Share of slots wasted on padding."""
+        if not self.indices.size:
+            return 0.0
+        return 1.0 - self.nnz / self.indices.size
+
+    # -- operations ----------------------------------------------------------
+    def spmv(self, vector: np.ndarray) -> np.ndarray:
+        """``y = A @ x``: fully vectorized over the padded arrays."""
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if len(vector) != self.cols:
+            raise ShapeError(f"vector length {len(vector)} != cols {self.cols}")
+        if not self.indices.size:
+            return np.zeros(self.rows)
+        gathered = vector[np.where(self.indices == PAD, 0, self.indices)]
+        return (self.data * gathered).sum(axis=1)
+
+    def to_csr(self) -> CSRMatrix:
+        """Convert back to CSR (padding dropped)."""
+        valid = self.indices != PAD
+        rows = np.repeat(np.arange(self.rows, dtype=np.int64), valid.sum(axis=1))
+        return CSRMatrix.from_arrays_unsorted(
+            self.rows, self.cols, rows, self.indices[valid], self.data[valid],
+            sum_duplicates=False,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_csr().to_dense()
+
+    def __repr__(self) -> str:
+        return (
+            f"ELLMatrix(shape={self.shape}, width={self.width}, "
+            f"padding={self.padding_fraction:.1%})"
+        )

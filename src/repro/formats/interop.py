@@ -1,0 +1,84 @@
+"""Interoperability with scipy.sparse and numpy.
+
+These adapters let a downstream user feed existing scipy/numpy data into
+the AT Matrix pipeline (and get it back out) without touching internal
+formats.  scipy is an *optional* dependency: the functions that need it
+raise a clear ImportError when it is missing; the library core never
+imports it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..errors import FormatError
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+if TYPE_CHECKING:  # pragma: no cover
+    import scipy.sparse
+
+
+def _require_scipy() -> Any:
+    try:
+        import scipy.sparse as sparse
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise ImportError(
+            "scipy is required for scipy.sparse interop; install scipy or "
+            "use COOMatrix/CSRMatrix constructors directly"
+        ) from exc
+    return sparse
+
+
+def from_scipy(matrix: "scipy.sparse.spmatrix") -> COOMatrix:
+    """Convert any scipy.sparse matrix into a COO staging matrix."""
+    _require_scipy()
+    coo = matrix.tocoo()
+    return COOMatrix(
+        coo.shape[0],
+        coo.shape[1],
+        coo.row.astype(np.int64),
+        coo.col.astype(np.int64),
+        coo.data.astype(np.float64),
+    )
+
+
+def csr_from_scipy(matrix: "scipy.sparse.spmatrix") -> CSRMatrix:
+    """Convert any scipy.sparse matrix into the library's CSR format."""
+    sparse = _require_scipy()
+    csr = sparse.csr_matrix(matrix)
+    csr.sum_duplicates()
+    csr.sort_indices()
+    return CSRMatrix(
+        csr.shape[0],
+        csr.shape[1],
+        csr.indptr.astype(np.int64),
+        csr.indices.astype(np.int64),
+        csr.data.astype(np.float64),
+    )
+
+
+def to_scipy_coo(matrix: COOMatrix) -> "scipy.sparse.coo_matrix":
+    """Export a COO staging matrix as ``scipy.sparse.coo_matrix``."""
+    sparse = _require_scipy()
+    return sparse.coo_matrix(
+        (matrix.values, (matrix.row_ids, matrix.col_ids)), shape=matrix.shape
+    )
+
+
+def to_scipy_csr(matrix: CSRMatrix) -> "scipy.sparse.csr_matrix":
+    """Export the library's CSR format as ``scipy.sparse.csr_matrix``."""
+    sparse = _require_scipy()
+    return sparse.csr_matrix(
+        (matrix.values, matrix.indices, matrix.indptr), shape=matrix.shape
+    )
+
+
+def from_numpy(array: np.ndarray) -> COOMatrix:
+    """Stage a dense numpy array (non-zeros extracted)."""
+    array = np.asarray(array)
+    if array.ndim != 2:
+        raise FormatError(f"expected a 2-D array, got ndim={array.ndim}")
+    return COOMatrix.from_dense(array)

@@ -1,0 +1,150 @@
+"""Matrix Market (.mtx) reader and writer.
+
+Supports the subset of the format the sparse-matrix community (and the
+Florida/SuiteSparse collection the paper draws on) actually uses:
+
+* ``matrix coordinate real|integer|pattern general|symmetric|skew-symmetric``
+* ``matrix array real|integer general``
+
+Coordinate entries are 1-based in the file and converted to 0-based
+:class:`~repro.formats.coo.COOMatrix` coordinates.  Symmetric and
+skew-symmetric matrices are expanded to their full (general) form on read,
+matching how multiplication code expects to consume them.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from ..errors import ParseError
+from .coo import COOMatrix
+
+_HEADER_PREFIX = "%%MatrixMarket"
+_VALID_FIELDS = {"real", "integer", "pattern"}
+_VALID_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def read_matrix_market(source: str | Path | TextIO) -> COOMatrix:
+    """Parse a Matrix Market file (path or open text stream) into COO."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read_stream(handle)
+    return _read_stream(source)
+
+
+def write_matrix_market(
+    matrix: COOMatrix, target: str | Path | TextIO, *, comment: str = ""
+) -> None:
+    """Serialize a COO matrix as ``matrix coordinate real general``."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            _write_stream(matrix, handle, comment)
+    else:
+        _write_stream(matrix, target, comment)
+
+
+def loads(text: str) -> COOMatrix:
+    """Parse Matrix Market content from a string."""
+    return _read_stream(io.StringIO(text))
+
+
+def dumps(matrix: COOMatrix, *, comment: str = "") -> str:
+    """Serialize a COO matrix to a Matrix Market string."""
+    buffer = io.StringIO()
+    _write_stream(matrix, buffer, comment)
+    return buffer.getvalue()
+
+
+def _read_stream(stream: TextIO) -> COOMatrix:
+    header = stream.readline()
+    if not header.startswith(_HEADER_PREFIX):
+        raise ParseError(f"missing {_HEADER_PREFIX} banner")
+    parts = header.strip().split()
+    if len(parts) != 5 or parts[1] != "matrix":
+        raise ParseError(f"malformed banner: {header.strip()!r}")
+    layout, field, symmetry = parts[2], parts[3].lower(), parts[4].lower()
+    if field not in _VALID_FIELDS:
+        raise ParseError(f"unsupported field type {field!r}")
+    if symmetry not in _VALID_SYMMETRIES:
+        raise ParseError(f"unsupported symmetry {symmetry!r}")
+    if layout == "coordinate":
+        return _read_coordinate(stream, field, symmetry)
+    if layout == "array":
+        if symmetry != "general":
+            raise ParseError("array layout only supported with general symmetry")
+        return _read_array(stream, field)
+    raise ParseError(f"unsupported layout {layout!r}")
+
+
+def _next_data_line(stream: TextIO) -> str:
+    for line in stream:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            return stripped
+    raise ParseError("unexpected end of file")
+
+
+def _read_coordinate(stream: TextIO, field: str, symmetry: str) -> COOMatrix:
+    sizes = _next_data_line(stream).split()
+    if len(sizes) != 3:
+        raise ParseError(f"expected 'rows cols nnz' size line, got {sizes!r}")
+    try:
+        rows, cols, nnz = (int(token) for token in sizes)
+    except ValueError as exc:
+        raise ParseError(f"non-integer size line: {sizes!r}") from exc
+    row_ids = np.empty(nnz, dtype=np.int64)
+    col_ids = np.empty(nnz, dtype=np.int64)
+    values = np.empty(nnz, dtype=np.float64)
+    for i in range(nnz):
+        tokens = _next_data_line(stream).split()
+        expected = 2 if field == "pattern" else 3
+        if len(tokens) < expected:
+            raise ParseError(f"entry {i + 1}: expected {expected} tokens, got {tokens!r}")
+        try:
+            row_ids[i] = int(tokens[0]) - 1
+            col_ids[i] = int(tokens[1]) - 1
+            values[i] = 1.0 if field == "pattern" else float(tokens[2])
+        except ValueError as exc:
+            raise ParseError(f"entry {i + 1}: malformed tokens {tokens!r}") from exc
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off_diag = row_ids != col_ids
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        mirrored_rows = np.concatenate([row_ids, col_ids[off_diag]])
+        mirrored_cols = np.concatenate([col_ids, row_ids[off_diag]])
+        values = np.concatenate([values, sign * values[off_diag]])
+        row_ids, col_ids = mirrored_rows, mirrored_cols
+    return COOMatrix(rows, cols, row_ids, col_ids, values)
+
+
+def _read_array(stream: TextIO, field: str) -> COOMatrix:
+    sizes = _next_data_line(stream).split()
+    if len(sizes) != 2:
+        raise ParseError(f"expected 'rows cols' size line, got {sizes!r}")
+    rows, cols = int(sizes[0]), int(sizes[1])
+    data = np.empty(rows * cols, dtype=np.float64)
+    for i in range(rows * cols):
+        token = _next_data_line(stream)
+        try:
+            data[i] = float(token.split()[0])
+        except ValueError as exc:
+            raise ParseError(f"array entry {i + 1}: malformed value {token!r}") from exc
+    # Matrix Market array layout is column-major.
+    dense = data.reshape((cols, rows)).T
+    return COOMatrix.from_dense(dense)
+
+
+def _write_stream(matrix: COOMatrix, stream: TextIO, comment: str) -> None:
+    canonical = matrix.sum_duplicates()
+    stream.write(f"{_HEADER_PREFIX} matrix coordinate real general\n")
+    for line in comment.splitlines():
+        stream.write(f"% {line}\n")
+    stream.write(f"{canonical.rows} {canonical.cols} {canonical.nnz}\n")
+    for row, col, value in zip(
+        canonical.row_ids, canonical.col_ids, canonical.values
+    ):
+        # repr of a Python float is the shortest exact decimal form.
+        stream.write(f"{row + 1} {col + 1} {float(value)!r}\n")

@@ -1,0 +1,126 @@
+"""Persistence of AT Matrices as ``.npz`` archives.
+
+The partitioning of a large matrix costs about as much as one
+multiplication (paper Fig. 7), so a system keeping matrices around —
+the paper's main-memory DBMS setting — wants to persist the *partitioned*
+form.  :func:`save_at_matrix` stores the tile directory and payloads in
+a single compressed numpy archive; :func:`load_at_matrix` restores the
+matrix without re-running the partitioner.
+
+Layout: one header array describing the tiles (position, extent, kind)
+plus, per tile ``i``, either ``dense_i`` or the CSR triple
+``indptr_i`` / ``indices_i`` / ``values_i``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import BinaryIO
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..core.atmatrix import ATMatrix
+from ..core.tile import Tile
+from ..errors import ParseError
+from ..kinds import StorageKind
+from .csr import CSRMatrix
+from .dense import DenseMatrix
+
+#: Archive format version (bumped on incompatible layout changes).
+FORMAT_VERSION = 1
+
+
+def save_at_matrix(matrix: ATMatrix, target: str | Path | BinaryIO) -> None:
+    """Serialize an AT Matrix (tiles + config) to an ``.npz`` archive."""
+    header = np.array(
+        [
+            [
+                tile.row0,
+                tile.col0,
+                tile.rows,
+                tile.cols,
+                1 if tile.kind is StorageKind.DENSE else 0,
+                tile.numa_node,
+            ]
+            for tile in matrix.tiles
+        ],
+        dtype=np.int64,
+    ).reshape(len(matrix.tiles), 6)
+    config = matrix.config
+    assert config.b_atomic is not None
+    meta = np.array(
+        [
+            FORMAT_VERSION,
+            matrix.rows,
+            matrix.cols,
+            config.llc_bytes,
+            config.alpha,
+            config.beta,
+            config.b_atomic,
+            config.dense_element_bytes,
+            config.sparse_element_bytes,
+        ],
+        dtype=np.int64,
+    )
+    arrays: dict[str, np.ndarray] = {"meta": meta, "tiles": header}
+    for i, tile in enumerate(matrix.tiles):
+        if isinstance(tile.data, DenseMatrix):
+            arrays[f"dense_{i}"] = tile.data.array
+        else:
+            arrays[f"indptr_{i}"] = tile.data.indptr
+            arrays[f"indices_{i}"] = tile.data.indices
+            arrays[f"values_{i}"] = tile.data.values
+    np.savez_compressed(target, **arrays)
+
+
+def load_at_matrix(source: str | Path | BinaryIO) -> ATMatrix:
+    """Restore an AT Matrix saved with :func:`save_at_matrix`."""
+    with np.load(source) as archive:
+        try:
+            meta = archive["meta"]
+            header = archive["tiles"]
+        except KeyError as exc:
+            raise ParseError(f"not an AT Matrix archive: missing {exc}") from exc
+        if meta[0] != FORMAT_VERSION:
+            raise ParseError(
+                f"unsupported AT Matrix archive version {int(meta[0])}"
+                f" (expected {FORMAT_VERSION})"
+            )
+        rows, cols = int(meta[1]), int(meta[2])
+        config = SystemConfig(
+            llc_bytes=int(meta[3]),
+            alpha=int(meta[4]),
+            beta=int(meta[5]),
+            b_atomic=int(meta[6]),
+            dense_element_bytes=int(meta[7]),
+            sparse_element_bytes=int(meta[8]),
+        )
+        tiles = []
+        for i, (row0, col0, t_rows, t_cols, is_dense, node) in enumerate(header):
+            if is_dense:
+                payload: CSRMatrix | DenseMatrix = DenseMatrix(
+                    archive[f"dense_{i}"], copy=False
+                )
+                kind = StorageKind.DENSE
+            else:
+                payload = CSRMatrix(
+                    int(t_rows),
+                    int(t_cols),
+                    archive[f"indptr_{i}"],
+                    archive[f"indices_{i}"],
+                    archive[f"values_{i}"],
+                )
+                kind = StorageKind.SPARSE
+            tiles.append(
+                Tile(
+                    int(row0),
+                    int(col0),
+                    int(t_rows),
+                    int(t_cols),
+                    kind,
+                    payload,
+                    numa_node=int(node),
+                )
+            )
+    return ATMatrix(rows, cols, config, tiles)

@@ -1,0 +1,33 @@
+"""Workload generators: RMAT graphs and real-world-like matrix topologies.
+
+The paper evaluates on Florida-collection matrices, proprietary nuclear
+Hamiltonians and RMAT-generated graphs (Table I).  The real matrices are
+not redistributable/downloadable offline, so
+:mod:`~repro.generate.synthetic` provides per-domain topology generators
+reproducing each matrix's non-zero *pattern class* (the property the
+paper's analysis depends on), and :mod:`~repro.generate.suite` assembles
+the scaled Table-I equivalent suite.
+"""
+
+from .rmat import rmat_matrix
+from .synthetic import (
+    banded_matrix,
+    block_diagonal_matrix,
+    clustered_matrix,
+    power_network_matrix,
+    uniform_random_matrix,
+)
+from .suite import SUITE, SuiteEntry, load_matrix, suite_keys
+
+__all__ = [
+    "rmat_matrix",
+    "block_diagonal_matrix",
+    "power_network_matrix",
+    "clustered_matrix",
+    "banded_matrix",
+    "uniform_random_matrix",
+    "SUITE",
+    "SuiteEntry",
+    "load_matrix",
+    "suite_keys",
+]

@@ -1,0 +1,93 @@
+"""Loader for the paper's real evaluation matrices (when available).
+
+The paper's R2-R4 and R7-R9 come from the SuiteSparse (formerly Florida)
+collection; R1/R5/R6 are proprietary nuclear-physics Hamiltonians.  This
+environment has no network access, so the benchmarks run on the
+topology-class generators of :mod:`repro.generate.synthetic` — but a
+user who has the real files can drop them into a directory and run the
+whole evaluation on them through this loader.
+
+Expected layout: ``<root>/<name>.mtx`` (Matrix Market), e.g.
+``matrices/TSOPF_RS_b2383.mtx``.  Download via
+https://sparse.tamu.edu (not done here).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..errors import ReproError
+from ..formats.coo import COOMatrix
+from ..formats.matrix_market import read_matrix_market
+
+#: Paper Table-I matrix names in the SuiteSparse collection, by suite key.
+SUITESPARSE_NAMES: dict[str, str] = {
+    "R2": "human_gene2",
+    "R3": "TSOPF_RS_b2383",
+    "R4": "mouse_gene",
+    "R7": "barrier2-4",
+    "R8": "pkustk14",
+    "R9": "msdoor",
+}
+
+#: Environment variable pointing at the local matrix directory.
+MATRIX_DIR_ENV = "REPRO_MATRIX_DIR"
+
+
+class RealMatrixUnavailable(ReproError, FileNotFoundError):
+    """The requested real-world matrix file is not present locally."""
+
+
+def matrix_directory() -> Path | None:
+    """The configured real-matrix directory, if any."""
+    value = os.environ.get(MATRIX_DIR_ENV)
+    return Path(value) if value else None
+
+
+def real_matrix_path(key: str, root: str | Path | None = None) -> Path:
+    """Path where the real matrix for a suite key is expected."""
+    if key not in SUITESPARSE_NAMES:
+        raise KeyError(
+            f"no public real-world matrix for suite key {key!r}; "
+            f"available: {sorted(SUITESPARSE_NAMES)}"
+        )
+    base = Path(root) if root is not None else matrix_directory()
+    if base is None:
+        raise RealMatrixUnavailable(
+            f"set ${MATRIX_DIR_ENV} (or pass root=) to the directory "
+            f"holding the SuiteSparse .mtx files"
+        )
+    return base / f"{SUITESPARSE_NAMES[key]}.mtx"
+
+
+def load_real_matrix(key: str, root: str | Path | None = None) -> COOMatrix:
+    """Load the paper's actual matrix for a suite key from local disk.
+
+    Raises :class:`RealMatrixUnavailable` when the file is missing, so
+    callers can fall back to the synthetic stand-in::
+
+        try:
+            staged = load_real_matrix("R3")
+        except RealMatrixUnavailable:
+            staged = load_matrix("R3")   # synthetic topology class
+    """
+    path = real_matrix_path(key, root)
+    if not path.is_file():
+        raise RealMatrixUnavailable(
+            f"{path} not found; download {SUITESPARSE_NAMES[key]!r} from "
+            f"https://sparse.tamu.edu and place it there"
+        )
+    return read_matrix_market(path).sum_duplicates()
+
+
+def available_real_matrices(root: str | Path | None = None) -> list[str]:
+    """Suite keys whose real matrix files are present locally."""
+    base = Path(root) if root is not None else matrix_directory()
+    if base is None:
+        return []
+    return [
+        key
+        for key, name in sorted(SUITESPARSE_NAMES.items())
+        if (base / f"{name}.mtx").is_file()
+    ]

@@ -1,0 +1,164 @@
+"""The scaled Table-I matrix suite.
+
+Maps every matrix of the paper's Table I (R1-R9 real-world, G1-G9 RMAT)
+to a deterministic synthetic generator reproducing its topology class at
+laptop scale.  Dimensions are scaled down ~16-100x (together with the
+scaled LLC in :mod:`repro.config`, all dimensionless ratios driving the
+tiling decisions are preserved); densities match the paper where the
+flops budget allows.
+
+Use :func:`load_matrix` to obtain the staged COO matrix for a key, and
+:func:`table1_row` for the statistics the paper's Table I reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..formats.coo import COOMatrix
+from .rmat import PAPER_RMAT_PARAMETERS, rmat_matrix
+from .synthetic import (
+    banded_matrix,
+    block_diagonal_matrix,
+    clustered_matrix,
+    power_network_matrix,
+)
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One matrix of the scaled evaluation suite."""
+
+    key: str
+    name: str
+    domain: str
+    n: int
+    description: str
+    factory: Callable[[], COOMatrix]
+
+    def load(self) -> COOMatrix:
+        """Generate the matrix (deterministic)."""
+        return self.factory()
+
+
+def _entry(key, name, domain, n, description, factory) -> SuiteEntry:
+    return SuiteEntry(key, name, domain, n, description, factory)
+
+
+_G_DIM = 2048
+_G_NNZ = 60_000
+
+SUITE: dict[str, SuiteEntry] = {
+    "R1": _entry(
+        "R1", "hamiltonian1-like", "Nuclear Physics", 800,
+        "small, dense-ish shell-model Hamiltonian (paper rho=14.8%)",
+        lambda: block_diagonal_matrix(
+            800, num_blocks=10, block_fill=0.88, background_density=0.048,
+            size_decay=0.8, seed=101,
+        ),
+    ),
+    "R2": _entry(
+        "R2", "human_gene-like", "Gene Expr. (BioInf.)", 1280,
+        "co-expression similarity with overlapping clusters (paper rho=5.0%)",
+        lambda: clustered_matrix(
+            1280, 82_000, num_clusters=10, cluster_fraction=0.6,
+            cluster_span=0.10, seed=102,
+        ),
+    ),
+    "R3": _entry(
+        "R3", "TSOPF_RS_b2383-like", "Power Network (Eng.)", 2048,
+        "repeated dense diagonal blocks, hypersparse background "
+        "(paper rho=2.2%, Fig. 2)",
+        lambda: power_network_matrix(
+            2048, block_size=96, num_blocks=14, block_fill=0.85,
+            background_density=0.0012, seed=103,
+        ),
+    ),
+    "R4": _entry(
+        "R4", "mouse_gene-like", "Gene Expr. (BioInf.)", 2560,
+        "sparser co-expression similarity (paper rho=1.4%)",
+        lambda: clustered_matrix(
+            2560, 92_000, num_clusters=12, cluster_fraction=0.5,
+            cluster_span=0.07, seed=104,
+        ),
+    ),
+    "R5": _entry(
+        "R5", "hamiltonian2-like", "Nuclear Physics", 1664,
+        "medium Hamiltonian, block structure (paper rho=6.7%)",
+        lambda: block_diagonal_matrix(
+            1664, num_blocks=16, block_fill=0.9, background_density=0.012,
+            size_decay=0.95, seed=105,
+        ),
+    ),
+    "R6": _entry(
+        "R6", "hamiltonian3-like", "Nuclear Physics", 2048,
+        "large Hamiltonian, block structure (paper rho=5.4%)",
+        lambda: block_diagonal_matrix(
+            2048, num_blocks=18, block_fill=0.88, background_density=0.010,
+            size_decay=0.96, seed=106,
+        ),
+    ),
+    "R7": _entry(
+        "R7", "barrier2-4-like", "Semicond. Device (Eng.)", 3392,
+        "hypersparse narrow band, no dense regions (paper rho=0.016%)",
+        lambda: banded_matrix(3392, 18_000, bandwidth=24, seed=107),
+    ),
+    "R8": _entry(
+        "R8", "pkustk14-like", "Structural Problem (Eng.)", 4096,
+        "hypersparse band, large dims, small result (paper rho=0.048%)",
+        lambda: banded_matrix(4096, 80_000, bandwidth=48, seed=108),
+    ),
+    "R9": _entry(
+        "R9", "msdoor-like", "Structural Problem (Eng.)", 4160,
+        "largest dims, extremely sparse band (paper rho=0.011%)",
+        lambda: banded_matrix(4160, 19_000, bandwidth=32, seed=109),
+    ),
+}
+
+for _key, _params in PAPER_RMAT_PARAMETERS.items():
+    SUITE[_key] = _entry(
+        _key,
+        f"RMAT{_key[1:]}",
+        "RMAT graph",
+        _G_DIM,
+        f"RMAT with (a,b,c,d)={_params}; skew increases G1 -> G9",
+        (lambda params=_params, key=_key: rmat_matrix(
+            _G_DIM, _G_NNZ, *params, seed=200 + int(key[1:]), strict=False
+        )),
+    )
+
+
+def suite_keys(*, real: bool = True, generated: bool = True) -> list[str]:
+    """Suite keys in Table-I order, optionally filtered by family."""
+    keys: list[str] = []
+    if real:
+        keys.extend(f"R{i}" for i in range(1, 10))
+    if generated:
+        keys.extend(f"G{i}" for i in range(1, 10))
+    return keys
+
+
+def load_matrix(key: str) -> COOMatrix:
+    """Generate the suite matrix for ``key`` (deterministic)."""
+    try:
+        entry = SUITE[key]
+    except KeyError:
+        raise KeyError(f"unknown suite key {key!r}; known: {sorted(SUITE)}") from None
+    return entry.load()
+
+
+def table1_row(key: str, matrix: COOMatrix | None = None) -> dict[str, object]:
+    """The paper's Table-I statistics for one suite matrix."""
+    entry = SUITE[key]
+    staged = matrix if matrix is not None else entry.load()
+    canonical = staged.sum_duplicates()
+    return {
+        "key": key,
+        "name": entry.name,
+        "domain": entry.domain,
+        "dimensions": f"{canonical.rows} x {canonical.cols}",
+        "nnz": canonical.nnz,
+        "density_percent": 100.0 * canonical.density,
+        "binary_size_bytes": canonical.memory_bytes(),
+    }

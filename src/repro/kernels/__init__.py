@@ -1,0 +1,45 @@
+"""Multiplication kernels: windowed tile products and plain baselines.
+
+The optimizer layer (``repro.core``) treats everything here as a black box
+with a known cost function, matching the paper's architecture where high
+performance kernels can be "plugged in" (section III-A).
+"""
+
+from .accumulator import Accumulator, DenseAccumulator, SparseAccumulator, make_accumulator
+from .gemm import (
+    by_name,
+    ddd_gemm,
+    ddsp_gemm,
+    dspd_gemm,
+    dspsp_gemm,
+    multiply_plain,
+    spdd_gemm,
+    spdsp_gemm,
+    spspd_gemm,
+    spspsp_gemm,
+)
+from .registry import available_kernels, get_kernel, kind_of, register_kernel, run_tile_product
+from .window import Window
+
+__all__ = [
+    "Accumulator",
+    "DenseAccumulator",
+    "SparseAccumulator",
+    "make_accumulator",
+    "Window",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "run_tile_product",
+    "kind_of",
+    "multiply_plain",
+    "by_name",
+    "spspsp_gemm",
+    "spspd_gemm",
+    "spdsp_gemm",
+    "spdd_gemm",
+    "dspsp_gemm",
+    "dspd_gemm",
+    "ddsp_gemm",
+    "ddd_gemm",
+]

@@ -1,0 +1,94 @@
+"""Whole-matrix baseline multiplication operators.
+
+These are the monolithic ("naive") algorithms the paper benchmarks ATMULT
+against (Fig. 8/9): a single kernel applied to the unpartitioned operands.
+Names follow the paper's ``<A><B><C>_gemm`` convention with ``sp`` / ``d``
+type codes, e.g. ``spspd_gemm`` multiplies two CSR matrices into a dense
+array.  ``ddd_gemm`` delegates to BLAS through numpy, standing in for the
+paper's Intel MKL call.
+"""
+
+from __future__ import annotations
+
+from ..errors import ShapeError
+from ..formats.csr import CSRMatrix
+from ..formats.dense import DenseMatrix
+from ..kinds import StorageKind
+from .accumulator import make_accumulator
+from .registry import Operand, run_tile_product
+from .window import Window
+
+
+def _multiply(a: Operand, b: Operand, c_kind: StorageKind):
+    if a.cols != b.rows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    out = make_accumulator(c_kind, a.rows, b.cols)
+    run_tile_product(a, Window.full(a.shape), b, Window.full(b.shape), out)
+    return out.finalize()
+
+
+def spspsp_gemm(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """sparse x sparse -> sparse; the paper's baseline (R/MATLAB-style)."""
+    return _multiply(a, b, StorageKind.SPARSE)
+
+
+def spspd_gemm(a: CSRMatrix, b: CSRMatrix) -> DenseMatrix:
+    """sparse x sparse -> dense array."""
+    return _multiply(a, b, StorageKind.DENSE)
+
+
+def spdsp_gemm(a: CSRMatrix, b: DenseMatrix) -> CSRMatrix:
+    """sparse x dense -> sparse."""
+    return _multiply(a, b, StorageKind.SPARSE)
+
+
+def spdd_gemm(a: CSRMatrix, b: DenseMatrix) -> DenseMatrix:
+    """sparse x dense -> dense."""
+    return _multiply(a, b, StorageKind.DENSE)
+
+
+def dspsp_gemm(a: DenseMatrix, b: CSRMatrix) -> CSRMatrix:
+    """dense x sparse -> sparse."""
+    return _multiply(a, b, StorageKind.SPARSE)
+
+
+def dspd_gemm(a: DenseMatrix, b: CSRMatrix) -> DenseMatrix:
+    """dense x sparse -> dense."""
+    return _multiply(a, b, StorageKind.DENSE)
+
+
+def ddsp_gemm(a: DenseMatrix, b: DenseMatrix) -> CSRMatrix:
+    """dense x dense -> sparse."""
+    return _multiply(a, b, StorageKind.SPARSE)
+
+
+def ddd_gemm(a: DenseMatrix, b: DenseMatrix) -> DenseMatrix:
+    """dense x dense -> dense (BLAS, the paper's MKL stand-in)."""
+    return _multiply(a, b, StorageKind.DENSE)
+
+
+def multiply_plain(a: Operand, b: Operand, c_kind: StorageKind):
+    """Generic baseline multiply; operand kinds are dispatched internally."""
+    return _multiply(a, b, c_kind)
+
+
+_BY_NAME = {
+    "spspsp_gemm": spspsp_gemm,
+    "spspd_gemm": spspd_gemm,
+    "spdsp_gemm": spdsp_gemm,
+    "spdd_gemm": spdd_gemm,
+    "dspsp_gemm": dspsp_gemm,
+    "dspd_gemm": dspd_gemm,
+    "ddsp_gemm": ddsp_gemm,
+    "ddd_gemm": ddd_gemm,
+}
+
+
+def by_name(name: str):
+    """Look up a baseline operator by its paper-style name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown gemm {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,257 @@
+"""Windowed tile-product primitives underlying the 8 multiplication kernels.
+
+Four product routines cover the (sparse|dense) x (sparse|dense) operand
+combinations; each exists in a variant producing a dense block and one
+producing compressed coordinate triples, giving the paper's ``2**3 = 8``
+kernels once combined with the two accumulator flavors.
+
+Sparse products follow Gustavson's row-wise algorithm in vectorized
+*expand-sort-compress* form: every non-zero ``A[i,k]`` is expanded against
+row ``k`` of ``B``, and the expansion is merged by sorting on the target
+coordinate.  All routines chunk their expansion buffers so peak memory
+stays bounded regardless of operand size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..formats.csr import CSRMatrix, _segment_gather_indices
+from ..formats.dense import DenseMatrix
+from .window import Window
+
+#: Expansion buffer budget (elements) for chunked products.
+EXPANSION_CHUNK = 1 << 22
+
+Triples = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _empty_triples() -> Triples:
+    empty = np.empty(0, dtype=np.int64)
+    return empty, empty, np.empty(0, dtype=np.float64)
+
+
+def _check_inner(wa: Window, wb: Window) -> None:
+    if wa.cols != wb.rows:
+        raise ShapeError(
+            f"inner dimensions differ: A window {wa.rows}x{wa.cols}"
+            f" vs B window {wb.rows}x{wb.cols}"
+        )
+
+
+def compress_triples(
+    rows: np.ndarray, cols: np.ndarray, values: np.ndarray, ncols: int
+) -> Triples:
+    """Sort triples row-major and sum duplicates, dropping explicit zeros."""
+    if not len(values):
+        return _empty_triples()
+    keys = rows * np.int64(ncols) + cols
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    values = values[order]
+    boundaries = np.empty(len(keys), dtype=bool)
+    boundaries[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=boundaries[1:])
+    starts = np.flatnonzero(boundaries)
+    summed = np.add.reduceat(values, starts)
+    keys = keys[starts]
+    keep = summed != 0.0
+    keys = keys[keep]
+    summed = summed[keep]
+    return keys // ncols, keys % ncols, summed
+
+
+def _csr_row_ranges(
+    matrix: CSRMatrix, window: Window
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row ``(lo, hi)`` index bounds of ``matrix`` inside ``window``.
+
+    The column range is resolved with one vectorized binary search over
+    the matrix's sorted row-major keys (paper section III-B: sorted
+    column ids enable binary column-id search).
+    """
+    return matrix.window_ranges(window.row0, window.row1, window.col0, window.col1)
+
+
+def _csr_window_triples(matrix: CSRMatrix, window: Window) -> Triples:
+    """Window-relative triples of a CSR operand, row-major order."""
+    window.validate_within(matrix.shape)
+    lo, hi = _csr_row_ranges(matrix, window)
+    lengths = hi - lo
+    total = int(lengths.sum())
+    if not total:
+        return _empty_triples()
+    take = _segment_gather_indices(lo, lengths)
+    rows = np.repeat(np.arange(window.rows, dtype=np.int64), lengths)
+    return rows, matrix.indices[take] - window.col0, matrix.values[take]
+
+
+# ---------------------------------------------------------------------------
+# sparse x sparse
+# ---------------------------------------------------------------------------
+def spsp_triples(a: CSRMatrix, wa: Window, b: CSRMatrix, wb: Window) -> Triples:
+    """Windowed CSR x CSR product as compressed triples (Gustavson)."""
+    _check_inner(wa, wb)
+    a_rows, a_cols, a_vals = _csr_window_triples(a, wa)
+    if not len(a_vals):
+        return _empty_triples()
+    b_lo, b_hi = _csr_row_ranges(b, wb)
+    b_lengths = b_hi - b_lo
+    lens = b_lengths[a_cols]
+    cumulative = np.cumsum(lens)
+    total = int(cumulative[-1]) if len(cumulative) else 0
+    if not total:
+        return _empty_triples()
+    row_runs: list[np.ndarray] = []
+    col_runs: list[np.ndarray] = []
+    val_runs: list[np.ndarray] = []
+    start = 0
+    while start < len(a_vals):
+        base = cumulative[start - 1] if start else 0
+        end = int(np.searchsorted(cumulative, base + EXPANSION_CHUNK, side="left"))
+        end = min(max(end, start + 1), len(a_vals))
+        chunk_lens = lens[start:end]
+        take = _segment_gather_indices(b_lo[a_cols[start:end]], chunk_lens)
+        out_rows = np.repeat(a_rows[start:end], chunk_lens)
+        out_cols = b.indices[take] - wb.col0
+        out_vals = np.repeat(a_vals[start:end], chunk_lens) * b.values[take]
+        rows_c, cols_c, vals_c = compress_triples(out_rows, out_cols, out_vals, wb.cols)
+        row_runs.append(rows_c)
+        col_runs.append(cols_c)
+        val_runs.append(vals_c)
+        start = end
+    if len(row_runs) == 1:
+        return row_runs[0], col_runs[0], val_runs[0]
+    return compress_triples(
+        np.concatenate(row_runs),
+        np.concatenate(col_runs),
+        np.concatenate(val_runs),
+        wb.cols,
+    )
+
+
+def spsp_flops(a: CSRMatrix, wa: Window, b: CSRMatrix, wb: Window) -> int:
+    """Exact scalar-multiplication count of the windowed CSR x CSR product."""
+    _check_inner(wa, wb)
+    __, a_cols, __ = _csr_window_triples(a, wa)
+    if not len(a_cols):
+        return 0
+    b_lo, b_hi = _csr_row_ranges(b, wb)
+    return int((b_hi - b_lo)[a_cols].sum())
+
+
+def spsp_dense(a: CSRMatrix, wa: Window, b: CSRMatrix, wb: Window) -> np.ndarray:
+    """Windowed CSR x CSR product materialized as a dense block."""
+    rows, cols, values = spsp_triples(a, wa, b, wb)
+    out = np.zeros((wa.rows, wb.cols), dtype=np.float64)
+    out[rows, cols] = values
+    return out
+
+
+# ---------------------------------------------------------------------------
+# sparse x dense
+# ---------------------------------------------------------------------------
+def spd_dense(a: CSRMatrix, wa: Window, b: DenseMatrix, wb: Window) -> np.ndarray:
+    """Windowed CSR x dense product as a dense block.
+
+    For every non-zero ``A[i,k]`` the dense row ``B[k,:]`` is scaled and
+    added into output row ``i``; rows are merged with a segmented
+    reduction instead of a scatter.
+    """
+    _check_inner(wa, wb)
+    b_view = b.window_view(wb.row0, wb.row1, wb.col0, wb.col1)
+    out = np.zeros((wa.rows, wb.cols), dtype=np.float64)
+    a_rows, a_cols, a_vals = _csr_window_triples(a, wa)
+    if not len(a_vals):
+        return out
+    chunk = max(1, EXPANSION_CHUNK // max(1, wb.cols))
+    for start in range(0, len(a_vals), chunk):
+        end = min(start + chunk, len(a_vals))
+        rows_c = a_rows[start:end]
+        expanded = a_vals[start:end, None] * b_view[a_cols[start:end]]
+        boundaries = np.empty(end - start, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(rows_c[1:], rows_c[:-1], out=boundaries[1:])
+        starts = np.flatnonzero(boundaries)
+        # Rows are unique within a chunk; += merges rows split across chunks.
+        out[rows_c[starts]] += np.add.reduceat(expanded, starts, axis=0)
+    return out
+
+
+def spd_triples(a: CSRMatrix, wa: Window, b: DenseMatrix, wb: Window) -> Triples:
+    """Windowed CSR x dense product as compressed triples."""
+    block = spd_dense(a, wa, b, wb)
+    rows, cols = np.nonzero(block)
+    return rows.astype(np.int64), cols.astype(np.int64), block[rows, cols]
+
+
+# ---------------------------------------------------------------------------
+# dense x sparse
+# ---------------------------------------------------------------------------
+def dsp_dense(a: DenseMatrix, wa: Window, b: CSRMatrix, wb: Window) -> np.ndarray:
+    """Windowed dense x CSR product as a dense block.
+
+    Every non-zero ``B[k,j]`` contributes ``A[:,k] * v`` to output column
+    ``j``; contributions are grouped by target column and merged with a
+    segmented reduction along the expansion axis.
+    """
+    _check_inner(wa, wb)
+    a_view = a.window_view(wa.row0, wa.row1, wa.col0, wa.col1)
+    out = np.zeros((wa.rows, wb.cols), dtype=np.float64)
+    b_rows, b_cols, b_vals = _csr_window_triples(b, wb)
+    if not len(b_vals):
+        return out
+    order = np.argsort(b_cols, kind="stable")
+    b_rows, b_cols, b_vals = b_rows[order], b_cols[order], b_vals[order]
+    chunk = max(1, EXPANSION_CHUNK // max(1, wa.rows))
+    for start in range(0, len(b_vals), chunk):
+        end = min(start + chunk, len(b_vals))
+        cols_c = b_cols[start:end]
+        expanded = a_view[:, b_rows[start:end]] * b_vals[start:end]
+        boundaries = np.empty(end - start, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(cols_c[1:], cols_c[:-1], out=boundaries[1:])
+        starts = np.flatnonzero(boundaries)
+        out[:, cols_c[starts]] += np.add.reduceat(expanded, starts, axis=1)
+    return out
+
+
+def dsp_triples(a: DenseMatrix, wa: Window, b: CSRMatrix, wb: Window) -> Triples:
+    """Windowed dense x CSR product as compressed triples."""
+    block = dsp_dense(a, wa, b, wb)
+    rows, cols = np.nonzero(block)
+    return rows.astype(np.int64), cols.astype(np.int64), block[rows, cols]
+
+
+# ---------------------------------------------------------------------------
+# dense x dense
+# ---------------------------------------------------------------------------
+def dd_dense(a: DenseMatrix, wa: Window, b: DenseMatrix, wb: Window) -> np.ndarray:
+    """Windowed dense x dense product (delegates to BLAS via numpy)."""
+    _check_inner(wa, wb)
+    a_view = a.window_view(wa.row0, wa.row1, wa.col0, wa.col1)
+    b_view = b.window_view(wb.row0, wb.row1, wb.col0, wb.col1)
+    return a_view @ b_view
+
+
+def dd_triples(a: DenseMatrix, wa: Window, b: DenseMatrix, wb: Window) -> Triples:
+    """Windowed dense x dense product as compressed triples."""
+    block = dd_dense(a, wa, b, wb)
+    rows, cols = np.nonzero(block)
+    return rows.astype(np.int64), cols.astype(np.int64), block[rows, cols]
+
+
+__all__ = [
+    "EXPANSION_CHUNK",
+    "compress_triples",
+    "spsp_triples",
+    "spsp_dense",
+    "spsp_flops",
+    "spd_dense",
+    "spd_triples",
+    "dsp_dense",
+    "dsp_triples",
+    "dd_dense",
+    "dd_triples",
+]

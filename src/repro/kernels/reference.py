@@ -1,0 +1,100 @@
+"""Reference kernels: element-wise Gustavson with an explicit SPA.
+
+These are direct, loop-based transcriptions of the classical algorithms
+— Gustavson's row-wise sparse multiplication with a sparse accumulator
+(paper [11]) — kept as executable documentation and as an independent
+oracle for the vectorized kernels.  They are orders of magnitude slower
+and never used by default.
+
+:func:`use_reference_kernels` demonstrates the paper's plug-in
+architecture (section III-A: kernels "could just be plugged in to our
+system"): inside the context, the registry dispatches every sparse
+product to the reference implementation while the optimizer and tiling
+machinery stay unchanged.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..formats.csr import CSRMatrix
+from ..kinds import StorageKind
+from .accumulator import Accumulator
+from .registry import Operand, get_kernel, register_kernel
+from .window import Window
+
+
+def gustavson_spsp(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """Classical Gustavson: per output row, scatter into a SPA.
+
+    The sparse accumulator (SPA) is realized as a Python dict keyed by
+    column id — the literal textbook algorithm.
+    """
+    rows: list[int] = []
+    cols: list[int] = []
+    values: list[float] = []
+    for i in range(a.rows):
+        spa: dict[int, float] = {}
+        a_cols, a_vals = a.row_slice(i)
+        for k, a_ik in zip(a_cols, a_vals):
+            b_cols, b_vals = b.row_slice(int(k))
+            for j, b_kj in zip(b_cols, b_vals):
+                spa[int(j)] = spa.get(int(j), 0.0) + float(a_ik) * float(b_kj)
+        for j in sorted(spa):
+            value = spa[j]
+            if value != 0.0:
+                rows.append(i)
+                cols.append(j)
+                values.append(value)
+    return CSRMatrix.from_arrays_unsorted(
+        a.rows, b.cols, rows, cols, values, sum_duplicates=False
+    )
+
+
+def _windowed_csr(matrix: CSRMatrix, window: Window) -> CSRMatrix:
+    if window.covers(matrix.shape):
+        return matrix
+    return matrix.extract_window(window.row0, window.row1, window.col0, window.col1)
+
+
+def _reference_spsp_kernel(
+    a: Operand,
+    wa: Window,
+    b: Operand,
+    wb: Window,
+    out: Accumulator,
+    row0: int,
+    col0: int,
+) -> None:
+    """Registry-compatible wrapper around :func:`gustavson_spsp`."""
+    assert isinstance(a, CSRMatrix) and isinstance(b, CSRMatrix)
+    product = gustavson_spsp(_windowed_csr(a, wa), _windowed_csr(b, wb))
+    import numpy as np
+
+    tile_rows = np.repeat(
+        np.arange(product.rows, dtype=np.int64), product.row_nnz()
+    )
+    out.add_triples(row0, col0, tile_rows, product.indices, product.values)
+
+
+@contextmanager
+def use_reference_kernels():
+    """Swap the sparse-sparse kernels for the reference implementation.
+
+    Restores the previous registrations on exit, even on error.  Only
+    the (sparse, sparse, *) combinations are replaced; mixed and dense
+    products keep their vectorized kernels.
+    """
+    saved = {
+        c_kind: get_kernel(StorageKind.SPARSE, StorageKind.SPARSE, c_kind)
+        for c_kind in StorageKind
+    }
+    try:
+        for c_kind in StorageKind:
+            register_kernel(
+                StorageKind.SPARSE, StorageKind.SPARSE, c_kind, _reference_spsp_kernel
+            )
+        yield
+    finally:
+        for c_kind, kernel in saved.items():
+            register_kernel(StorageKind.SPARSE, StorageKind.SPARSE, c_kind, kernel)

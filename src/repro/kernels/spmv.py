@@ -1,0 +1,81 @@
+"""Matrix-vector multiplication kernels.
+
+The paper's related work (section V-A) leans on SpMV results — notably
+Vuduc's observation that "CSR tends to have best performance for sparse
+matrix-vector multiplication on a wide class of matrices", which
+motivated CSR as the sparse tile format.  These kernels provide the
+vector path for both plain matrices and windowed tiles, so the AT Matrix
+can serve iterative solvers (power iteration, PageRank, CG-style loops)
+without densifying.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..formats.csr import CSRMatrix, _segment_gather_indices
+from ..formats.dense import DenseMatrix
+from .window import Window
+
+
+def csr_spmv(matrix: CSRMatrix, vector: np.ndarray) -> np.ndarray:
+    """``y = A @ x`` for CSR: the classic row-wise kernel, vectorized.
+
+    Products are formed per stored element and reduced per row with a
+    segmented sum — the numpy equivalent of Gustavson's row loop.
+    """
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    if len(vector) != matrix.cols:
+        raise ShapeError(f"vector length {len(vector)} != cols {matrix.cols}")
+    out = np.zeros(matrix.rows, dtype=np.float64)
+    if not matrix.nnz:
+        return out
+    products = matrix.values * vector[matrix.indices]
+    row_nnz = matrix.row_nnz()
+    occupied = np.flatnonzero(row_nnz)
+    starts = matrix.indptr[occupied]
+    out[occupied] = np.add.reduceat(products, starts)
+    return out
+
+
+def csr_spmv_window(
+    matrix: CSRMatrix, window: Window, vector: np.ndarray
+) -> np.ndarray:
+    """Windowed CSR SpMV: ``y = A[window] @ x`` (x indexes window cols)."""
+    window.validate_within(matrix.shape)
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    if len(vector) != window.cols:
+        raise ShapeError(f"vector length {len(vector)} != window cols {window.cols}")
+    out = np.zeros(window.rows, dtype=np.float64)
+    lo, hi = matrix.window_ranges(window.row0, window.row1, window.col0, window.col1)
+    lengths = hi - lo
+    total = int(lengths.sum())
+    if not total:
+        return out
+    take = _segment_gather_indices(lo, lengths)
+    products = matrix.values[take] * vector[matrix.indices[take] - window.col0]
+    occupied = np.flatnonzero(lengths)
+    boundaries = np.concatenate([[0], np.cumsum(lengths[occupied])[:-1]])
+    out[occupied] = np.add.reduceat(products, boundaries)
+    return out
+
+
+def dense_spmv(matrix: DenseMatrix, vector: np.ndarray) -> np.ndarray:
+    """``y = A @ x`` for the dense representation (BLAS gemv)."""
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    if len(vector) != matrix.cols:
+        raise ShapeError(f"vector length {len(vector)} != cols {matrix.cols}")
+    return matrix.array @ vector
+
+
+def dense_spmv_window(
+    matrix: DenseMatrix, window: Window, vector: np.ndarray
+) -> np.ndarray:
+    """Windowed dense SpMV over a zero-copy view."""
+    window.validate_within(matrix.shape)
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    if len(vector) != window.cols:
+        raise ShapeError(f"vector length {len(vector)} != window cols {window.cols}")
+    view = matrix.window_view(window.row0, window.row1, window.col0, window.col1)
+    return view @ vector

@@ -1,0 +1,74 @@
+"""Reference windows for submatrix multiplication.
+
+Paper section III-B: arbitrary rectangular subparts of a tile are
+referenced via the coordinates of the upper-left and lower-right edges,
+relative to the tile origin.  A :class:`Window` is that reference in
+half-open form ``[row0, row1) x [col0, col1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ShapeError
+
+
+@dataclass(frozen=True)
+class Window:
+    """Half-open rectangular reference into a matrix or tile."""
+
+    row0: int
+    row1: int
+    col0: int
+    col1: int
+
+    def __post_init__(self) -> None:
+        if self.row0 < 0 or self.col0 < 0 or self.row0 > self.row1 or self.col0 > self.col1:
+            raise ShapeError(f"degenerate window {self}")
+
+    @property
+    def rows(self) -> int:
+        return self.row1 - self.row0
+
+    @property
+    def cols(self) -> int:
+        return self.col1 - self.col0
+
+    @property
+    def area(self) -> int:
+        return self.rows * self.cols
+
+    def is_empty(self) -> bool:
+        return self.rows == 0 or self.cols == 0
+
+    def covers(self, shape: tuple[int, int]) -> bool:
+        """Whether this window spans the full matrix of the given shape."""
+        return (self.row0, self.col0) == (0, 0) and (self.row1, self.col1) == shape
+
+    def validate_within(self, shape: tuple[int, int]) -> None:
+        """Raise :class:`ShapeError` unless the window fits inside ``shape``."""
+        if self.row1 > shape[0] or self.col1 > shape[1]:
+            raise ShapeError(f"window {self} exceeds matrix shape {shape}")
+
+    def shifted(self, row_offset: int, col_offset: int) -> "Window":
+        """The same window translated by the given offsets."""
+        return Window(
+            self.row0 + row_offset,
+            self.row1 + row_offset,
+            self.col0 + col_offset,
+            self.col1 + col_offset,
+        )
+
+    @staticmethod
+    def full(shape: tuple[int, int]) -> "Window":
+        """The window covering an entire matrix of the given shape."""
+        return Window(0, shape[0], 0, shape[1])
+
+    @staticmethod
+    def intersect(a: "Window", b: "Window") -> "Window":
+        """The (possibly empty) intersection of two windows."""
+        row0 = max(a.row0, b.row0)
+        col0 = max(a.col0, b.col0)
+        row1 = max(row0, min(a.row1, b.row1))
+        col1 = max(col0, min(a.col1, b.col1))
+        return Window(row0, row1, col0, col1)

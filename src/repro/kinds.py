@@ -1,0 +1,25 @@
+"""Storage kind enumeration shared by tiles, kernels and the cost model."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class StorageKind(Enum):
+    """Physical representation of a matrix (tile): CSR or dense array."""
+
+    SPARSE = "sparse"
+    DENSE = "dense"
+
+    @property
+    def code(self) -> str:
+        """Short code used in kernel names: ``sp`` or ``d``."""
+        return "sp" if self is StorageKind.SPARSE else "d"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StorageKind.{self.name}"
+
+
+def kernel_name(a: StorageKind, b: StorageKind, c: StorageKind) -> str:
+    """Paper-style kernel name, e.g. ``spspd_gemm`` for sparse x sparse -> dense."""
+    return f"{a.code}{b.code}{c.code}_gemm"

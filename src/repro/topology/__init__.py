@@ -1,0 +1,28 @@
+"""Simulated machine topology: sockets, cores, LLC and NUMA placement.
+
+The paper runs on a four-socket NUMA machine and pins worker teams to
+sockets, distributes tile-rows round-robin over memory nodes and relies on
+first-touch allocation for the result (section III-F).  Those are all
+*policies over topology parameters*; this subpackage models the topology
+(:class:`SystemTopology`), applies the placement policies
+(:mod:`~repro.topology.numa`) and replays recorded multiplication tasks
+through a two-level worker-team scheduler with a simulated clock
+(:mod:`~repro.topology.scheduler`), so the paper's scheduling and
+placement experiments run without multi-socket hardware.
+"""
+
+from .system import SystemTopology
+from .detect import detect_topology
+from .numa import distribute_tile_rows, first_touch_node
+from .scheduler import ScheduleResult, WorkerTeamScheduler
+from .trace import TaskRecord
+
+__all__ = [
+    "SystemTopology",
+    "detect_topology",
+    "distribute_tile_rows",
+    "first_touch_node",
+    "ScheduleResult",
+    "WorkerTeamScheduler",
+    "TaskRecord",
+]

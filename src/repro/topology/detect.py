@@ -1,0 +1,97 @@
+"""Host topology autodetection (Linux sysfs).
+
+Builds a :class:`~repro.topology.system.SystemTopology` from the running
+machine: socket count and core count from ``/sys/devices/system/cpu``,
+LLC size from the deepest cache index.  Every probe degrades gracefully —
+missing files fall back to a single-socket default — so the function is
+safe on any platform.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from .system import SystemTopology
+
+_CPU_ROOT = Path("/sys/devices/system/cpu")
+
+
+def _read_int(path: Path) -> int | None:
+    try:
+        return int(path.read_text().strip())
+    except (OSError, ValueError):
+        return None
+
+
+def _read_size(path: Path) -> int | None:
+    """Parse sysfs cache sizes like ``24576K``."""
+    try:
+        text = path.read_text().strip()
+    except OSError:
+        return None
+    multiplier = 1
+    if text.endswith(("K", "k")):
+        multiplier, text = 1024, text[:-1]
+    elif text.endswith(("M", "m")):
+        multiplier, text = 1024 * 1024, text[:-1]
+    try:
+        return int(text) * multiplier
+    except ValueError:
+        return None
+
+
+def detect_topology(root: str | os.PathLike | None = None) -> SystemTopology:
+    """Probe the host and return its topology (best effort).
+
+    Parameters
+    ----------
+    root:
+        Override of the sysfs CPU root, for tests.
+    """
+    cpu_root = Path(root) if root is not None else _CPU_ROOT
+    cpus = sorted(
+        entry
+        for entry in (cpu_root.glob("cpu[0-9]*") if cpu_root.is_dir() else [])
+        if entry.name[3:].isdigit()
+    )
+    if not cpus:
+        count = os.cpu_count() or 1
+        return SystemTopology(sockets=1, cores_per_socket=count)
+
+    packages: dict[int, set[int]] = {}
+    threads_per_core: dict[tuple[int, int], int] = {}
+    llc_bytes: int | None = None
+    for cpu in cpus:
+        package = _read_int(cpu / "topology" / "physical_package_id")
+        core = _read_int(cpu / "topology" / "core_id")
+        if package is None:
+            package = 0
+        if core is None:
+            core = int(cpu.name[3:])
+        packages.setdefault(package, set()).add(core)
+        threads_per_core[(package, core)] = (
+            threads_per_core.get((package, core), 0) + 1
+        )
+        if llc_bytes is None:
+            cache_root = cpu / "cache"
+            if cache_root.is_dir():
+                best_level = -1
+                for index in cache_root.glob("index*"):
+                    level = _read_int(index / "level")
+                    size = _read_size(index / "size")
+                    if level is not None and size is not None and level > best_level:
+                        best_level = level
+                        llc_bytes = size
+
+    sockets = max(1, len(packages))
+    cores_per_socket = max(1, max(len(cores) for cores in packages.values()))
+    smt = max(1, max(threads_per_core.values(), default=1))
+    kwargs = {
+        "sockets": sockets,
+        "cores_per_socket": cores_per_socket,
+        "smt": smt,
+    }
+    if llc_bytes:
+        kwargs["llc_bytes"] = llc_bytes
+    return SystemTopology(**kwargs)

@@ -1,0 +1,58 @@
+"""NUMA placement policies for AT Matrices.
+
+Paper section III-F: since it is unknown whether a matrix will be the
+left or the right multiplication operand, *all* matrices are horizontally
+partitioned the same way — tile-rows are distributed round-robin over the
+memory nodes.  Worker teams are pinned to the socket of their A tile-row,
+and because the team allocates the target tiles it writes, the result
+inherits A's distribution through the first-touch policy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .system import SystemTopology
+
+if TYPE_CHECKING:  # avoid a circular import at runtime (core imports topology)
+    from ..core.atmatrix import ATMatrix
+
+
+def distribute_tile_rows(matrix: ATMatrix, topology: SystemTopology) -> ATMatrix:
+    """Assign every tile to a memory node, round-robin by tile-row.
+
+    The tile-row of a tile is its index in the matrix's row-cut
+    decomposition; all tiles of one tile-row land on the same node.
+    Mutates the tile ``numa_node`` fields in place and returns the matrix
+    for chaining.
+    """
+    cuts = matrix.row_cuts()
+    strip_of_row0 = {r0: i for i, r0 in enumerate(cuts[:-1])}
+    for tile in matrix.tiles:
+        # A tile starts exactly at one of the cuts by construction.
+        strip = strip_of_row0.get(tile.row0)
+        if strip is None:
+            # Tiles spanning several strips anchor at their first strip.
+            strip = max(i for i, r0 in enumerate(cuts[:-1]) if r0 <= tile.row0)
+        tile.numa_node = strip % topology.memory_nodes
+    return matrix
+
+
+def first_touch_node(tile_row_node: int) -> int:
+    """Node where a result tile lands under the Linux first-touch policy.
+
+    The worker team pinned to the A tile-row's socket performs the first
+    write, so the target tile is allocated on that same node.
+    """
+    return tile_row_node
+
+
+def placement_histogram(matrix: ATMatrix, topology: SystemTopology) -> dict[int, int]:
+    """Bytes resident per memory node (for balance diagnostics)."""
+    histogram = {node: 0 for node in range(topology.memory_nodes)}
+    for tile in matrix.tiles:
+        histogram[tile.numa_node % topology.memory_nodes] = (
+            histogram.get(tile.numa_node % topology.memory_nodes, 0)
+            + tile.memory_bytes()
+        )
+    return histogram

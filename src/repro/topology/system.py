@@ -1,0 +1,95 @@
+"""System topology description.
+
+A :class:`SystemTopology` captures the machine parameters the paper's
+decisions depend on: socket count, cores per socket, LLC size and the
+relative cost of remote (cross-socket) memory accesses.  The paper's
+evaluation machine — a four-socket Intel E7-4870 with 10 cores per socket
+and hyperthreading — is available as :func:`SystemTopology.paper_machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SystemTopology:
+    """Simulated multi-socket machine.
+
+    Parameters
+    ----------
+    sockets:
+        Number of CPU sockets, each with its own memory node and LLC.
+        ATMULT spawns one worker team per socket.
+    cores_per_socket:
+        Threads available to one worker team (intra-tile parallelism).
+    llc_bytes:
+        Last-level cache per socket; feeds the tile-size bounds.
+    remote_access_penalty:
+        Relative slowdown of reading remote memory vs. local memory
+        (e.g. 0.5 means remote bytes cost 1.5x local bytes).
+    memory_bandwidth_bytes_per_s:
+        Local-node streaming bandwidth used to convert bytes into
+        simulated seconds.
+    smt:
+        Hardware threads per core (hyperthreading factor).
+    """
+
+    sockets: int = 1
+    cores_per_socket: int = 1
+    llc_bytes: int = 384 * 1024
+    remote_access_penalty: float = 0.5
+    memory_bandwidth_bytes_per_s: float = 8.0e9
+    smt: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ConfigError(f"sockets must be >= 1, got {self.sockets}")
+        if self.cores_per_socket < 1:
+            raise ConfigError(
+                f"cores_per_socket must be >= 1, got {self.cores_per_socket}"
+            )
+        if self.llc_bytes <= 0:
+            raise ConfigError(f"llc_bytes must be positive, got {self.llc_bytes}")
+        if self.remote_access_penalty < 0:
+            raise ConfigError("remote_access_penalty must be >= 0")
+        if self.memory_bandwidth_bytes_per_s <= 0:
+            raise ConfigError("memory_bandwidth_bytes_per_s must be positive")
+        if self.smt < 1:
+            raise ConfigError(f"smt must be >= 1, got {self.smt}")
+
+    @property
+    def total_threads(self) -> int:
+        """Hardware threads across the machine."""
+        return self.sockets * self.cores_per_socket * self.smt
+
+    @property
+    def memory_nodes(self) -> int:
+        """NUMA memory nodes (one per socket)."""
+        return self.sockets
+
+    def system_config(self, **overrides) -> SystemConfig:
+        """Derive the tiling :class:`SystemConfig` from this topology."""
+        params = {"llc_bytes": self.llc_bytes}
+        params.update(overrides)
+        return SystemConfig(**params)
+
+    @classmethod
+    def paper_machine(cls) -> "SystemTopology":
+        """The paper's four-socket Intel E7-4870 evaluation system."""
+        return cls(
+            sockets=4,
+            cores_per_socket=10,
+            llc_bytes=24 * 1024 * 1024,
+            remote_access_penalty=0.7,
+            memory_bandwidth_bytes_per_s=30.0e9,
+            smt=2,
+        )
+
+    @classmethod
+    def scaled_default(cls, sockets: int = 2) -> "SystemTopology":
+        """A small simulated machine matched to the scaled benchmarks."""
+        return cls(sockets=sockets, cores_per_socket=4, llc_bytes=384 * 1024)

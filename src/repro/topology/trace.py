@@ -1,0 +1,39 @@
+"""Task records emitted by ATMULT for the topology simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskRecord:
+    """One tile-row/tile-column multiplication task.
+
+    Attributes
+    ----------
+    pair:
+        The ``(ti, tj)`` tile-row/tile-column pair the task belongs to;
+        all tasks of a pair run on the same worker team, one after
+        another (paper section III-F).
+    team_node:
+        Preferred NUMA node: the node holding the A tile-row, to which
+        the worker team is pinned.
+    seconds:
+        Measured (or predicted) execution time of the task.
+    bytes_by_node:
+        Payload bytes the task reads, keyed by the NUMA node they live
+        on; used to charge remote-access penalties.
+    """
+
+    pair: tuple[int, int]
+    team_node: int
+    seconds: float
+    bytes_by_node: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_node.values())
+
+    def remote_bytes(self, node: int) -> int:
+        """Bytes that are remote when the task executes on ``node``."""
+        return sum(b for n, b in self.bytes_by_node.items() if n != node)

@@ -1,0 +1,152 @@
+"""Empirical parameter autotuning.
+
+The paper derives ``b_atomic`` and the thresholds from heuristics and
+notes that "the ideal tile size and values of alpha, beta might deviate
+from our heuristic selection, leaving room for further tuning" (section
+II-B1).  :func:`autotune` closes that loop empirically: it partitions a
+probe of the target matrix under a small grid of candidate settings,
+times one self-multiplication each, and returns the fastest
+configuration together with the full trial log.
+
+The probe defaults to the full matrix; for very large inputs pass
+``probe_dim`` to tune on the leading principal submatrix (topology
+classes are position-stable for the generators and most real matrices,
+so a probe preserves the ranking).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .config import SystemConfig
+from .core.atmult import atmult
+from .core.builder import build_at_matrix
+from .cost.model import CostModel
+from .errors import ConfigError
+from .formats.coo import COOMatrix
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One autotuning measurement."""
+
+    b_atomic: int
+    read_threshold: float
+    partition_seconds: float
+    multiply_seconds: float
+    tiles: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.partition_seconds + self.multiply_seconds
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of :func:`autotune`."""
+
+    best: Trial
+    trials: tuple[Trial, ...]
+    config: SystemConfig
+
+    def summary(self) -> str:
+        lines = ["autotuning trials (sorted by multiply time):"]
+        for trial in sorted(self.trials, key=lambda t: t.multiply_seconds):
+            marker = " <= best" if trial == self.best else ""
+            lines.append(
+                f"  b_atomic={trial.b_atomic:<5d} rho0_R={trial.read_threshold:<5.2f}"
+                f" partition={trial.partition_seconds * 1e3:7.1f}ms"
+                f" multiply={trial.multiply_seconds * 1e3:8.1f}ms"
+                f" tiles={trial.tiles}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def autotune(
+    staged: COOMatrix,
+    base_config: SystemConfig | None = None,
+    *,
+    b_atomic_candidates: list[int] | None = None,
+    read_threshold_candidates: list[float] | None = None,
+    probe_dim: int | None = None,
+    include_partitioning: bool = False,
+) -> TuningResult:
+    """Find the fastest (b_atomic, rho0_R) pair for a matrix empirically.
+
+    Parameters
+    ----------
+    staged:
+        The target matrix (COO staging form).
+    base_config:
+        Configuration template; candidates override ``b_atomic``.
+    b_atomic_candidates:
+        Block sizes to try.  Default: the heuristic choice plus one step
+        finer and one coarser.
+    read_threshold_candidates:
+        Read thresholds to try.  Default: ``[0.1, 0.25, 0.5]``.
+    probe_dim:
+        Tune on the leading ``probe_dim x probe_dim`` submatrix instead
+        of the full matrix.
+    include_partitioning:
+        Rank candidates by partition+multiply time instead of multiply
+        time only (choose this when matrices are multiplied once; the
+        default assumes the partitioned matrix is reused).
+    """
+    base_config = base_config or SystemConfig()
+    assert base_config.b_atomic is not None
+    if b_atomic_candidates is None:
+        b = base_config.b_atomic
+        b_atomic_candidates = sorted({max(2, b // 2), b, b * 2})
+    if read_threshold_candidates is None:
+        read_threshold_candidates = [0.1, 0.25, 0.5]
+    for candidate in b_atomic_candidates:
+        if candidate < 2 or candidate & (candidate - 1):
+            raise ConfigError(f"b_atomic candidate {candidate} not a power of two >= 2")
+
+    probe = staged
+    if probe_dim is not None:
+        dim = min(probe_dim, staged.rows, staged.cols)
+        probe = staged.extract_window(0, dim, 0, dim)
+        if probe.nnz == 0:
+            probe = staged  # empty probe says nothing; tune on the full matrix
+
+    trials: list[Trial] = []
+    for b_atomic in b_atomic_candidates:
+        config = SystemConfig(
+            llc_bytes=base_config.llc_bytes,
+            alpha=base_config.alpha,
+            beta=base_config.beta,
+            b_atomic=b_atomic,
+        )
+        for threshold in read_threshold_candidates:
+            model = CostModel(read_threshold=threshold)
+            start = time.perf_counter()
+            matrix = build_at_matrix(probe, config, read_threshold=threshold)
+            partition_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            atmult(matrix, matrix, config=config, cost_model=model)
+            multiply_seconds = time.perf_counter() - start
+            trials.append(
+                Trial(
+                    b_atomic,
+                    threshold,
+                    partition_seconds,
+                    multiply_seconds,
+                    len(matrix.tiles),
+                )
+            )
+
+    key = (
+        (lambda t: t.total_seconds)
+        if include_partitioning
+        else (lambda t: t.multiply_seconds)
+    )
+    best = min(trials, key=key)
+    best_config = SystemConfig(
+        llc_bytes=base_config.llc_bytes,
+        alpha=base_config.alpha,
+        beta=base_config.beta,
+        b_atomic=best.b_atomic,
+    )
+    return TuningResult(best=best, trials=tuple(trials), config=best_config)

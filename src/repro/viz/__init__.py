@@ -1,0 +1,5 @@
+"""Text rendering of density maps and AT Matrix tile layouts."""
+
+from .ascii_map import render_density_map, render_tile_layout
+
+__all__ = ["render_density_map", "render_tile_layout"]

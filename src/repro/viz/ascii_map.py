@@ -1,0 +1,94 @@
+"""ASCII renderings of matrix topology (paper Figs. 2 and 3).
+
+``render_density_map`` draws a block-density map as a grayscale character
+grid; ``render_tile_layout`` draws an AT Matrix's tile structure, marking
+dense tiles with a diagonal-pattern character like the paper's figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.atmatrix import ATMatrix
+from ..density.map import DensityMap
+from ..kinds import StorageKind
+
+#: Grayscale ramp, light to dark.
+_RAMP = " .:-=+*#%@"
+
+
+def _downsample(grid: np.ndarray, max_cells: int) -> np.ndarray:
+    """Average-pool a grid so neither side exceeds ``max_cells``."""
+    rows, cols = grid.shape
+    step = max(1, -(-max(rows, cols) // max_cells))
+    if step == 1:
+        return grid
+    out_rows = -(-rows // step)
+    out_cols = -(-cols // step)
+    out = np.zeros((out_rows, out_cols))
+    counts = np.zeros((out_rows, out_cols))
+    row_idx = np.arange(rows) // step
+    col_idx = np.arange(cols) // step
+    np.add.at(out, (row_idx[:, None], col_idx[None, :]), grid)
+    np.add.at(counts, (row_idx[:, None], col_idx[None, :]), 1.0)
+    return out / counts
+
+
+def render_density_map(
+    map_: DensityMap, *, max_cells: int = 64, border: bool = True
+) -> str:
+    """Render a density map as a grayscale character grid.
+
+    Darker characters mean denser blocks — the paper's Fig. 2 grayscale.
+    """
+    grid = _downsample(map_.grid, max_cells)
+    peak = grid.max() or 1.0
+    lines = []
+    for row in grid:
+        chars = [_RAMP[min(len(_RAMP) - 1, int(v / peak * (len(_RAMP) - 1) + 0.5))] for v in row]
+        lines.append("".join(chars))
+    if border:
+        width = len(lines[0]) if lines else 0
+        top = "+" + "-" * width + "+"
+        lines = [top] + [f"|{line}|" for line in lines] + [top]
+    return "\n".join(lines)
+
+
+def render_tile_layout(
+    matrix: ATMatrix, *, max_cells: int = 64, border: bool = True
+) -> str:
+    """Render tile structure: dense tiles as ``/``, sparse by grayscale.
+
+    Mirrors paper Fig. 2a/2b where "the grayscale indicates the
+    population density of sparse tiles, dense tiles are marked with a
+    diagonal pattern".
+    """
+    zspace = matrix.zspace
+    grid_rows, grid_cols = zspace.grid_rows, zspace.grid_cols
+    density = np.zeros((grid_rows, grid_cols))
+    dense_mask = np.zeros((grid_rows, grid_cols), dtype=bool)
+    b = zspace.b_atomic
+    for tile in matrix.tiles:
+        br0, bc0 = tile.row0 // b, tile.col0 // b
+        br1, bc1 = -(-tile.row1 // b), -(-tile.col1 // b)
+        density[br0:br1, bc0:bc1] = tile.density
+        if tile.kind is StorageKind.DENSE:
+            dense_mask[br0:br1, bc0:bc1] = True
+    small_density = _downsample(density, max_cells)
+    small_dense = _downsample(dense_mask.astype(float), max_cells) >= 0.5
+    peak = small_density.max() or 1.0
+    lines = []
+    for i in range(small_density.shape[0]):
+        chars = []
+        for j in range(small_density.shape[1]):
+            if small_dense[i, j]:
+                chars.append("/")
+            else:
+                v = small_density[i, j] / peak
+                chars.append(_RAMP[min(len(_RAMP) - 1, int(v * (len(_RAMP) - 1) + 0.5))])
+        lines.append("".join(chars))
+    if border:
+        width = len(lines[0]) if lines else 0
+        top = "+" + "-" * width + "+"
+        lines = [top] + [f"|{line}|" for line in lines] + [top]
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Z-order (Morton) encoding and Z-space bookkeeping.
+
+The AT Matrix partitioner recurses over a square Z-space whose side is the
+next power of two covering both matrix dimensions (paper section II-C1).
+This subpackage provides the bit-interleaving primitives and the
+``ZBlockCounts`` precomputation that paper Alg. 1 recurses on.
+"""
+
+from .morton import (
+    morton_decode,
+    morton_decode_scalar,
+    morton_encode,
+    morton_encode_scalar,
+)
+from .zspace import ZSpace, block_counts
+
+__all__ = [
+    "morton_encode",
+    "morton_decode",
+    "morton_encode_scalar",
+    "morton_decode_scalar",
+    "ZSpace",
+    "block_counts",
+]

@@ -1,0 +1,90 @@
+"""Morton (Z-curve) encoding via bit interleaving.
+
+The Z-value of a matrix coordinate ``(row, col)`` interleaves the bits of
+the two indices (row bits land on odd positions, column bits on even
+positions), so that sorting elements by Z-value stores every quadtree
+quadrant contiguously in memory — the property paper Alg. 1 relies on.
+
+All functions are vectorized over numpy arrays of (unsigned) integers and
+support coordinates up to 2**31 - 1, i.e. 62-bit Z-values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+
+_MAX_COORD = (1 << 31) - 1
+
+# Magic constants for the classic "spread bits" trick: each step doubles the
+# gap between payload bits until every input bit sits on an even position.
+_SPREAD_MASKS = (
+    (16, 0x0000FFFF0000FFFF),
+    (8, 0x00FF00FF00FF00FF),
+    (4, 0x0F0F0F0F0F0F0F0F),
+    (2, 0x3333333333333333),
+    (1, 0x5555555555555555),
+)
+
+
+def _spread_bits(values: np.ndarray) -> np.ndarray:
+    """Insert a zero bit between consecutive bits of each 32-bit value."""
+    spread = values.astype(np.uint64)
+    for shift, mask in _SPREAD_MASKS:
+        spread = (spread | (spread << np.uint64(shift))) & np.uint64(mask)
+    return spread
+
+
+# Compact steps: after each (x | x >> shift), the payload bits sit in
+# groups twice as wide, selected by the paired mask.
+_COMPACT_MASKS = (
+    (1, 0x3333333333333333),
+    (2, 0x0F0F0F0F0F0F0F0F),
+    (4, 0x00FF00FF00FF00FF),
+    (8, 0x0000FFFF0000FFFF),
+    (16, 0x00000000FFFFFFFF),
+)
+
+
+def _compact_bits(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_spread_bits`: keep every other bit, close gaps."""
+    packed = values.astype(np.uint64) & np.uint64(0x5555555555555555)
+    for shift, mask in _COMPACT_MASKS:
+        packed = (packed | (packed >> np.uint64(shift))) & np.uint64(mask)
+    return packed
+
+
+def morton_encode(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Interleave ``rows`` and ``cols`` into Z-values (vectorized).
+
+    Row bits occupy the odd (higher) interleaved positions so the Z-order
+    walks the matrix in the conventional upper-left, upper-right,
+    lower-left, lower-right quadrant order.
+    """
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    if rows.size and (rows.min() < 0 or cols.min() < 0):
+        raise FormatError("Morton coordinates must be non-negative")
+    if rows.size and (rows.max() > _MAX_COORD or cols.max() > _MAX_COORD):
+        raise FormatError(f"Morton coordinates must be <= {_MAX_COORD}")
+    return (_spread_bits(rows) << np.uint64(1)) | _spread_bits(cols)
+
+
+def morton_decode(zvalues: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split Z-values back into ``(rows, cols)`` coordinate arrays."""
+    zvalues = np.asarray(zvalues, dtype=np.uint64)
+    rows = _compact_bits(zvalues >> np.uint64(1))
+    cols = _compact_bits(zvalues)
+    return rows.astype(np.int64), cols.astype(np.int64)
+
+
+def morton_encode_scalar(row: int, col: int) -> int:
+    """Scalar convenience wrapper around :func:`morton_encode`."""
+    return int(morton_encode(np.array([row]), np.array([col]))[0])
+
+
+def morton_decode_scalar(zvalue: int) -> tuple[int, int]:
+    """Scalar convenience wrapper around :func:`morton_decode`."""
+    rows, cols = morton_decode(np.array([zvalue], dtype=np.uint64))
+    return int(rows[0]), int(cols[0])

@@ -1,0 +1,148 @@
+"""Z-space geometry and the Z-ordered atomic-block count array.
+
+Paper section II-C: both matrix dimensions are logically padded to the next
+common power of two, giving a square Z-space of size
+``K = 4 ** max(ceil(log2 m), ceil(log2 n))``.  A single pass over the
+staged matrix produces ``ZBlockCnts``, the Z-ordered array holding the
+non-zero count of every atomic ``b_atomic x b_atomic`` block; blocks that
+lie entirely outside the real matrix bounds are marked out-of-bounds with
+the sentinel ``-1`` and are skipped by the partition recursion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError
+from .morton import morton_encode
+
+
+@dataclass(frozen=True)
+class ZSpace:
+    """Geometry of the padded Z-space over a matrix at block granularity.
+
+    Attributes
+    ----------
+    rows, cols:
+        Real (unpadded) matrix dimensions.
+    b_atomic:
+        Atomic block edge length (power of two).
+    side_blocks:
+        Number of atomic blocks along one side of the padded square space
+        (a power of two).
+    """
+
+    rows: int
+    cols: int
+    b_atomic: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise FormatError(
+                f"matrix dimensions must be positive, got {self.rows}x{self.cols}"
+            )
+        b = self.b_atomic
+        if b < 1 or (b & (b - 1)) != 0:
+            raise FormatError(f"b_atomic must be a power of two, got {b}")
+
+    @property
+    def side_blocks(self) -> int:
+        """Blocks per side of the padded square Z-space (power of two)."""
+        grid = max(
+            _ceil_div(self.rows, self.b_atomic), _ceil_div(self.cols, self.b_atomic)
+        )
+        return 1 << max(0, (grid - 1).bit_length())
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of Z-space cells, ``side_blocks ** 2``."""
+        return self.side_blocks * self.side_blocks
+
+    @property
+    def grid_rows(self) -> int:
+        """Number of block rows actually covering the matrix."""
+        return _ceil_div(self.rows, self.b_atomic)
+
+    @property
+    def grid_cols(self) -> int:
+        """Number of block columns actually covering the matrix."""
+        return _ceil_div(self.cols, self.b_atomic)
+
+    def block_of(self, row: int, col: int) -> tuple[int, int]:
+        """Block-grid coordinate containing the matrix element ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise FormatError(f"element ({row}, {col}) outside {self.rows}x{self.cols}")
+        return row // self.b_atomic, col // self.b_atomic
+
+    def block_bounds(self, block_row: int, block_col: int) -> tuple[int, int, int, int]:
+        """Element bounds ``(row0, row1, col0, col1)`` of a block, clipped
+        to the real matrix (half-open ranges)."""
+        row0 = block_row * self.b_atomic
+        col0 = block_col * self.b_atomic
+        row1 = min(self.rows, row0 + self.b_atomic)
+        col1 = min(self.cols, col0 + self.b_atomic)
+        return row0, row1, col0, col1
+
+    def block_area(self, block_row: int, block_col: int) -> int:
+        """Number of real matrix cells inside a (possibly clipped) block."""
+        row0, row1, col0, col1 = self.block_bounds(block_row, block_col)
+        return max(0, row1 - row0) * max(0, col1 - col0)
+
+    def in_bounds(self, block_row: int, block_col: int) -> bool:
+        """Whether the block overlaps the real matrix at all."""
+        return block_row < self.grid_rows and block_col < self.grid_cols
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+#: Sentinel marking Z-space cells fully outside the real matrix bounds.
+OUT_OF_BOUNDS = -1
+
+
+def block_counts(
+    rows: np.ndarray, cols: np.ndarray, zspace: ZSpace
+) -> np.ndarray:
+    """Compute the Z-ordered per-atomic-block non-zero counts.
+
+    This is the ``ZBlockCnts`` array of paper Alg. 1: entry ``z`` holds the
+    number of matrix non-zeros falling into the atomic block whose
+    block-grid coordinate has Morton code ``z``.  Cells outside the real
+    matrix are set to :data:`OUT_OF_BOUNDS`.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.shape != cols.shape:
+        raise FormatError("row/col coordinate arrays must have equal length")
+    counts = np.zeros(zspace.num_cells, dtype=np.int64)
+    if rows.size:
+        if rows.min() < 0 or cols.min() < 0:
+            raise FormatError("negative matrix coordinates")
+        if rows.max() >= zspace.rows or cols.max() >= zspace.cols:
+            raise FormatError("matrix coordinates outside declared dimensions")
+        zvals = morton_encode(rows // zspace.b_atomic, cols // zspace.b_atomic)
+        np.add.at(counts, zvals.astype(np.int64), 1)
+    # Mark padded cells that do not overlap the real matrix.
+    side = zspace.side_blocks
+    if side * zspace.b_atomic > max(zspace.rows, zspace.cols) or side > min(
+        zspace.grid_rows, zspace.grid_cols
+    ):
+        block_rows = np.arange(side)
+        out_row = block_rows >= zspace.grid_rows
+        out_col = block_rows >= zspace.grid_cols
+        grid_r, grid_c = np.meshgrid(block_rows, block_rows, indexing="ij")
+        outside = out_row[grid_r] | out_col[grid_c]
+        if outside.any():
+            zvals = morton_encode(grid_r[outside], grid_c[outside])
+            counts[zvals.astype(np.int64)] = OUT_OF_BOUNDS
+    return counts
+
+
+def zspace_size(rows: int, cols: int) -> int:
+    """Paper's ``K = 4 ** max(ceil(log2 m), ceil(log2 n))`` element count."""
+    exp = max(math.ceil(math.log2(max(1, rows))), math.ceil(math.log2(max(1, cols))))
+    return 4**exp

@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import COOMatrix, SystemConfig
+from repro.formats import coo_to_csr, coo_to_dense
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A tiny config (b_atomic=16) so partitioning happens on small inputs."""
+    return SystemConfig(llc_bytes=8 * 1024, b_atomic=16)
+
+
+@pytest.fixture
+def medium_config() -> SystemConfig:
+    """The scaled benchmark config (384 KiB LLC, b_atomic=128)."""
+    return SystemConfig()
+
+
+def random_sparse_array(
+    rng: np.random.Generator, rows: int, cols: int, density: float
+) -> np.ndarray:
+    """A dense numpy array populated at roughly the given density."""
+    mask = rng.random((rows, cols)) < density
+    values = rng.uniform(0.1, 1.0, size=(rows, cols))
+    return np.where(mask, values, 0.0)
+
+
+def heterogeneous_array(
+    rng: np.random.Generator, rows: int, cols: int, *, background: float = 0.01
+) -> np.ndarray:
+    """An array with one dense block over a sparse background."""
+    array = random_sparse_array(rng, rows, cols, background)
+    block = min(rows, cols) // 3
+    if block:
+        array[:block, :block] = rng.uniform(0.1, 1.0, size=(block, block))
+    return array
+
+
+def staged(array: np.ndarray) -> COOMatrix:
+    return COOMatrix.from_dense(array)
+
+
+def as_csr(array: np.ndarray):
+    return coo_to_csr(COOMatrix.from_dense(array))
+
+
+def as_dense(array: np.ndarray):
+    return coo_to_dense(COOMatrix.from_dense(array))
+
+
+def assert_matrix_equals(result, expected: np.ndarray, *, atol: float = 1e-10) -> None:
+    """Compare any library matrix object against a dense numpy oracle."""
+    np.testing.assert_allclose(result.to_dense(), expected, atol=atol)

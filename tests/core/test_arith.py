@@ -1,0 +1,108 @@
+"""Tests for element-wise AT Matrix arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import COOMatrix, SystemConfig, add, build_at_matrix, scale
+from repro.errors import ShapeError
+
+from ..conftest import heterogeneous_array, random_sparse_array
+
+CONFIG = SystemConfig(llc_bytes=8 * 1024, b_atomic=16)
+
+
+def build(array):
+    return build_at_matrix(COOMatrix.from_dense(array), CONFIG)
+
+
+class TestAdd:
+    def test_basic_sum(self, rng):
+        a = heterogeneous_array(rng, 64, 48)
+        b = random_sparse_array(rng, 64, 48, 0.1)
+        result = add(build(a), build(b))
+        np.testing.assert_allclose(result.to_dense(), a + b)
+
+    def test_scaled_combination(self, rng):
+        a = random_sparse_array(rng, 32, 32, 0.2)
+        b = random_sparse_array(rng, 32, 32, 0.2)
+        result = add(build(a), build(b), alpha=2.0, beta=-0.5)
+        np.testing.assert_allclose(result.to_dense(), 2.0 * a - 0.5 * b)
+
+    def test_cancellation_drops_entries(self, rng):
+        a = random_sparse_array(rng, 24, 24, 0.3)
+        result = add(build(a), build(a), alpha=1.0, beta=-1.0)
+        assert result.nnz == 0
+
+    def test_shape_mismatch_rejected(self, rng):
+        a = random_sparse_array(rng, 8, 8, 0.5)
+        b = random_sparse_array(rng, 8, 9, 0.5)
+        with pytest.raises(ShapeError):
+            add(build(a), build(b))
+
+    def test_result_is_repartitioned(self, rng):
+        """Sum of two sparse halves forming a dense block gets dense tiles."""
+        from repro.kinds import StorageKind
+
+        half_a = np.zeros((32, 32))
+        half_b = np.zeros((32, 32))
+        # A block populated at ~0.4 overall, split into two ~0.2 halves:
+        # each half stays below the 0.25 read threshold, the sum exceeds it.
+        populated = rng.random((16, 16)) < 0.4
+        dense_block = np.where(populated, rng.uniform(0.1, 1.0, (16, 16)), 0.0)
+        mask = rng.random((16, 16)) < 0.5
+        half_a[:16, :16] = np.where(mask, dense_block, 0.0)
+        half_b[:16, :16] = np.where(~mask, dense_block, 0.0)
+        a, b = build(half_a), build(half_b)
+        assert a.num_tiles(StorageKind.DENSE) == 0
+        assert b.num_tiles(StorageKind.DENSE) == 0
+        result = add(a, b)
+        assert result.num_tiles(StorageKind.DENSE) > 0
+
+
+class TestScale:
+    def test_values_scaled(self, rng):
+        a = heterogeneous_array(rng, 48, 48)
+        result = scale(build(a), 2.5)
+        np.testing.assert_allclose(result.to_dense(), 2.5 * a)
+
+    def test_tiling_preserved(self, rng):
+        a = heterogeneous_array(rng, 48, 48)
+        at = build(a)
+        scaled = scale(at, -1.0)
+        assert len(scaled.tiles) == len(at.tiles)
+        for original, result in zip(at.tiles, scaled.tiles):
+            assert result.extent == original.extent
+            assert result.kind is original.kind
+
+    def test_original_untouched(self, rng):
+        a = heterogeneous_array(rng, 32, 32)
+        at = build(a)
+        scale(at, 0.0)
+        np.testing.assert_allclose(at.to_dense(), a)
+
+
+class TestArithmeticProperties:
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_add_commutes(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 40))
+        a = random_sparse_array(rng, n, n, 0.3)
+        b = random_sparse_array(rng, n, n, 0.3)
+        ab = add(build(a), build(b))
+        ba = add(build(b), build(a))
+        np.testing.assert_allclose(ab.to_dense(), ba.to_dense())
+
+    @given(st.integers(0, 500), st.floats(-3.0, 3.0))
+    @settings(max_examples=20, deadline=None)
+    def test_scale_distributes_over_add(self, seed, factor):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 30))
+        a = random_sparse_array(rng, n, n, 0.3)
+        b = random_sparse_array(rng, n, n, 0.3)
+        left = scale(add(build(a), build(b)), factor)
+        right = add(scale(build(a), factor), scale(build(b), factor))
+        np.testing.assert_allclose(
+            left.to_dense(), right.to_dense(), atol=1e-10
+        )

@@ -1,0 +1,94 @@
+"""Tests for ATMV and power iteration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import COOMatrix, SystemConfig, atmv, atmv_transposed, build_at_matrix, power_iteration
+from repro.errors import ShapeError
+
+from ..conftest import heterogeneous_array, random_sparse_array
+
+CONFIG = SystemConfig(llc_bytes=8 * 1024, b_atomic=16)
+
+
+def build(array):
+    return build_at_matrix(COOMatrix.from_dense(array), CONFIG)
+
+
+class TestAtmv:
+    def test_matches_numpy(self, rng):
+        array = heterogeneous_array(rng, 90, 70)
+        x = rng.random(70)
+        np.testing.assert_allclose(atmv(build(array), x), array @ x, atol=1e-10)
+
+    def test_transposed_matches_numpy(self, rng):
+        array = heterogeneous_array(rng, 90, 70)
+        x = rng.random(90)
+        np.testing.assert_allclose(
+            atmv_transposed(build(array), x), array.T @ x, atol=1e-10
+        )
+
+    def test_empty_matrix(self):
+        at = build(np.zeros((32, 24)))
+        np.testing.assert_allclose(atmv(at, np.ones(24)), np.zeros(32))
+        np.testing.assert_allclose(atmv_transposed(at, np.ones(32)), np.zeros(24))
+
+    def test_length_checked(self, rng):
+        at = build(random_sparse_array(rng, 16, 16, 0.3))
+        with pytest.raises(ShapeError):
+            atmv(at, np.ones(15))
+        with pytest.raises(ShapeError):
+            atmv_transposed(at, np.ones(15))
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_numpy_property(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(2, 80))
+        cols = int(rng.integers(2, 80))
+        array = random_sparse_array(rng, rows, cols, float(rng.uniform(0, 0.5)))
+        x = rng.random(cols)
+        np.testing.assert_allclose(atmv(build(array), x), array @ x, atol=1e-9)
+
+
+class TestPowerIteration:
+    def test_finds_dominant_eigenvalue(self, rng):
+        # Symmetric matrix with a known dominant eigenvector structure.
+        base = random_sparse_array(rng, 40, 40, 0.2)
+        symmetric = (base + base.T) / 2
+        at = build(symmetric)
+        result = power_iteration(at, max_iterations=500, tolerance=1e-12)
+        expected = np.max(np.abs(np.linalg.eigvalsh(symmetric)))
+        assert result.converged
+        assert abs(abs(result.eigenvalue) - expected) < 1e-6 * max(1.0, expected)
+
+    def test_eigenvector_is_normalized_fixed_point(self, rng):
+        base = random_sparse_array(rng, 30, 30, 0.3)
+        symmetric = (base + base.T) / 2
+        at = build(symmetric)
+        result = power_iteration(at, max_iterations=500, tolerance=1e-12)
+        assert np.linalg.norm(result.eigenvector) == pytest.approx(1.0)
+        np.testing.assert_allclose(
+            atmv(at, result.eigenvector),
+            result.eigenvalue * result.eigenvector,
+            atol=1e-4,
+        )
+
+    def test_zero_matrix_converges_immediately(self):
+        at = build(np.zeros((8, 8)))
+        result = power_iteration(at)
+        assert result.converged
+        assert result.eigenvalue == 0.0
+
+    def test_requires_square_matrix(self, rng):
+        at = build(random_sparse_array(rng, 8, 9, 0.5))
+        with pytest.raises(ShapeError):
+            power_iteration(at)
+
+    def test_iteration_budget_respected(self, rng):
+        base = random_sparse_array(rng, 20, 20, 0.4)
+        at = build((base + base.T) / 2)
+        result = power_iteration(at, max_iterations=2, tolerance=0.0)
+        assert result.iterations == 2
+        assert not result.converged

@@ -1,0 +1,82 @@
+"""Tests for the COO -> AT Matrix builder pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import COOMatrix, SystemConfig, build_at_matrix
+from repro.core.builder import ATMatrixBuilder
+
+from ..conftest import heterogeneous_array, random_sparse_array
+
+
+class TestBuild:
+    def test_reconstruction_heterogeneous(self, rng, small_config):
+        array = heterogeneous_array(rng, 100, 90)
+        at = build_at_matrix(COOMatrix.from_dense(array), small_config)
+        np.testing.assert_allclose(at.to_dense(), array)
+
+    def test_duplicate_coordinates_summed(self, small_config):
+        coo = COOMatrix(32, 32, [3, 3], [4, 4], [1.0, 2.0])
+        at = build_at_matrix(coo, small_config)
+        assert at.to_dense()[3, 4] == 3.0
+        assert at.nnz == 1
+
+    def test_non_power_of_two_dims(self, rng, small_config):
+        array = heterogeneous_array(rng, 77, 51)
+        at = build_at_matrix(COOMatrix.from_dense(array), small_config)
+        np.testing.assert_allclose(at.to_dense(), array)
+
+    def test_read_threshold_passed_through(self, rng, small_config):
+        array = random_sparse_array(rng, 64, 64, 0.15)
+        many_dense = build_at_matrix(
+            COOMatrix.from_dense(array), small_config, read_threshold=0.05
+        )
+        few_dense = build_at_matrix(
+            COOMatrix.from_dense(array), small_config, read_threshold=0.95
+        )
+        from repro import StorageKind
+
+        assert many_dense.num_tiles(StorageKind.DENSE) > few_dense.num_tiles(
+            StorageKind.DENSE
+        )
+
+
+class TestBuildReport:
+    def test_components_timed(self, rng, small_config):
+        array = heterogeneous_array(rng, 128, 128)
+        builder = ATMatrixBuilder(small_config)
+        at, report = builder.build_with_report(COOMatrix.from_dense(array))
+        assert report.tiles == len(at.tiles)
+        assert report.total_seconds > 0
+        parts = report.as_dict()
+        assert set(parts) == {
+            "z_sort",
+            "zblockcnts",
+            "recursive_partitioning",
+            "materialization",
+        }
+        assert report.total_seconds == pytest.approx(sum(parts.values()))
+
+    def test_empty_input(self, small_config):
+        builder = ATMatrixBuilder(small_config)
+        at, report = builder.build_with_report(COOMatrix.empty(32, 32))
+        assert report.tiles == 0
+        assert at.num_tiles() == 0
+
+
+class TestBuildProperties:
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_build_is_lossless(self, seed):
+        rng = np.random.default_rng(seed)
+        config = SystemConfig(llc_bytes=8 * 1024, b_atomic=16)
+        rows = int(rng.integers(1, 150))
+        cols = int(rng.integers(1, 150))
+        density = float(rng.uniform(0, 0.4))
+        array = random_sparse_array(rng, rows, cols, density)
+        if rng.random() < 0.5 and rows > 20 and cols > 20:
+            array[: rows // 2, : cols // 2] = rng.random((rows // 2, cols // 2))
+        at = build_at_matrix(COOMatrix.from_dense(array), config)
+        np.testing.assert_allclose(at.to_dense(), array)
+        assert at.nnz == np.count_nonzero(array)

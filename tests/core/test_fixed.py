@@ -1,0 +1,59 @@
+"""Tests for fixed-grid tiling (ablation levels 2-4)."""
+
+import numpy as np
+import pytest
+
+from repro import COOMatrix, StorageKind, fixed_grid_at_matrix
+
+from ..conftest import heterogeneous_array, random_sparse_array
+
+
+class TestFixedGrid:
+    def test_reconstruction(self, rng, small_config):
+        array = heterogeneous_array(rng, 70, 90)
+        at = fixed_grid_at_matrix(COOMatrix.from_dense(array), small_config)
+        np.testing.assert_allclose(at.to_dense(), array)
+
+    def test_all_tiles_atomic_sized(self, rng, small_config):
+        array = random_sparse_array(rng, 64, 64, 0.1)
+        at = fixed_grid_at_matrix(COOMatrix.from_dense(array), small_config)
+        b = small_config.b_atomic
+        for tile in at.tiles:
+            assert tile.rows <= b and tile.cols <= b
+            assert tile.row0 % b == 0 and tile.col0 % b == 0
+
+    def test_sparse_only_by_default(self, rng, small_config):
+        array = heterogeneous_array(rng, 64, 64)
+        at = fixed_grid_at_matrix(COOMatrix.from_dense(array), small_config)
+        assert at.num_tiles(StorageKind.DENSE) == 0
+
+    def test_mixed_marks_dense_cells(self, rng, small_config):
+        array = heterogeneous_array(rng, 64, 64)
+        at = fixed_grid_at_matrix(
+            COOMatrix.from_dense(array), small_config, mixed=True
+        )
+        assert at.num_tiles(StorageKind.DENSE) > 0
+        np.testing.assert_allclose(at.to_dense(), array)
+
+    def test_empty_cells_have_no_tile(self, small_config):
+        array = np.zeros((64, 64))
+        array[0, 0] = 1.0
+        at = fixed_grid_at_matrix(COOMatrix.from_dense(array), small_config)
+        assert at.num_tiles() == 1
+
+    def test_custom_block_size(self, rng, small_config):
+        array = random_sparse_array(rng, 64, 64, 0.2)
+        at = fixed_grid_at_matrix(
+            COOMatrix.from_dense(array), small_config, block=32
+        )
+        for tile in at.tiles:
+            assert tile.rows <= 32
+
+    def test_hypersparse_explodes_into_many_tiles(self, rng, small_config):
+        """The pathology the paper's adaptive tiles avoid (section II-B2)."""
+        array = random_sparse_array(rng, 128, 128, 0.005)
+        fixed = fixed_grid_at_matrix(COOMatrix.from_dense(array), small_config)
+        from repro import build_at_matrix
+
+        adaptive = build_at_matrix(COOMatrix.from_dense(array), small_config)
+        assert fixed.num_tiles() > adaptive.num_tiles()

@@ -1,0 +1,76 @@
+"""Tests for the dynamic optimizer's JIT conversions."""
+
+import numpy as np
+
+from repro import CostModel, StorageKind
+from repro.core.optimizer import DynamicOptimizer
+from repro.core.tile import Tile
+from repro.formats.convert import dense_to_csr
+from repro.formats.dense import DenseMatrix
+
+
+def dense_tile(array: np.ndarray) -> Tile:
+    return Tile(0, 0, array.shape[0], array.shape[1], StorageKind.DENSE, DenseMatrix(array))
+
+
+def sparse_tile(array: np.ndarray) -> Tile:
+    csr = dense_to_csr(DenseMatrix(array))
+    return Tile(0, 0, array.shape[0], array.shape[1], StorageKind.SPARSE, csr)
+
+
+def full_array(n: int) -> np.ndarray:
+    return np.random.default_rng(0).uniform(0.5, 1.0, (n, n))
+
+
+def hypersparse_array(n: int) -> np.ndarray:
+    array = np.zeros((n, n))
+    array[0, 0] = 1.0
+    return array
+
+
+class TestDisabledOptimizer:
+    def test_passthrough(self):
+        tile = sparse_tile(full_array(32))
+        optimizer = DynamicOptimizer(CostModel(), enabled=False)
+        a, b = optimizer.choose(tile, tile, StorageKind.DENSE, 32, 32, 32, 1.0)
+        assert a is tile.data and b is tile.data
+        assert optimizer.stats.decisions == 0
+
+
+class TestConversions:
+    def test_dense_data_in_sparse_tile_converted(self):
+        tile = sparse_tile(full_array(64))
+        optimizer = DynamicOptimizer(CostModel())
+        a, b = optimizer.choose(tile, tile, StorageKind.DENSE, 64, 64, 64, 1.0)
+        assert isinstance(a, DenseMatrix)
+        assert optimizer.stats.conversions >= 1
+        np.testing.assert_allclose(a.to_dense(), tile.data.to_dense())
+
+    def test_conversion_cached_per_tile(self):
+        tile = sparse_tile(full_array(64))
+        optimizer = DynamicOptimizer(CostModel())
+        a1, _ = optimizer.choose(tile, tile, StorageKind.DENSE, 64, 64, 64, 1.0)
+        conversions_after_first = optimizer.stats.conversions
+        a2, _ = optimizer.choose(tile, tile, StorageKind.DENSE, 64, 64, 64, 1.0)
+        assert optimizer.stats.conversions == conversions_after_first
+        assert a1 is a2
+
+    def test_hypersparse_stays_sparse(self):
+        tile = sparse_tile(hypersparse_array(64))
+        optimizer = DynamicOptimizer(CostModel())
+        a, b = optimizer.choose(tile, tile, StorageKind.SPARSE, 64, 64, 64, 0.001)
+        assert a is tile.data and b is tile.data
+        assert optimizer.stats.conversions == 0
+
+    def test_decision_stats_recorded(self):
+        tile = sparse_tile(hypersparse_array(16))
+        optimizer = DynamicOptimizer(CostModel())
+        optimizer.choose(tile, tile, StorageKind.SPARSE, 16, 16, 16, 0.1)
+        assert optimizer.stats.decisions == 1
+        assert optimizer.stats.decision_seconds >= 0.0
+
+    def test_kernel_counter(self):
+        optimizer = DynamicOptimizer(CostModel())
+        optimizer.stats.record_kernel("spspsp_gemm")
+        optimizer.stats.record_kernel("spspsp_gemm")
+        assert optimizer.stats.kernel_counts == {"spspsp_gemm": 2}

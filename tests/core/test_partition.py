@@ -1,0 +1,151 @@
+"""Tests for the recursive quadtree partitioner (paper Alg. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import COOMatrix, SystemConfig, StorageKind
+from repro.core.partition import QuadtreePartitioner, TileSpec
+from repro.errors import PartitionError
+from repro.zorder.zspace import ZSpace, block_counts
+
+from ..conftest import heterogeneous_array, random_sparse_array
+
+
+def partition_array(array, config, read_threshold=0.25):
+    coo = COOMatrix.from_dense(array).z_ordered()
+    zspace = ZSpace(array.shape[0], array.shape[1], config.b_atomic)
+    counts = block_counts(coo.row_ids, coo.col_ids, zspace)
+    partitioner = QuadtreePartitioner(config, read_threshold=read_threshold)
+    return partitioner.partition(counts, zspace), zspace
+
+
+class TestBasicPartitioning:
+    def test_empty_matrix_produces_no_tiles(self, small_config):
+        specs, _ = partition_array(np.zeros((64, 64)), small_config)
+        assert specs == []
+
+    def test_uniform_sparse_matrix_single_tile(self, small_config):
+        """Hypersparse matrices melt into one sparse tile (section II-B2)."""
+        rng = np.random.default_rng(1)
+        array = random_sparse_array(rng, 64, 64, 0.001)
+        specs, _ = partition_array(array, small_config)
+        assert len(specs) == 1
+        assert specs[0].kind is StorageKind.SPARSE
+        assert specs[0].size_blocks == 4  # covers the whole 64/16 grid
+
+    def test_dense_matrix_tiled_at_max_dense_size(self, small_config):
+        array = np.ones((64, 64))
+        specs, _ = partition_array(array, small_config)
+        assert all(spec.kind is StorageKind.DENSE for spec in specs)
+        max_dim = small_config.max_dense_tile_dim()
+        for spec in specs:
+            assert spec.size_blocks * small_config.b_atomic <= max(
+                max_dim, small_config.b_atomic
+            )
+
+    def test_heterogeneous_matrix_mixed_tiles(self, small_config):
+        rng = np.random.default_rng(2)
+        array = heterogeneous_array(rng, 96, 96)
+        specs, _ = partition_array(array, small_config)
+        kinds = {spec.kind for spec in specs}
+        assert kinds == {StorageKind.SPARSE, StorageKind.DENSE}
+
+    def test_nnz_conserved(self, small_config):
+        rng = np.random.default_rng(3)
+        array = heterogeneous_array(rng, 80, 112)
+        specs, _ = partition_array(array, small_config)
+        assert sum(spec.nnz for spec in specs) == np.count_nonzero(array)
+
+
+class TestInvariants:
+    @staticmethod
+    def check_invariants(specs, zspace, config):
+        covered = np.zeros((zspace.grid_rows, zspace.grid_cols), dtype=int)
+        for spec in specs:
+            # Quadtree alignment: power-of-two size, aligned position.
+            size = spec.size_blocks
+            assert size & (size - 1) == 0
+            assert spec.block_row0 % size == 0
+            assert spec.block_col0 % size == 0
+            row0, row1, col0, col1 = spec.element_bounds(zspace)
+            assert row1 > row0 and col1 > col0
+            br0, bc0 = spec.block_row0, spec.block_col0
+            br1 = min(zspace.grid_rows, br0 + size)
+            bc1 = min(zspace.grid_cols, bc0 + size)
+            covered[br0:br1, bc0:bc1] += 1
+        # Tiles must be disjoint in block space.
+        assert covered.max() <= 1
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=25, deadline=None)
+    def test_random_matrices_satisfy_invariants(self, seed):
+        rng = np.random.default_rng(seed)
+        config = SystemConfig(llc_bytes=8 * 1024, b_atomic=16)
+        rows = int(rng.integers(17, 120))
+        cols = int(rng.integers(17, 120))
+        array = heterogeneous_array(rng, rows, cols, background=0.05)
+        specs, zspace = partition_array(array, config)
+        self.check_invariants(specs, zspace, config)
+        assert sum(s.nnz for s in specs) == np.count_nonzero(array)
+
+    def test_sparse_tiles_respect_max_size(self, small_config):
+        rng = np.random.default_rng(7)
+        array = random_sparse_array(rng, 128, 128, 0.05)
+        specs, zspace = partition_array(array, small_config)
+        for spec in specs:
+            if spec.kind is StorageKind.SPARSE and spec.nnz:
+                row0, row1, col0, col1 = spec.element_bounds(zspace)
+                density = spec.nnz / ((row1 - row0) * (col1 - col0))
+                edge = spec.size_blocks * small_config.b_atomic
+                # The melted edge obeys Eq. (2) at the tile's own density.
+                assert edge <= max(
+                    small_config.max_sparse_tile_dim(density), small_config.b_atomic
+                )
+
+
+class TestThresholdEffect:
+    def test_lower_threshold_creates_more_dense_tiles(self, small_config):
+        rng = np.random.default_rng(4)
+        array = random_sparse_array(rng, 64, 64, 0.15)
+        low, _ = partition_array(array, small_config, read_threshold=0.05)
+        high, _ = partition_array(array, small_config, read_threshold=0.9)
+        dense_low = sum(1 for s in low if s.kind is StorageKind.DENSE)
+        dense_high = sum(1 for s in high if s.kind is StorageKind.DENSE)
+        assert dense_low > dense_high
+
+    def test_bad_zcounts_length_rejected(self, small_config):
+        zspace = ZSpace(64, 64, small_config.b_atomic)
+        partitioner = QuadtreePartitioner(small_config)
+        with pytest.raises(PartitionError):
+            partitioner.partition(np.zeros(3), zspace)
+
+
+class TestPruning:
+    def test_empty_quadrant_pruning_preserves_output(self, small_config):
+        """Pruned recursion must match a dense scan of the same input."""
+        rng = np.random.default_rng(11)
+        # A huge mostly-empty matrix with one populated corner.
+        array = np.zeros((512, 512))
+        array[:32, :32] = heterogeneous_array(rng, 32, 32, background=0.2)
+        specs, zspace = partition_array(array, small_config)
+        assert sum(s.nnz for s in specs) == np.count_nonzero(array)
+        TestInvariants.check_invariants(specs, zspace, small_config)
+
+    def test_fully_empty_matrix_fast_path(self, small_config):
+        specs, _ = partition_array(np.zeros((256, 256)), small_config)
+        assert specs == []
+
+    def test_partition_deterministic(self, small_config):
+        rng = np.random.default_rng(12)
+        array = heterogeneous_array(rng, 100, 90)
+        first, _ = partition_array(array, small_config)
+        second, _ = partition_array(array, small_config)
+        assert first == second
+
+
+class TestTileSpec:
+    def test_element_bounds_clip_to_matrix(self):
+        zspace = ZSpace(40, 24, 16)
+        spec = TileSpec(2, 1, 1, 5, StorageKind.SPARSE)
+        assert spec.element_bounds(zspace) == (32, 40, 16, 24)

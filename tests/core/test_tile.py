@@ -1,0 +1,51 @@
+"""Tests for the Tile dataclass."""
+
+import numpy as np
+import pytest
+
+from repro import CSRMatrix, DenseMatrix, StorageKind
+from repro.core.tile import Tile
+from repro.errors import FormatError
+
+
+def sparse_payload(rows, cols):
+    return CSRMatrix.from_arrays_unsorted(rows, cols, [0], [0], [1.0])
+
+
+class TestTileInvariants:
+    def test_geometry(self):
+        tile = Tile(16, 32, 8, 8, StorageKind.SPARSE, sparse_payload(8, 8))
+        assert tile.extent == (16, 24, 32, 40)
+        assert tile.row1 == 24 and tile.col1 == 40
+
+    def test_payload_shape_must_match(self):
+        with pytest.raises(FormatError):
+            Tile(0, 0, 4, 4, StorageKind.SPARSE, sparse_payload(3, 4))
+
+    def test_kind_must_match_payload(self):
+        with pytest.raises(FormatError):
+            Tile(0, 0, 4, 4, StorageKind.DENSE, sparse_payload(4, 4))
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(FormatError):
+            Tile(0, 0, 0, 4, StorageKind.SPARSE, sparse_payload(1, 4))
+
+    def test_overlaps(self):
+        tile = Tile(4, 4, 4, 4, StorageKind.SPARSE, sparse_payload(4, 4))
+        assert tile.overlaps(0, 5, 0, 5)
+        assert tile.overlaps(7, 8, 7, 8)
+        assert not tile.overlaps(0, 4, 0, 4)
+        assert not tile.overlaps(8, 12, 4, 8)
+
+    def test_statistics(self):
+        dense = DenseMatrix(np.eye(4))
+        tile = Tile(0, 0, 4, 4, StorageKind.DENSE, dense)
+        assert tile.nnz == 4
+        assert tile.density == pytest.approx(0.25)
+        assert tile.memory_bytes() == 16 * 8
+
+    def test_with_payload_swaps_kind(self):
+        tile = Tile(0, 0, 4, 4, StorageKind.SPARSE, sparse_payload(4, 4))
+        swapped = tile.with_payload(DenseMatrix(np.zeros((4, 4))))
+        assert swapped.kind is StorageKind.DENSE
+        assert swapped.extent == tile.extent

@@ -1,0 +1,156 @@
+"""Tests for the eightfold multiplication cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cost import CostCoefficients, CostModel
+from repro.errors import ConfigError
+from repro.kinds import StorageKind
+
+SP = StorageKind.SPARSE
+DE = StorageKind.DENSE
+
+
+@pytest.fixture
+def model() -> CostModel:
+    return CostModel()
+
+
+class TestCoefficients:
+    def test_defaults_positive(self):
+        coeffs = CostCoefficients()
+        assert all(v >= 0 for v in vars(coeffs).values())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            CostCoefficients(dense_flop=-1.0)
+
+
+class TestProductCost:
+    def test_positive_for_all_kernels(self, model):
+        for a in StorageKind:
+            for b in StorageKind:
+                for c in StorageKind:
+                    cost = model.product_cost(a, b, c, 64, 64, 64, 0.1, 0.1, 0.3)
+                    assert cost > 0
+
+    def test_sparse_cheaper_when_hypersparse(self, model):
+        args = (512, 512, 512, 1e-4, 1e-4, 1e-3)
+        sparse = model.product_cost(SP, SP, SP, *args)
+        dense = model.product_cost(DE, DE, DE, *args)
+        assert sparse < dense
+
+    def test_dense_cheaper_when_full(self, model):
+        args = (128, 128, 128, 0.9, 0.9, 1.0)
+        sparse = model.product_cost(SP, SP, SP, *args)
+        dense = model.product_cost(DE, DE, DE, *args)
+        assert dense < sparse
+
+    def test_dense_target_cheaper_for_dense_result(self, model):
+        """The read/write asymmetry: sparse writes are expensive."""
+        args = (128, 128, 128, 0.05, 0.05, 0.8)
+        to_sparse = model.product_cost(SP, SP, SP, *args)
+        to_dense = model.product_cost(SP, SP, DE, *args)
+        assert to_dense < to_sparse
+
+    def test_cost_monotone_in_density(self, model):
+        costs = [
+            model.product_cost(SP, SP, SP, 64, 64, 64, rho, 0.1, 0.2)
+            for rho in (0.01, 0.1, 0.5)
+        ]
+        assert costs == sorted(costs)
+
+
+class TestConversionCost:
+    def test_same_kind_free(self, model):
+        assert model.conversion_cost(SP, SP, 100, 100, 0.1) == 0.0
+        assert model.conversion_cost(DE, DE, 100, 100, 0.1) == 0.0
+
+    def test_conversions_positive(self, model):
+        assert model.conversion_cost(SP, DE, 100, 100, 0.1) > 0
+        assert model.conversion_cost(DE, SP, 100, 100, 0.1) > 0
+
+    def test_scales_with_size(self, model):
+        small = model.conversion_cost(SP, DE, 10, 10, 0.1)
+        large = model.conversion_cost(SP, DE, 1000, 1000, 0.1)
+        assert large > small
+
+
+class TestThresholds:
+    def test_defaults(self, model):
+        assert model.read_threshold == 0.25
+        assert model.write_threshold < model.read_threshold
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(read_threshold=0.0)
+        with pytest.raises(ConfigError):
+            CostModel(write_threshold=1.5)
+
+    def test_write_turnaround_below_read_turnaround(self, model):
+        """The paper: rho0_W 'has usually a much lower value' than rho0_R."""
+        write = model.solve_write_turnaround(128, 128, 128, 0.05, 0.05)
+        read = model.solve_read_turnaround(128, 128, 128, 0.05, 0.3)
+        assert write < read
+
+    def test_write_turnaround_in_unit_interval(self, model):
+        value = model.solve_write_turnaround(128, 128, 128, 0.02, 0.02)
+        assert 0.0 < value <= 1.0
+
+
+class TestCheapestKinds:
+    def test_respects_convertibility(self, model):
+        ka, kb, _ = model.cheapest_input_kinds(
+            SP, SP, DE, 64, 64, 64, 0.9, 0.9, 1.0,
+            convertible_a=False, convertible_b=False,
+        )
+        assert (ka, kb) == (SP, SP)
+
+    def test_prefers_dense_for_dense_data(self, model):
+        ka, kb, _ = model.cheapest_input_kinds(SP, SP, DE, 128, 128, 128, 0.95, 0.95, 1.0)
+        assert ka is DE and kb is DE
+
+    def test_prefers_sparse_for_hypersparse_data(self, model):
+        ka, kb, _ = model.cheapest_input_kinds(
+            DE, DE, SP, 1024, 1024, 1024, 1e-4, 1e-4, 1e-3
+        )
+        assert ka is SP and kb is SP
+
+    def test_cost_includes_conversion(self, model):
+        __, __, with_conv = model.cheapest_input_kinds(
+            SP, SP, DE, 64, 64, 64, 0.9, 0.9, 1.0
+        )
+        __, __, without = model.cheapest_input_kinds(
+            DE, DE, DE, 64, 64, 64, 0.9, 0.9, 1.0
+        )
+        assert with_conv >= without
+
+
+class TestCostModelProperties:
+    @given(
+        st.sampled_from(list(StorageKind)),
+        st.sampled_from(list(StorageKind)),
+        st.sampled_from(list(StorageKind)),
+        st.integers(1, 512),
+        st.integers(1, 512),
+        st.integers(1, 512),
+        st.floats(0.0, 1.0),
+        st.floats(0.0, 1.0),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cost_finite_nonnegative(self, a, b, c, m, k, n, ra, rb, rc):
+        model = CostModel()
+        cost = model.product_cost(a, b, c, m, k, n, ra, rb, rc)
+        assert cost >= 0.0
+        assert cost < float("inf")
+
+    @given(st.integers(1, 256), st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_cheapest_never_worse_than_status_quo(self, size, rho):
+        model = CostModel()
+        status_quo = model.product_cost(SP, SP, SP, size, size, size, rho, rho, rho)
+        __, __, best = model.cheapest_input_kinds(
+            SP, SP, SP, size, size, size, rho, rho, rho
+        )
+        assert best <= status_quo + 1e-15

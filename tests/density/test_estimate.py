@@ -1,0 +1,128 @@
+"""Tests for the probability-propagation density estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.density import DensityMap, estimate_product_density
+from repro.density.estimate import coarsen, estimate_scalar_density, estimated_result_nnz
+from repro.errors import ShapeError
+
+from ..conftest import random_sparse_array
+
+
+class TestScalarEstimator:
+    def test_zero_inputs(self):
+        assert estimate_scalar_density(0.0, 0.5, 100) == 0.0
+
+    def test_full_inputs(self):
+        assert estimate_scalar_density(1.0, 1.0, 5) == 1.0
+
+    def test_formula(self):
+        # 1 - (1 - 0.1 * 0.2) ** 10
+        expected = 1 - (1 - 0.02) ** 10
+        assert estimate_scalar_density(0.1, 0.2, 10) == pytest.approx(expected)
+
+    def test_monotone_in_density(self):
+        values = [estimate_scalar_density(rho, 0.3, 50) for rho in (0.01, 0.1, 0.5)]
+        assert values == sorted(values)
+
+    def test_monotone_in_inner_dim(self):
+        values = [estimate_scalar_density(0.1, 0.1, k) for k in (1, 10, 100)]
+        assert values == sorted(values)
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(ShapeError):
+            estimate_scalar_density(1.5, 0.5, 10)
+
+
+class TestMapEstimator:
+    def test_exact_for_deterministic_blocks(self):
+        """Density-1 operand blocks give density-1 result blocks."""
+        a = DensityMap.uniform(4, 4, 2, 1.0)
+        est = estimate_product_density(a, a)
+        np.testing.assert_allclose(est.grid, np.ones((2, 2)))
+
+    def test_zero_operand_gives_zero(self):
+        a = DensityMap.uniform(4, 4, 2, 0.0)
+        b = DensityMap.uniform(4, 4, 2, 0.7)
+        est = estimate_product_density(a, b)
+        np.testing.assert_allclose(est.grid, np.zeros((2, 2)))
+
+    def test_block_structure_propagates(self):
+        """A block-diagonal operand keeps the result block-diagonal."""
+        grid = np.array([[1.0, 0.0], [0.0, 1.0]])
+        a = DensityMap(4, 4, 2, grid)
+        est = estimate_product_density(a, a)
+        np.testing.assert_allclose(est.grid, grid)
+
+    def test_block_size_mismatch_rejected(self):
+        a = DensityMap.uniform(4, 4, 2, 0.5)
+        b = DensityMap.uniform(4, 4, 4, 0.5)
+        with pytest.raises(ShapeError):
+            estimate_product_density(a, b)
+
+    def test_inner_dim_mismatch_rejected(self):
+        a = DensityMap.uniform(4, 6, 2, 0.5)
+        b = DensityMap.uniform(4, 4, 2, 0.5)
+        with pytest.raises(ShapeError):
+            estimate_product_density(a, b)
+
+    def test_estimate_close_to_actual_for_uniform_random(self, rng):
+        a = random_sparse_array(rng, 64, 64, 0.05)
+        b = random_sparse_array(rng, 64, 64, 0.05)
+        map_a = DensityMap.from_dense(a, block=16)
+        map_b = DensityMap.from_dense(b, block=16)
+        estimated = estimated_result_nnz(map_a, map_b)
+        actual = np.count_nonzero(a @ b)
+        # Probability propagation should land within ~25% for uniform data.
+        assert abs(estimated - actual) / max(actual, 1) < 0.25
+
+    def test_rectangular_shapes(self):
+        a = DensityMap.uniform(6, 10, 4, 0.3)
+        b = DensityMap.uniform(10, 3, 4, 0.4)
+        est = estimate_product_density(a, b)
+        assert est.shape == (6, 3)
+        assert est.block == 4
+
+
+class TestCoarsen:
+    def test_factor_one_is_identity(self):
+        dm = DensityMap.uniform(8, 8, 2, 0.5)
+        assert coarsen(dm, 1) is dm
+
+    def test_preserves_total_nnz(self, rng):
+        array = random_sparse_array(rng, 24, 17, 0.3)
+        dm = DensityMap.from_dense(array, block=2)
+        coarse = coarsen(dm, 4)
+        assert coarse.block == 8
+        assert coarse.estimated_nnz() == pytest.approx(dm.estimated_nnz())
+
+    def test_invalid_factor(self):
+        with pytest.raises(ShapeError):
+            coarsen(DensityMap.uniform(4, 4, 2, 0.1), 0)
+
+
+class TestEstimatorProperties:
+    @given(
+        st.floats(0.0, 1.0),
+        st.floats(0.0, 1.0),
+        st.integers(1, 200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_bounds(self, rho_a, rho_b, k):
+        est = estimate_scalar_density(rho_a, rho_b, k)
+        assert 0.0 <= est <= 1.0
+        # Never below the single-trial probability, never above union bound.
+        assert est >= rho_a * rho_b - 1e-12 or k == 0
+        assert est <= min(1.0, k * rho_a * rho_b + 1e-12)
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=30, deadline=None)
+    def test_map_estimate_within_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        a = DensityMap(8, 8, 2, rng.random((4, 4)))
+        b = DensityMap(8, 8, 2, rng.random((4, 4)))
+        est = estimate_product_density(a, b)
+        assert est.grid.min() >= 0.0
+        assert est.grid.max() <= 1.0

@@ -1,0 +1,91 @@
+"""Tests for block-density maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.density import DensityMap
+from repro.errors import FormatError, ShapeError
+
+from ..conftest import random_sparse_array
+
+
+class TestConstruction:
+    def test_from_dense_counts_blocks(self):
+        array = np.zeros((4, 4))
+        array[:2, :2] = 1.0
+        dm = DensityMap.from_dense(array, block=2)
+        np.testing.assert_allclose(dm.grid, [[1.0, 0.0], [0.0, 0.0]])
+
+    def test_boundary_blocks_normalized_by_clipped_area(self):
+        array = np.ones((3, 5))  # blocks of 2: boundary blocks are partial
+        dm = DensityMap.from_dense(array, block=2)
+        # Full matrix of ones -> every block must report density 1.0.
+        np.testing.assert_allclose(dm.grid, np.ones((2, 3)))
+
+    def test_uniform(self):
+        dm = DensityMap.uniform(8, 8, 4, 0.5)
+        assert dm.grid_shape == (2, 2)
+        assert dm.overall_density() == pytest.approx(0.5)
+
+    def test_grid_shape_validated(self):
+        with pytest.raises(FormatError):
+            DensityMap(4, 4, 2, np.zeros((3, 2)))
+
+    def test_density_bounds_validated(self):
+        with pytest.raises(FormatError):
+            DensityMap(4, 4, 2, np.full((2, 2), 1.5))
+
+    def test_from_coordinates(self):
+        dm = DensityMap.from_coordinates(4, 4, np.array([0, 3]), np.array([0, 3]), 2)
+        assert dm.grid[0, 0] == 0.25
+        assert dm.grid[1, 1] == 0.25
+
+
+class TestStatistics:
+    def test_estimated_nnz_matches_actual(self, rng):
+        array = random_sparse_array(rng, 20, 30, 0.2)
+        dm = DensityMap.from_dense(array, block=7)
+        assert dm.estimated_nnz() == pytest.approx(np.count_nonzero(array))
+
+    def test_overall_density(self, rng):
+        array = random_sparse_array(rng, 16, 16, 0.3)
+        dm = DensityMap.from_dense(array, block=4)
+        assert dm.overall_density() == pytest.approx(np.count_nonzero(array) / 256)
+
+    def test_region_density(self):
+        array = np.zeros((8, 8))
+        array[:4, :4] = 1.0
+        dm = DensityMap.from_dense(array, block=2)
+        assert dm.region_density(0, 4, 0, 4) == pytest.approx(1.0)
+        assert dm.region_density(4, 8, 4, 8) == pytest.approx(0.0)
+        assert dm.region_density(0, 8, 0, 8) == pytest.approx(0.25)
+
+    def test_unaligned_region_measured_over_covering_blocks(self):
+        array = np.zeros((8, 8))
+        array[:2, :2] = 1.0
+        dm = DensityMap.from_dense(array, block=2)
+        # Region [1:4, 0:4) covers block rows 0-1: same as [0:4, 0:4).
+        assert dm.region_density(1, 4, 0, 4) == dm.region_density(0, 4, 0, 4)
+
+    def test_region_outside_rejected(self):
+        dm = DensityMap.uniform(8, 8, 2, 0.5)
+        with pytest.raises(ShapeError):
+            dm.region_density(0, 9, 0, 4)
+
+    def test_block_areas(self):
+        dm = DensityMap.uniform(5, 3, 2, 0.0)
+        areas = dm.block_areas()
+        assert areas[0, 0] == 4
+        assert areas[2, 1] == 1  # 1x1 corner block
+
+
+class TestProperties:
+    @given(st.integers(1, 30), st.integers(1, 30), st.integers(1, 8), st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_nnz_conservation(self, rows, cols, block, seed):
+        rng = np.random.default_rng(seed)
+        array = random_sparse_array(rng, rows, cols, 0.3)
+        dm = DensityMap.from_dense(array, block=block)
+        assert dm.estimated_nnz() == pytest.approx(np.count_nonzero(array))
+        assert 0.0 <= dm.grid.min() and dm.grid.max() <= 1.0

@@ -1,0 +1,64 @@
+"""Tests for the sampling-based result-size estimator."""
+
+import numpy as np
+import pytest
+
+from repro.density.sample import sample_product_size
+from repro.errors import ShapeError
+
+from ..conftest import as_csr, random_sparse_array
+
+
+class TestExactWhenFullySampled:
+    def test_result_nnz_exact(self, rng):
+        a = random_sparse_array(rng, 30, 30, 0.15)
+        b = random_sparse_array(rng, 30, 30, 0.15)
+        estimate = sample_product_size(as_csr(a), as_csr(b), sample_rows=30)
+        actual = np.count_nonzero(a @ b)
+        assert estimate.result_nnz == pytest.approx(actual)
+        assert estimate.sampled_rows == 30
+
+    def test_flops_exact(self, rng):
+        a = random_sparse_array(rng, 20, 25, 0.2)
+        b = random_sparse_array(rng, 25, 15, 0.2)
+        estimate = sample_product_size(as_csr(a), as_csr(b), sample_rows=20)
+        # flops = sum over nonzeros A[i,k] of nnz(B row k).
+        b_row_nnz = (b != 0).sum(axis=1)
+        expected_flops = sum(
+            int(b_row_nnz[np.nonzero(a[i])[0]].sum()) for i in range(20)
+        )
+        assert estimate.flops == pytest.approx(expected_flops)
+
+
+class TestSampling:
+    def test_partial_sample_close_on_uniform(self, rng):
+        a = random_sparse_array(rng, 200, 200, 0.05)
+        estimate = sample_product_size(
+            as_csr(a), as_csr(a), sample_rows=80, seed=1
+        )
+        actual = np.count_nonzero(a @ a)
+        assert abs(estimate.result_nnz - actual) / actual < 0.25
+
+    def test_deterministic_in_seed(self, rng):
+        a = as_csr(random_sparse_array(rng, 60, 60, 0.1))
+        first = sample_product_size(a, a, sample_rows=10, seed=3)
+        second = sample_product_size(a, a, sample_rows=10, seed=3)
+        assert first == second
+
+    def test_empty_matrix(self):
+        from repro.formats.csr import CSRMatrix
+
+        empty = CSRMatrix.empty(10, 10)
+        estimate = sample_product_size(empty, empty, sample_rows=5)
+        assert estimate.result_nnz == 0
+        assert estimate.flops == 0
+
+    def test_shape_mismatch(self, rng):
+        a = as_csr(random_sparse_array(rng, 5, 6, 0.5))
+        with pytest.raises(ShapeError):
+            sample_product_size(a, a)
+
+    def test_invalid_sample_size(self, rng):
+        a = as_csr(random_sparse_array(rng, 5, 5, 0.5))
+        with pytest.raises(ShapeError):
+            sample_product_size(a, a, sample_rows=0)

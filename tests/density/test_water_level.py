@@ -1,0 +1,109 @@
+"""Tests for the water-level memory-bounded threshold method."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SystemConfig
+from repro.density import DensityMap, water_level_threshold
+from repro.density.water_level import memory_at_threshold
+from repro.errors import MemoryLimitError
+
+
+CONFIG = SystemConfig(llc_bytes=8 * 1024, b_atomic=16)
+
+
+def make_map(densities: np.ndarray, block: int = 16) -> DensityMap:
+    rows = densities.shape[0] * block
+    cols = densities.shape[1] * block
+    return DensityMap(rows, cols, block, densities.astype(float))
+
+
+class TestUnlimited:
+    def test_no_limit_allows_all_dense(self):
+        dm = make_map(np.array([[0.1, 0.9], [0.5, 0.0]]))
+        result = water_level_threshold(dm, None, CONFIG)
+        assert result.threshold == 0.0
+        assert result.dense_blocks == 4
+        assert result.total_bytes == result.all_dense_bytes
+
+    def test_infinite_limit(self):
+        dm = make_map(np.array([[0.5]]))
+        result = water_level_threshold(dm, float("inf"), CONFIG)
+        assert result.threshold == 0.0
+
+
+class TestLimited:
+    def test_limit_below_all_sparse_raises(self):
+        dm = make_map(np.array([[0.5, 0.5]]))
+        with pytest.raises(MemoryLimitError):
+            water_level_threshold(dm, 10.0, CONFIG)
+
+    def test_tight_limit_forces_all_sparse(self):
+        dm = make_map(np.array([[0.1, 0.2]]))
+        all_sparse = memory_at_threshold(dm, 2.0, CONFIG)
+        result = water_level_threshold(dm, all_sparse, CONFIG)
+        assert result.dense_blocks == 0
+        assert result.total_bytes == pytest.approx(all_sparse)
+        # Threshold sits above every block density.
+        assert result.threshold > dm.grid.max()
+
+    def test_partial_limit_selects_densest_blocks(self):
+        dm = make_map(np.array([[0.05, 0.9], [0.4, 0.1]]))
+        area = 16 * 16
+        # Allow the two densest blocks dense, the rest sparse.
+        limit = (
+            2 * area * CONFIG.dense_element_bytes
+            + (0.05 + 0.1) * area * CONFIG.sparse_element_bytes
+        )
+        result = water_level_threshold(dm, limit, CONFIG)
+        assert result.dense_blocks == 2
+        assert result.threshold == pytest.approx(0.4)
+        assert result.total_bytes <= limit
+
+    def test_memory_at_threshold_consistent_with_result(self):
+        rng = np.random.default_rng(9)
+        dm = make_map(rng.random((6, 6)))
+        limit = 0.6 * memory_at_threshold(dm, 0.0, CONFIG)
+        try:
+            result = water_level_threshold(dm, limit, CONFIG)
+        except MemoryLimitError:
+            return
+        assert memory_at_threshold(dm, result.threshold, CONFIG) <= limit + 1e-6
+
+    def test_ties_handled(self):
+        dm = make_map(np.full((2, 2), 0.3))
+        area = 16 * 16
+        # Enough for sparse-all plus one dense block, but a threshold at
+        # 0.3 would make all four dense: the level must stay above 0.3.
+        limit = 4 * 0.3 * area * CONFIG.sparse_element_bytes + area * 2
+        result = water_level_threshold(dm, limit, CONFIG)
+        assert memory_at_threshold(dm, result.threshold, CONFIG) <= limit
+
+
+class TestWaterLevelProperties:
+    @given(st.integers(0, 500), st.floats(0.1, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_memory_bound_always_honored(self, seed, fraction):
+        rng = np.random.default_rng(seed)
+        dm = make_map(rng.random((4, 5)))
+        all_sparse = memory_at_threshold(dm, 2.0, CONFIG)
+        all_dense = memory_at_threshold(dm, 0.0, CONFIG)
+        limit = all_sparse + fraction * max(0.0, all_dense - all_sparse)
+        result = water_level_threshold(dm, limit, CONFIG)
+        assert result.total_bytes <= limit + 1e-9
+        assert memory_at_threshold(dm, result.threshold, CONFIG) <= limit + 1e-9
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_limit(self, seed):
+        """A looser limit never yields a higher (stricter) threshold."""
+        rng = np.random.default_rng(seed)
+        dm = make_map(rng.random((4, 4)))
+        all_sparse = memory_at_threshold(dm, 2.0, CONFIG)
+        all_dense = memory_at_threshold(dm, 0.0, CONFIG)
+        span = max(0.0, all_dense - all_sparse)
+        tight = water_level_threshold(dm, all_sparse + 0.2 * span, CONFIG)
+        loose = water_level_threshold(dm, all_sparse + 0.8 * span, CONFIG)
+        assert loose.threshold <= tight.threshold + 1e-12
+        assert loose.dense_blocks >= tight.dense_blocks

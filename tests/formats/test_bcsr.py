@@ -1,0 +1,85 @@
+"""Tests for the BCSR format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FormatError, ShapeError
+from repro.formats.bcsr import BCSRMatrix
+
+from ..conftest import as_csr, random_sparse_array
+
+
+class TestConversion:
+    @pytest.mark.parametrize("block", [(1, 1), (2, 2), (3, 3), (2, 4)])
+    def test_roundtrip(self, rng, block):
+        array = random_sparse_array(rng, 17, 23, 0.2)
+        bcsr = BCSRMatrix.from_csr(as_csr(array), *block)
+        np.testing.assert_allclose(bcsr.to_dense(), array)
+
+    def test_non_divisible_dimensions(self, rng):
+        array = random_sparse_array(rng, 10, 11, 0.3)
+        bcsr = BCSRMatrix.from_csr(as_csr(array), 3, 4)
+        np.testing.assert_allclose(bcsr.to_dense(), array)
+
+    def test_fill_ratio_measures_overhead(self):
+        array = np.zeros((6, 6))
+        array[0, 0] = 1.0  # one nnz -> one 3x3 block with 9 slots
+        bcsr = BCSRMatrix.from_csr(as_csr(array), 3, 3)
+        assert bcsr.num_blocks == 1
+        assert bcsr.fill_ratio == pytest.approx(9.0)
+
+    def test_dense_block_is_efficient(self, rng):
+        array = np.zeros((6, 6))
+        array[:3, :3] = rng.uniform(0.1, 1.0, (3, 3))
+        bcsr = BCSRMatrix.from_csr(as_csr(array), 3, 3)
+        assert bcsr.num_blocks == 1
+        assert bcsr.fill_ratio == pytest.approx(1.0)
+
+    def test_empty_matrix(self):
+        from repro.formats.csr import CSRMatrix
+
+        bcsr = BCSRMatrix.from_csr(CSRMatrix.empty(4, 4), 2, 2)
+        assert bcsr.num_blocks == 0
+        np.testing.assert_allclose(bcsr.to_dense(), np.zeros((4, 4)))
+
+
+class TestValidation:
+    def test_bad_indptr_length(self):
+        with pytest.raises(FormatError):
+            BCSRMatrix(4, 4, 2, 2, np.zeros(5), np.zeros(0), np.zeros((0, 2, 2)))
+
+    def test_bad_blocks_shape(self):
+        with pytest.raises(FormatError):
+            BCSRMatrix(
+                4, 4, 2, 2, np.array([0, 1, 1]), np.array([0]), np.zeros((1, 3, 3))
+            )
+
+    def test_block_index_out_of_grid(self):
+        with pytest.raises(FormatError):
+            BCSRMatrix(
+                4, 4, 2, 2, np.array([0, 1, 1]), np.array([9]), np.zeros((1, 2, 2))
+            )
+
+
+class TestSpmv:
+    def test_matches_numpy(self, rng):
+        array = random_sparse_array(rng, 20, 14, 0.25)
+        x = rng.random(14)
+        bcsr = BCSRMatrix.from_csr(as_csr(array), 3, 3)
+        np.testing.assert_allclose(bcsr.spmv(x), array @ x, atol=1e-12)
+
+    def test_vector_length_checked(self, rng):
+        bcsr = BCSRMatrix.from_csr(as_csr(random_sparse_array(rng, 6, 6, 0.4)), 2, 2)
+        with pytest.raises(ShapeError):
+            bcsr.spmv(np.ones(5))
+
+    @given(st.integers(0, 500), st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_spmv_property(self, seed, block_rows, block_cols):
+        rng = np.random.default_rng(seed)
+        rows, cols = (int(v) for v in rng.integers(1, 25, 2))
+        array = random_sparse_array(rng, rows, cols, 0.3)
+        x = rng.random(cols)
+        bcsr = BCSRMatrix.from_csr(as_csr(array), block_rows, block_cols)
+        np.testing.assert_allclose(bcsr.spmv(x), array @ x, atol=1e-12)

@@ -1,0 +1,69 @@
+"""Round-trip tests for representation conversions."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import COOMatrix
+from repro.formats.convert import (
+    coo_to_csr,
+    coo_to_dense,
+    csr_to_coo,
+    csr_to_dense,
+    dense_to_coo,
+    dense_to_csr,
+)
+
+from ..conftest import random_sparse_array
+
+
+class TestDirectConversions:
+    def setup_method(self):
+        rng = np.random.default_rng(11)
+        self.array = random_sparse_array(rng, 9, 14, 0.3)
+        self.coo = COOMatrix.from_dense(self.array)
+
+    def test_coo_to_csr(self):
+        np.testing.assert_allclose(coo_to_csr(self.coo).to_dense(), self.array)
+
+    def test_coo_to_dense(self):
+        np.testing.assert_allclose(coo_to_dense(self.coo).to_dense(), self.array)
+
+    def test_csr_to_coo(self):
+        csr = coo_to_csr(self.coo)
+        np.testing.assert_allclose(csr_to_coo(csr).to_dense(), self.array)
+
+    def test_csr_to_dense(self):
+        csr = coo_to_csr(self.coo)
+        np.testing.assert_allclose(csr_to_dense(csr).to_dense(), self.array)
+
+    def test_dense_to_csr(self):
+        dense = coo_to_dense(self.coo)
+        np.testing.assert_allclose(dense_to_csr(dense).to_dense(), self.array)
+
+    def test_dense_to_coo(self):
+        dense = coo_to_dense(self.coo)
+        np.testing.assert_allclose(dense_to_coo(dense).to_dense(), self.array)
+
+    def test_coo_duplicates_summed_on_conversion(self):
+        coo = COOMatrix(2, 2, [0, 0], [1, 1], [1.0, 2.0])
+        assert coo_to_csr(coo).to_dense()[0, 1] == 3.0
+        assert coo_to_dense(coo).array[0, 1] == 3.0
+
+
+class TestConversionCycles:
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_all_cycles_preserve_content(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        array = random_sparse_array(rng, rows, cols, 0.35)
+        coo = COOMatrix.from_dense(array)
+        csr = coo_to_csr(coo)
+        dense = coo_to_dense(coo)
+        for result in (
+            csr_to_coo(csr),
+            dense_to_coo(dense),
+            dense_to_csr(dense),
+            coo_to_csr(csr_to_coo(csr)),
+            csr_to_dense(dense_to_csr(dense)),
+        ):
+            np.testing.assert_allclose(result.to_dense(), array)

@@ -1,0 +1,138 @@
+"""Tests for the COO staging format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import COOMatrix
+from repro.errors import FormatError, ShapeError
+from repro.formats.coo import COO_TRIPLE_BYTES
+from repro.zorder.morton import morton_encode
+
+
+def small_dense_arrays():
+    return st.integers(1, 12).flatmap(
+        lambda rows: st.integers(1, 12).map(
+            lambda cols: np.random.default_rng(rows * 100 + cols)
+            .random((rows, cols))
+            .round(1)
+        )
+    )
+
+
+class TestConstruction:
+    def test_from_dense_extracts_nonzeros(self):
+        array = np.array([[1.0, 0.0], [0.0, 2.5]])
+        coo = COOMatrix.from_dense(array)
+        assert coo.nnz == 2
+        assert coo.shape == (2, 2)
+        np.testing.assert_allclose(coo.to_dense(), array)
+
+    def test_empty(self):
+        coo = COOMatrix.empty(3, 4)
+        assert coo.nnz == 0
+        assert coo.density == 0.0
+        assert coo.to_dense().shape == (3, 4)
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(FormatError):
+            COOMatrix(2, 2, [0, 1], [0], [1.0, 2.0])
+
+    def test_rejects_out_of_range_coordinates(self):
+        with pytest.raises(FormatError):
+            COOMatrix(2, 2, [2], [0], [1.0])
+
+    def test_rejects_negative_coordinates(self):
+        with pytest.raises(FormatError):
+            COOMatrix(2, 2, [-1], [0], [1.0])
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ShapeError):
+            COOMatrix(0, 2, [], [], [])
+
+    def test_owns_arrays(self):
+        rows = np.array([0])
+        coo = COOMatrix(2, 2, rows, [0], [1.0])
+        rows[0] = 1
+        assert coo.row_ids[0] == 0
+
+
+class TestDuplicates:
+    def test_sum_duplicates_merges(self):
+        coo = COOMatrix(2, 2, [0, 0, 1], [1, 1, 0], [1.0, 2.0, 5.0])
+        merged = coo.sum_duplicates()
+        assert merged.nnz == 2
+        assert merged.to_dense()[0, 1] == 3.0
+
+    def test_sum_duplicates_drops_cancellation(self):
+        coo = COOMatrix(2, 2, [0, 0], [0, 0], [1.5, -1.5])
+        assert coo.sum_duplicates().nnz == 0
+
+    def test_sum_duplicates_sorted_row_major(self):
+        coo = COOMatrix(3, 3, [2, 0, 1], [0, 2, 1], [1.0, 1.0, 1.0])
+        merged = coo.sum_duplicates()
+        keys = merged.row_ids * 3 + merged.col_ids
+        assert np.all(np.diff(keys) > 0)
+
+
+class TestTransforms:
+    def test_z_ordered_sorts_by_morton(self):
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 64, 200)
+        cols = rng.integers(0, 64, 200)
+        coo = COOMatrix(64, 64, rows, cols, rng.random(200))
+        z = coo.z_ordered()
+        codes = morton_encode(z.row_ids, z.col_ids).astype(np.int64)
+        assert np.all(np.diff(codes) >= 0)
+        np.testing.assert_allclose(z.to_dense(), coo.to_dense())
+
+    def test_transpose(self):
+        coo = COOMatrix(2, 3, [0, 1], [2, 0], [4.0, 5.0])
+        t = coo.transpose()
+        assert t.shape == (3, 2)
+        np.testing.assert_allclose(t.to_dense(), coo.to_dense().T)
+
+    def test_extract_window(self):
+        array = np.arange(12, dtype=float).reshape(3, 4)
+        coo = COOMatrix.from_dense(array)
+        window = coo.extract_window(1, 3, 1, 3)
+        np.testing.assert_allclose(window.to_dense(), array[1:3, 1:3])
+
+    def test_extract_window_out_of_bounds(self):
+        coo = COOMatrix.empty(3, 3)
+        with pytest.raises(ShapeError):
+            coo.extract_window(0, 4, 0, 2)
+
+
+class TestAccounting:
+    def test_memory_bytes_matches_triple_format(self):
+        coo = COOMatrix(4, 4, [0, 1], [1, 2], [1.0, 2.0])
+        assert coo.memory_bytes() == 2 * COO_TRIPLE_BYTES
+
+    def test_density(self):
+        coo = COOMatrix(4, 5, [0], [0], [1.0])
+        assert coo.density == pytest.approx(1 / 20)
+
+    def test_equality(self):
+        a = COOMatrix(2, 2, [0, 1], [0, 1], [1.0, 2.0])
+        b = COOMatrix(2, 2, [1, 0], [1, 0], [2.0, 1.0])
+        assert a == b
+        c = COOMatrix(2, 2, [0], [0], [1.0])
+        assert a != c
+
+
+class TestRoundTripProperties:
+    @given(
+        st.integers(1, 10),
+        st.integers(1, 10),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dense_roundtrip(self, rows, cols, data):
+        seed = data.draw(st.integers(0, 1000))
+        rng = np.random.default_rng(seed)
+        array = np.where(rng.random((rows, cols)) < 0.4, rng.random((rows, cols)), 0.0)
+        coo = COOMatrix.from_dense(array)
+        np.testing.assert_allclose(coo.to_dense(), array)
+        np.testing.assert_allclose(coo.z_ordered().to_dense(), array)
+        np.testing.assert_allclose(coo.transpose().transpose().to_dense(), array)

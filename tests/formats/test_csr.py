@@ -1,0 +1,160 @@
+"""Tests for the from-scratch CSR format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CSRMatrix, S_SPARSE
+from repro.errors import FormatError, ShapeError
+
+from ..conftest import random_sparse_array
+
+
+def build(array: np.ndarray) -> CSRMatrix:
+    rows, cols = np.nonzero(array)
+    return CSRMatrix.from_arrays_unsorted(
+        array.shape[0], array.shape[1], rows, cols, array[rows, cols]
+    )
+
+
+class TestConstruction:
+    def test_from_unsorted_arrays(self):
+        csr = CSRMatrix.from_arrays_unsorted(2, 3, [1, 0, 0], [2, 1, 0], [3.0, 2.0, 1.0])
+        expected = np.array([[1.0, 2.0, 0.0], [0.0, 0.0, 3.0]])
+        np.testing.assert_allclose(csr.to_dense(), expected)
+
+    def test_duplicates_summed(self):
+        csr = CSRMatrix.from_arrays_unsorted(1, 2, [0, 0], [1, 1], [2.0, 3.0])
+        assert csr.nnz == 1
+        assert csr.to_dense()[0, 1] == 5.0
+
+    def test_duplicates_kept_when_disabled_and_presorted(self):
+        # sum_duplicates=False still sorts; duplicate-free inputs survive.
+        csr = CSRMatrix.from_arrays_unsorted(
+            2, 2, [1, 0], [0, 1], [1.0, 2.0], sum_duplicates=False
+        )
+        assert csr.nnz == 2
+
+    def test_empty(self):
+        csr = CSRMatrix.empty(3, 4)
+        assert csr.nnz == 0
+        assert csr.row_nnz().tolist() == [0, 0, 0]
+
+    def test_validation_rejects_bad_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(2, 2, [0, 1], [0], [1.0])
+
+    def test_validation_rejects_decreasing_indptr(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(2, 2, [0, 1, 0], [0], [1.0])
+
+    def test_validation_rejects_column_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(1, 2, [0, 1], [2], [1.0])
+
+    def test_validation_rejects_unsorted_columns(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(1, 3, [0, 2], [2, 0], [1.0, 2.0])
+
+    def test_validation_rejects_duplicate_columns_in_row(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(1, 3, [0, 2], [1, 1], [1.0, 2.0])
+
+    def test_trailing_empty_rows_valid(self):
+        csr = CSRMatrix(3, 2, [0, 1, 1, 1], [0], [1.0])
+        assert csr.row_nnz().tolist() == [1, 0, 0]
+
+
+class TestAccess:
+    def test_row_slice(self):
+        array = np.array([[0.0, 1.0, 2.0], [3.0, 0.0, 0.0]])
+        csr = build(array)
+        cols, vals = csr.row_slice(0)
+        assert cols.tolist() == [1, 2]
+        assert vals.tolist() == [1.0, 2.0]
+
+    def test_sorted_keys_ascending(self):
+        rng = np.random.default_rng(1)
+        csr = build(random_sparse_array(rng, 20, 30, 0.2))
+        keys = csr.sorted_keys()
+        assert np.all(np.diff(keys) > 0)
+
+    def test_window_ranges_full_width(self):
+        array = np.array([[1.0, 0.0], [0.0, 2.0]])
+        csr = build(array)
+        lo, hi = csr.window_ranges(0, 2, 0, 2)
+        assert lo.tolist() == [0, 1]
+        assert hi.tolist() == [1, 2]
+
+    def test_window_mask_rebased(self):
+        array = np.zeros((4, 4))
+        array[2, 3] = 7.0
+        csr = build(array)
+        rows, cols, vals = csr.window_mask(2, 4, 2, 4)
+        assert rows.tolist() == [0]
+        assert cols.tolist() == [1]
+        assert vals.tolist() == [7.0]
+
+    def test_window_mask_out_of_bounds(self):
+        csr = CSRMatrix.empty(2, 2)
+        with pytest.raises(ShapeError):
+            csr.window_mask(0, 3, 0, 1)
+
+    def test_extract_window_matches_numpy(self):
+        rng = np.random.default_rng(7)
+        array = random_sparse_array(rng, 15, 11, 0.3)
+        csr = build(array)
+        sub = csr.extract_window(3, 12, 2, 9)
+        np.testing.assert_allclose(sub.to_dense(), array[3:12, 2:9])
+
+
+class TestAggregates:
+    def test_column_nnz(self, rng):
+        array = random_sparse_array(rng, 12, 9, 0.3)
+        csr = build(array)
+        np.testing.assert_array_equal(csr.column_nnz(), (array != 0).sum(axis=0))
+
+    def test_column_nnz_empty(self):
+        assert CSRMatrix.empty(3, 4).column_nnz().tolist() == [0, 0, 0, 0]
+
+    def test_diagonal(self, rng):
+        array = random_sparse_array(rng, 8, 11, 0.4)
+        csr = build(array)
+        np.testing.assert_allclose(csr.diagonal(), np.diag(array)[:8])
+
+    def test_diagonal_of_identity(self):
+        csr = build(np.eye(5))
+        np.testing.assert_allclose(csr.diagonal(), np.ones(5))
+
+
+class TestTransforms:
+    def test_transpose(self):
+        rng = np.random.default_rng(2)
+        array = random_sparse_array(rng, 8, 13, 0.25)
+        csr = build(array)
+        np.testing.assert_allclose(csr.transpose().to_dense(), array.T)
+
+    def test_scale(self):
+        csr = build(np.array([[2.0, 0.0], [0.0, 4.0]]))
+        np.testing.assert_allclose(csr.scale(0.5).to_dense(), [[1.0, 0.0], [0.0, 2.0]])
+
+    def test_memory_model(self):
+        csr = build(np.eye(5))
+        assert csr.memory_bytes() == 5 * S_SPARSE
+
+
+class TestProperties:
+    @given(st.integers(1, 16), st.integers(1, 16), st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_and_window(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        array = random_sparse_array(rng, rows, cols, 0.3)
+        csr = build(array)
+        np.testing.assert_allclose(csr.to_dense(), array)
+        r0 = seed % (rows + 1)
+        r1 = min(rows, r0 + 3)
+        c0 = seed % (cols + 1)
+        c1 = min(cols, c0 + 4)
+        if r0 <= r1 and c0 <= c1:
+            sub = csr.extract_window(r0, r1, c0, c1)
+            np.testing.assert_allclose(sub.to_dense()[: r1 - r0, : c1 - c0], array[r0:r1, c0:c1])

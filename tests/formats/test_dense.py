@@ -1,0 +1,74 @@
+"""Tests for the dense row-major format and its windows."""
+
+import numpy as np
+import pytest
+
+from repro import DenseMatrix, S_DENSE
+from repro.errors import FormatError, ShapeError
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = DenseMatrix(np.eye(3))
+        assert m.shape == (3, 3)
+        assert m.nnz == 3
+        assert m.density == pytest.approx(1 / 3)
+
+    def test_zeros(self):
+        m = DenseMatrix.zeros(2, 5)
+        assert m.nnz == 0
+        assert m.shape == (2, 5)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(FormatError):
+            DenseMatrix(np.ones(3))
+
+    def test_rejects_empty_dims(self):
+        with pytest.raises(ShapeError):
+            DenseMatrix.zeros(0, 3)
+
+    def test_copies_input_by_default(self):
+        source = np.ones((2, 2))
+        m = DenseMatrix(source)
+        source[0, 0] = 5.0
+        assert m.array[0, 0] == 1.0
+
+    def test_contiguity_enforced(self):
+        source = np.ones((4, 4))[:, ::2]  # non-contiguous view
+        m = DenseMatrix(source)
+        assert m.array.flags.c_contiguous
+
+
+class TestWindows:
+    def test_window_view_is_view(self):
+        m = DenseMatrix(np.zeros((4, 4)))
+        view = m.window_view(1, 3, 1, 3)
+        view[0, 0] = 9.0
+        assert m.array[1, 1] == 9.0
+
+    def test_window_view_bounds_checked(self):
+        m = DenseMatrix.zeros(3, 3)
+        with pytest.raises(ShapeError):
+            m.window_view(0, 4, 0, 3)
+
+    def test_extract_window_is_copy(self):
+        m = DenseMatrix(np.ones((3, 3)))
+        sub = m.extract_window(0, 2, 0, 2)
+        sub.array[0, 0] = 7.0
+        assert m.array[0, 0] == 1.0
+
+
+class TestAccounting:
+    def test_memory_model_counts_all_cells(self):
+        m = DenseMatrix.zeros(10, 20)
+        assert m.memory_bytes() == 10 * 20 * S_DENSE
+
+    def test_transpose(self):
+        array = np.arange(6, dtype=float).reshape(2, 3)
+        np.testing.assert_allclose(DenseMatrix(array).transpose().to_dense(), array.T)
+
+    def test_to_dense_returns_copy(self):
+        m = DenseMatrix(np.ones((2, 2)))
+        out = m.to_dense()
+        out[0, 0] = 3.0
+        assert m.array[0, 0] == 1.0

@@ -1,0 +1,83 @@
+"""Tests for the ELLPACK format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FormatError, ShapeError
+from repro.formats.ell import ELLMatrix, PAD
+
+from ..conftest import as_csr, random_sparse_array
+
+
+class TestConversion:
+    def test_roundtrip(self, rng):
+        array = random_sparse_array(rng, 15, 22, 0.25)
+        ell = ELLMatrix.from_csr(as_csr(array))
+        np.testing.assert_allclose(ell.to_dense(), array)
+        np.testing.assert_allclose(ell.to_csr().to_dense(), array)
+
+    def test_width_is_max_row_nnz(self, rng):
+        array = np.zeros((4, 10))
+        array[0, :7] = 1.0
+        array[2, 0] = 1.0
+        ell = ELLMatrix.from_csr(as_csr(array))
+        assert ell.width == 7
+        assert ell.nnz == 8
+
+    def test_empty_matrix(self):
+        from repro.formats.csr import CSRMatrix
+
+        ell = ELLMatrix.from_csr(CSRMatrix.empty(3, 4))
+        assert ell.width == 0
+        assert ell.nnz == 0
+        np.testing.assert_allclose(ell.to_dense(), np.zeros((3, 4)))
+
+    def test_padding_fraction(self):
+        array = np.zeros((2, 4))
+        array[0, :4] = 1.0  # row 0 full, row 1 empty: 50% padding
+        ell = ELLMatrix.from_csr(as_csr(array))
+        assert ell.padding_fraction == pytest.approx(0.5)
+
+    def test_memory_includes_padding(self, rng):
+        array = np.zeros((4, 8))
+        array[0, :8] = 1.0
+        ell = ELLMatrix.from_csr(as_csr(array))
+        assert ell.memory_bytes() == 4 * 8 * 16  # all padded slots counted
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(FormatError):
+            ELLMatrix(2, 2, np.full((2, 1), PAD), np.zeros((2, 2)))
+
+    def test_column_out_of_range(self):
+        with pytest.raises(FormatError):
+            ELLMatrix(2, 2, np.array([[5], [PAD]]), np.array([[1.0], [0.0]]))
+
+    def test_padding_must_be_zero_valued(self):
+        with pytest.raises(FormatError):
+            ELLMatrix(2, 2, np.array([[PAD], [PAD]]), np.array([[1.0], [0.0]]))
+
+
+class TestSpmv:
+    def test_matches_numpy(self, rng):
+        array = random_sparse_array(rng, 20, 15, 0.3)
+        x = rng.random(15)
+        ell = ELLMatrix.from_csr(as_csr(array))
+        np.testing.assert_allclose(ell.spmv(x), array @ x, atol=1e-12)
+
+    def test_vector_length_checked(self, rng):
+        ell = ELLMatrix.from_csr(as_csr(random_sparse_array(rng, 5, 5, 0.4)))
+        with pytest.raises(ShapeError):
+            ell.spmv(np.ones(4))
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_spmv_property(self, seed):
+        rng = np.random.default_rng(seed)
+        rows, cols = (int(v) for v in rng.integers(1, 30, 2))
+        array = random_sparse_array(rng, rows, cols, 0.3)
+        x = rng.random(cols)
+        ell = ELLMatrix.from_csr(as_csr(array))
+        np.testing.assert_allclose(ell.spmv(x), array @ x, atol=1e-12)

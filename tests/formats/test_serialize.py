@@ -1,0 +1,98 @@
+"""Tests for AT Matrix persistence."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import COOMatrix, atmult, build_at_matrix, load_at_matrix, save_at_matrix
+from repro.errors import ParseError
+from repro.kinds import StorageKind
+
+from ..conftest import heterogeneous_array
+
+
+@pytest.fixture
+def matrix(rng, small_config):
+    array = heterogeneous_array(rng, 96, 80)
+    return build_at_matrix(COOMatrix.from_dense(array), small_config), array
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, matrix, tmp_path):
+        at, array = matrix
+        path = tmp_path / "matrix.npz"
+        save_at_matrix(at, path)
+        loaded = load_at_matrix(path)
+        np.testing.assert_allclose(loaded.to_dense(), array)
+
+    def test_buffer_roundtrip(self, matrix):
+        at, array = matrix
+        buffer = io.BytesIO()
+        save_at_matrix(at, buffer)
+        buffer.seek(0)
+        loaded = load_at_matrix(buffer)
+        np.testing.assert_allclose(loaded.to_dense(), array)
+
+    def test_tiling_preserved_exactly(self, matrix, tmp_path):
+        at, _ = matrix
+        path = tmp_path / "matrix.npz"
+        save_at_matrix(at, path)
+        loaded = load_at_matrix(path)
+        assert len(loaded.tiles) == len(at.tiles)
+        for original, restored in zip(at.tiles, loaded.tiles):
+            assert restored.extent == original.extent
+            assert restored.kind is original.kind
+            assert restored.numa_node == original.numa_node
+
+    def test_config_preserved(self, matrix, tmp_path):
+        at, _ = matrix
+        path = tmp_path / "matrix.npz"
+        save_at_matrix(at, path)
+        loaded = load_at_matrix(path)
+        assert loaded.config == at.config
+
+    def test_loaded_matrix_multiplies(self, matrix, tmp_path, small_config):
+        at, array = matrix
+        path = tmp_path / "matrix.npz"
+        save_at_matrix(at, path)
+        loaded = load_at_matrix(path)
+        result, _ = atmult(loaded, loaded.transpose(), config=small_config)
+        np.testing.assert_allclose(result.to_dense(), array @ array.T, atol=1e-9)
+
+    def test_empty_matrix(self, small_config, tmp_path):
+        at = build_at_matrix(COOMatrix.empty(32, 32), small_config)
+        path = tmp_path / "empty.npz"
+        save_at_matrix(at, path)
+        loaded = load_at_matrix(path)
+        assert loaded.num_tiles() == 0
+        assert loaded.shape == (32, 32)
+
+    def test_mixed_kinds_preserved(self, matrix, tmp_path):
+        at, _ = matrix
+        assert at.num_tiles(StorageKind.DENSE) > 0  # precondition
+        assert at.num_tiles(StorageKind.SPARSE) > 0
+        path = tmp_path / "matrix.npz"
+        save_at_matrix(at, path)
+        loaded = load_at_matrix(path)
+        assert loaded.num_tiles(StorageKind.DENSE) == at.num_tiles(StorageKind.DENSE)
+
+
+class TestErrors:
+    def test_foreign_archive_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ParseError):
+            load_at_matrix(path)
+
+    def test_future_version_rejected(self, matrix, tmp_path):
+        at, _ = matrix
+        path = tmp_path / "matrix.npz"
+        save_at_matrix(at, path)
+        with np.load(path) as archive:
+            arrays = dict(archive)
+        arrays["meta"] = arrays["meta"].copy()
+        arrays["meta"][0] = 999
+        np.savez(path, **arrays)
+        with pytest.raises(ParseError):
+            load_at_matrix(path)

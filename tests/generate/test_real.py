@@ -1,0 +1,59 @@
+"""Tests for the real SuiteSparse matrix loader."""
+
+import numpy as np
+import pytest
+
+from repro import COOMatrix
+from repro.formats.matrix_market import write_matrix_market
+from repro.generate.real import (
+    MATRIX_DIR_ENV,
+    RealMatrixUnavailable,
+    SUITESPARSE_NAMES,
+    available_real_matrices,
+    load_real_matrix,
+    real_matrix_path,
+)
+
+
+class TestPaths:
+    def test_known_keys(self):
+        assert SUITESPARSE_NAMES["R3"] == "TSOPF_RS_b2383"
+        assert set(SUITESPARSE_NAMES) == {"R2", "R3", "R4", "R7", "R8", "R9"}
+
+    def test_unknown_key(self, tmp_path):
+        with pytest.raises(KeyError):
+            real_matrix_path("R1", tmp_path)  # Hamiltonians are proprietary
+
+    def test_no_directory_configured(self, monkeypatch):
+        monkeypatch.delenv(MATRIX_DIR_ENV, raising=False)
+        with pytest.raises(RealMatrixUnavailable):
+            real_matrix_path("R3")
+
+    def test_env_variable_used(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(MATRIX_DIR_ENV, str(tmp_path))
+        assert real_matrix_path("R3") == tmp_path / "TSOPF_RS_b2383.mtx"
+
+
+class TestLoading:
+    def test_missing_file_raises_with_hint(self, tmp_path):
+        with pytest.raises(RealMatrixUnavailable, match="sparse.tamu.edu"):
+            load_real_matrix("R3", tmp_path)
+
+    def test_loads_present_file(self, tmp_path, rng):
+        array = np.where(rng.random((6, 6)) < 0.4, rng.random((6, 6)), 0.0)
+        write_matrix_market(
+            COOMatrix.from_dense(array), tmp_path / "TSOPF_RS_b2383.mtx"
+        )
+        loaded = load_real_matrix("R3", tmp_path)
+        np.testing.assert_allclose(loaded.to_dense(), array)
+
+    def test_available_listing(self, tmp_path):
+        assert available_real_matrices(tmp_path) == []
+        (tmp_path / "msdoor.mtx").write_text(
+            "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0\n"
+        )
+        assert available_real_matrices(tmp_path) == ["R9"]
+
+    def test_available_without_directory(self, monkeypatch):
+        monkeypatch.delenv(MATRIX_DIR_ENV, raising=False)
+        assert available_real_matrices() == []

@@ -1,0 +1,94 @@
+"""Tests for the RMAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.generate import rmat_matrix
+from repro.generate.rmat import PAPER_RMAT_PARAMETERS
+
+
+class TestBasicGeneration:
+    def test_exact_nnz(self):
+        m = rmat_matrix(256, 1000, 0.25, 0.25, 0.25, 0.25, seed=1)
+        assert m.nnz == 1000
+        assert m.shape == (256, 256)
+
+    def test_no_duplicates(self):
+        m = rmat_matrix(128, 2000, 0.3, 0.3, 0.2, 0.2, seed=2)
+        keys = m.row_ids * m.cols + m.col_ids
+        assert len(np.unique(keys)) == m.nnz
+
+    def test_deterministic_in_seed(self):
+        a = rmat_matrix(128, 500, 0.4, 0.2, 0.2, 0.2, seed=7)
+        b = rmat_matrix(128, 500, 0.4, 0.2, 0.2, 0.2, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = rmat_matrix(128, 500, 0.4, 0.2, 0.2, 0.2, seed=7)
+        b = rmat_matrix(128, 500, 0.4, 0.2, 0.2, 0.2, seed=8)
+        assert a != b
+
+    def test_ones_values(self):
+        m = rmat_matrix(64, 100, 0.25, 0.25, 0.25, 0.25, seed=0, values="ones")
+        assert (m.values == 1.0).all()
+
+    def test_non_power_of_two_dimension(self):
+        m = rmat_matrix(100, 500, 0.25, 0.25, 0.25, 0.25, seed=3)
+        assert m.row_ids.max() < 100
+        assert m.col_ids.max() < 100
+
+
+class TestSkew:
+    def test_skew_concentrates_upper_left(self):
+        uniform = rmat_matrix(256, 3000, 0.25, 0.25, 0.25, 0.25, seed=5)
+        skewed = rmat_matrix(256, 3000, 0.7, 0.1, 0.1, 0.1, seed=5)
+
+        def upper_left_fraction(m):
+            mask = (m.row_ids < 128) & (m.col_ids < 128)
+            return mask.sum() / m.nnz
+
+        assert upper_left_fraction(skewed) > upper_left_fraction(uniform) + 0.2
+
+    def test_strict_raises_on_saturation(self):
+        with pytest.raises(ConfigError):
+            rmat_matrix(64, 4000, 0.9, 0.04, 0.03, 0.03, seed=1, max_rounds=2)
+
+    def test_non_strict_returns_partial(self):
+        m = rmat_matrix(64, 4000, 0.9, 0.04, 0.03, 0.03, seed=1, max_rounds=2, strict=False)
+        assert 0 < m.nnz <= 4000
+
+
+class TestValidation:
+    def test_bad_probabilities(self):
+        with pytest.raises(ConfigError):
+            rmat_matrix(64, 10, 0.5, 0.5, 0.5, 0.5)
+
+    def test_negative_probability(self):
+        with pytest.raises(ConfigError):
+            rmat_matrix(64, 10, -0.1, 0.5, 0.3, 0.3)
+
+    def test_bad_dimension(self):
+        with pytest.raises(ConfigError):
+            rmat_matrix(0, 10, 0.25, 0.25, 0.25, 0.25)
+
+    def test_nnz_too_large(self):
+        with pytest.raises(ConfigError):
+            rmat_matrix(4, 17, 0.25, 0.25, 0.25, 0.25)
+
+    def test_bad_values_mode(self):
+        with pytest.raises(ConfigError):
+            rmat_matrix(4, 2, 0.25, 0.25, 0.25, 0.25, values="gaussian")
+
+
+class TestPaperParameters:
+    def test_series_complete(self):
+        assert set(PAPER_RMAT_PARAMETERS) == {f"G{i}" for i in range(1, 10)}
+
+    def test_parameters_sum_to_one(self):
+        for params in PAPER_RMAT_PARAMETERS.values():
+            assert sum(params) == pytest.approx(1.0)
+
+    def test_skew_increases_monotonically(self):
+        a_values = [PAPER_RMAT_PARAMETERS[f"G{i}"][0] for i in range(1, 10)]
+        assert a_values == sorted(a_values)

@@ -1,0 +1,57 @@
+"""Tests for the scaled Table-I suite."""
+
+import pytest
+
+from repro.generate import SUITE, load_matrix, suite_keys
+from repro.generate.suite import table1_row
+
+
+class TestSuiteRegistry:
+    def test_all_18_matrices_present(self):
+        assert len(SUITE) == 18
+        assert set(suite_keys()) == set(SUITE)
+
+    def test_key_ordering(self):
+        keys = suite_keys()
+        assert keys[:9] == [f"R{i}" for i in range(1, 10)]
+        assert keys[9:] == [f"G{i}" for i in range(1, 10)]
+
+    def test_family_filters(self):
+        assert suite_keys(generated=False) == [f"R{i}" for i in range(1, 10)]
+        assert suite_keys(real=False) == [f"G{i}" for i in range(1, 10)]
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            load_matrix("R99")
+
+
+class TestSuiteMatrices:
+    # Small/fast representatives of each topology family.
+    @pytest.mark.parametrize("key", ["R1", "R3", "R7", "G1", "G9"])
+    def test_loadable_and_deterministic(self, key):
+        first = load_matrix(key)
+        second = load_matrix(key)
+        assert first == second
+        assert first.rows == SUITE[key].n
+
+    def test_r1_is_densest_real_matrix(self):
+        r1 = load_matrix("R1")
+        r7 = load_matrix("R7")
+        assert r1.density > 10 * r7.density
+
+    def test_hypersparse_family(self):
+        for key in ("R7", "R8", "R9"):
+            matrix = load_matrix(key)
+            assert matrix.density < 0.005, key
+
+    def test_table1_row_contents(self):
+        matrix = load_matrix("R3")
+        row = table1_row("R3", matrix)
+        assert row["key"] == "R3"
+        assert row["nnz"] == matrix.sum_duplicates().nnz
+        assert row["binary_size_bytes"] == row["nnz"] * 16
+        assert "Power Network" in row["domain"]
+
+    def test_g_series_shares_dims(self):
+        dims = {SUITE[f"G{i}"].n for i in range(1, 10)}
+        assert len(dims) == 1

@@ -1,0 +1,114 @@
+"""Tests for the real-world-like topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.generate import (
+    banded_matrix,
+    block_diagonal_matrix,
+    clustered_matrix,
+    power_network_matrix,
+    uniform_random_matrix,
+)
+
+
+class TestUniform:
+    def test_nnz_close_to_target(self):
+        m = uniform_random_matrix(128, 2000, seed=1)
+        assert m.nnz == 2000
+
+    def test_deterministic(self):
+        assert uniform_random_matrix(64, 300, seed=2) == uniform_random_matrix(
+            64, 300, seed=2
+        )
+
+    def test_zero_nnz(self):
+        assert uniform_random_matrix(16, 0, seed=0).nnz == 0
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ConfigError):
+            uniform_random_matrix(0, 10)
+
+
+class TestBlockDiagonal:
+    def test_diagonal_blocks_are_dense(self):
+        m = block_diagonal_matrix(
+            128, num_blocks=4, block_fill=0.9, background_density=0.0, seed=3
+        )
+        dense = m.to_dense()
+        # The first (largest) block must be nearly full.
+        first = dense[:32, :32]
+        assert (first != 0).mean() > 0.5
+
+    def test_background_adds_offdiagonal(self):
+        with_bg = block_diagonal_matrix(128, background_density=0.01, seed=3)
+        without = block_diagonal_matrix(128, background_density=0.0, seed=3)
+        assert with_bg.nnz > without.nnz
+
+    def test_block_sizes_cover_dimension(self):
+        m = block_diagonal_matrix(100, num_blocks=5, seed=1)
+        assert m.row_ids.max() < 100
+
+    def test_invalid_num_blocks(self):
+        with pytest.raises(ConfigError):
+            block_diagonal_matrix(64, num_blocks=0)
+
+
+class TestPowerNetwork:
+    def test_repeated_blocks_on_diagonal(self):
+        m = power_network_matrix(
+            256, block_size=32, num_blocks=4, background_density=0.0, seed=4
+        )
+        dense = m.to_dense()
+        for i in range(4):
+            block = dense[i * 32 : (i + 1) * 32, i * 32 : (i + 1) * 32]
+            assert (block != 0).mean() > 0.5
+        # Off-diagonal stays empty without background.
+        assert dense[128:, :128].sum() == 0
+
+    def test_block_size_validated(self):
+        with pytest.raises(ConfigError):
+            power_network_matrix(64, block_size=128)
+
+
+class TestClustered:
+    def test_target_nnz_respected_approximately(self):
+        m = clustered_matrix(256, 5000, seed=5)
+        assert abs(m.nnz - 5000) / 5000 < 0.15  # dedup may lose a few
+
+    def test_clusters_create_local_density(self):
+        m = clustered_matrix(
+            256, 6000, num_clusters=2, cluster_fraction=0.9, cluster_span=0.1, seed=6
+        )
+        dense = (m.to_dense() != 0).astype(float)
+        overall = dense.mean()
+        # Find the densest 26x26 window via a crude block scan.
+        best = max(
+            dense[i : i + 26, j : j + 26].mean()
+            for i in range(0, 230, 26)
+            for j in range(0, 230, 26)
+        )
+        assert best > 5 * overall
+
+    def test_cluster_fraction_validated(self):
+        with pytest.raises(ConfigError):
+            clustered_matrix(64, 100, cluster_fraction=1.5)
+
+
+class TestBanded:
+    def test_all_entries_within_band(self):
+        m = banded_matrix(200, 2000, bandwidth=5, seed=7)
+        assert (np.abs(m.row_ids - m.col_ids) <= 5).all()
+
+    def test_nnz_close_to_target(self):
+        m = banded_matrix(500, 4000, bandwidth=20, seed=8)
+        assert m.nnz == 4000
+
+    def test_bandwidth_validated(self):
+        with pytest.raises(ConfigError):
+            banded_matrix(64, 100, bandwidth=0)
+
+    def test_default_bandwidth_scales_with_n(self):
+        m = banded_matrix(640, 1000, seed=9)
+        assert (np.abs(m.row_ids - m.col_ids) <= 640 // 64).all()

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are part of the public deliverable; each embeds its own
+correctness assertions (oracle comparisons), so a clean exit is a real
+end-to-end check, not just an import test.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_complete():
+    """Guard: the documented example set exists."""
+    expected = {
+        "quickstart.py",
+        "partitioning_walkthrough.py",
+        "text_mining_similarity.py",
+        "gene_clustering.py",
+        "graph_msbfs.py",
+        "iterative_solvers.py",
+        "memory_budget.py",
+    }
+    assert expected <= set(ALL_EXAMPLES)
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,105 @@
+"""Tests for the 8 whole-matrix baseline gemm operators (scipy oracle)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+import repro.kernels.gemm as gemm
+from repro.errors import ShapeError
+from repro.kinds import StorageKind, kernel_name
+
+from ..conftest import as_csr, as_dense, random_sparse_array
+
+ALL_GEMMS = [
+    ("spspsp_gemm", "csr", "csr"),
+    ("spspd_gemm", "csr", "csr"),
+    ("spdsp_gemm", "csr", "dense"),
+    ("spdd_gemm", "csr", "dense"),
+    ("dspsp_gemm", "dense", "csr"),
+    ("dspd_gemm", "dense", "csr"),
+    ("ddsp_gemm", "dense", "dense"),
+    ("ddd_gemm", "dense", "dense"),
+]
+
+
+def wrap(array, how):
+    return as_csr(array) if how == "csr" else as_dense(array)
+
+
+class TestAllKernelsAgainstScipy:
+    @pytest.mark.parametrize("name,a_kind,b_kind", ALL_GEMMS)
+    def test_matches_scipy(self, name, a_kind, b_kind, rng):
+        a = random_sparse_array(rng, 31, 27, 0.2)
+        b = random_sparse_array(rng, 27, 19, 0.25)
+        expected = (sp.csr_matrix(a) @ sp.csr_matrix(b)).toarray()
+        got = gemm.by_name(name)(wrap(a, a_kind), wrap(b, b_kind))
+        np.testing.assert_allclose(got.to_dense(), expected, atol=1e-12)
+
+    @pytest.mark.parametrize("name,a_kind,b_kind", ALL_GEMMS)
+    def test_empty_operands(self, name, a_kind, b_kind):
+        a = np.zeros((5, 4))
+        b = np.zeros((4, 6))
+        got = gemm.by_name(name)(wrap(a, a_kind), wrap(b, b_kind))
+        assert got.shape == (5, 6)
+        assert got.nnz == 0
+
+    def test_inner_dimension_checked(self, rng):
+        a = random_sparse_array(rng, 4, 5, 0.5)
+        b = random_sparse_array(rng, 6, 3, 0.5)
+        with pytest.raises(ShapeError):
+            gemm.spspsp_gemm(as_csr(a), as_csr(b))
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            gemm.by_name("nope_gemm")
+
+    def test_generic_gemm_dispatch(self, rng):
+        a = random_sparse_array(rng, 6, 6, 0.4)
+        got = gemm.multiply_plain(as_csr(a), as_dense(a), StorageKind.DENSE)
+        np.testing.assert_allclose(got.to_dense(), a @ a, atol=1e-12)
+
+
+class TestOutputRepresentations:
+    def test_sparse_output_is_csr(self, rng):
+        a = random_sparse_array(rng, 8, 8, 0.3)
+        out = gemm.spspsp_gemm(as_csr(a), as_csr(a))
+        assert out.memory_bytes() == out.nnz * 16
+
+    def test_dense_output_is_array(self, rng):
+        a = random_sparse_array(rng, 8, 8, 0.3)
+        out = gemm.spspd_gemm(as_csr(a), as_csr(a))
+        assert out.memory_bytes() == 8 * 8 * 8
+
+    def test_kernel_name_convention(self):
+        assert kernel_name(StorageKind.SPARSE, StorageKind.SPARSE, StorageKind.DENSE) == "spspd_gemm"
+        assert kernel_name(StorageKind.DENSE, StorageKind.DENSE, StorageKind.SPARSE) == "ddsp_gemm"
+
+
+class TestGemmProperties:
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_all_kernels_agree(self, seed):
+        """All 8 kernels are different evaluations of the same product."""
+        rng = np.random.default_rng(seed)
+        m, k, n = rng.integers(1, 20, 3)
+        a = random_sparse_array(rng, m, k, 0.3)
+        b = random_sparse_array(rng, k, n, 0.3)
+        reference = gemm.ddd_gemm(as_dense(a), as_dense(b)).to_dense()
+        for name, a_kind, b_kind in ALL_GEMMS:
+            got = gemm.by_name(name)(wrap(a, a_kind), wrap(b, b_kind))
+            np.testing.assert_allclose(got.to_dense(), reference, atol=1e-12)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_identity_multiplication(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 15))
+        a = random_sparse_array(rng, n, n, 0.4)
+        identity = np.eye(n)
+        np.testing.assert_allclose(
+            gemm.spspsp_gemm(as_csr(a), as_csr(identity)).to_dense(), a
+        )
+        np.testing.assert_allclose(
+            gemm.spspsp_gemm(as_csr(identity), as_csr(a)).to_dense(), a
+        )

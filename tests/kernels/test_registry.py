@@ -1,0 +1,94 @@
+"""Tests for the kernel registry and dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.kernels import (
+    Window,
+    available_kernels,
+    get_kernel,
+    kind_of,
+    make_accumulator,
+    register_kernel,
+    run_tile_product,
+)
+from repro.kernels.registry import _install_builtins
+from repro.kinds import StorageKind
+
+from ..conftest import as_csr, as_dense, random_sparse_array
+
+
+class TestKindOf:
+    def test_kinds(self, rng):
+        a = random_sparse_array(rng, 3, 3, 0.5)
+        assert kind_of(as_csr(a)) is StorageKind.SPARSE
+        assert kind_of(as_dense(a)) is StorageKind.DENSE
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            kind_of(np.zeros((2, 2)))
+
+
+class TestRegistry:
+    def test_all_eight_registered(self):
+        names = available_kernels()
+        assert len(names) == 8
+        assert "spspsp_gemm" in names and "ddd_gemm" in names
+
+    def test_replace_and_restore(self, rng):
+        calls = []
+
+        def spy(a, wa, b, wb, out, row0, col0):
+            calls.append((row0, col0))
+
+        register_kernel(StorageKind.SPARSE, StorageKind.SPARSE, StorageKind.SPARSE, spy)
+        try:
+            a = as_csr(random_sparse_array(rng, 4, 4, 0.5))
+            out = make_accumulator(StorageKind.SPARSE, 4, 4)
+            run_tile_product(a, Window.full((4, 4)), a, Window.full((4, 4)), out)
+            assert calls == [(0, 0)]
+        finally:
+            _install_builtins()
+
+    def test_get_kernel_returns_callable(self):
+        kernel = get_kernel(StorageKind.DENSE, StorageKind.DENSE, StorageKind.DENSE)
+        assert callable(kernel)
+
+
+class TestRunTileProduct:
+    def test_accumulates_at_offset(self, rng):
+        a = random_sparse_array(rng, 4, 4, 0.6)
+        out = make_accumulator(StorageKind.DENSE, 8, 8)
+        run_tile_product(
+            as_csr(a), Window.full((4, 4)), as_csr(a), Window.full((4, 4)), out, 4, 4
+        )
+        result = out.finalize().to_dense()
+        np.testing.assert_allclose(result[4:, 4:], a @ a, atol=1e-12)
+        assert (result[:4, :4] == 0).all()
+
+    def test_mismatched_inner_rejected(self, rng):
+        a = as_csr(random_sparse_array(rng, 4, 4, 0.5))
+        out = make_accumulator(StorageKind.SPARSE, 4, 4)
+        with pytest.raises(ShapeError):
+            run_tile_product(a, Window(0, 4, 0, 3), a, Window(0, 2, 0, 4), out)
+
+    def test_empty_window_is_noop(self, rng):
+        a = as_csr(random_sparse_array(rng, 4, 4, 0.5))
+        out = make_accumulator(StorageKind.SPARSE, 4, 4)
+        run_tile_product(a, Window(0, 0, 0, 0), a, Window(0, 0, 0, 4), out)
+        assert out.finalize().nnz == 0
+
+    def test_mixed_kind_dispatch(self, rng):
+        a = random_sparse_array(rng, 5, 6, 0.4)
+        b = random_sparse_array(rng, 6, 4, 0.4)
+        for a_op in (as_csr(a), as_dense(a)):
+            for b_op in (as_csr(b), as_dense(b)):
+                for c_kind in StorageKind:
+                    out = make_accumulator(c_kind, 5, 4)
+                    run_tile_product(
+                        a_op, Window.full((5, 6)), b_op, Window.full((6, 4)), out
+                    )
+                    np.testing.assert_allclose(
+                        out.finalize().to_dense(), a @ b, atol=1e-12
+                    )

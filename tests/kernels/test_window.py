@@ -1,0 +1,51 @@
+"""Tests for reference windows."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.kernels import Window
+
+
+class TestWindow:
+    def test_geometry(self):
+        w = Window(1, 4, 2, 7)
+        assert w.rows == 3
+        assert w.cols == 5
+        assert w.area == 15
+        assert not w.is_empty()
+
+    def test_empty_window(self):
+        assert Window(2, 2, 0, 5).is_empty()
+        assert Window(0, 5, 3, 3).is_empty()
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ShapeError):
+            Window(3, 1, 0, 0)
+        with pytest.raises(ShapeError):
+            Window(-1, 1, 0, 0)
+
+    def test_full(self):
+        w = Window.full((4, 6))
+        assert w.covers((4, 6))
+        assert not w.covers((4, 7))
+
+    def test_validate_within(self):
+        w = Window(0, 3, 0, 3)
+        w.validate_within((3, 3))
+        with pytest.raises(ShapeError):
+            w.validate_within((2, 3))
+
+    def test_shifted(self):
+        w = Window(1, 2, 3, 4).shifted(10, 20)
+        assert (w.row0, w.row1, w.col0, w.col1) == (11, 12, 23, 24)
+
+    def test_intersect(self):
+        a = Window(0, 5, 0, 5)
+        b = Window(3, 8, 2, 4)
+        i = Window.intersect(a, b)
+        assert (i.row0, i.row1, i.col0, i.col1) == (3, 5, 2, 4)
+
+    def test_intersect_disjoint_is_empty(self):
+        a = Window(0, 2, 0, 2)
+        b = Window(5, 8, 5, 8)
+        assert Window.intersect(a, b).is_empty()

@@ -1,0 +1,78 @@
+"""Tests for the ASCII figure renderer."""
+
+import json
+
+import pytest
+
+from repro.bench.figures import load_results, main, render_experiment
+from repro.errors import ParseError
+
+
+@pytest.fixture
+def payload():
+    return {
+        "config": {"llc_bytes": 384 * 1024},
+        "seconds": {
+            "fig8": {
+                "spspsp": {"R1": 2.0, "R3": 4.0},
+                "ATMULT": {"R1": 0.5, "R3": 1.0},
+            }
+        },
+        "notes": {},
+    }
+
+
+@pytest.fixture
+def results_file(tmp_path, payload):
+    path = tmp_path / "bench_results.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestRender:
+    def test_relative_bars(self, payload):
+        text = render_experiment(payload, "fig8", baseline="spspsp")
+        assert "R1" in text and "R3" in text
+        assert "4.00x" in text  # ATMULT is 4x the baseline on both
+        assert "1.00x" in text
+        assert "#" in text
+
+    def test_absolute_mode(self, payload):
+        text = render_experiment(payload, "fig8")
+        assert "s" in text
+        assert "x" not in text.split("\n")[0]
+
+    def test_faster_algorithm_longer_bar(self, payload):
+        text = render_experiment(payload, "fig8", baseline="spspsp")
+        lines = [l for l in text.splitlines() if "|" in l]
+        bars = {line.split("|")[0].strip(): line.count("#") for line in lines[:2]}
+        assert bars["ATMULT"] > bars["spspsp"]
+
+    def test_unknown_experiment(self, payload):
+        with pytest.raises(ParseError, match="available"):
+            render_experiment(payload, "fig99")
+
+    def test_unknown_baseline(self, payload):
+        with pytest.raises(ParseError):
+            render_experiment(payload, "fig8", baseline="nope")
+
+
+class TestCli:
+    def test_lists_experiments(self, results_file, capsys):
+        assert main([str(results_file)]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "ATMULT" in out
+
+    def test_renders_experiment(self, results_file, capsys):
+        assert main([str(results_file), "fig8", "--baseline", "spspsp"]) == 0
+        assert "#" in capsys.readouterr().out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert main([str(path), "fig8"]) == 1

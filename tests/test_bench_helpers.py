@@ -1,0 +1,103 @@
+"""Tests for the benchmark harness helpers and the config module."""
+
+import math
+
+import pytest
+
+from repro import DEFAULT_CONFIG, SystemConfig
+from repro.bench import (
+    format_relative_table,
+    format_series,
+    format_table,
+    run_algorithms,
+    time_call,
+)
+from repro.errors import ConfigError
+
+
+class TestSystemConfig:
+    def test_default_b_atomic_derived_from_llc(self):
+        assert DEFAULT_CONFIG.b_atomic == 128
+        assert DEFAULT_CONFIG.k_atomic == 7
+
+    def test_paper_llc_yields_paper_b_atomic(self):
+        config = SystemConfig(llc_bytes=24 * 1024 * 1024)
+        assert config.b_atomic == 1024
+
+    def test_max_dense_tile_dim_formula(self):
+        config = SystemConfig(llc_bytes=24 * 1024 * 1024)
+        expected = int(math.sqrt(24 * 1024 * 1024 / (3 * 8)))
+        assert config.max_dense_tile_dim() == expected
+
+    def test_max_sparse_tile_dim_bounds(self):
+        config = SystemConfig(llc_bytes=24 * 1024 * 1024)
+        # The dimension bound from Eq. (2): LLC / (beta * S_d).
+        dim_bound = 24 * 1024 * 1024 // (3 * 8)
+        assert config.max_sparse_tile_dim(1e-9) == dim_bound
+        # Higher density shrinks the memory bound below the dim bound.
+        assert config.max_sparse_tile_dim(0.5) < dim_bound
+
+    def test_sparse_dim_monotone_in_density(self):
+        config = SystemConfig()
+        dims = [config.max_sparse_tile_dim(rho) for rho in (0.001, 0.01, 0.1, 1.0)]
+        assert dims == sorted(dims, reverse=True)
+
+    def test_density_validation(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().max_sparse_tile_dim(1.5)
+
+    def test_b_atomic_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(b_atomic=100)
+
+    def test_with_llc_rederives(self):
+        config = SystemConfig().with_llc(24 * 1024 * 1024)
+        assert config.b_atomic == 1024
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"llc_bytes": 0}, {"alpha": 0}, {"beta": 0}, {"dense_element_bytes": 0}]
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigError):
+            SystemConfig(**kwargs)
+
+
+class TestRunner:
+    def test_time_call(self):
+        seconds, value = time_call(lambda: 42)
+        assert value == 42
+        assert seconds >= 0
+
+    def test_run_algorithms(self):
+        results = run_algorithms(
+            {"a": lambda: [1, 2], "b": lambda: [1]},
+            output_bytes=len,
+        )
+        assert results["a"].output_bytes == 2
+        assert results["b"].output_bytes == 1
+        assert results["a"].relative_to(1.0) > 0
+
+
+class TestReportFormatting:
+    def test_format_table(self):
+        text = format_table(["x", "y"], [[1, 2.5], ["ab", 3]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "x" in lines[1] and "y" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_format_relative_table_baseline_is_one(self):
+        series = {"base": {"w": 2.0}, "fast": {"w": 1.0}}
+        text = format_relative_table(["w"], series, baseline="base")
+        assert "1.00x" in text
+        assert "2.00x" in text
+
+    def test_format_relative_table_missing_cells(self):
+        series = {"base": {"w": 2.0}, "fast": {}}
+        text = format_relative_table(["w"], series, baseline="base")
+        assert "-" in text
+
+    def test_format_series(self):
+        text = format_series({"G1": 1.5, "G2": 2.0}, unit="x", title="speedups")
+        assert text.splitlines()[0] == "speedups"
+        assert "G1: 1.5 x" in text

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro import COOMatrix
+from repro.cli import main
+from repro.formats.matrix_market import read_matrix_market, write_matrix_market
+
+from .conftest import heterogeneous_array
+
+
+@pytest.fixture
+def mtx_file(tmp_path, rng):
+    array = heterogeneous_array(rng, 96, 96)
+    path = tmp_path / "input.mtx"
+    write_matrix_market(COOMatrix.from_dense(array), path)
+    return path, array
+
+
+class TestInfo:
+    def test_prints_statistics(self, mtx_file, capsys):
+        path, array = mtx_file
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "96 x 96" in out
+        assert f"nnz={np.count_nonzero(array)}" in out
+        assert "block density map" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope.mtx")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestPartition:
+    def test_reports_tiles(self, mtx_file, capsys):
+        path, _ = mtx_file
+        assert main(["partition", str(path), "--llc-kib", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "partitioned into" in out
+        assert "tile layout" in out
+
+    def test_custom_b_atomic(self, mtx_file, capsys):
+        path, _ = mtx_file
+        assert main(["partition", str(path), "--llc-kib", "8", "--b-atomic", "32"]) == 0
+
+    def test_invalid_b_atomic(self, mtx_file, capsys):
+        path, _ = mtx_file
+        assert main(["partition", str(path), "--b-atomic", "33"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestMultiply:
+    def test_self_product_roundtrip(self, mtx_file, tmp_path, capsys):
+        path, array = mtx_file
+        out_path = tmp_path / "c.mtx"
+        code = main(
+            ["multiply", str(path), str(path), "-o", str(out_path),
+             "--llc-kib", "8"]
+        )
+        assert code == 0
+        result = read_matrix_market(out_path)
+        np.testing.assert_allclose(result.to_dense(), array @ array, atol=1e-8)
+        assert "kernels" in capsys.readouterr().out
+
+    def test_memory_limit_flag(self, mtx_file, capsys):
+        path, _ = mtx_file
+        code = main(
+            ["multiply", str(path), str(path), "--llc-kib", "8",
+             "--memory-limit-mb", "100"]
+        )
+        assert code == 0
+
+
+class TestAdvise:
+    def test_prints_recommendation(self, mtx_file, capsys):
+        path, _ = mtx_file
+        assert main(["advise", str(path), "--llc-kib", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "topology class" in out
+        assert "partition into AT Matrix" in out
+
+
+class TestGenerate:
+    def test_emits_suite_matrix(self, tmp_path, capsys):
+        out_path = tmp_path / "r7.mtx"
+        assert main(["generate", "R7", "-o", str(out_path)]) == 0
+        matrix = read_matrix_market(out_path)
+        assert matrix.nnz > 0
+
+    def test_unknown_key(self, tmp_path, capsys):
+        assert main(["generate", "R99", "-o", str(tmp_path / "x.mtx")]) == 2
+        assert "unknown suite key" in capsys.readouterr().err
+
+
+class TestSolve:
+    @pytest.fixture
+    def spd_mtx(self, tmp_path):
+        n = 32
+        array = np.eye(n) * 4.0
+        for i in range(n - 1):
+            array[i, i + 1] = array[i + 1, i] = -1.0
+        path = tmp_path / "spd.mtx"
+        write_matrix_market(COOMatrix.from_dense(array), path)
+        return path, array
+
+    def test_cg_converges(self, spd_mtx, tmp_path, capsys):
+        path, array = spd_mtx
+        out_path = tmp_path / "x.mtx"
+        code = main(
+            ["solve", str(path), "--llc-kib", "8", "-o", str(out_path)]
+        )
+        assert code == 0
+        assert "converged" in capsys.readouterr().out
+        solution = read_matrix_market(out_path).to_dense().ravel()
+        np.testing.assert_allclose(array @ solution, np.ones(32), atol=1e-6)
+
+    def test_jacobi_method(self, spd_mtx, capsys):
+        path, _ = spd_mtx
+        assert main(["solve", str(path), "--method", "jacobi", "--llc-kib", "8"]) == 0
+
+    def test_nonconvergence_exit_code(self, spd_mtx, capsys):
+        path, _ = spd_mtx
+        code = main(
+            ["solve", str(path), "--llc-kib", "8", "--max-iterations", "1",
+             "--tolerance", "1e-300"]
+        )
+        assert code == 3
+        assert "NOT converged" in capsys.readouterr().out
+
+
+class TestCalibrate:
+    def test_prints_coefficients(self, capsys):
+        assert main(["calibrate", "--size", "32", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "dense_flop" in out
+        assert "sparse_expand" in out

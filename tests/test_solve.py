@@ -1,0 +1,123 @@
+"""Tests for the iterative solvers."""
+
+import numpy as np
+import pytest
+
+from repro import COOMatrix, SystemConfig, build_at_matrix
+from repro.errors import ShapeError
+from repro.solve import ConvergenceError, conjugate_gradient, jacobi, richardson
+
+CONFIG = SystemConfig(llc_bytes=8 * 1024, b_atomic=16)
+
+
+def build(array):
+    return build_at_matrix(COOMatrix.from_dense(array), CONFIG)
+
+
+@pytest.fixture
+def spd_system(rng):
+    """A sparse SPD system: A = L L^T + n*I with sparse random L."""
+    n = 48
+    lower = np.tril(np.where(rng.random((n, n)) < 0.15, rng.random((n, n)), 0.0))
+    a = lower @ lower.T + n * np.eye(n)
+    x_true = rng.random(n)
+    return build(a), a, x_true, a @ x_true
+
+
+@pytest.fixture
+def dominant_system(rng):
+    """A strictly diagonally dominant sparse system (Jacobi territory)."""
+    n = 40
+    a = np.where(rng.random((n, n)) < 0.1, rng.uniform(-1, 1, (n, n)), 0.0)
+    np.fill_diagonal(a, np.abs(a).sum(axis=1) + 1.0)
+    x_true = rng.random(n)
+    return build(a), a, x_true, a @ x_true
+
+
+class TestConjugateGradient:
+    def test_solves_spd(self, spd_system):
+        at, a, x_true, rhs = spd_system
+        result = conjugate_gradient(at, rhs, tolerance=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, x_true, atol=1e-7)
+
+    def test_residual_reported(self, spd_system):
+        at, a, _, rhs = spd_system
+        result = conjugate_gradient(at, rhs, tolerance=1e-12)
+        actual = np.linalg.norm(rhs - a @ result.solution)
+        assert actual <= 1e-8 * np.linalg.norm(rhs) + 1e-12
+        assert result.residual_norm == pytest.approx(actual, abs=1e-8)
+
+    def test_warm_start(self, spd_system):
+        at, _, x_true, rhs = spd_system
+        cold = conjugate_gradient(at, rhs, tolerance=1e-12)
+        warm = conjugate_gradient(at, rhs, tolerance=1e-12, x0=x_true)
+        assert warm.iterations <= cold.iterations
+
+    def test_non_spd_detected(self, rng):
+        n = 16
+        a = np.zeros((n, n))
+        a[0, 0] = -1.0  # negative curvature direction exists
+        np.fill_diagonal(a[1:, 1:], 1.0)
+        result = conjugate_gradient(build(a), np.ones(n), max_iterations=50)
+        assert not result.converged
+
+    def test_budget_respected(self, spd_system):
+        at, _, _, rhs = spd_system
+        result = conjugate_gradient(at, rhs, tolerance=0.0, max_iterations=3)
+        assert result.iterations == 3
+        assert not result.converged
+        with pytest.raises(ConvergenceError):
+            result.raise_if_failed()
+
+
+class TestJacobi:
+    def test_solves_dominant(self, dominant_system):
+        at, _, x_true, rhs = dominant_system
+        result = jacobi(at, rhs, tolerance=1e-12, max_iterations=5000)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, x_true, atol=1e-7)
+
+    def test_zero_diagonal_rejected(self, rng):
+        a = np.eye(8)
+        a[3, 3] = 0.0
+        a[3, 4] = 1.0
+        with pytest.raises(ShapeError):
+            jacobi(build(a), np.ones(8))
+
+
+class TestRichardson:
+    def test_converges_on_contractive_system(self):
+        n = 12
+        a = np.eye(n) * 2.0
+        rhs = np.arange(1.0, n + 1.0)
+        result = richardson(build(a), rhs, omega=0.4, tolerance=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, rhs / 2.0, atol=1e-9)
+
+    def test_diverges_with_bad_damping(self):
+        a = np.eye(4) * 100.0
+        result = richardson(build(a), np.ones(4), omega=1.0, max_iterations=20)
+        assert not result.converged
+
+
+class TestValidation:
+    def test_non_square_rejected(self, rng):
+        a = np.ones((4, 5))
+        with pytest.raises(ShapeError):
+            conjugate_gradient(build(a), np.ones(4))
+
+    def test_rhs_length_checked(self):
+        a = np.eye(4)
+        with pytest.raises(ShapeError):
+            conjugate_gradient(build(a), np.ones(5))
+
+
+class TestOperatorSugar:
+    def test_matmul_operator(self, rng):
+        from tests.conftest import random_sparse_array
+
+        a = random_sparse_array(rng, 20, 20, 0.3)
+        at = build(a)
+        result = at @ at
+        np.testing.assert_allclose(result.to_dense(), a @ a, atol=1e-10)

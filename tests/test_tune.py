@@ -1,0 +1,86 @@
+"""Tests for the empirical autotuner."""
+
+import numpy as np
+import pytest
+
+from repro import COOMatrix, SystemConfig
+from repro.errors import ConfigError
+from repro.tune import autotune
+
+from .conftest import heterogeneous_array
+
+
+BASE = SystemConfig(llc_bytes=8 * 1024, b_atomic=16)
+
+
+class TestAutotune:
+    def test_runs_full_grid(self, rng):
+        staged = COOMatrix.from_dense(heterogeneous_array(rng, 96, 96))
+        result = autotune(
+            staged,
+            BASE,
+            b_atomic_candidates=[8, 16],
+            read_threshold_candidates=[0.1, 0.5],
+        )
+        assert len(result.trials) == 4
+        assert result.best in result.trials
+        assert result.config.b_atomic == result.best.b_atomic
+
+    def test_best_has_minimal_multiply_time(self, rng):
+        staged = COOMatrix.from_dense(heterogeneous_array(rng, 80, 80))
+        result = autotune(
+            staged, BASE, b_atomic_candidates=[8, 16, 32],
+            read_threshold_candidates=[0.25],
+        )
+        assert result.best.multiply_seconds == min(
+            trial.multiply_seconds for trial in result.trials
+        )
+
+    def test_include_partitioning_changes_ranking_key(self, rng):
+        staged = COOMatrix.from_dense(heterogeneous_array(rng, 64, 64))
+        result = autotune(
+            staged, BASE, b_atomic_candidates=[8, 16],
+            read_threshold_candidates=[0.25], include_partitioning=True,
+        )
+        assert result.best.total_seconds == min(
+            trial.total_seconds for trial in result.trials
+        )
+
+    def test_default_candidates_bracket_heuristic(self, rng):
+        staged = COOMatrix.from_dense(heterogeneous_array(rng, 64, 64))
+        result = autotune(staged, BASE, read_threshold_candidates=[0.25])
+        tried = {trial.b_atomic for trial in result.trials}
+        assert tried == {8, 16, 32}
+
+    def test_probe_dim(self, rng):
+        staged = COOMatrix.from_dense(heterogeneous_array(rng, 128, 128))
+        result = autotune(
+            staged, BASE, probe_dim=48,
+            b_atomic_candidates=[16], read_threshold_candidates=[0.25],
+        )
+        assert len(result.trials) == 1
+
+    def test_empty_probe_falls_back_to_full(self, rng):
+        array = np.zeros((128, 128))
+        array[100:, 100:] = heterogeneous_array(rng, 28, 28)
+        staged = COOMatrix.from_dense(array)
+        result = autotune(
+            staged, BASE, probe_dim=32,  # leading block is empty
+            b_atomic_candidates=[16], read_threshold_candidates=[0.25],
+        )
+        assert result.best.tiles > 0
+
+    def test_invalid_candidate_rejected(self, rng):
+        staged = COOMatrix.from_dense(heterogeneous_array(rng, 32, 32))
+        with pytest.raises(ConfigError):
+            autotune(staged, BASE, b_atomic_candidates=[12])
+
+    def test_summary_lists_all_trials(self, rng):
+        staged = COOMatrix.from_dense(heterogeneous_array(rng, 64, 64))
+        result = autotune(
+            staged, BASE, b_atomic_candidates=[8, 16],
+            read_threshold_candidates=[0.25],
+        )
+        text = result.summary()
+        assert text.count("b_atomic=") == 2
+        assert "<= best" in text

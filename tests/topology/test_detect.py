@@ -1,0 +1,74 @@
+"""Tests for host topology autodetection (against a fake sysfs tree)."""
+
+from pathlib import Path
+
+from repro.topology.detect import detect_topology
+
+
+def make_cpu(root: Path, cpu: int, package: int, core: int, llc_kib: int | None):
+    base = root / f"cpu{cpu}"
+    (base / "topology").mkdir(parents=True)
+    (base / "topology" / "physical_package_id").write_text(f"{package}\n")
+    (base / "topology" / "core_id").write_text(f"{core}\n")
+    if llc_kib is not None:
+        cache = base / "cache" / "index3"
+        cache.mkdir(parents=True)
+        (cache / "level").write_text("3\n")
+        (cache / "size").write_text(f"{llc_kib}K\n")
+
+
+class TestDetection:
+    def test_two_socket_machine(self, tmp_path):
+        # 2 sockets x 2 cores x 2 threads, 24 MiB LLC.
+        cpu = 0
+        for package in (0, 1):
+            for core in (0, 1):
+                for _ in range(2):
+                    make_cpu(tmp_path, cpu, package, core, 24576 if cpu == 0 else None)
+                    cpu += 1
+        topo = detect_topology(tmp_path)
+        assert topo.sockets == 2
+        assert topo.cores_per_socket == 2
+        assert topo.smt == 2
+        assert topo.llc_bytes == 24576 * 1024
+        assert topo.total_threads == 8
+
+    def test_single_core(self, tmp_path):
+        make_cpu(tmp_path, 0, 0, 0, 512)
+        topo = detect_topology(tmp_path)
+        assert topo.sockets == 1
+        assert topo.cores_per_socket == 1
+        assert topo.llc_bytes == 512 * 1024
+
+    def test_missing_sysfs_falls_back(self, tmp_path):
+        topo = detect_topology(tmp_path / "nonexistent")
+        assert topo.sockets == 1
+        assert topo.cores_per_socket >= 1
+
+    def test_megabyte_cache_size(self, tmp_path):
+        base = tmp_path / "cpu0"
+        (base / "topology").mkdir(parents=True)
+        cache = base / "cache" / "index2"
+        cache.mkdir(parents=True)
+        (cache / "level").write_text("2")
+        (cache / "size").write_text("4M")
+        topo = detect_topology(tmp_path)
+        assert topo.llc_bytes == 4 * 1024 * 1024
+
+    def test_malformed_entries_ignored(self, tmp_path):
+        base = tmp_path / "cpu0"
+        (base / "topology").mkdir(parents=True)
+        (base / "topology" / "physical_package_id").write_text("garbage")
+        cache = base / "cache" / "index0"
+        cache.mkdir(parents=True)
+        (cache / "level").write_text("not-a-number")
+        (cache / "size").write_text("???")
+        topo = detect_topology(tmp_path)
+        assert topo.sockets == 1
+
+    def test_real_host_probes_cleanly(self):
+        topo = detect_topology()
+        assert topo.sockets >= 1
+        assert topo.total_threads >= 1
+        config = topo.system_config()
+        assert config.b_atomic >= 2

@@ -1,0 +1,56 @@
+"""Tests for NUMA placement policies."""
+
+import numpy as np
+
+from repro import COOMatrix, SystemTopology, build_at_matrix, distribute_tile_rows
+from repro.topology.numa import first_touch_node, placement_histogram
+
+from ..conftest import heterogeneous_array
+
+
+def build(rng, config, rows=96, cols=96):
+    array = heterogeneous_array(rng, rows, cols)
+    return build_at_matrix(COOMatrix.from_dense(array), config)
+
+
+class TestDistribution:
+    def test_round_robin_by_tile_row(self, rng, small_config):
+        at = build(rng, small_config)
+        topo = SystemTopology(sockets=2, cores_per_socket=2)
+        distribute_tile_rows(at, topo)
+        cuts = at.row_cuts()
+        strip_of = {r0: i for i, r0 in enumerate(cuts[:-1])}
+        for tile in at.tiles:
+            expected = strip_of[tile.row0] % topo.memory_nodes
+            assert tile.numa_node == expected
+
+    def test_single_socket_all_node_zero(self, rng, small_config):
+        at = build(rng, small_config)
+        distribute_tile_rows(at, SystemTopology())
+        assert all(tile.numa_node == 0 for tile in at.tiles)
+
+    def test_nodes_used_roughly_evenly(self, rng, small_config):
+        at = build(rng, small_config, 128, 128)
+        topo = SystemTopology(sockets=4, cores_per_socket=1)
+        distribute_tile_rows(at, topo)
+        nodes = {tile.numa_node for tile in at.tiles}
+        assert len(nodes) > 1  # more than one node actually used
+
+    def test_returns_matrix_for_chaining(self, rng, small_config):
+        at = build(rng, small_config)
+        assert distribute_tile_rows(at, SystemTopology()) is at
+
+
+class TestFirstTouch:
+    def test_result_inherits_team_node(self):
+        assert first_touch_node(3) == 3
+
+
+class TestHistogram:
+    def test_bytes_accounted(self, rng, small_config):
+        at = build(rng, small_config)
+        topo = SystemTopology(sockets=2, cores_per_socket=1)
+        distribute_tile_rows(at, topo)
+        hist = placement_histogram(at, topo)
+        assert sum(hist.values()) == at.memory_bytes()
+        assert set(hist) == {0, 1}

@@ -1,0 +1,111 @@
+"""Tests for the simulated worker-team scheduler."""
+
+import pytest
+
+from repro import SystemTopology, WorkerTeamScheduler
+from repro.errors import SchedulerError
+from repro.topology.trace import TaskRecord
+
+
+def task(ti, tj, node, seconds, bytes_by_node=None):
+    return TaskRecord(
+        pair=(ti, tj),
+        team_node=node,
+        seconds=seconds,
+        bytes_by_node=bytes_by_node or {},
+    )
+
+
+TOPO2 = SystemTopology(sockets=2, cores_per_socket=4, memory_bandwidth_bytes_per_s=1e9)
+
+
+class TestTaskRecord:
+    def test_remote_bytes(self):
+        record = task(0, 0, 0, 1.0, {0: 100, 1: 50})
+        assert record.total_bytes == 150
+        assert record.remote_bytes(0) == 50
+        assert record.remote_bytes(1) == 100
+
+
+class TestScheduling:
+    def test_empty_tasks(self):
+        result = WorkerTeamScheduler(TOPO2).run([])
+        assert result.makespan_seconds == 0.0
+        assert result.parallel_efficiency == 1.0
+
+    def test_pairs_stay_on_one_team(self):
+        tasks = [task(0, 0, 0, 1.0), task(0, 0, 0, 1.0)]
+        result = WorkerTeamScheduler(TOPO2).run(tasks)
+        # Both tasks run on team 0: team 1 idle.
+        assert result.team_busy_seconds[1] == 0.0
+        assert result.team_busy_seconds[0] > 0.0
+
+    def test_different_pairs_parallelize(self):
+        tasks = [task(0, 0, 0, 1.0), task(1, 1, 1, 1.0)]
+        result = WorkerTeamScheduler(TOPO2).run(tasks)
+        assert result.team_busy_seconds[0] > 0
+        assert result.team_busy_seconds[1] > 0
+        serial = sum(result.team_busy_seconds)
+        assert result.makespan_seconds < serial
+
+    def test_intra_team_speedup_applied(self):
+        tasks = [task(0, 0, 0, 4.0)]
+        fast = WorkerTeamScheduler(TOPO2, intra_team_efficiency=1.0).run(tasks)
+        slow = WorkerTeamScheduler(TOPO2, intra_team_efficiency=0.25).run(tasks)
+        assert fast.makespan_seconds < slow.makespan_seconds
+
+    def test_remote_bytes_penalized(self):
+        local = [task(0, 0, 0, 1.0, {0: 10**9})]
+        remote = [task(0, 0, 0, 1.0, {1: 10**9})]
+        sched = WorkerTeamScheduler(TOPO2)
+        assert (
+            sched.run(remote).makespan_seconds > sched.run(local).makespan_seconds
+        )
+        assert sched.run(remote).remote_fraction == 1.0
+        assert sched.run(local).remote_fraction == 0.0
+
+    def test_pinning_vs_random_placement(self):
+        # All data on node 0; pinned execution stays local.
+        tasks = [task(i, 0, 0, 1.0, {0: 10**9}) for i in range(8)]
+        pinned = WorkerTeamScheduler(TOPO2, honor_pinning=True).run(tasks)
+        unpinned = WorkerTeamScheduler(TOPO2, honor_pinning=False).run(tasks)
+        assert pinned.remote_bytes == 0
+        assert unpinned.remote_bytes > 0
+
+    def test_work_stealing_balances_load(self):
+        # Every pair prefers team 0: stealing should offload some to team 1.
+        tasks = [task(i, 0, 0, 1.0) for i in range(8)]
+        no_steal = WorkerTeamScheduler(TOPO2, work_stealing=False).run(tasks)
+        steal = WorkerTeamScheduler(TOPO2, work_stealing=True).run(tasks)
+        assert steal.makespan_seconds <= no_steal.makespan_seconds
+        assert steal.parallel_efficiency > no_steal.parallel_efficiency
+
+    def test_conflicting_pair_nodes_rejected(self):
+        tasks = [task(0, 0, 0, 1.0), task(0, 0, 1, 1.0)]
+        with pytest.raises(SchedulerError):
+            WorkerTeamScheduler(TOPO2).run(tasks)
+
+    def test_cache_pollution_penalizes_oversized_read_sets(self):
+        small_set = [task(0, 0, 0, 1.0, {0: 1000})]
+        big_set = [task(0, 0, 0, 1.0, {0: TOPO2.llc_bytes * 10})]
+        plain = WorkerTeamScheduler(TOPO2, model_cache_pollution=False)
+        polluting = WorkerTeamScheduler(TOPO2, model_cache_pollution=True)
+        # Without the model, working-set size is invisible.
+        assert plain.run(big_set).makespan_seconds == pytest.approx(
+            plain.run(small_set).makespan_seconds
+        )
+        # With it, the oversized read set pays bandwidth time.
+        assert (
+            polluting.run(big_set).makespan_seconds
+            > polluting.run(small_set).makespan_seconds
+        )
+
+    def test_more_sockets_shorter_makespan(self):
+        tasks = [task(i, 0, i % 4, 1.0) for i in range(16)]
+        two = WorkerTeamScheduler(
+            SystemTopology(sockets=2, cores_per_socket=4)
+        ).run(tasks)
+        four = WorkerTeamScheduler(
+            SystemTopology(sockets=4, cores_per_socket=4)
+        ).run(tasks)
+        assert four.makespan_seconds < two.makespan_seconds

@@ -1,0 +1,54 @@
+"""Tests for the simulated system topology."""
+
+import pytest
+
+from repro import SystemTopology
+from repro.errors import ConfigError
+
+
+class TestSystemTopology:
+    def test_defaults(self):
+        topo = SystemTopology()
+        assert topo.sockets == 1
+        assert topo.total_threads == 1
+        assert topo.memory_nodes == 1
+
+    def test_paper_machine(self):
+        topo = SystemTopology.paper_machine()
+        assert topo.sockets == 4
+        assert topo.cores_per_socket == 10
+        # 80 hardware threads via hyperthreading (paper section IV-A).
+        assert topo.total_threads == 80
+        assert topo.llc_bytes == 24 * 1024 * 1024
+
+    def test_paper_machine_config_derives_paper_tile_sizes(self):
+        """On the 24 MiB LLC the paper derives tau_d_max = b_atomic = 1024."""
+        config = SystemTopology.paper_machine().system_config()
+        assert config.max_dense_tile_dim() == 1024
+        assert config.b_atomic == 1024
+        assert config.k_atomic == 10
+
+    def test_scaled_default(self):
+        topo = SystemTopology.scaled_default()
+        config = topo.system_config()
+        assert config.b_atomic == 128
+
+    def test_config_overrides(self):
+        topo = SystemTopology.scaled_default()
+        config = topo.system_config(alpha=4)
+        assert config.alpha == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sockets": 0},
+            {"cores_per_socket": 0},
+            {"llc_bytes": 0},
+            {"remote_access_penalty": -0.1},
+            {"memory_bandwidth_bytes_per_s": 0},
+            {"smt": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigError):
+            SystemTopology(**kwargs)

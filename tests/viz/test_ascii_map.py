@@ -1,0 +1,50 @@
+"""Tests for the ASCII topology renderings."""
+
+import numpy as np
+
+from repro import COOMatrix, build_at_matrix
+from repro.density import DensityMap
+from repro.viz import render_density_map, render_tile_layout
+
+from ..conftest import heterogeneous_array
+
+
+class TestDensityMapRendering:
+    def test_dense_region_darker_than_empty(self):
+        grid = np.array([[1.0, 0.0], [0.0, 0.0]])
+        text = render_density_map(DensityMap(4, 4, 2, grid), border=False)
+        lines = text.splitlines()
+        assert lines[0][0] == "@"  # densest block uses the darkest glyph
+        assert lines[1][1] == " "
+
+    def test_border(self):
+        text = render_density_map(DensityMap.uniform(4, 4, 2, 0.5))
+        lines = text.splitlines()
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+        assert all(line.startswith("|") for line in lines[1:-1])
+
+    def test_downsampling_caps_size(self):
+        dm = DensityMap.uniform(512, 512, 2, 0.3)  # 256x256 grid
+        text = render_density_map(dm, max_cells=32, border=False)
+        lines = text.splitlines()
+        assert len(lines) <= 32
+        assert all(len(line) <= 32 for line in lines)
+
+    def test_all_zero_map(self):
+        text = render_density_map(DensityMap.uniform(8, 8, 2, 0.0), border=False)
+        assert set(text.replace("\n", "")) == {" "}
+
+
+class TestTileLayoutRendering:
+    def test_dense_tiles_marked(self, rng, small_config):
+        array = heterogeneous_array(rng, 96, 96)
+        at = build_at_matrix(COOMatrix.from_dense(array), small_config)
+        text = render_tile_layout(at, border=False)
+        assert "/" in text  # dense tiles present and marked
+
+    def test_shape_matches_grid(self, rng, small_config):
+        array = heterogeneous_array(rng, 96, 64)
+        at = build_at_matrix(COOMatrix.from_dense(array), small_config)
+        lines = render_tile_layout(at, border=False).splitlines()
+        assert len(lines) == at.zspace.grid_rows
+        assert len(lines[0]) == at.zspace.grid_cols

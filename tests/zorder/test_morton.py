@@ -1,0 +1,96 @@
+"""Tests for Morton (Z-curve) bit interleaving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FormatError
+from repro.zorder import (
+    morton_decode,
+    morton_decode_scalar,
+    morton_encode,
+    morton_encode_scalar,
+)
+
+COORD = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestScalarEncoding:
+    def test_origin_is_zero(self):
+        assert morton_encode_scalar(0, 0) == 0
+
+    def test_known_small_values(self):
+        # Quadrant order: UL(0,0)=0, UR(0,1)=1, LL(1,0)=2, LR(1,1)=3.
+        assert morton_encode_scalar(0, 1) == 1
+        assert morton_encode_scalar(1, 0) == 2
+        assert morton_encode_scalar(1, 1) == 3
+
+    def test_second_level_quadrants(self):
+        # The four cells of the upper-left 2x2 quadrant come first.
+        ul = [morton_encode_scalar(r, c) for r in (0, 1) for c in (0, 1)]
+        assert sorted(ul) == [0, 1, 2, 3]
+        # Any cell in another quadrant has a larger code.
+        assert morton_encode_scalar(0, 2) == 4
+        assert morton_encode_scalar(2, 0) == 8
+        assert morton_encode_scalar(2, 2) == 12
+
+    def test_row_bits_are_more_significant(self):
+        # Row dominates: (1, 0) comes after (0, anything < 2).
+        assert morton_encode_scalar(1, 0) > morton_encode_scalar(0, 1)
+
+    def test_decode_inverts_encode(self):
+        for row, col in [(0, 0), (5, 9), (1023, 4095), (2**20, 3)]:
+            assert morton_decode_scalar(morton_encode_scalar(row, col)) == (row, col)
+
+    def test_max_coordinate_roundtrip(self):
+        top = 2**31 - 1
+        assert morton_decode_scalar(morton_encode_scalar(top, top)) == (top, top)
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        rows = np.array([0, 3, 17, 100])
+        cols = np.array([5, 0, 9, 63])
+        expected = [morton_encode_scalar(int(r), int(c)) for r, c in zip(rows, cols)]
+        assert morton_encode(rows, cols).tolist() == expected
+
+    def test_decode_vectorized(self):
+        z = np.array([0, 1, 2, 3, 4, 8, 12], dtype=np.uint64)
+        rows, cols = morton_decode(z)
+        assert rows.tolist() == [0, 0, 1, 1, 0, 2, 2]
+        assert cols.tolist() == [0, 1, 0, 1, 2, 0, 2]
+
+    def test_empty_arrays(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert len(morton_encode(empty, empty)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(FormatError):
+            morton_encode(np.array([-1]), np.array([0]))
+
+    def test_too_large_rejected(self):
+        with pytest.raises(FormatError):
+            morton_encode(np.array([2**31]), np.array([0]))
+
+
+class TestZOrderProperties:
+    @given(COORD, COORD)
+    def test_roundtrip(self, row, col):
+        assert morton_decode_scalar(morton_encode_scalar(row, col)) == (row, col)
+
+    @given(st.integers(0, 2**10 - 1), st.integers(0, 2**10 - 1))
+    def test_quadrant_contiguity(self, row, col):
+        """All codes of an aligned 2^k square form one contiguous range."""
+        k = 4
+        row0 = (row >> k) << k
+        col0 = (col >> k) << k
+        base = morton_encode_scalar(row0, col0)
+        z = morton_encode_scalar(row, col)
+        assert base <= z < base + (1 << (2 * k))
+
+    @given(st.lists(st.tuples(COORD, COORD), min_size=2, max_size=50, unique=True))
+    def test_encoding_injective(self, coords):
+        rows = np.array([c[0] for c in coords])
+        cols = np.array([c[1] for c in coords])
+        codes = morton_encode(rows, cols)
+        assert len(np.unique(codes)) == len(coords)

@@ -1,0 +1,108 @@
+"""Tests for Z-space geometry and the ZBlockCnts precomputation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.zorder.morton import morton_encode_scalar
+from repro.zorder.zspace import OUT_OF_BOUNDS, ZSpace, block_counts, zspace_size
+
+
+class TestZSpaceGeometry:
+    def test_side_blocks_power_of_two(self):
+        z = ZSpace(rows=7, cols=8, b_atomic=2)
+        # 4 block rows x 4 block cols -> side 4 (already a power of two).
+        assert z.side_blocks == 4
+        assert z.num_cells == 16
+
+    def test_side_blocks_pads_to_power_of_two(self):
+        z = ZSpace(rows=10, cols=2, b_atomic=2)
+        # 5 x 1 block grid -> padded square side 8.
+        assert z.grid_rows == 5
+        assert z.grid_cols == 1
+        assert z.side_blocks == 8
+
+    def test_single_block(self):
+        z = ZSpace(rows=3, cols=3, b_atomic=4)
+        assert z.side_blocks == 1
+        assert z.num_cells == 1
+
+    def test_block_of(self):
+        z = ZSpace(rows=100, cols=100, b_atomic=16)
+        assert z.block_of(0, 0) == (0, 0)
+        assert z.block_of(15, 16) == (0, 1)
+        assert z.block_of(99, 99) == (6, 6)
+        with pytest.raises(FormatError):
+            z.block_of(100, 0)
+
+    def test_block_bounds_clipped(self):
+        z = ZSpace(rows=20, cols=10, b_atomic=16)
+        assert z.block_bounds(0, 0) == (0, 16, 0, 10)
+        assert z.block_bounds(1, 0) == (16, 20, 0, 10)
+
+    def test_block_area_boundary(self):
+        z = ZSpace(rows=20, cols=10, b_atomic=16)
+        assert z.block_area(0, 0) == 16 * 10
+        assert z.block_area(1, 0) == 4 * 10
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(FormatError):
+            ZSpace(rows=0, cols=5, b_atomic=4)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(FormatError):
+            ZSpace(rows=5, cols=5, b_atomic=3)
+
+    def test_zspace_size_formula(self):
+        # K = 4 ** max(ceil(log2 m), ceil(log2 n)) from the paper.
+        assert zspace_size(7, 8) == 4**3
+        assert zspace_size(1024, 1024) == 4**10
+        assert zspace_size(1025, 16) == 4**11
+
+
+class TestBlockCounts:
+    def test_counts_land_in_correct_cells(self):
+        z = ZSpace(rows=8, cols=8, b_atomic=2)
+        rows = np.array([0, 1, 0, 7])
+        cols = np.array([0, 1, 3, 7])
+        counts = block_counts(rows, cols, z)
+        assert counts[morton_encode_scalar(0, 0)] == 2
+        assert counts[morton_encode_scalar(0, 1)] == 1
+        assert counts[morton_encode_scalar(3, 3)] == 1
+        assert counts.sum() == 4  # no out-of-bounds cells here
+
+    def test_out_of_bounds_marked(self):
+        z = ZSpace(rows=7, cols=8, b_atomic=2)
+        counts = block_counts(np.array([0]), np.array([0]), z)
+        # Grid is 4x4, side 4 -> all cells in bounds; now force padding:
+        z2 = ZSpace(rows=10, cols=4, b_atomic=2)  # 5x2 grid, side 8
+        counts2 = block_counts(np.array([0]), np.array([0]), z2)
+        assert counts2[morton_encode_scalar(0, 0)] == 1
+        # Any block beyond column 1 or row 4 is out of bounds.
+        assert counts2[morton_encode_scalar(0, 7)] == OUT_OF_BOUNDS
+        assert counts2[morton_encode_scalar(7, 0)] == OUT_OF_BOUNDS
+        assert counts[morton_encode_scalar(0, 0)] == 1
+
+    def test_total_count_matches_nnz(self):
+        rng = np.random.default_rng(3)
+        z = ZSpace(rows=50, cols=70, b_atomic=8)
+        rows = rng.integers(0, 50, 500)
+        cols = rng.integers(0, 70, 500)
+        counts = block_counts(rows, cols, z)
+        assert counts[counts > 0].sum() == 500
+
+    def test_coordinates_outside_rejected(self):
+        z = ZSpace(rows=4, cols=4, b_atomic=2)
+        with pytest.raises(FormatError):
+            block_counts(np.array([4]), np.array([0]), z)
+
+    def test_mismatched_arrays_rejected(self):
+        z = ZSpace(rows=4, cols=4, b_atomic=2)
+        with pytest.raises(FormatError):
+            block_counts(np.array([0, 1]), np.array([0]), z)
+
+    def test_empty_matrix(self):
+        z = ZSpace(rows=4, cols=4, b_atomic=2)
+        counts = block_counts(np.empty(0), np.empty(0), z)
+        assert counts.shape == (4,)
+        assert (counts == 0).all()
