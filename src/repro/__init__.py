@@ -30,8 +30,18 @@ from .errors import (
     ParseError,
     PartitionError,
     ReproError,
+    ResultCorruptionError,
+    RetryExhaustedError,
     SchedulerError,
     ShapeError,
+    TaskFailedError,
+)
+from .resilience import (
+    FailureReport,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+    inject_faults,
 )
 from .formats import (
     COOMatrix,
@@ -94,6 +104,14 @@ __all__ = [
     "MemoryLimitError",
     "PartitionError",
     "SchedulerError",
+    "TaskFailedError",
+    "RetryExhaustedError",
+    "ResultCorruptionError",
+    "FailureReport",
+    "FaultKind",
+    "FaultPlan",
+    "RetryPolicy",
+    "inject_faults",
     "COOMatrix",
     "CSRMatrix",
     "DenseMatrix",

@@ -15,11 +15,16 @@ import argparse
 import sys
 import time
 
-from .config import SystemConfig
+from .config import (
+    SystemConfig,
+    validate_non_negative,
+    validate_positive,
+    validate_unit_interval,
+)
 from .core.atmult import atmult
 from .core.builder import ATMatrixBuilder
 from .cost.calibrate import calibrate, describe
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 from .formats.matrix_market import read_matrix_market, write_matrix_market
 from .generate.suite import SUITE, load_matrix
 from .kinds import StorageKind
@@ -33,6 +38,31 @@ def _config_from_args(args: argparse.Namespace) -> SystemConfig:
     if getattr(args, "b_atomic", None) is not None:
         kwargs["b_atomic"] = args.b_atomic
     return SystemConfig(**kwargs)
+
+
+def _validate_args(args: argparse.Namespace) -> None:
+    """Reject out-of-domain values before they produce garbage downstream.
+
+    ``SystemConfig`` validates ``--llc-kib``/``--b-atomic`` (positive,
+    power of two) on construction; thresholds, limits, and the
+    resilience flags are checked here so every command fails with a
+    clean ``ConfigError`` message instead of a deep stack trace.
+    """
+    threshold = getattr(args, "read_threshold", None)
+    if threshold is not None:
+        validate_unit_interval(threshold, "--read-threshold")
+    limit = getattr(args, "memory_limit_mb", None)
+    if limit is not None:
+        validate_non_negative(limit, "--memory-limit-mb")
+    retries = getattr(args, "max_retries", None)
+    if retries is not None and retries < 1:
+        raise ConfigError(f"--max-retries must be >= 1, got {retries}")
+    deadline = getattr(args, "task_deadline", None)
+    if deadline is not None:
+        validate_positive(deadline, "--task-deadline")
+    tolerance = getattr(args, "tolerance", None)
+    if tolerance is not None:
+        validate_positive(tolerance, "--tolerance")
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -85,7 +115,31 @@ def cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resilience_from_args(args: argparse.Namespace):
+    """Build the (policy, fault plan) pair from the multiply flags."""
+    from .resilience import FaultPlan, RetryPolicy
+
+    policy = None
+    if (
+        args.max_retries is not None
+        or args.task_deadline is not None
+        or args.inject_faults is not None
+    ):
+        policy = RetryPolicy(
+            max_attempts=args.max_retries if args.max_retries is not None else 3,
+            task_deadline_seconds=args.task_deadline,
+        )
+    plan = None
+    if args.inject_faults is not None:
+        plan = FaultPlan(args.inject_faults, kernel_error_rate=0.1)
+    return policy, plan
+
+
 def cmd_multiply(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from .resilience import inject_faults
+
     config = _config_from_args(args)
     a_staged = read_matrix_market(args.a).sum_duplicates()
     b_staged = (
@@ -96,8 +150,13 @@ def cmd_multiply(args: argparse.Namespace) -> int:
     a = builder.build(a_staged)
     b = a if b_staged is a_staged else builder.build(b_staged)
     limit = args.memory_limit_mb * 1e6 if args.memory_limit_mb else None
+    policy, plan = _resilience_from_args(args)
+    context = inject_faults(plan) if plan is not None else nullcontext()
     start = time.perf_counter()
-    result, report = atmult(a, b, config=config, memory_limit_bytes=limit)
+    with context:
+        result, report = atmult(
+            a, b, config=config, memory_limit_bytes=limit, resilience=policy
+        )
     elapsed = time.perf_counter() - start
     print(f"C = A x B: {result.rows} x {result.cols}, nnz={result.nnz}, "
           f"{elapsed:.3f} s")
@@ -106,6 +165,9 @@ def cmd_multiply(args: argparse.Namespace) -> int:
           f"{report.conversions} tile conversions")
     print(f"  kernels: {report.kernel_counts}")
     print(f"  output memory: {result.memory_bytes() / 1e6:.2f} MB")
+    if policy is not None:
+        injected = f", {plan.injected} faults injected" if plan is not None else ""
+        print(f"  resilience: {report.failure.summary()}{injected}")
     if args.output:
         write_matrix_market(result.to_coo(), args.output,
                             comment="produced by repro ATMULT")
@@ -208,6 +270,16 @@ def build_parser() -> argparse.ArgumentParser:
     multiply.add_argument("-o", "--output", help="write the result (.mtx)")
     multiply.add_argument("--memory-limit-mb", type=float, default=None,
                           help="memory SLA for the output matrix")
+    multiply.add_argument("--max-retries", type=int, default=None,
+                          help="retry each tile-pair task up to N attempts "
+                               "(enables the resilience layer)")
+    multiply.add_argument("--task-deadline", type=float, default=None,
+                          help="per-task deadline in seconds; slow attempts "
+                               "are discarded and re-run")
+    multiply.add_argument("--inject-faults", type=int, default=None,
+                          metavar="SEED",
+                          help="inject deterministic transient kernel faults "
+                               "(10%% rate) from SEED, for chaos testing")
     _add_config_arguments(multiply)
     multiply.set_defaults(handler=cmd_multiply)
 
@@ -247,6 +319,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        _validate_args(args)
         return args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

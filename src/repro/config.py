@@ -40,6 +40,41 @@ def _floor_pow2(value: int) -> int:
     return 1 << (int(value).bit_length() - 1)
 
 
+def validate_unit_interval(value: float, name: str = "value") -> float:
+    """``value`` as a float, or :class:`ConfigError` unless it lies in [0, 1]."""
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{name} must be a number in [0, 1], got {value!r}") from None
+    if math.isnan(number) or not 0.0 <= number <= 1.0:
+        raise ConfigError(f"{name} must lie in [0, 1], got {value!r}")
+    return number
+
+
+def validate_positive(value: float, name: str = "value") -> float:
+    """``value`` as a float, or :class:`ConfigError` unless it is > 0."""
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{name} must be a positive number, got {value!r}") from None
+    if math.isnan(number) or number <= 0.0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+    return number
+
+
+def validate_non_negative(value: float, name: str = "value") -> float:
+    """``value`` as a float, or :class:`ConfigError` unless it is >= 0."""
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"{name} must be a non-negative number, got {value!r}"
+        ) from None
+    if math.isnan(number) or number < 0.0:
+        raise ConfigError(f"{name} must be >= 0, got {value!r}")
+    return number
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Machine and tiling parameters shared across the library.

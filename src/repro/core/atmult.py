@@ -26,6 +26,7 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -34,7 +35,7 @@ from ..cost.model import CostModel
 from ..density.estimate import coarsen, estimate_product_density
 from ..density.map import DensityMap
 from ..density.water_level import WaterLevelResult, water_level_threshold
-from ..errors import ShapeError
+from ..errors import MemoryLimitError, ShapeError
 from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from ..formats.dense import DenseMatrix
@@ -42,6 +43,11 @@ from ..kernels.accumulator import DenseAccumulator, make_accumulator
 from ..kernels.registry import run_tile_product
 from ..kernels.window import Window
 from ..kinds import StorageKind, kernel_name
+from ..resilience.degrade import DegradationState
+from ..resilience.faults import fire_hooks, task_scope
+from ..resilience.guard import reference_tile_product, validate_tile
+from ..resilience.report import FailureReport
+from ..resilience.retry import ResilientPairRunner, RetryPolicy
 from ..topology.trace import TaskRecord
 from .atmatrix import ATMatrix
 from .optimizer import DynamicOptimizer
@@ -50,6 +56,21 @@ from .tile import Tile
 logger = logging.getLogger("repro.atmult")
 
 MatrixOperand = ATMatrix | CSRMatrix | DenseMatrix
+
+
+@dataclass
+class _PairStats:
+    """Per-attempt bookkeeping, merged into the report only on success."""
+
+    optimize_seconds: float = 0.0
+    multiply_seconds: float = 0.0
+    kernel_counts: dict[str, int] = field(default_factory=dict)
+    tasks: list[TaskRecord] = field(default_factory=list)
+
+
+class _SeqPairResult(NamedTuple):
+    tile: Tile | None
+    stats: _PairStats
 
 
 @dataclass
@@ -69,6 +90,8 @@ class MultiplyReport:
     water_level: WaterLevelResult | None = None
     kernel_counts: dict[str, int] = field(default_factory=dict)
     tasks: list[TaskRecord] = field(default_factory=list)
+    #: structured resilience accounting (always present; empty on clean runs)
+    failure: FailureReport = field(default_factory=FailureReport)
 
     @property
     def total_seconds(self) -> float:
@@ -142,6 +165,7 @@ def atmult(
     memory_limit_bytes: float | None = None,
     dynamic_conversion: bool = True,
     use_estimation: bool = True,
+    resilience: RetryPolicy | None = None,
 ) -> tuple[ATMatrix, MultiplyReport]:
     """Multiply ``C' = C + A x B`` with tile-granular optimization.
 
@@ -164,6 +188,13 @@ def atmult(
     use_estimation:
         Enable density estimation and dense target tiles (ablation
         step 3+); when off, all target tiles are sparse.
+    resilience:
+        A :class:`~repro.resilience.RetryPolicy` enabling bounded
+        per-pair retries, result validation with reference-kernel
+        fallback, and graceful degradation under memory pressure.
+        ``None`` keeps the fail-fast behavior.  Exhausted pairs raise
+        :class:`~repro.errors.RetryExhaustedError`; outcomes land in
+        ``report.failure``.
 
     Returns
     -------
@@ -206,99 +237,177 @@ def atmult(
     # -- phase 3: tile loop (lines 4-10) ---------------------------------------
     row_cuts = at_a.row_cuts()
     col_cuts = at_b.col_cuts()
-    result_tiles: list[Tile] = []
-    for ti in range(len(row_cuts) - 1):
+    degradation = (
+        DegradationState(estimate, memory_limit_bytes, config, write_threshold)
+        if resilience is not None
+        else None
+    )
+    runner = (
+        ResilientPairRunner(resilience, report.failure, degradation)
+        if resilience is not None
+        else None
+    )
+
+    def compute_pair(
+        ti: int, tj: int, force_sparse: bool, use_reference: bool = False
+    ) -> _SeqPairResult:
+        """One full pair computation (one attempt), stats kept local so a
+        retried attempt cannot double-count into the report."""
+        stats = _PairStats()
+        fire_hooks("pair", (ti, tj))
         r0, r1 = row_cuts[ti], row_cuts[ti + 1]
+        c0, c1 = col_cuts[tj], col_cuts[tj + 1]
         a_strip = at_a.tiles_overlapping(r0, r1, 0, at_a.cols)
         team_node = a_strip[0].numa_node if a_strip else 0
-        for tj in range(len(col_cuts) - 1):
-            c0, c1 = col_cuts[tj], col_cuts[tj + 1]
-            b_strip = at_b.tiles_overlapping(0, at_b.rows, c0, c1)
+        b_strip = at_b.tiles_overlapping(0, at_b.rows, c0, c1)
 
-            if estimate is not None:
-                rho_c = estimate.region_density(r0, r1, c0, c1)
-            else:
-                rho_c = 0.0
-            c_kind = (
-                StorageKind.DENSE if rho_c >= write_threshold else StorageKind.SPARSE
-            )
-            accumulator = make_accumulator(c_kind, r1 - r0, c1 - c0)
+        rho_c = estimate.region_density(r0, r1, c0, c1) if estimate is not None else 0.0
+        threshold = (
+            degradation.threshold if degradation is not None else write_threshold
+        )
+        c_kind = (
+            StorageKind.SPARSE
+            if force_sparse or rho_c < threshold
+            else StorageKind.DENSE
+        )
+        accumulator = make_accumulator(c_kind, r1 - r0, c1 - c0)
 
-            if at_c is not None:
-                _seed_accumulator(accumulator, at_c, r0, r1, c0, c1)
+        if at_c is not None:
+            _seed_accumulator(accumulator, at_c, r0, r1, c0, c1)
 
-            wrote_any = accumulator.writes > 0
-            for a_tile in a_strip:
-                for b_tile in b_strip:
-                    k0 = max(a_tile.col0, b_tile.row0)
-                    k1 = min(a_tile.col1, b_tile.row1)
-                    if k0 >= k1:
-                        continue
-                    wa = Window(
-                        max(r0, a_tile.row0) - a_tile.row0,
-                        min(r1, a_tile.row1) - a_tile.row0,
-                        k0 - a_tile.col0,
-                        k1 - a_tile.col0,
-                    )
-                    wb = Window(
-                        k0 - b_tile.row0,
-                        k1 - b_tile.row0,
-                        max(c0, b_tile.col0) - b_tile.col0,
-                        min(c1, b_tile.col1) - b_tile.col0,
-                    )
+        wrote_any = accumulator.writes > 0
+        for a_tile in a_strip:
+            for b_tile in b_strip:
+                k0 = max(a_tile.col0, b_tile.row0)
+                k1 = min(a_tile.col1, b_tile.row1)
+                if k0 >= k1:
+                    continue
+                wa = Window(
+                    max(r0, a_tile.row0) - a_tile.row0,
+                    min(r1, a_tile.row1) - a_tile.row0,
+                    k0 - a_tile.col0,
+                    k1 - a_tile.col0,
+                )
+                wb = Window(
+                    k0 - b_tile.row0,
+                    k1 - b_tile.row0,
+                    max(c0, b_tile.col0) - b_tile.col0,
+                    min(c1, b_tile.col1) - b_tile.col0,
+                )
+                target_row = max(r0, a_tile.row0) - r0
+                target_col = max(c0, b_tile.col0) - c0
+                start = time.perf_counter()
+                if use_reference:
+                    payload_a, payload_b = a_tile.data, b_tile.data
+                    opt_elapsed = time.perf_counter() - start
                     start = time.perf_counter()
+                    reference_tile_product(
+                        payload_a, wa, payload_b, wb, accumulator,
+                        target_row, target_col,
+                    )
+                else:
                     payload_a, payload_b = optimizer.choose(
                         a_tile, b_tile, c_kind, wa.rows, wa.cols, wb.cols, rho_c
                     )
                     opt_elapsed = time.perf_counter() - start
-
                     start = time.perf_counter()
                     run_tile_product(
-                        payload_a,
-                        wa,
-                        payload_b,
-                        wb,
-                        accumulator,
-                        max(r0, a_tile.row0) - r0,
-                        max(c0, b_tile.col0) - c0,
+                        payload_a, wa, payload_b, wb, accumulator,
+                        target_row, target_col,
                     )
-                    mult_elapsed = time.perf_counter() - start
-                    report.multiply_seconds += mult_elapsed
-                    report.optimize_seconds += opt_elapsed
+                mult_elapsed = time.perf_counter() - start
+                stats.multiply_seconds += mult_elapsed
+                stats.optimize_seconds += opt_elapsed
 
-                    name = kernel_name(
-                        _payload_kind(payload_a), _payload_kind(payload_b), c_kind
+                name = kernel_name(
+                    _payload_kind(payload_a), _payload_kind(payload_b), c_kind
+                )
+                stats.kernel_counts[name] = stats.kernel_counts.get(name, 0) + 1
+                stats.tasks.append(
+                    TaskRecord(
+                        pair=(ti, tj),
+                        team_node=team_node,
+                        seconds=opt_elapsed + mult_elapsed,
+                        bytes_by_node={
+                            a_tile.numa_node: a_tile.memory_bytes(),
+                            b_tile.numa_node: b_tile.memory_bytes(),
+                        },
                     )
-                    report.kernel_counts[name] = report.kernel_counts.get(name, 0) + 1
-                    report.tasks.append(
-                        TaskRecord(
-                            pair=(ti, tj),
-                            team_node=team_node,
-                            seconds=opt_elapsed + mult_elapsed,
-                            bytes_by_node={
-                                a_tile.numa_node: a_tile.memory_bytes(),
-                                b_tile.numa_node: b_tile.memory_bytes(),
-                            },
-                        )
-                    )
-                    wrote_any = True
+                )
+                wrote_any = True
 
-            start = time.perf_counter()
-            if wrote_any:
-                payload = accumulator.finalize()
-                if payload.nnz or isinstance(accumulator, DenseAccumulator):
-                    tile = Tile(
-                        r0,
-                        c0,
-                        r1 - r0,
-                        c1 - c0,
-                        c_kind,
-                        payload,
-                        numa_node=team_node,
+        start = time.perf_counter()
+        tile: Tile | None = None
+        if wrote_any:
+            payload = accumulator.finalize()
+            if payload.nnz or isinstance(accumulator, DenseAccumulator):
+                candidate = Tile(
+                    r0,
+                    c0,
+                    r1 - r0,
+                    c1 - c0,
+                    c_kind,
+                    payload,
+                    numa_node=team_node,
+                )
+                if candidate.nnz:
+                    tile = candidate
+        stats.multiply_seconds += time.perf_counter() - start
+        if (
+            degradation is not None
+            and not force_sparse
+            and tile is not None
+            and tile.kind is StorageKind.DENSE
+            and degradation.over_budget(tile.memory_bytes())
+        ):
+            raise MemoryLimitError(
+                f"pair {(ti, tj)} dense tile of {tile.memory_bytes()} B "
+                f"would exceed the memory budget"
+            )
+        return _SeqPairResult(tile, stats)
+
+    def validate_pair(ti: int, tj: int, pair_result: _SeqPairResult) -> None:
+        if pair_result.tile is None:
+            return
+        r0, r1 = row_cuts[ti], row_cuts[ti + 1]
+        c0, c1 = col_cuts[tj], col_cuts[tj + 1]
+        rho_c = estimate.region_density(r0, r1, c0, c1) if estimate is not None else None
+        validate_tile(
+            pair_result.tile.data, r1 - r0, c1 - c0, rho_c, pair=(ti, tj)
+        )
+
+    result_tiles: list[Tile] = []
+    for ti in range(len(row_cuts) - 1):
+        for tj in range(len(col_cuts) - 1):
+            pair = (ti, tj)
+            if runner is None:
+                with task_scope(pair, 1):
+                    pair_result = compute_pair(ti, tj, False)
+            else:
+                pair_result = runner.run(
+                    pair,
+                    lambda force_sparse, ti=ti, tj=tj: compute_pair(
+                        ti, tj, force_sparse
+                    ),
+                    validate=lambda res, ti=ti, tj=tj: validate_pair(ti, tj, res),
+                    fallback=lambda force_sparse, ti=ti, tj=tj: compute_pair(
+                        ti, tj, force_sparse, use_reference=True
+                    ),
+                )
+            stats = pair_result.stats
+            report.optimize_seconds += stats.optimize_seconds
+            report.multiply_seconds += stats.multiply_seconds
+            for name, count in stats.kernel_counts.items():
+                report.kernel_counts[name] = report.kernel_counts.get(name, 0) + count
+            report.tasks.extend(stats.tasks)
+            if pair_result.tile is not None:
+                result_tiles.append(pair_result.tile)
+                if degradation is not None:
+                    degradation.note_completed(
+                        row_cuts[ti], row_cuts[ti + 1],
+                        col_cuts[tj], col_cuts[tj + 1],
+                        pair_result.tile.memory_bytes(),
                     )
-                    if tile.nnz:
-                        result_tiles.append(tile)
-            report.multiply_seconds += time.perf_counter() - start
 
     report.conversions = optimizer.stats.conversions
     result = ATMatrix(a.rows, b.cols, config, result_tiles)

@@ -14,6 +14,15 @@ Two facts make this sound in Python:
 * the heavy numpy/BLAS kernels release the GIL, so dense-dominated
   workloads overlap on multicore hosts (on a single-core host the result
   is identical, just serialized).
+
+Failure semantics: a pair task that raises no longer kills the whole
+``ThreadPoolExecutor.map``.  Without a resilience policy, per-pair
+exceptions are captured, busy-time statistics are preserved, and one
+aggregated :class:`~repro.errors.TaskFailedError` is raised after the
+pool drains (carrying ``pair_errors`` and the partially populated
+report).  With ``resilience=RetryPolicy(...)``, each pair is retried in
+isolation, validated by the result guard, and degraded to sparse under
+memory pressure — see :mod:`repro.resilience`.
 """
 
 from __future__ import annotations
@@ -22,15 +31,21 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..cost.model import CostModel
 from ..density.water_level import water_level_threshold
-from ..errors import ShapeError
+from ..errors import MemoryLimitError, ShapeError, TaskFailedError
 from ..kernels.accumulator import make_accumulator
 from ..kernels.registry import run_tile_product
 from ..kernels.window import Window
 from ..kinds import StorageKind
+from ..resilience.degrade import DegradationState
+from ..resilience.faults import fire_hooks, task_scope
+from ..resilience.guard import reference_tile_product, validate_tile
+from ..resilience.report import FailureReport, aggregate_message
+from ..resilience.retry import ResilientPairRunner, RetryPolicy
 from ..topology.system import SystemTopology
 from .atmatrix import ATMatrix
 from .atmult import MatrixOperand, as_at_matrix, operand_density_map
@@ -49,6 +64,8 @@ class ParallelReport:
     workers: int = 1
     #: busy seconds accumulated per worker thread
     worker_busy_seconds: dict[str, float] = field(default_factory=dict)
+    #: structured resilience accounting (always present; empty on clean runs)
+    failure: FailureReport = field(default_factory=FailureReport)
 
     @property
     def parallel_efficiency(self) -> float:
@@ -73,6 +90,11 @@ class _LockedOptimizer(DynamicOptimizer):
             return super()._payload_as(tile, kind)
 
 
+class _PairResult(NamedTuple):
+    tile: Tile | None
+    products: int
+
+
 def parallel_atmult(
     a: MatrixOperand,
     b: MatrixOperand,
@@ -82,12 +104,16 @@ def parallel_atmult(
     cost_model: CostModel | None = None,
     memory_limit_bytes: float | None = None,
     dynamic_conversion: bool = True,
+    resilience: RetryPolicy | None = None,
 ) -> tuple[ATMatrix, ParallelReport]:
     """Multiply ``C = A x B`` with one worker team per socket.
 
     Semantically identical to :func:`~repro.core.atmult.atmult`; the
     tile-row/tile-column pairs are dispatched to a thread pool of
-    ``topology.sockets`` workers instead of a sequential loop.
+    ``topology.sockets`` workers instead of a sequential loop.  With a
+    ``resilience`` policy, flaky pairs are retried in isolation,
+    finished tiles are validated, and memory pressure degrades the
+    write threshold instead of failing the run.
     """
     config = config or DEFAULT_CONFIG
     cost_model = cost_model or CostModel()
@@ -108,64 +134,140 @@ def parallel_atmult(
 
     row_cuts = at_a.row_cuts()
     col_cuts = at_b.col_cuts()
-    report = ParallelReport(workers=topology.sockets)
+    failure = FailureReport()
+    report = ParallelReport(workers=topology.sockets, failure=failure)
     busy_lock = threading.Lock()
 
-    def run_pair(ti: int, tj: int) -> Tile | None:
+    degradation = (
+        DegradationState(estimate, memory_limit_bytes, config, write_threshold)
+        if resilience is not None
+        else None
+    )
+    runner = (
+        ResilientPairRunner(resilience, failure, degradation)
+        if resilience is not None
+        else None
+    )
+
+    def compute_pair(
+        ti: int, tj: int, force_sparse: bool, use_reference: bool = False
+    ) -> _PairResult:
+        """One full pair computation (one attempt); records busy time."""
         start = time.perf_counter()
+        try:
+            fire_hooks("pair", (ti, tj))
+            r0, r1 = row_cuts[ti], row_cuts[ti + 1]
+            c0, c1 = col_cuts[tj], col_cuts[tj + 1]
+            a_strip = at_a.tiles_overlapping(r0, r1, 0, at_a.cols)
+            b_strip = at_b.tiles_overlapping(0, at_b.rows, c0, c1)
+            rho_c = estimate.region_density(r0, r1, c0, c1)
+            threshold = (
+                degradation.threshold if degradation is not None else write_threshold
+            )
+            c_kind = (
+                StorageKind.SPARSE
+                if force_sparse or rho_c < threshold
+                else StorageKind.DENSE
+            )
+            accumulator = make_accumulator(c_kind, r1 - r0, c1 - c0)
+            products = 0
+            for a_tile in a_strip:
+                for b_tile in b_strip:
+                    k0 = max(a_tile.col0, b_tile.row0)
+                    k1 = min(a_tile.col1, b_tile.row1)
+                    if k0 >= k1:
+                        continue
+                    wa = Window(
+                        max(r0, a_tile.row0) - a_tile.row0,
+                        min(r1, a_tile.row1) - a_tile.row0,
+                        k0 - a_tile.col0,
+                        k1 - a_tile.col0,
+                    )
+                    wb = Window(
+                        k0 - b_tile.row0,
+                        k1 - b_tile.row0,
+                        max(c0, b_tile.col0) - b_tile.col0,
+                        min(c1, b_tile.col1) - b_tile.col0,
+                    )
+                    target = (max(r0, a_tile.row0) - r0, max(c0, b_tile.col0) - c0)
+                    if use_reference:
+                        reference_tile_product(
+                            a_tile.data, wa, b_tile.data, wb, accumulator, *target
+                        )
+                    else:
+                        payload_a, payload_b = optimizer.choose(
+                            a_tile, b_tile, c_kind, wa.rows, wa.cols, wb.cols, rho_c
+                        )
+                        run_tile_product(
+                            payload_a, wa, payload_b, wb, accumulator, *target
+                        )
+                    products += 1
+            if not products:
+                return _PairResult(None, 0)
+            payload = accumulator.finalize()
+            if not payload.nnz and c_kind is StorageKind.SPARSE:
+                return _PairResult(None, products)
+            tile = Tile(r0, c0, r1 - r0, c1 - c0, c_kind, payload)
+            if not tile.nnz:
+                return _PairResult(None, products)
+            if (
+                degradation is not None
+                and not force_sparse
+                and c_kind is StorageKind.DENSE
+                and degradation.over_budget(tile.memory_bytes())
+            ):
+                raise MemoryLimitError(
+                    f"pair {(ti, tj)} dense tile of {tile.memory_bytes()} B "
+                    f"would exceed the memory budget"
+                )
+            return _PairResult(tile, products)
+        finally:
+            elapsed = time.perf_counter() - start
+            name = threading.current_thread().name
+            with busy_lock:
+                report.worker_busy_seconds[name] = (
+                    report.worker_busy_seconds.get(name, 0.0) + elapsed
+                )
+
+    def validate_pair(ti: int, tj: int, result: _PairResult) -> None:
+        if result.tile is None:
+            return
         r0, r1 = row_cuts[ti], row_cuts[ti + 1]
         c0, c1 = col_cuts[tj], col_cuts[tj + 1]
-        a_strip = at_a.tiles_overlapping(r0, r1, 0, at_a.cols)
-        b_strip = at_b.tiles_overlapping(0, at_b.rows, c0, c1)
-        rho_c = estimate.region_density(r0, r1, c0, c1)
-        c_kind = StorageKind.DENSE if rho_c >= write_threshold else StorageKind.SPARSE
-        accumulator = make_accumulator(c_kind, r1 - r0, c1 - c0)
-        products = 0
-        for a_tile in a_strip:
-            for b_tile in b_strip:
-                k0 = max(a_tile.col0, b_tile.row0)
-                k1 = min(a_tile.col1, b_tile.row1)
-                if k0 >= k1:
-                    continue
-                wa = Window(
-                    max(r0, a_tile.row0) - a_tile.row0,
-                    min(r1, a_tile.row1) - a_tile.row0,
-                    k0 - a_tile.col0,
-                    k1 - a_tile.col0,
+        validate_tile(
+            result.tile.data,
+            r1 - r0,
+            c1 - c0,
+            estimate.region_density(r0, r1, c0, c1),
+            pair=(ti, tj),
+        )
+
+    def run_pair(ti: int, tj: int) -> Tile | None:
+        pair = (ti, tj)
+        try:
+            if runner is None:
+                with task_scope(pair, 1):
+                    result = compute_pair(ti, tj, False)
+            else:
+                result = runner.run(
+                    pair,
+                    lambda force_sparse: compute_pair(ti, tj, force_sparse),
+                    validate=lambda res: validate_pair(ti, tj, res),
+                    fallback=lambda force_sparse: compute_pair(
+                        ti, tj, force_sparse, use_reference=True
+                    ),
                 )
-                wb = Window(
-                    k0 - b_tile.row0,
-                    k1 - b_tile.row0,
-                    max(c0, b_tile.col0) - b_tile.col0,
-                    min(c1, b_tile.col1) - b_tile.col0,
-                )
-                payload_a, payload_b = optimizer.choose(
-                    a_tile, b_tile, c_kind, wa.rows, wa.cols, wb.cols, rho_c
-                )
-                run_tile_product(
-                    payload_a,
-                    wa,
-                    payload_b,
-                    wb,
-                    accumulator,
-                    max(r0, a_tile.row0) - r0,
-                    max(c0, b_tile.col0) - c0,
-                )
-                products += 1
-        elapsed = time.perf_counter() - start
-        name = threading.current_thread().name
+        except Exception as error:  # noqa: BLE001 — aggregated after the pool drains
+            with busy_lock:
+                failure.record_error(pair, error)
+            return None
         with busy_lock:
-            report.products += products
-            report.worker_busy_seconds[name] = (
-                report.worker_busy_seconds.get(name, 0.0) + elapsed
-            )
-        if not products:
-            return None
-        payload = accumulator.finalize()
-        if not payload.nnz and c_kind is StorageKind.SPARSE:
-            return None
-        tile = Tile(r0, c0, r1 - r0, c1 - c0, c_kind, payload)
-        return tile if tile.nnz else None
+            report.products += result.products
+        if degradation is not None and result.tile is not None:
+            r0, r1 = row_cuts[ti], row_cuts[ti + 1]
+            c0, c1 = col_cuts[tj], col_cuts[tj + 1]
+            degradation.note_completed(r0, r1, c0, c1, result.tile.memory_bytes())
+        return result.tile
 
     pairs = [
         (ti, tj)
@@ -173,6 +275,8 @@ def parallel_atmult(
         for tj in range(len(col_cuts) - 1)
     ]
     report.pairs = len(pairs)
+    if runner is None:
+        failure.attempts = len(pairs)
     start = time.perf_counter()
     with ThreadPoolExecutor(
         max_workers=topology.sockets, thread_name_prefix="team"
@@ -180,6 +284,12 @@ def parallel_atmult(
         tiles = [tile for tile in pool.map(lambda p: run_pair(*p), pairs) if tile]
     report.wall_seconds = time.perf_counter() - start
     report.conversions = optimizer.stats.conversions
+    if failure.pair_errors:
+        raise TaskFailedError(
+            aggregate_message(failure.pair_errors, len(pairs)),
+            pair_errors=failure.pair_errors,
+            report=report,
+        )
     result = ATMatrix(a.rows, b.cols, config, tiles)
     if memory_limit_bytes is not None:
         from .atmult import enforce_memory_limit

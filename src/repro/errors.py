@@ -3,6 +3,27 @@
 All library-raised errors derive from :class:`ReproError` so callers can
 catch everything this package raises with a single ``except`` clause while
 still letting programming errors (``TypeError`` etc.) propagate.
+
+Hierarchy::
+
+    ReproError
+    ├── ShapeError            (ValueError)   incompatible operand shapes
+    ├── FormatError           (ValueError)   payload violates format invariants
+    ├── ParseError            (ValueError)   unreadable serialized matrix
+    ├── ConfigError           (ValueError)   configuration value out of domain
+    ├── MemoryLimitError      (RuntimeError) memory SLA unsatisfiable / pressure
+    ├── PartitionError        (RuntimeError) quadtree partitioner inconsistency
+    ├── SchedulerError        (RuntimeError) simulated scheduler invalid state
+    ├── TaskFailedError       (RuntimeError) tile-product task(s) failed
+    │   └── RetryExhaustedError              one task failed every allowed attempt
+    └── ResultCorruptionError (RuntimeError) a finished tile failed validation
+
+The task-execution errors carry structured context for the resilience
+layer (:mod:`repro.resilience`): :class:`TaskFailedError` aggregates
+per-pair failures from a parallel run (``pair_errors``, ``report``),
+:class:`RetryExhaustedError` names the failing pair and its attempt
+count, and :class:`ResultCorruptionError` describes why a finished tile
+was rejected by the result guard.
 """
 
 from __future__ import annotations
@@ -38,3 +59,67 @@ class PartitionError(ReproError, RuntimeError):
 
 class SchedulerError(ReproError, RuntimeError):
     """The simulated task scheduler was driven into an invalid state."""
+
+
+class TaskFailedError(ReproError, RuntimeError):
+    """One or more tile-product tasks failed during a multiplication.
+
+    Attributes
+    ----------
+    pair:
+        The ``(tile_row, tile_col)`` pair coordinates of the failing
+        task, when the error describes a single task.
+    pair_errors:
+        ``[(pair, exception), ...]`` for aggregated parallel failures
+        collected after the worker pool drained.
+    report:
+        The (partially populated) execution report of the failed run,
+        so completed work and busy-time statistics are not lost.
+    """
+
+    def __init__(self, message, *, pair=None, pair_errors=None, report=None):
+        super().__init__(message)
+        self.pair = pair
+        self.pair_errors = list(pair_errors or [])
+        self.report = report
+
+
+class RetryExhaustedError(TaskFailedError):
+    """A task failed on every attempt its :class:`~repro.resilience.RetryPolicy` allowed.
+
+    Attributes
+    ----------
+    pair:
+        The ``(tile_row, tile_col)`` coordinates of the failing pair.
+    attempts:
+        Number of attempts performed before giving up.
+    last_error:
+        The exception raised by the final attempt.
+    """
+
+    def __init__(self, message, *, pair=None, attempts=0, last_error=None, report=None):
+        super().__init__(message, pair=pair, report=report)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class ResultCorruptionError(ReproError, RuntimeError):
+    """A finished tile failed post-execution validation.
+
+    Raised by the result guard (:mod:`repro.resilience.guard`) when a
+    finalized tile has the wrong shape, non-finite values, or a
+    population that contradicts the density estimate's bound.
+
+    Attributes
+    ----------
+    pair:
+        The ``(tile_row, tile_col)`` coordinates of the suspect pair.
+    reason:
+        Machine-readable violation tag (``"shape"``, ``"non-finite"``,
+        ``"nnz-bound"``).
+    """
+
+    def __init__(self, message, *, pair=None, reason=None):
+        super().__init__(message)
+        self.pair = pair
+        self.reason = reason

@@ -77,6 +77,10 @@ def _reference_spsp_kernel(
     out.add_triples(row0, col0, tile_rows, product.indices, product.values)
 
 
+#: Public alias used by the resilience layer's reference fallback.
+reference_spsp_kernel = _reference_spsp_kernel
+
+
 @contextmanager
 def use_reference_kernels():
     """Swap the sparse-sparse kernels for the reference implementation.

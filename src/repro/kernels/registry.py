@@ -19,6 +19,7 @@ from ..errors import ShapeError
 from ..formats.csr import CSRMatrix
 from ..formats.dense import DenseMatrix
 from ..kinds import StorageKind, kernel_name
+from ..resilience.faults import fire_corruption, fire_hooks
 from . import products
 from .accumulator import Accumulator, DenseAccumulator
 from .window import Window
@@ -130,5 +131,8 @@ def run_tile_product(
         )
     if wa.is_empty() or wb.is_empty():
         return
+    hook_extra = (row0, col0, wa.row0, wa.col0, wb.row0, wb.col0)
+    fire_hooks("kernel", hook_extra)
     kernel = get_kernel(kind_of(a), kind_of(b), out.kind)
     kernel(a, wa, b, wb, out, row0, col0)
+    fire_corruption("kernel", out, hook_extra)

@@ -1,0 +1,61 @@
+"""Resilient execution for ATMULT: faults, retries, guards, degradation.
+
+The paper's operators assume every tile product succeeds; this package
+makes the engine safe to run unattended (see ``docs/RESILIENCE.md``):
+
+* :mod:`~repro.resilience.faults` — deterministic, seeded fault
+  injection at named hook points in the kernel registry and the pair
+  executors;
+* :mod:`~repro.resilience.retry` — :class:`RetryPolicy` and the shared
+  per-pair attempt loop (bounded attempts, exponential backoff with
+  deterministic jitter, per-task deadlines);
+* :mod:`~repro.resilience.guard` — post-execution tile validation with
+  a reference-kernel fallback;
+* :mod:`~repro.resilience.degrade` — progressive write-threshold
+  escalation under memory pressure via the water-level method;
+* :mod:`~repro.resilience.report` — the structured
+  :class:`FailureReport` attached to both executors' reports.
+
+Pass ``resilience=RetryPolicy(...)`` to
+:func:`~repro.core.atmult.atmult` or
+:func:`~repro.core.parallel.parallel_atmult` to enable all of it.
+"""
+
+from .degrade import DegradationState
+from .faults import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    InjectedFaultError,
+    active_plan,
+    fire_corruption,
+    fire_hooks,
+    inject_faults,
+    stable_unit,
+    suppress_faults,
+    task_scope,
+)
+from .guard import reference_tile_product, validate_tile
+from .report import FailureReport, PairOutcome
+from .retry import ResilientPairRunner, RetryPolicy
+
+__all__ = [
+    "DegradationState",
+    "FailureReport",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "InjectedFaultError",
+    "PairOutcome",
+    "ResilientPairRunner",
+    "RetryPolicy",
+    "active_plan",
+    "fire_corruption",
+    "fire_hooks",
+    "inject_faults",
+    "reference_tile_product",
+    "stable_unit",
+    "suppress_faults",
+    "task_scope",
+    "validate_tile",
+]

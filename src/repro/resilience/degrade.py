@@ -1,0 +1,151 @@
+"""Graceful degradation of ATMULT under memory pressure.
+
+When :class:`~repro.errors.MemoryLimitError` fires mid-run — a real
+budget violation detected while materializing tiles, or a simulated
+spike injected by a fault plan — the run should not abort: paper
+section III-E's water-level machinery already knows how to trade
+density for memory.  :class:`DegradationState` keeps the shared,
+mutable view of that trade-off during one multiplication:
+
+* the current effective write threshold (starts at the value chosen up
+  front by :func:`~repro.density.water_level.water_level_threshold`);
+* the *remaining* estimated histogram — the product's block-density
+  estimate with regions of already-materialized pairs zeroed out;
+* the bytes already committed to finished tiles.
+
+``degrade()`` re-runs the water-level sweep on the remaining histogram
+against the remaining budget and installs the resulting threshold; when
+that does not strictly raise the level (or no real limit is set), it
+escalates past the least-dense block that is still eligible for dense
+storage, so every degradation step demotes at least one future dense
+target to sparse.  The failing pair itself is re-run with its
+accumulator demoted to sparse by the retry layer.  After enough steps
+the threshold reaches infinity and every remaining target is sparse —
+the sparsest layout the engine has; if even that violates the SLA, the
+end-of-run enforcement raises as before.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..density.map import DensityMap
+from ..density.water_level import water_level_threshold
+from ..errors import MemoryLimitError
+
+
+class DegradationState:
+    """Shared memory-pressure state of one resilient multiplication."""
+
+    def __init__(
+        self,
+        estimate: DensityMap | None,
+        memory_limit_bytes: float | None,
+        config: SystemConfig,
+        initial_threshold: float,
+    ) -> None:
+        self._config = config
+        if memory_limit_bytes is None or math.isinf(memory_limit_bytes):
+            self._limit: float | None = None
+        else:
+            self._limit = float(memory_limit_bytes)
+        self._estimate = estimate
+        self._remaining = estimate.grid.copy() if estimate is not None else None
+        self._completed_bytes = 0.0
+        self._threshold = float(initial_threshold)
+        self._lock = threading.Lock()
+        #: number of degradation steps performed
+        self.degradations = 0
+
+    @property
+    def threshold(self) -> float:
+        """The current effective write threshold."""
+        with self._lock:
+            return self._threshold
+
+    @property
+    def completed_bytes(self) -> float:
+        with self._lock:
+            return self._completed_bytes
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every remaining target is forced sparse."""
+        with self._lock:
+            return math.isinf(self._threshold)
+
+    def note_completed(
+        self, r0: int, r1: int, c0: int, c1: int, nbytes: float
+    ) -> None:
+        """Mark a pair region as materialized, removing it from the histogram."""
+        with self._lock:
+            self._completed_bytes += nbytes
+            if self._remaining is None or self._estimate is None:
+                return
+            block = self._estimate.block
+            br1 = -(-r1 // block)  # ceil division
+            bc1 = -(-c1 // block)
+            self._remaining[r0 // block : br1, c0 // block : bc1] = 0.0
+
+    def over_budget(self, extra_bytes: float) -> bool:
+        """Would committing ``extra_bytes`` more exceed the memory limit?"""
+        if self._limit is None:
+            return False
+        with self._lock:
+            return self._completed_bytes + extra_bytes > self._limit
+
+    def degrade(self) -> float:
+        """Raise the write threshold one step; returns the new threshold.
+
+        Strictly monotone: each call either adopts a higher water level
+        recomputed from the remaining histogram and budget, or escalates
+        past the least-dense still-dense-eligible block.
+        """
+        with self._lock:
+            self.degradations += 1
+            current = self._threshold
+            if math.isinf(current):
+                return current
+            candidate = -math.inf
+            if (
+                self._remaining is not None
+                and self._estimate is not None
+                and self._limit is not None
+            ):
+                remaining_budget = self._limit - self._completed_bytes
+                if remaining_budget > 0:
+                    remaining_map = DensityMap(
+                        self._estimate.rows,
+                        self._estimate.cols,
+                        self._estimate.block,
+                        self._remaining,
+                    )
+                    try:
+                        level = water_level_threshold(
+                            remaining_map, remaining_budget, self._config
+                        )
+                        candidate = level.threshold
+                    except MemoryLimitError:
+                        candidate = math.inf
+                else:
+                    candidate = math.inf
+            if candidate <= current:
+                candidate = self._escalate_locked(current)
+            self._threshold = float(candidate)
+            return self._threshold
+
+    def _escalate_locked(self, current: float) -> float:
+        """The lowest threshold strictly above ``current`` that demotes
+        at least one remaining dense-eligible block (or ``inf``)."""
+        if self._remaining is None:
+            return math.inf
+        eligible = self._remaining[self._remaining >= current]
+        if eligible.size == 0:
+            return math.inf
+        lowest = float(eligible.min())
+        escalated = float(np.nextafter(lowest, np.inf))
+        return escalated if escalated > current else math.inf

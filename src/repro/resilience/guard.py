@@ -1,0 +1,112 @@
+"""Result guard: validate finished tiles, fall back to reference kernels.
+
+Fast vectorized kernels are the components most likely to hide a silent
+defect (a windowing bug, a misbehaving BLAS, an injected corruption).
+The guard checks every finalized tile against invariants that are cheap
+to test and independent of the kernel implementation:
+
+* the payload shape matches the pair's region;
+* every stored value is finite;
+* the population does not exceed the region's area, nor — with a
+  generous slack — the bound implied by the density estimate.
+
+A violation raises :class:`~repro.errors.ResultCorruptionError`; the
+retry layer then re-executes the pair once through
+:func:`reference_tile_product`, which routes sparse-sparse products to
+the loop-based Gustavson oracle of :mod:`repro.kernels.reference` and
+bypasses the dynamic optimizer's conversions, with fault injection
+suppressed.  The reference result is accepted as ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..errors import ResultCorruptionError
+
+#: Estimated-density slack: a tile may exceed its estimated population by
+#: this factor before the guard calls it corrupt.  The estimate is an
+#: expectation under block independence, so real matrices overshoot it
+#: routinely — the bound only catches gross corruption (e.g. a kernel
+#: writing into the wrong region).
+NNZ_SLACK = 8.0
+
+#: Small tiles are exempt from the estimate bound: at a few hundred
+#: elements the estimator's variance dwarfs any slack factor.
+NNZ_FLOOR = 512
+
+
+def validate_tile(
+    payload: Any,
+    rows: int,
+    cols: int,
+    estimated_density: float | None = None,
+    *,
+    pair: tuple[int, int] | None = None,
+    slack: float = NNZ_SLACK,
+    floor: int = NNZ_FLOOR,
+) -> None:
+    """Check one finalized tile payload; raise on violation.
+
+    ``payload`` is a :class:`~repro.formats.dense.DenseMatrix` or
+    :class:`~repro.formats.csr.CSRMatrix` produced by an accumulator's
+    ``finalize()``.
+    """
+    if payload.shape != (rows, cols):
+        raise ResultCorruptionError(
+            f"pair {pair}: tile shape {payload.shape} != region ({rows}, {cols})",
+            pair=pair,
+            reason="shape",
+        )
+    array = getattr(payload, "array", None)
+    values = array if array is not None else payload.values
+    if values.size and not bool(np.isfinite(values).all()):
+        raise ResultCorruptionError(
+            f"pair {pair}: tile contains non-finite values",
+            pair=pair,
+            reason="non-finite",
+        )
+    area = rows * cols
+    nnz = payload.nnz
+    if nnz > area:
+        raise ResultCorruptionError(
+            f"pair {pair}: nnz {nnz} exceeds region area {area}",
+            pair=pair,
+            reason="nnz-bound",
+        )
+    if estimated_density is not None and estimated_density > 0.0:
+        allowed = min(area, max(floor, area * min(1.0, slack * estimated_density)))
+        if nnz > allowed:
+            raise ResultCorruptionError(
+                f"pair {pair}: nnz {nnz} exceeds the density estimate's bound "
+                f"{allowed:.0f} (estimated density {estimated_density:.4f}, "
+                f"slack {slack})",
+                pair=pair,
+                reason="nnz-bound",
+            )
+
+
+def reference_tile_product(
+    a: Any, wa: Any, b: Any, wb: Any, out: Any, row0: int = 0, col0: int = 0
+) -> None:
+    """Dispatch one windowed tile product through the reference path.
+
+    Sparse-sparse products run the loop-based Gustavson oracle directly
+    (no registry swap, so concurrent fallbacks cannot race on the global
+    kernel table); mixed and dense products keep the vectorized kernels,
+    which the reference suite validates independently.
+    """
+    # Late imports: resilience must stay importable from the kernel
+    # registry without a circular package initialization.
+    from ..formats.csr import CSRMatrix
+    from ..kernels.reference import reference_spsp_kernel
+    from ..kernels.registry import run_tile_product
+
+    if isinstance(a, CSRMatrix) and isinstance(b, CSRMatrix):
+        if wa.is_empty() or wb.is_empty():
+            return
+        reference_spsp_kernel(a, wa, b, wb, out, row0, col0)
+    else:
+        run_tile_product(a, wa, b, wb, out, row0, col0)

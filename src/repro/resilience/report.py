@@ -1,0 +1,136 @@
+"""Structured failure accounting for resilient ATMULT runs.
+
+Both execution reports (:class:`~repro.core.atmult.MultiplyReport` and
+:class:`~repro.core.parallel.ParallelReport`) carry a
+:class:`FailureReport` describing what went wrong and how it was
+handled: per-pair outcomes plus aggregate counters.  The invariant the
+resilience layer maintains is that every *raising* fault is accounted
+for exactly once::
+
+    raising faults == retries + degradations + failures
+
+(:class:`~repro.resilience.faults.FaultPlan.raising_count` gives the
+left-hand side when a seeded plan is active).  Non-raising faults show
+up separately: stalls as ``deadline_violations`` (when a task deadline
+is configured) and silent corruptions as ``fallbacks``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class PairOutcome:
+    """Execution outcome of one tile-row/tile-column pair task."""
+
+    pair: tuple[int, int]
+    #: total attempts, including degradation re-runs
+    attempts: int = 0
+    #: re-attempts after a transient failure
+    retries: int = 0
+    #: memory-pressure events absorbed by degrading this pair
+    degradations: int = 0
+    #: attempts discarded for exceeding the task deadline
+    deadline_violations: int = 0
+    #: reference-kernel re-executions after a guard violation
+    fallbacks: int = 0
+    #: the final attempt finished over deadline but was accepted
+    late: bool = False
+    #: the pair exhausted its retry budget
+    failed: bool = False
+    #: ``repr`` of the final error for failed pairs
+    error: str | None = None
+
+
+@dataclass
+class FailureReport:
+    """Aggregate failure statistics of one (possibly resilient) run."""
+
+    #: total pair attempts performed (>= number of pairs)
+    attempts: int = 0
+    #: transient failures recovered by re-attempting the pair
+    retries: int = 0
+    #: memory-pressure events absorbed by degradation
+    degradations: int = 0
+    #: attempts discarded for exceeding the task deadline
+    deadline_violations: int = 0
+    #: guard violations recovered via the reference kernel
+    fallbacks: int = 0
+    #: pairs that exhausted their retry budget
+    failures: int = 0
+    #: per-pair outcome details (only pairs that needed resilience, plus failures)
+    pair_outcomes: dict[tuple[int, int], PairOutcome] = field(default_factory=dict)
+    #: ``[(pair, exception), ...]`` captured when running without a policy
+    pair_errors: list[tuple[tuple[int, int], BaseException]] = field(
+        default_factory=list
+    )
+
+    @property
+    def handled(self) -> int:
+        """Faults absorbed without failing the run."""
+        return self.retries + self.degradations + self.fallbacks
+
+    @property
+    def clean(self) -> bool:
+        """True when the run needed no resilience at all."""
+        return not (
+            self.retries
+            or self.degradations
+            or self.deadline_violations
+            or self.fallbacks
+            or self.failures
+            or self.pair_errors
+        )
+
+    def record_error(self, pair: tuple[int, int], error: BaseException) -> None:
+        self.pair_errors.append((pair, error))
+
+    def merge_outcome(self, outcome: PairOutcome) -> None:
+        """Fold one pair's outcome into the aggregate counters."""
+        self.attempts += outcome.attempts
+        self.retries += outcome.retries
+        self.degradations += outcome.degradations
+        self.deadline_violations += outcome.deadline_violations
+        self.fallbacks += outcome.fallbacks
+        if outcome.failed:
+            self.failures += 1
+        if (
+            outcome.retries
+            or outcome.degradations
+            or outcome.deadline_violations
+            or outcome.fallbacks
+            or outcome.failed
+            or outcome.late
+        ):
+            self.pair_outcomes[outcome.pair] = outcome
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        if self.clean:
+            return f"clean run ({self.attempts} attempts, no faults handled)"
+        parts = [f"{self.attempts} attempts"]
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.degradations:
+            parts.append(f"{self.degradations} degradations")
+        if self.deadline_violations:
+            parts.append(f"{self.deadline_violations} deadline violations")
+        if self.fallbacks:
+            parts.append(f"{self.fallbacks} reference fallbacks")
+        if self.failures:
+            parts.append(f"{self.failures} failed pairs")
+        if self.pair_errors:
+            parts.append(f"{len(self.pair_errors)} captured errors")
+        return ", ".join(parts)
+
+
+def aggregate_message(pair_errors: list[tuple[Any, BaseException]], total: int) -> str:
+    """Message for an aggregated :class:`~repro.errors.TaskFailedError`."""
+    failed = len(pair_errors)
+    shown = ", ".join(
+        f"{pair}: {type(error).__name__}" for pair, error in pair_errors[:4]
+    )
+    suffix = ", ..." if failed > 4 else ""
+    return f"{failed} of {total} pair tasks failed ({shown}{suffix})"

@@ -1,0 +1,107 @@
+"""Tests for graceful degradation state under memory pressure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.density.map import DensityMap
+from repro.density.water_level import memory_at_threshold, water_level_threshold
+from repro.resilience.degrade import DegradationState
+
+
+def make_state(limit=None, threshold=0.0, grid=None, block=8, rows=32, cols=32):
+    config = SystemConfig(b_atomic=block)
+    if grid is None:
+        estimate = None
+    else:
+        estimate = DensityMap(rows, cols, block, np.asarray(grid, dtype=np.float64))
+    return DegradationState(estimate, limit, config, threshold), config
+
+
+def heterogeneous_grid():
+    # 4x4 blocks with distinct densities from near-empty to full.
+    return np.linspace(0.05, 1.0, 16).reshape(4, 4)
+
+
+class TestBookkeeping:
+    def test_note_completed_accumulates_bytes(self):
+        state, _ = make_state(limit=1000.0, grid=heterogeneous_grid())
+        state.note_completed(0, 8, 0, 8, 300.0)
+        state.note_completed(8, 16, 0, 8, 200.0)
+        assert state.completed_bytes == 500.0
+
+    def test_note_completed_zeroes_region(self):
+        state, _ = make_state(limit=1000.0, grid=heterogeneous_grid())
+        state.note_completed(0, 16, 0, 16, 10.0)
+        assert (state._remaining[:2, :2] == 0.0).all()
+        assert (state._remaining[2:, :] > 0.0).all()
+
+    def test_over_budget(self):
+        state, _ = make_state(limit=1000.0, grid=heterogeneous_grid())
+        assert not state.over_budget(1000.0)
+        assert state.over_budget(1001.0)
+        state.note_completed(0, 8, 0, 8, 600.0)
+        assert state.over_budget(500.0)
+
+    def test_no_limit_never_over_budget(self):
+        state, _ = make_state(limit=None, grid=heterogeneous_grid())
+        assert not state.over_budget(1e18)
+
+
+class TestDegrade:
+    def test_monotone_to_infinity(self):
+        state, _ = make_state(limit=None, threshold=0.0, grid=heterogeneous_grid())
+        previous = state.threshold
+        for _ in range(40):
+            new = state.degrade()
+            assert new > previous or math.isinf(new)
+            if math.isinf(new):
+                break
+            previous = new
+        assert state.exhausted
+        # 16 distinct block densities: at most 17 steps to infinity.
+        assert state.degradations <= 17
+
+    def test_recomputes_from_remaining_histogram(self):
+        grid = heterogeneous_grid()
+        state, config = make_state(limit=None, threshold=0.0, grid=grid)
+        # Give the state a real limit sized so that after "spending" most
+        # of it, the water level must rise above the initial threshold.
+        estimate = DensityMap(32, 32, 8, grid)
+        full = water_level_threshold(estimate, None, config)
+        limit = memory_at_threshold(estimate, 0.5, config)
+        state, config = make_state(limit=limit, threshold=full.threshold, grid=grid)
+        spent = 0.08 * limit
+        state.note_completed(0, 8, 0, 32, spent)
+        new = state.degrade()
+        assert new > full.threshold
+        assert not math.isinf(new)
+        # The recomputed level must keep the remaining blocks within the
+        # remaining budget.
+        remaining_map = DensityMap(32, 32, 8, state._remaining)
+        assert memory_at_threshold(remaining_map, new, config) <= limit - spent + 1e-9
+
+    def test_escalation_demotes_at_least_one_block(self):
+        grid = heterogeneous_grid()
+        state, _ = make_state(limit=None, threshold=0.5, grid=grid)
+        new = state.degrade()
+        dense_before = (grid >= 0.5).sum()
+        dense_after = (grid >= new).sum()
+        assert dense_after < dense_before
+
+    def test_without_estimate_escalates_to_infinity(self):
+        state, _ = make_state(limit=None, threshold=0.3, grid=None)
+        assert math.isinf(state.degrade())
+        assert state.exhausted
+
+    def test_degrade_after_exhaustion_stays_infinite(self):
+        state, _ = make_state(limit=None, threshold=0.3, grid=None)
+        state.degrade()
+        assert math.isinf(state.degrade())
+
+    def test_exhausted_budget_jumps_to_infinity(self):
+        state, _ = make_state(limit=100.0, threshold=0.2, grid=heterogeneous_grid())
+        state.note_completed(0, 8, 0, 8, 200.0)  # already over the limit
+        assert math.isinf(state.degrade())

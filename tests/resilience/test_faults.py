@@ -1,0 +1,158 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, MemoryLimitError
+from repro.kernels.accumulator import DenseAccumulator, SparseAccumulator
+from repro.resilience.faults import (
+    FaultKind,
+    FaultPlan,
+    InjectedFaultError,
+    active_plan,
+    fire_corruption,
+    fire_hooks,
+    inject_faults,
+    stable_unit,
+    suppress_faults,
+    task_scope,
+)
+
+
+def fire_pattern(plan, sites=40):
+    """Which of ``sites`` hook firings raise, as a boolean list."""
+    pattern = []
+    with inject_faults(plan):
+        for i in range(sites):
+            with task_scope((0, i), 1):
+                try:
+                    fire_hooks("kernel", i)
+                    pattern.append(False)
+                except InjectedFaultError:
+                    pattern.append(True)
+    return pattern
+
+
+class TestStableUnit:
+    def test_deterministic(self):
+        assert stable_unit(1, "a", (2, 3)) == stable_unit(1, "a", (2, 3))
+
+    def test_distinct_inputs_differ(self):
+        draws = {stable_unit(seed, "site") for seed in range(100)}
+        assert len(draws) == 100
+
+    def test_in_unit_interval(self):
+        for seed in range(50):
+            assert 0.0 <= stable_unit(seed) < 1.0
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(0, kernel_error_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(0, memory_pressure_rate=-0.1)
+        with pytest.raises(ConfigError):
+            FaultPlan(0, stall_seconds=-1.0)
+
+    def test_same_seed_same_pattern(self):
+        first = fire_pattern(FaultPlan(7, kernel_error_rate=0.3))
+        second = fire_pattern(FaultPlan(7, kernel_error_rate=0.3))
+        assert first == second
+        assert any(first)
+        assert not all(first)
+
+    def test_different_seed_different_pattern(self):
+        assert fire_pattern(FaultPlan(7, kernel_error_rate=0.3)) != fire_pattern(
+            FaultPlan(8, kernel_error_rate=0.3)
+        )
+
+    def test_zero_rate_never_fires(self):
+        plan = FaultPlan(7)
+        assert not any(fire_pattern(plan))
+        assert plan.injected == 0
+
+    def test_full_rate_always_fires(self):
+        plan = FaultPlan(7, kernel_error_rate=1.0)
+        assert all(fire_pattern(plan))
+        assert plan.count(FaultKind.KERNEL_ERROR) == 40
+
+    def test_events_recorded_with_context(self):
+        plan = FaultPlan(3, kernel_error_rate=1.0)
+        with inject_faults(plan), task_scope((2, 5), 4):
+            with pytest.raises(InjectedFaultError) as excinfo:
+                fire_hooks("kernel", "extra")
+        assert excinfo.value.pair == (2, 5)
+        event = plan.events[0]
+        assert event.task == (2, 5)
+        assert event.iteration == 4
+        assert event.site == "kernel"
+        assert plan.raising_count == 1
+
+    def test_reset_clears_events(self):
+        plan = FaultPlan(7, kernel_error_rate=1.0)
+        fire_pattern(plan)
+        plan.reset()
+        assert plan.injected == 0
+
+    def test_memory_pressure_raises_memory_limit_error(self):
+        plan = FaultPlan(1, memory_pressure_rate=1.0)
+        with inject_faults(plan), pytest.raises(MemoryLimitError):
+            fire_hooks("pair", (0, 0))
+        assert plan.count(FaultKind.MEMORY_PRESSURE) == 1
+
+    def test_stall_records_without_raising(self):
+        plan = FaultPlan(1, stall_rate=1.0, stall_seconds=0.0)
+        with inject_faults(plan):
+            fire_hooks("kernel")
+        assert plan.count(FaultKind.STALL) == 1
+
+
+class TestActivation:
+    def test_no_plan_is_noop(self):
+        assert active_plan() is None
+        fire_hooks("kernel")  # must not raise
+
+    def test_context_restores_previous(self):
+        plan = FaultPlan(0)
+        with inject_faults(plan):
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with inject_faults(FaultPlan(0)):
+                raise RuntimeError("boom")
+        assert active_plan() is None
+
+    def test_suppress_faults(self):
+        plan = FaultPlan(0, kernel_error_rate=1.0, corruption_rate=1.0)
+        accumulator = DenseAccumulator(4, 4)
+        with inject_faults(plan), suppress_faults():
+            fire_hooks("kernel")
+            fire_corruption("kernel", accumulator)
+        assert plan.injected == 0
+        assert np.isfinite(accumulator.array).all()
+
+
+class TestCorruption:
+    def test_pokes_nan_into_dense_accumulator(self):
+        accumulator = DenseAccumulator(4, 4)
+        plan = FaultPlan(0, corruption_rate=1.0)
+        with inject_faults(plan):
+            fire_corruption("kernel", accumulator)
+        assert np.isnan(accumulator.array).any()
+        assert plan.count(FaultKind.CORRUPTION) == 1
+
+    def test_pokes_nan_into_sparse_accumulator(self):
+        accumulator = SparseAccumulator(4, 4)
+        plan = FaultPlan(0, corruption_rate=1.0)
+        with inject_faults(plan):
+            fire_corruption("kernel", accumulator)
+        payload = accumulator.finalize()
+        assert np.isnan(payload.values).any()
+
+    def test_silent(self):
+        plan = FaultPlan(0, corruption_rate=1.0)
+        with inject_faults(plan):
+            fire_corruption("kernel", DenseAccumulator(2, 2))  # no exception

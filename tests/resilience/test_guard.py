@@ -1,0 +1,117 @@
+"""Tests for the result guard and the reference fallback path."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ResultCorruptionError
+from repro.formats.csr import CSRMatrix
+from repro.formats.dense import DenseMatrix
+from repro.kernels.accumulator import DenseAccumulator, SparseAccumulator
+from repro.kernels.registry import run_tile_product
+from repro.kernels.window import Window
+from repro.resilience.guard import reference_tile_product, validate_tile
+
+from ..conftest import as_csr
+
+
+def dense_payload(array):
+    return DenseMatrix(np.asarray(array, dtype=np.float64))
+
+
+class TestValidateTile:
+    def test_accepts_clean_dense_tile(self):
+        validate_tile(dense_payload(np.ones((4, 4))), 4, 4, estimated_density=1.0)
+
+    def test_accepts_clean_sparse_tile(self):
+        payload = as_csr(np.eye(5))
+        validate_tile(payload, 5, 5, estimated_density=0.2)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ResultCorruptionError) as excinfo:
+            validate_tile(dense_payload(np.ones((4, 4))), 4, 8, pair=(1, 2))
+        assert excinfo.value.reason == "shape"
+        assert excinfo.value.pair == (1, 2)
+
+    def test_rejects_nan_dense(self):
+        array = np.ones((4, 4))
+        array[2, 3] = np.nan
+        with pytest.raises(ResultCorruptionError) as excinfo:
+            validate_tile(dense_payload(array), 4, 4)
+        assert excinfo.value.reason == "non-finite"
+
+    def test_rejects_inf_sparse(self):
+        array = np.eye(4)
+        array[0, 0] = np.inf
+        with pytest.raises(ResultCorruptionError) as excinfo:
+            validate_tile(as_csr(array), 4, 4)
+        assert excinfo.value.reason == "non-finite"
+
+    def test_rejects_nnz_over_estimate_bound(self):
+        # A full 64x64 tile against a near-empty estimate: 4096 nnz vs
+        # a floor of 512 and an estimated allowance of 4096 * 8 * 0.001.
+        payload = dense_payload(np.ones((64, 64)))
+        with pytest.raises(ResultCorruptionError) as excinfo:
+            validate_tile(payload, 64, 64, estimated_density=0.001)
+        assert excinfo.value.reason == "nnz-bound"
+
+    def test_floor_exempts_small_tiles(self):
+        # 100 nnz is under the 512-element floor, so even a tiny
+        # estimate must not flag it.
+        payload = as_csr(np.eye(100))
+        validate_tile(payload, 100, 100, estimated_density=1e-6)
+
+    def test_no_estimate_skips_density_bound(self):
+        validate_tile(dense_payload(np.ones((64, 64))), 64, 64, estimated_density=None)
+
+
+class TestReferenceTileProduct:
+    def setup_method(self):
+        rng = np.random.default_rng(11)
+        self.a = (rng.random((16, 16)) < 0.3) * rng.random((16, 16))
+        self.b = (rng.random((16, 16)) < 0.3) * rng.random((16, 16))
+        self.config = SystemConfig(b_atomic=16)
+
+    def test_spsp_matches_vectorized(self):
+        a = as_csr(self.a)
+        b = as_csr(self.b)
+        wa = Window(0, 16, 0, 16)
+        wb = Window(0, 16, 0, 16)
+        expected = DenseAccumulator(16, 16)
+        run_tile_product(a, wa, b, wb, expected)
+        got = DenseAccumulator(16, 16)
+        reference_tile_product(a, wa, b, wb, got)
+        np.testing.assert_allclose(
+            got.finalize().to_dense(), expected.finalize().to_dense(), atol=1e-12
+        )
+
+    def test_spsp_sparse_accumulator(self):
+        a = as_csr(self.a)
+        b = as_csr(self.b)
+        wa = Window(0, 16, 0, 16)
+        wb = Window(0, 16, 0, 16)
+        out = SparseAccumulator(16, 16)
+        reference_tile_product(a, wa, b, wb, out)
+        np.testing.assert_allclose(
+            out.finalize().to_dense(), self.a @ self.b, atol=1e-12
+        )
+
+    def test_mixed_kinds_fall_through_to_registry(self):
+        a = DenseMatrix(self.a)
+        b = as_csr(self.b)
+        wa = Window(0, 16, 0, 16)
+        wb = Window(0, 16, 0, 16)
+        out = DenseAccumulator(16, 16)
+        reference_tile_product(a, wa, b, wb, out)
+        np.testing.assert_allclose(
+            out.finalize().to_dense(), self.a @ self.b, atol=1e-12
+        )
+
+    def test_empty_window_is_noop(self):
+        a = as_csr(np.zeros((16, 16)))
+        b = as_csr(self.b)
+        wa = Window(0, 0, 0, 0)
+        wb = Window(0, 16, 0, 16)
+        out = DenseAccumulator(16, 16)
+        reference_tile_product(a, wa, b, wb, out)
+        assert out.finalize().nnz == 0

@@ -71,6 +71,69 @@ class TestMultiply:
         )
         assert code == 0
 
+    def test_fault_injection_with_retries(self, mtx_file, tmp_path, capsys):
+        path, array = mtx_file
+        out_path = tmp_path / "c.mtx"
+        code = main(
+            ["multiply", str(path), str(path), "-o", str(out_path),
+             "--llc-kib", "8", "--inject-faults", "2", "--max-retries", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resilience:" in out
+        assert "faults injected" in out
+        result = read_matrix_market(out_path)
+        np.testing.assert_allclose(result.to_dense(), array @ array, atol=1e-8)
+
+    def test_max_retries_without_faults(self, mtx_file, capsys):
+        path, _ = mtx_file
+        code = main(
+            ["multiply", str(path), str(path), "--llc-kib", "8",
+             "--max-retries", "2", "--task-deadline", "30"]
+        )
+        assert code == 0
+        assert "resilience:" in capsys.readouterr().out
+
+
+class TestArgumentValidation:
+    """Satellite 2: reject nonsensical numeric arguments up front."""
+
+    def test_negative_memory_limit(self, mtx_file, capsys):
+        path, _ = mtx_file
+        code = main(
+            ["multiply", str(path), str(path), "--memory-limit-mb", "-5"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_read_threshold_above_one(self, mtx_file, capsys):
+        path, _ = mtx_file
+        code = main(
+            ["multiply", str(path), str(path), "--read-threshold", "1.5"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_zero_max_retries(self, mtx_file, capsys):
+        path, _ = mtx_file
+        code = main(["multiply", str(path), str(path), "--max-retries", "0"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_non_power_of_two_b_atomic(self, mtx_file, capsys):
+        path, _ = mtx_file
+        code = main(["multiply", str(path), str(path), "--b-atomic", "17"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_negative_task_deadline(self, mtx_file, capsys):
+        path, _ = mtx_file
+        code = main(
+            ["multiply", str(path), str(path), "--task-deadline", "-1"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
 
 class TestAdvise:
     def test_prints_recommendation(self, mtx_file, capsys):
