@@ -17,7 +17,6 @@ import pytest
 from repro import COOMatrix, SystemConfig, atmult, build_at_matrix
 from repro.bench import format_table
 from repro.core.retile import align_to_operand
-from repro.formats import coo_to_dense
 
 from .conftest import register_report, BENCH_CONFIG, bench_once, selected_keys
 

@@ -21,7 +21,6 @@ from collections import defaultdict
 import pytest
 
 from repro import SystemConfig, build_at_matrix
-from repro.core.atmult import as_at_matrix
 from repro.formats import coo_to_csr, coo_to_dense
 from repro.generate import load_matrix, suite_keys
 

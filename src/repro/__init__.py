@@ -43,6 +43,20 @@ from .resilience import (
     RetryPolicy,
     inject_faults,
 )
+from .observe import (
+    CostAccuracyTracker,
+    MetricsRegistry,
+    Observation,
+    Span,
+    Tracer,
+    observe,
+    to_chrome_trace,
+    to_json_dict,
+    to_text_summary,
+    write_chrome_trace,
+    write_json,
+    write_text_summary,
+)
 from .formats import (
     COOMatrix,
     load_at_matrix,
@@ -53,9 +67,11 @@ from .formats import (
     write_matrix_market,
 )
 from .density import DensityMap, estimate_product_density, water_level_threshold
-from .cost import CostCoefficients, CostModel, calibrate
+from .cost import CostCoefficients, CostModel, calibrate, refine_from_observation
 from .core import (
     ATMatrix,
+    BaseReport,
+    ParallelReport,
     ChainPlan,
     align_to_operand,
     multiply_chain,
@@ -125,11 +141,26 @@ __all__ = [
     "CostModel",
     "CostCoefficients",
     "calibrate",
+    "refine_from_observation",
     "ATMatrix",
     "ATMatrixBuilder",
     "BuildReport",
     "Tile",
+    "BaseReport",
     "MultiplyReport",
+    "ParallelReport",
+    "Observation",
+    "observe",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "CostAccuracyTracker",
+    "to_json_dict",
+    "to_chrome_trace",
+    "to_text_summary",
+    "write_json",
+    "write_chrome_trace",
+    "write_text_summary",
     "atmult",
     "multiply",
     "build_at_matrix",

@@ -138,26 +138,34 @@ def _resilience_from_args(args: argparse.Namespace):
 def cmd_multiply(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
+    from .observe import activate, Observation, write_chrome_trace, write_json
     from .resilience import inject_faults
 
     config = _config_from_args(args)
-    a_staged = read_matrix_market(args.a).sum_duplicates()
-    b_staged = (
-        a_staged if args.b == args.a
-        else read_matrix_market(args.b).sum_duplicates()
+    observer = (
+        Observation() if args.trace_out or args.metrics_out else None
     )
-    builder = ATMatrixBuilder(config, args.read_threshold)
-    a = builder.build(a_staged)
-    b = a if b_staged is a_staged else builder.build(b_staged)
-    limit = args.memory_limit_mb * 1e6 if args.memory_limit_mb else None
-    policy, plan = _resilience_from_args(args)
-    context = inject_faults(plan) if plan is not None else nullcontext()
-    start = time.perf_counter()
-    with context:
-        result, report = atmult(
-            a, b, config=config, memory_limit_bytes=limit, resilience=policy
+    # Activate before partitioning so the partition spans land in the
+    # trace alongside the multiplication phases.
+    observe_context = activate(observer) if observer is not None else nullcontext()
+    with observe_context:
+        a_staged = read_matrix_market(args.a).sum_duplicates()
+        b_staged = (
+            a_staged if args.b == args.a
+            else read_matrix_market(args.b).sum_duplicates()
         )
-    elapsed = time.perf_counter() - start
+        builder = ATMatrixBuilder(config, args.read_threshold)
+        a = builder.build(a_staged)
+        b = a if b_staged is a_staged else builder.build(b_staged)
+        limit = args.memory_limit_mb * 1e6 if args.memory_limit_mb else None
+        policy, plan = _resilience_from_args(args)
+        context = inject_faults(plan) if plan is not None else nullcontext()
+        start = time.perf_counter()
+        with context:
+            result, report = atmult(
+                a, b, config=config, memory_limit_bytes=limit, resilience=policy
+            )
+        elapsed = time.perf_counter() - start
     print(f"C = A x B: {result.rows} x {result.cols}, nnz={result.nnz}, "
           f"{elapsed:.3f} s")
     print(f"  estimation {report.estimate_fraction:.1%}, "
@@ -168,6 +176,14 @@ def cmd_multiply(args: argparse.Namespace) -> int:
     if policy is not None:
         injected = f", {plan.injected} faults injected" if plan is not None else ""
         print(f"  resilience: {report.failure.summary()}{injected}")
+    if observer is not None:
+        if args.trace_out:
+            write_chrome_trace(observer, args.trace_out)
+            print(f"  trace written to {args.trace_out} "
+                  f"({len(observer.tracer)} spans; load in Perfetto)")
+        if args.metrics_out:
+            write_json(observer, args.metrics_out)
+            print(f"  metrics written to {args.metrics_out}")
     if args.output:
         write_matrix_market(result.to_coo(), args.output,
                             comment="produced by repro ATMULT")
@@ -280,6 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="SEED",
                           help="inject deterministic transient kernel faults "
                                "(10%% rate) from SEED, for chaos testing")
+    multiply.add_argument("--trace-out", default=None, metavar="FILE",
+                          help="write a Chrome trace-event JSON of the run "
+                               "(open in Perfetto / chrome://tracing)")
+    multiply.add_argument("--metrics-out", default=None, metavar="FILE",
+                          help="write the full observation (metrics, spans, "
+                               "cost-model accuracy) as JSON")
     _add_config_arguments(multiply)
     multiply.set_defaults(handler=cmd_multiply)
 

@@ -6,14 +6,16 @@ from .partition import QuadtreePartitioner, TileSpec
 from .builder import ATMatrixBuilder, BuildReport, build_at_matrix
 from .fixed import fixed_grid_at_matrix
 from .optimizer import DynamicOptimizer, OptimizerStats
-from .atmult import MultiplyReport, as_at_matrix, atmult, multiply, operand_density_map
+from .report import BaseReport, MultiplyReport, ParallelReport
+from .atmult import as_at_matrix, atmult, multiply, operand_density_map
 from .chain import ChainPlan, multiply_chain, plan_chain
 from .retile import align_to_operand, retile, split_tiles_at_cols
 from .arith import add, scale
 from .atmv import PowerIterationResult, atmv, atmv_transposed, power_iteration
-from .parallel import ParallelReport, parallel_atmult
+from .parallel import parallel_atmult
 
 __all__ = [
+    "BaseReport",
     "Tile",
     "ATMatrix",
     "QuadtreePartitioner",

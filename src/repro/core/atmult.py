@@ -19,6 +19,11 @@ memory for sub-half densities, honoring the memory SLA requires the
 them with ``max``.  With an unbounded memory limit the water level drops
 to 0 and the static ``rho0_W`` decides alone, which reproduces the
 paper's described behavior in both regimes.
+
+Observability: pass ``observer=`` (or run inside ``repro.observe()``) to
+record estimate/water-level/pair/optimize/kernel spans, the metric
+catalogue of docs/OBSERVABILITY.md, and per-product predicted-vs-measured
+cost samples.  With no active session every hook is a strict no-op.
 """
 
 from __future__ import annotations
@@ -34,28 +39,31 @@ from ..config import DEFAULT_CONFIG, SystemConfig
 from ..cost.model import CostModel
 from ..density.estimate import coarsen, estimate_product_density
 from ..density.map import DensityMap
-from ..density.water_level import WaterLevelResult, water_level_threshold
+from ..density.water_level import water_level_threshold
 from ..errors import MemoryLimitError, ShapeError
-from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from ..formats.dense import DenseMatrix
 from ..kernels.accumulator import DenseAccumulator, make_accumulator
 from ..kernels.registry import run_tile_product
 from ..kernels.window import Window
 from ..kinds import StorageKind, kernel_name
+from ..observe import Observation
+from ..observe import session as observe_session
 from ..resilience.degrade import DegradationState
 from ..resilience.faults import fire_hooks, task_scope
 from ..resilience.guard import reference_tile_product, validate_tile
-from ..resilience.report import FailureReport
 from ..resilience.retry import ResilientPairRunner, RetryPolicy
 from ..topology.trace import TaskRecord
 from .atmatrix import ATMatrix
 from .optimizer import DynamicOptimizer
+from .report import MultiplyReport
 from .tile import Tile
 
 logger = logging.getLogger("repro.atmult")
 
 MatrixOperand = ATMatrix | CSRMatrix | DenseMatrix
+
+_span = observe_session.tracer_span
 
 
 @dataclass
@@ -71,43 +79,6 @@ class _PairStats:
 class _SeqPairResult(NamedTuple):
     tile: Tile | None
     stats: _PairStats
-
-
-@dataclass
-class MultiplyReport:
-    """Phase timing and optimizer statistics of one ATMULT run.
-
-    The three phases mirror the paper's runtime breakdown (Figs. 8b, 9c,
-    9d): density estimation, dynamic optimization (decisions, water level
-    and just-in-time conversions), and the tile multiplications proper.
-    """
-
-    estimate_seconds: float = 0.0
-    optimize_seconds: float = 0.0
-    multiply_seconds: float = 0.0
-    conversions: int = 0
-    write_threshold: float = 0.0
-    water_level: WaterLevelResult | None = None
-    kernel_counts: dict[str, int] = field(default_factory=dict)
-    tasks: list[TaskRecord] = field(default_factory=list)
-    #: structured resilience accounting (always present; empty on clean runs)
-    failure: FailureReport = field(default_factory=FailureReport)
-
-    @property
-    def total_seconds(self) -> float:
-        return self.estimate_seconds + self.optimize_seconds + self.multiply_seconds
-
-    @property
-    def estimate_fraction(self) -> float:
-        """Share of total runtime spent estimating densities."""
-        total = self.total_seconds
-        return self.estimate_seconds / total if total else 0.0
-
-    @property
-    def optimize_fraction(self) -> float:
-        """Share of total runtime spent optimizing (incl. conversions)."""
-        total = self.total_seconds
-        return self.optimize_seconds / total if total else 0.0
 
 
 def as_at_matrix(operand: MatrixOperand, config: SystemConfig) -> ATMatrix:
@@ -166,6 +137,7 @@ def atmult(
     dynamic_conversion: bool = True,
     use_estimation: bool = True,
     resilience: RetryPolicy | None = None,
+    observer: Observation | None = None,
 ) -> tuple[ATMatrix, MultiplyReport]:
     """Multiply ``C' = C + A x B`` with tile-granular optimization.
 
@@ -195,6 +167,11 @@ def atmult(
         ``None`` keeps the fail-fast behavior.  Exhausted pairs raise
         :class:`~repro.errors.RetryExhaustedError`; outcomes land in
         ``report.failure``.
+    observer:
+        An :class:`~repro.observe.Observation` to record spans, metrics
+        and cost-accuracy samples into; it is activated as the ambient
+        session for the duration of the call.  ``None`` records into
+        the already-active session, if any.
 
     Returns
     -------
@@ -207,7 +184,35 @@ def atmult(
         raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
     if c is not None and c.shape != (a.rows, b.cols):
         raise ShapeError(f"C shape {c.shape} != result shape {(a.rows, b.cols)}")
-    report = MultiplyReport()
+    with observe_session.resolve(observer) as obs:
+        return _atmult(
+            a,
+            b,
+            c,
+            config=config,
+            cost_model=cost_model,
+            memory_limit_bytes=memory_limit_bytes,
+            dynamic_conversion=dynamic_conversion,
+            use_estimation=use_estimation,
+            resilience=resilience,
+            obs=obs,
+        )
+
+
+def _atmult(
+    a: MatrixOperand,
+    b: MatrixOperand,
+    c: MatrixOperand | None,
+    *,
+    config: SystemConfig,
+    cost_model: CostModel,
+    memory_limit_bytes: float | None,
+    dynamic_conversion: bool,
+    use_estimation: bool,
+    resilience: RetryPolicy | None,
+    obs: Observation | None,
+) -> tuple[ATMatrix, MultiplyReport]:
+    report = MultiplyReport(observation=obs)
 
     at_a = as_at_matrix(a, config)
     at_b = as_at_matrix(b, config)
@@ -217,22 +222,30 @@ def atmult(
     estimate: DensityMap | None = None
     if use_estimation:
         start = time.perf_counter()
-        map_a = operand_density_map(at_a, config)
-        map_b = operand_density_map(at_b, config)
-        estimate = estimate_product_density(map_a, map_b)
+        with _span(obs, "estimate"):
+            map_a = operand_density_map(at_a, config)
+            map_b = operand_density_map(at_b, config)
+            estimate = estimate_product_density(map_a, map_b)
         report.estimate_seconds = time.perf_counter() - start
 
     # -- phase 2: write threshold via the water level (line 3) --------------
     start = time.perf_counter()
-    if estimate is not None:
-        level = water_level_threshold(estimate, memory_limit_bytes, config)
-        report.water_level = level
-        write_threshold = max(cost_model.write_threshold, level.threshold)
-    else:
-        write_threshold = float("inf")  # no estimation: sparse targets only
+    with _span(obs, "water_level"):
+        if estimate is not None:
+            level = water_level_threshold(estimate, memory_limit_bytes, config)
+            report.water_level = level
+            write_threshold = max(cost_model.write_threshold, level.threshold)
+        else:
+            write_threshold = float("inf")  # no estimation: sparse targets only
     report.write_threshold = write_threshold
     optimizer = DynamicOptimizer(cost_model, enabled=dynamic_conversion)
     report.optimize_seconds += time.perf_counter() - start
+    if obs is not None:
+        obs.metrics.gauge("water_level.threshold").set(
+            write_threshold if np.isfinite(write_threshold) else -1.0
+        )
+        if memory_limit_bytes is not None:
+            obs.metrics.gauge("memory.limit_bytes").set(memory_limit_bytes)
 
     # -- phase 3: tile loop (lines 4-10) ---------------------------------------
     row_cuts = at_a.row_cuts()
@@ -254,117 +267,140 @@ def atmult(
         """One full pair computation (one attempt), stats kept local so a
         retried attempt cannot double-count into the report."""
         stats = _PairStats()
-        fire_hooks("pair", (ti, tj))
-        r0, r1 = row_cuts[ti], row_cuts[ti + 1]
-        c0, c1 = col_cuts[tj], col_cuts[tj + 1]
-        a_strip = at_a.tiles_overlapping(r0, r1, 0, at_a.cols)
-        team_node = a_strip[0].numa_node if a_strip else 0
-        b_strip = at_b.tiles_overlapping(0, at_b.rows, c0, c1)
-
-        rho_c = estimate.region_density(r0, r1, c0, c1) if estimate is not None else 0.0
-        threshold = (
-            degradation.threshold if degradation is not None else write_threshold
+        attrs = (
+            {"ti": ti, "tj": tj, "force_sparse": force_sparse}
+            if obs is not None
+            else None
         )
-        c_kind = (
-            StorageKind.SPARSE
-            if force_sparse or rho_c < threshold
-            else StorageKind.DENSE
-        )
-        accumulator = make_accumulator(c_kind, r1 - r0, c1 - c0)
+        with _span(obs, "pair", "pair", attrs):
+            fire_hooks("pair", (ti, tj))
+            r0, r1 = row_cuts[ti], row_cuts[ti + 1]
+            c0, c1 = col_cuts[tj], col_cuts[tj + 1]
+            a_strip = at_a.tiles_overlapping(r0, r1, 0, at_a.cols)
+            team_node = a_strip[0].numa_node if a_strip else 0
+            b_strip = at_b.tiles_overlapping(0, at_b.rows, c0, c1)
 
-        if at_c is not None:
-            _seed_accumulator(accumulator, at_c, r0, r1, c0, c1)
-
-        wrote_any = accumulator.writes > 0
-        for a_tile in a_strip:
-            for b_tile in b_strip:
-                k0 = max(a_tile.col0, b_tile.row0)
-                k1 = min(a_tile.col1, b_tile.row1)
-                if k0 >= k1:
-                    continue
-                wa = Window(
-                    max(r0, a_tile.row0) - a_tile.row0,
-                    min(r1, a_tile.row1) - a_tile.row0,
-                    k0 - a_tile.col0,
-                    k1 - a_tile.col0,
-                )
-                wb = Window(
-                    k0 - b_tile.row0,
-                    k1 - b_tile.row0,
-                    max(c0, b_tile.col0) - b_tile.col0,
-                    min(c1, b_tile.col1) - b_tile.col0,
-                )
-                target_row = max(r0, a_tile.row0) - r0
-                target_col = max(c0, b_tile.col0) - c0
-                start = time.perf_counter()
-                if use_reference:
-                    payload_a, payload_b = a_tile.data, b_tile.data
-                    opt_elapsed = time.perf_counter() - start
-                    start = time.perf_counter()
-                    reference_tile_product(
-                        payload_a, wa, payload_b, wb, accumulator,
-                        target_row, target_col,
-                    )
-                else:
-                    payload_a, payload_b = optimizer.choose(
-                        a_tile, b_tile, c_kind, wa.rows, wa.cols, wb.cols, rho_c
-                    )
-                    opt_elapsed = time.perf_counter() - start
-                    start = time.perf_counter()
-                    run_tile_product(
-                        payload_a, wa, payload_b, wb, accumulator,
-                        target_row, target_col,
-                    )
-                mult_elapsed = time.perf_counter() - start
-                stats.multiply_seconds += mult_elapsed
-                stats.optimize_seconds += opt_elapsed
-
-                name = kernel_name(
-                    _payload_kind(payload_a), _payload_kind(payload_b), c_kind
-                )
-                stats.kernel_counts[name] = stats.kernel_counts.get(name, 0) + 1
-                stats.tasks.append(
-                    TaskRecord(
-                        pair=(ti, tj),
-                        team_node=team_node,
-                        seconds=opt_elapsed + mult_elapsed,
-                        bytes_by_node={
-                            a_tile.numa_node: a_tile.memory_bytes(),
-                            b_tile.numa_node: b_tile.memory_bytes(),
-                        },
-                    )
-                )
-                wrote_any = True
-
-        start = time.perf_counter()
-        tile: Tile | None = None
-        if wrote_any:
-            payload = accumulator.finalize()
-            if payload.nnz or isinstance(accumulator, DenseAccumulator):
-                candidate = Tile(
-                    r0,
-                    c0,
-                    r1 - r0,
-                    c1 - c0,
-                    c_kind,
-                    payload,
-                    numa_node=team_node,
-                )
-                if candidate.nnz:
-                    tile = candidate
-        stats.multiply_seconds += time.perf_counter() - start
-        if (
-            degradation is not None
-            and not force_sparse
-            and tile is not None
-            and tile.kind is StorageKind.DENSE
-            and degradation.over_budget(tile.memory_bytes())
-        ):
-            raise MemoryLimitError(
-                f"pair {(ti, tj)} dense tile of {tile.memory_bytes()} B "
-                f"would exceed the memory budget"
+            rho_c = (
+                estimate.region_density(r0, r1, c0, c1)
+                if estimate is not None
+                else 0.0
             )
-        return _SeqPairResult(tile, stats)
+            threshold = (
+                degradation.threshold if degradation is not None else write_threshold
+            )
+            c_kind = (
+                StorageKind.SPARSE
+                if force_sparse or rho_c < threshold
+                else StorageKind.DENSE
+            )
+            accumulator = make_accumulator(c_kind, r1 - r0, c1 - c0)
+
+            if at_c is not None:
+                _seed_accumulator(accumulator, at_c, r0, r1, c0, c1)
+
+            wrote_any = accumulator.writes > 0
+            for a_tile in a_strip:
+                for b_tile in b_strip:
+                    k0 = max(a_tile.col0, b_tile.row0)
+                    k1 = min(a_tile.col1, b_tile.row1)
+                    if k0 >= k1:
+                        continue
+                    wa = Window(
+                        max(r0, a_tile.row0) - a_tile.row0,
+                        min(r1, a_tile.row1) - a_tile.row0,
+                        k0 - a_tile.col0,
+                        k1 - a_tile.col0,
+                    )
+                    wb = Window(
+                        k0 - b_tile.row0,
+                        k1 - b_tile.row0,
+                        max(c0, b_tile.col0) - b_tile.col0,
+                        min(c1, b_tile.col1) - b_tile.col0,
+                    )
+                    target_row = max(r0, a_tile.row0) - r0
+                    target_col = max(c0, b_tile.col0) - c0
+                    start = time.perf_counter()
+                    if use_reference:
+                        payload_a, payload_b = a_tile.data, b_tile.data
+                        opt_elapsed = time.perf_counter() - start
+                        start = time.perf_counter()
+                        reference_tile_product(
+                            payload_a, wa, payload_b, wb, accumulator,
+                            target_row, target_col,
+                        )
+                    else:
+                        with _span(obs, "optimize", "optimize"):
+                            payload_a, payload_b = optimizer.choose(
+                                a_tile, b_tile, c_kind, wa.rows, wa.cols, wb.cols,
+                                rho_c,
+                            )
+                        opt_elapsed = time.perf_counter() - start
+                        start = time.perf_counter()
+                        run_tile_product(
+                            payload_a, wa, payload_b, wb, accumulator,
+                            target_row, target_col,
+                        )
+                    mult_elapsed = time.perf_counter() - start
+                    stats.multiply_seconds += mult_elapsed
+                    stats.optimize_seconds += opt_elapsed
+
+                    kind_a = _payload_kind(payload_a)
+                    kind_b = _payload_kind(payload_b)
+                    name = kernel_name(kind_a, kind_b, c_kind)
+                    stats.kernel_counts[name] = stats.kernel_counts.get(name, 0) + 1
+                    stats.tasks.append(
+                        TaskRecord(
+                            pair=(ti, tj),
+                            team_node=team_node,
+                            seconds=opt_elapsed + mult_elapsed,
+                            bytes_by_node={
+                                a_tile.numa_node: a_tile.memory_bytes(),
+                                b_tile.numa_node: b_tile.memory_bytes(),
+                            },
+                        )
+                    )
+                    if obs is not None and not use_reference:
+                        _record_product(
+                            obs, cost_model, name, kind_a, kind_b, c_kind,
+                            wa, wb, a_tile, b_tile, rho_c, mult_elapsed,
+                        )
+                    wrote_any = True
+
+            start = time.perf_counter()
+            tile: Tile | None = None
+            if wrote_any:
+                payload = accumulator.finalize()
+                if payload.nnz or isinstance(accumulator, DenseAccumulator):
+                    candidate = Tile(
+                        r0,
+                        c0,
+                        r1 - r0,
+                        c1 - c0,
+                        c_kind,
+                        payload,
+                        numa_node=team_node,
+                    )
+                    if candidate.nnz:
+                        tile = candidate
+            stats.multiply_seconds += time.perf_counter() - start
+            if obs is not None:
+                obs.metrics.counter("accumulator.writes").inc(accumulator.writes)
+                for node, nbytes in (
+                    (t.numa_node, t.memory_bytes()) for t in (*a_strip, *b_strip)
+                ):
+                    obs.metrics.counter(f"numa.bytes.node{node}").inc(nbytes)
+            if (
+                degradation is not None
+                and not force_sparse
+                and tile is not None
+                and tile.kind is StorageKind.DENSE
+                and degradation.over_budget(tile.memory_bytes())
+            ):
+                raise MemoryLimitError(
+                    f"pair {(ti, tj)} dense tile of {tile.memory_bytes()} B "
+                    f"would exceed the memory budget"
+                )
+            return _SeqPairResult(tile, stats)
 
     def validate_pair(ti: int, tj: int, pair_result: _SeqPairResult) -> None:
         if pair_result.tile is None:
@@ -397,8 +433,7 @@ def atmult(
             stats = pair_result.stats
             report.optimize_seconds += stats.optimize_seconds
             report.multiply_seconds += stats.multiply_seconds
-            for name, count in stats.kernel_counts.items():
-                report.kernel_counts[name] = report.kernel_counts.get(name, 0) + count
+            report.merge_kernel_counts(stats.kernel_counts)
             report.tasks.extend(stats.tasks)
             if pair_result.tile is not None:
                 result_tiles.append(pair_result.tile)
@@ -420,9 +455,34 @@ def atmult(
     )
     if memory_limit_bytes is not None and not np.isinf(memory_limit_bytes):
         start = time.perf_counter()
-        enforce_memory_limit(result, memory_limit_bytes)
+        with _span(obs, "memory_limit_enforce"):
+            enforce_memory_limit(result, memory_limit_bytes)
         report.optimize_seconds += time.perf_counter() - start
     return result, report
+
+
+def _record_product(
+    obs: Observation,
+    cost_model: CostModel,
+    name: str,
+    kind_a: StorageKind,
+    kind_b: StorageKind,
+    c_kind: StorageKind,
+    wa: Window,
+    wb: Window,
+    a_tile: Tile,
+    b_tile: Tile,
+    rho_c: float,
+    measured_seconds: float,
+) -> None:
+    """Record one tile product's metrics and cost-accuracy sample."""
+    obs.metrics.histogram(f"kernel.seconds.{name}").observe(measured_seconds)
+    predicted = cost_model.product_cost(
+        kind_a, kind_b, c_kind,
+        wa.rows, wa.cols, wb.cols,
+        a_tile.density, b_tile.density, rho_c,
+    )
+    obs.cost_accuracy.record(name, predicted, measured_seconds)
 
 
 def _payload_kind(payload) -> StorageKind:
@@ -496,6 +556,11 @@ def enforce_memory_limit(result: ATMatrix, memory_limit_bytes: float) -> int:
 def multiply(
     a: MatrixOperand, b: MatrixOperand, **kwargs
 ) -> ATMatrix:
-    """Convenience wrapper around :func:`atmult` returning only the result."""
+    """Convenience wrapper around :func:`atmult` returning only the result.
+
+    Accepts the full :func:`atmult` keyword set (``config``,
+    ``cost_model``, ``memory_limit_bytes``, ``dynamic_conversion``,
+    ``use_estimation``, ``resilience``, ``observer``).
+    """
     result, _ = atmult(a, b, **kwargs)
     return result

@@ -20,6 +20,7 @@ from ..formats.coo import COOMatrix
 from ..formats.csr import CSRMatrix
 from ..formats.dense import DenseMatrix
 from ..kinds import StorageKind
+from ..observe import session as observe_session
 from ..zorder.morton import morton_encode
 from ..zorder.zspace import ZSpace, block_counts
 from .atmatrix import ATMatrix
@@ -77,24 +78,36 @@ class ATMatrixBuilder:
         zspace = ZSpace(staged.rows, staged.cols, self.config.b_atomic)
 
         start = time.perf_counter()
-        zordered = staged.z_ordered()
+        with observe_session.maybe_span("partition.z_sort", "partition"):
+            zordered = staged.z_ordered()
         report.sort_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        zcounts = block_counts(zordered.row_ids, zordered.col_ids, zspace)
+        with observe_session.maybe_span("partition.block_counts", "partition"):
+            zcounts = block_counts(zordered.row_ids, zordered.col_ids, zspace)
         report.block_count_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        partitioner = QuadtreePartitioner(
-            self.config, read_threshold=self.read_threshold
-        )
-        specs = partitioner.partition(zcounts, zspace)
+        with observe_session.maybe_span("partition.recursion", "partition"):
+            partitioner = QuadtreePartitioner(
+                self.config, read_threshold=self.read_threshold
+            )
+            specs = partitioner.partition(zcounts, zspace)
         report.recursion_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        tiles = _materialize_tiles(zordered, zspace, specs)
+        with observe_session.maybe_span("partition.materialize", "partition"):
+            tiles = _materialize_tiles(zordered, zspace, specs)
         report.materialize_seconds = time.perf_counter() - start
         report.tiles = len(tiles)
+        obs = observe_session.current()
+        if obs is not None:
+            obs.metrics.counter("partition.tiles").inc(len(tiles))
+            obs.metrics.counter("partition.nnz").inc(staged.nnz)
+            dense_tiles = sum(
+                1 for tile in tiles if tile.kind is StorageKind.DENSE
+            )
+            obs.metrics.counter("partition.dense_tiles").inc(dense_tiles)
 
         logger.debug(
             "partitioned %dx%d (nnz=%d) into %d tiles in %.3fs "

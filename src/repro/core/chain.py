@@ -24,6 +24,7 @@ from ..density.estimate import estimate_product_density
 from ..density.map import DensityMap
 from ..errors import ShapeError
 from ..kinds import StorageKind
+from ..observe import session as observe_session
 from .atmatrix import ATMatrix
 from .atmult import MatrixOperand, atmult, operand_density_map
 
@@ -152,34 +153,45 @@ def multiply_chain(
     config: SystemConfig | None = None,
     cost_model: CostModel | None = None,
     memory_limit_bytes: float | None = None,
+    dynamic_conversion: bool = True,
+    use_estimation: bool = True,
+    resilience=None,
+    observer=None,
 ) -> tuple[ATMatrix, ChainPlan]:
     """Plan and execute a matrix chain with ATMULT.
 
     Returns the product and the executed plan.  Each intermediate is an
     AT Matrix, so later products in the chain keep benefiting from the
-    tile-granular optimization.
+    tile-granular optimization.  The execution keywords
+    (``dynamic_conversion``, ``use_estimation``, ``resilience``,
+    ``observer``) are forwarded to every :func:`atmult` step.
     """
     config = config or DEFAULT_CONFIG
-    plan = plan_chain(operands, config=config, cost_model=cost_model)
-    if len(operands) == 1:
-        from .atmult import as_at_matrix
+    with observe_session.resolve(observer) as obs:
+        with observe_session.tracer_span(obs, "chain_plan"):
+            plan = plan_chain(operands, config=config, cost_model=cost_model)
+        if len(operands) == 1:
+            from .atmult import as_at_matrix
 
-        return as_at_matrix(operands[0], config), plan
+            return as_at_matrix(operands[0], config), plan
 
-    results: dict[tuple[int, int], MatrixOperand] = {
-        (i, i): operand for i, operand in enumerate(operands)
-    }
-    product: ATMatrix | None = None
-    for i, k, j in plan.order:
-        left = results[(i, k)]
-        right = results[(k + 1, j)]
-        product, _ = atmult(
-            left,
-            right,
-            config=config,
-            cost_model=cost_model,
-            memory_limit_bytes=memory_limit_bytes,
-        )
-        results[(i, j)] = product
-    assert product is not None
-    return product, plan
+        results: dict[tuple[int, int], MatrixOperand] = {
+            (i, i): operand for i, operand in enumerate(operands)
+        }
+        product: ATMatrix | None = None
+        for i, k, j in plan.order:
+            left = results[(i, k)]
+            right = results[(k + 1, j)]
+            product, _ = atmult(
+                left,
+                right,
+                config=config,
+                cost_model=cost_model,
+                memory_limit_bytes=memory_limit_bytes,
+                dynamic_conversion=dynamic_conversion,
+                use_estimation=use_estimation,
+                resilience=resilience,
+            )
+            results[(i, j)] = product
+        assert product is not None
+        return product, plan

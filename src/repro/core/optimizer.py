@@ -17,7 +17,8 @@ from ..cost.model import CostModel
 from ..formats.convert import csr_to_dense, dense_to_csr
 from ..formats.csr import CSRMatrix
 from ..formats.dense import DenseMatrix
-from ..kinds import StorageKind
+from ..kinds import StorageKind, kernel_name
+from ..observe import session as observe_session
 from .tile import Tile, TilePayload
 
 
@@ -29,6 +30,8 @@ class OptimizerStats:
     conversions: int = 0
     conversion_seconds: float = 0.0
     decision_seconds: float = 0.0
+    #: per-kernel count of *decisions* — every attempt counts, including
+    #: products later retried, so this can exceed the report's counts
     kernel_counts: dict[str, int] = field(default_factory=dict)
 
     def record_kernel(self, name: str) -> None:
@@ -62,6 +65,7 @@ class DynamicOptimizer:
         of the windowed part).
         """
         if not self.enabled:
+            self._record_kernel(kernel_name(a_tile.kind, b_tile.kind, c_kind))
             return a_tile.data, b_tile.data
         start = time.perf_counter()
         # Quantized memoization: densities are bucketed to 2 significant
@@ -96,9 +100,14 @@ class DynamicOptimizer:
             kind_a, kind_b = cached
         self.stats.decisions += 1
         self.stats.decision_seconds += time.perf_counter() - start
+        self._record_kernel(kernel_name(kind_a, kind_b, c_kind))
         payload_a = self._payload_as(a_tile, kind_a)
         payload_b = self._payload_as(b_tile, kind_b)
         return payload_a, payload_b
+
+    def _record_kernel(self, name: str) -> None:
+        """Count one kernel decision (overridden with a lock in parallel)."""
+        self.stats.record_kernel(name)
 
     def _payload_as(self, tile: Tile, kind: StorageKind) -> TilePayload:
         if kind is tile.kind:
@@ -113,7 +122,10 @@ class DynamicOptimizer:
         else:
             assert isinstance(tile.data, DenseMatrix)
             converted = dense_to_csr(tile.data)
+        elapsed = time.perf_counter() - start
         self.stats.conversions += 1
-        self.stats.conversion_seconds += time.perf_counter() - start
+        self.stats.conversion_seconds += elapsed
+        observe_session.counter("optimizer.conversions").inc()
+        observe_session.histogram("optimizer.conversion_seconds").observe(elapsed)
         self._converted[id(tile)] = converted
         return converted

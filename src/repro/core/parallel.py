@@ -23,6 +23,11 @@ pool drains (carrying ``pair_errors`` and the partially populated
 report).  With ``resilience=RetryPolicy(...)``, each pair is retried in
 isolation, validated by the result guard, and degraded to sparse under
 memory pressure — see :mod:`repro.resilience`.
+
+Observability: pass ``observer=`` (or run inside ``repro.observe()``) and
+the pair spans land on their worker threads — the Chrome trace export
+then shows one lane per ``team`` thread with nested pair/optimize/kernel
+spans, which is the paper's Fig. 9 execution picture as a timeline.
 """
 
 from __future__ import annotations
@@ -30,17 +35,18 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import NamedTuple
 
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..cost.model import CostModel
+from ..density.map import DensityMap
 from ..density.water_level import water_level_threshold
 from ..errors import MemoryLimitError, ShapeError, TaskFailedError
 from ..kernels.accumulator import make_accumulator
 from ..kernels.registry import run_tile_product
 from ..kernels.window import Window
 from ..kinds import StorageKind
+from ..observe import Observation
+from ..observe import session as observe_session
 from ..resilience.degrade import DegradationState
 from ..resilience.faults import fire_hooks, task_scope
 from ..resilience.guard import reference_tile_product, validate_tile
@@ -50,38 +56,19 @@ from ..topology.system import SystemTopology
 from .atmatrix import ATMatrix
 from .atmult import MatrixOperand, as_at_matrix, operand_density_map
 from .optimizer import DynamicOptimizer
+from .report import ParallelReport
 from .tile import Tile
 
-
-@dataclass
-class ParallelReport:
-    """Outcome statistics of one parallel ATMULT run."""
-
-    wall_seconds: float = 0.0
-    pairs: int = 0
-    products: int = 0
-    conversions: int = 0
-    workers: int = 1
-    #: busy seconds accumulated per worker thread
-    worker_busy_seconds: dict[str, float] = field(default_factory=dict)
-    #: structured resilience accounting (always present; empty on clean runs)
-    failure: FailureReport = field(default_factory=FailureReport)
-
-    @property
-    def parallel_efficiency(self) -> float:
-        """Total busy time over (workers x wall time)."""
-        if not self.worker_busy_seconds or self.wall_seconds == 0.0:
-            return 1.0
-        busy = sum(self.worker_busy_seconds.values())
-        return busy / (self.workers * self.wall_seconds)
+_span = observe_session.tracer_span
 
 
 class _LockedOptimizer(DynamicOptimizer):
-    """DynamicOptimizer with a lock around the shared conversion cache."""
+    """DynamicOptimizer with locks around the shared mutable state."""
 
     def __init__(self, cost_model: CostModel, *, enabled: bool = True) -> None:
         super().__init__(cost_model, enabled=enabled)
         self._lock = threading.Lock()
+        self._stats_lock = threading.Lock()
 
     def _payload_as(self, tile: Tile, kind: StorageKind):
         if kind is tile.kind:
@@ -89,10 +76,17 @@ class _LockedOptimizer(DynamicOptimizer):
         with self._lock:
             return super()._payload_as(tile, kind)
 
+    def _record_kernel(self, name: str) -> None:
+        with self._stats_lock:
+            super()._record_kernel(name)
 
-class _PairResult(NamedTuple):
-    tile: Tile | None
-    products: int
+
+class _PairResult:
+    __slots__ = ("tile", "products")
+
+    def __init__(self, tile: Tile | None, products: int) -> None:
+        self.tile = tile
+        self.products = products
 
 
 def parallel_atmult(
@@ -104,38 +98,88 @@ def parallel_atmult(
     cost_model: CostModel | None = None,
     memory_limit_bytes: float | None = None,
     dynamic_conversion: bool = True,
+    use_estimation: bool = True,
     resilience: RetryPolicy | None = None,
+    observer: Observation | None = None,
 ) -> tuple[ATMatrix, ParallelReport]:
     """Multiply ``C = A x B`` with one worker team per socket.
 
-    Semantically identical to :func:`~repro.core.atmult.atmult`; the
-    tile-row/tile-column pairs are dispatched to a thread pool of
-    ``topology.sockets`` workers instead of a sequential loop.  With a
-    ``resilience`` policy, flaky pairs are retried in isolation,
-    finished tiles are validated, and memory pressure degrades the
-    write threshold instead of failing the run.
+    Semantically identical to :func:`~repro.core.atmult.atmult` and
+    accepts the same keyword set (``topology`` replaces the implicit
+    sequential execution; ``c`` seeding is not supported in parallel —
+    see docs/API.md).  The tile-row/tile-column pairs are dispatched to
+    a thread pool of ``topology.sockets`` workers instead of a
+    sequential loop.  With a ``resilience`` policy, flaky pairs are
+    retried in isolation, finished tiles are validated, and memory
+    pressure degrades the write threshold instead of failing the run.
+    With ``use_estimation=False`` the density estimation phase is
+    skipped and every target tile is sparse (ablation step 3).
     """
     config = config or DEFAULT_CONFIG
     cost_model = cost_model or CostModel()
     if a.cols != b.rows:
         raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    with observe_session.resolve(observer) as obs:
+        return _parallel_atmult(
+            a,
+            b,
+            topology=topology,
+            config=config,
+            cost_model=cost_model,
+            memory_limit_bytes=memory_limit_bytes,
+            dynamic_conversion=dynamic_conversion,
+            use_estimation=use_estimation,
+            resilience=resilience,
+            obs=obs,
+        )
 
+
+def _parallel_atmult(
+    a: MatrixOperand,
+    b: MatrixOperand,
+    *,
+    topology: SystemTopology,
+    config: SystemConfig,
+    cost_model: CostModel,
+    memory_limit_bytes: float | None,
+    dynamic_conversion: bool,
+    use_estimation: bool,
+    resilience: RetryPolicy | None,
+    obs: Observation | None,
+) -> tuple[ATMatrix, ParallelReport]:
     at_a = as_at_matrix(a, config)
     at_b = as_at_matrix(b, config)
 
-    from ..density.estimate import estimate_product_density
-
-    estimate = estimate_product_density(
-        operand_density_map(at_a, config), operand_density_map(at_b, config)
+    failure = FailureReport()
+    report = ParallelReport(
+        workers=topology.sockets, failure=failure, observation=obs
     )
-    level = water_level_threshold(estimate, memory_limit_bytes, config)
-    write_threshold = max(cost_model.write_threshold, level.threshold)
+
+    estimate: DensityMap | None = None
+    if use_estimation:
+        from ..density.estimate import estimate_product_density
+
+        start = time.perf_counter()
+        with _span(obs, "estimate"):
+            estimate = estimate_product_density(
+                operand_density_map(at_a, config), operand_density_map(at_b, config)
+            )
+        report.add_phase("estimate", time.perf_counter() - start)
+
+    start = time.perf_counter()
+    with _span(obs, "water_level"):
+        if estimate is not None:
+            level = water_level_threshold(estimate, memory_limit_bytes, config)
+            write_threshold = max(cost_model.write_threshold, level.threshold)
+        else:
+            write_threshold = float("inf")  # no estimation: sparse targets only
     optimizer = _LockedOptimizer(cost_model, enabled=dynamic_conversion)
+    report.add_phase("optimize", time.perf_counter() - start)
+    if obs is not None:
+        obs.metrics.gauge("workers").set(topology.sockets)
 
     row_cuts = at_a.row_cuts()
     col_cuts = at_b.col_cuts()
-    failure = FailureReport()
-    report = ParallelReport(workers=topology.sockets, failure=failure)
     busy_lock = threading.Lock()
 
     degradation = (
@@ -154,73 +198,109 @@ def parallel_atmult(
     ) -> _PairResult:
         """One full pair computation (one attempt); records busy time."""
         start = time.perf_counter()
+        attrs = (
+            {"ti": ti, "tj": tj, "force_sparse": force_sparse}
+            if obs is not None
+            else None
+        )
         try:
-            fire_hooks("pair", (ti, tj))
-            r0, r1 = row_cuts[ti], row_cuts[ti + 1]
-            c0, c1 = col_cuts[tj], col_cuts[tj + 1]
-            a_strip = at_a.tiles_overlapping(r0, r1, 0, at_a.cols)
-            b_strip = at_b.tiles_overlapping(0, at_b.rows, c0, c1)
-            rho_c = estimate.region_density(r0, r1, c0, c1)
-            threshold = (
-                degradation.threshold if degradation is not None else write_threshold
-            )
-            c_kind = (
-                StorageKind.SPARSE
-                if force_sparse or rho_c < threshold
-                else StorageKind.DENSE
-            )
-            accumulator = make_accumulator(c_kind, r1 - r0, c1 - c0)
-            products = 0
-            for a_tile in a_strip:
-                for b_tile in b_strip:
-                    k0 = max(a_tile.col0, b_tile.row0)
-                    k1 = min(a_tile.col1, b_tile.row1)
-                    if k0 >= k1:
-                        continue
-                    wa = Window(
-                        max(r0, a_tile.row0) - a_tile.row0,
-                        min(r1, a_tile.row1) - a_tile.row0,
-                        k0 - a_tile.col0,
-                        k1 - a_tile.col0,
-                    )
-                    wb = Window(
-                        k0 - b_tile.row0,
-                        k1 - b_tile.row0,
-                        max(c0, b_tile.col0) - b_tile.col0,
-                        min(c1, b_tile.col1) - b_tile.col0,
-                    )
-                    target = (max(r0, a_tile.row0) - r0, max(c0, b_tile.col0) - c0)
-                    if use_reference:
-                        reference_tile_product(
-                            a_tile.data, wa, b_tile.data, wb, accumulator, *target
-                        )
-                    else:
-                        payload_a, payload_b = optimizer.choose(
-                            a_tile, b_tile, c_kind, wa.rows, wa.cols, wb.cols, rho_c
-                        )
-                        run_tile_product(
-                            payload_a, wa, payload_b, wb, accumulator, *target
-                        )
-                    products += 1
-            if not products:
-                return _PairResult(None, 0)
-            payload = accumulator.finalize()
-            if not payload.nnz and c_kind is StorageKind.SPARSE:
-                return _PairResult(None, products)
-            tile = Tile(r0, c0, r1 - r0, c1 - c0, c_kind, payload)
-            if not tile.nnz:
-                return _PairResult(None, products)
-            if (
-                degradation is not None
-                and not force_sparse
-                and c_kind is StorageKind.DENSE
-                and degradation.over_budget(tile.memory_bytes())
-            ):
-                raise MemoryLimitError(
-                    f"pair {(ti, tj)} dense tile of {tile.memory_bytes()} B "
-                    f"would exceed the memory budget"
+            with _span(obs, "pair", "pair", attrs):
+                fire_hooks("pair", (ti, tj))
+                r0, r1 = row_cuts[ti], row_cuts[ti + 1]
+                c0, c1 = col_cuts[tj], col_cuts[tj + 1]
+                a_strip = at_a.tiles_overlapping(r0, r1, 0, at_a.cols)
+                b_strip = at_b.tiles_overlapping(0, at_b.rows, c0, c1)
+                rho_c = (
+                    estimate.region_density(r0, r1, c0, c1)
+                    if estimate is not None
+                    else 0.0
                 )
-            return _PairResult(tile, products)
+                threshold = (
+                    degradation.threshold
+                    if degradation is not None
+                    else write_threshold
+                )
+                c_kind = (
+                    StorageKind.SPARSE
+                    if force_sparse or rho_c < threshold
+                    else StorageKind.DENSE
+                )
+                accumulator = make_accumulator(c_kind, r1 - r0, c1 - c0)
+                products = 0
+                for a_tile in a_strip:
+                    for b_tile in b_strip:
+                        k0 = max(a_tile.col0, b_tile.row0)
+                        k1 = min(a_tile.col1, b_tile.row1)
+                        if k0 >= k1:
+                            continue
+                        wa = Window(
+                            max(r0, a_tile.row0) - a_tile.row0,
+                            min(r1, a_tile.row1) - a_tile.row0,
+                            k0 - a_tile.col0,
+                            k1 - a_tile.col0,
+                        )
+                        wb = Window(
+                            k0 - b_tile.row0,
+                            k1 - b_tile.row0,
+                            max(c0, b_tile.col0) - b_tile.col0,
+                            min(c1, b_tile.col1) - b_tile.col0,
+                        )
+                        target = (
+                            max(r0, a_tile.row0) - r0,
+                            max(c0, b_tile.col0) - c0,
+                        )
+                        if use_reference:
+                            reference_tile_product(
+                                a_tile.data, wa, b_tile.data, wb, accumulator,
+                                *target,
+                            )
+                        else:
+                            product_start = time.perf_counter()
+                            with _span(obs, "optimize", "optimize"):
+                                payload_a, payload_b = optimizer.choose(
+                                    a_tile, b_tile, c_kind,
+                                    wa.rows, wa.cols, wb.cols, rho_c,
+                                )
+                            kernel_start = time.perf_counter()
+                            run_tile_product(
+                                payload_a, wa, payload_b, wb, accumulator,
+                                *target,
+                            )
+                            if obs is not None:
+                                _record_product(
+                                    obs, cost_model, payload_a, payload_b,
+                                    c_kind, wa, wb, a_tile, b_tile, rho_c,
+                                    kernel_start - product_start,
+                                    time.perf_counter() - kernel_start,
+                                )
+                        products += 1
+                if obs is not None:
+                    obs.metrics.counter("accumulator.writes").inc(
+                        accumulator.writes
+                    )
+                    for t in (*a_strip, *b_strip):
+                        obs.metrics.counter(
+                            f"numa.bytes.node{t.numa_node}"
+                        ).inc(t.memory_bytes())
+                if not products:
+                    return _PairResult(None, 0)
+                payload = accumulator.finalize()
+                if not payload.nnz and c_kind is StorageKind.SPARSE:
+                    return _PairResult(None, products)
+                tile = Tile(r0, c0, r1 - r0, c1 - c0, c_kind, payload)
+                if not tile.nnz:
+                    return _PairResult(None, products)
+                if (
+                    degradation is not None
+                    and not force_sparse
+                    and c_kind is StorageKind.DENSE
+                    and degradation.over_budget(tile.memory_bytes())
+                ):
+                    raise MemoryLimitError(
+                        f"pair {(ti, tj)} dense tile of {tile.memory_bytes()} B "
+                        f"would exceed the memory budget"
+                    )
+                return _PairResult(tile, products)
         finally:
             elapsed = time.perf_counter() - start
             name = threading.current_thread().name
@@ -228,6 +308,8 @@ def parallel_atmult(
                 report.worker_busy_seconds[name] = (
                     report.worker_busy_seconds.get(name, 0.0) + elapsed
                 )
+            if obs is not None:
+                obs.metrics.counter(f"worker.busy_seconds.{name}").inc(elapsed)
 
     def validate_pair(ti: int, tj: int, result: _PairResult) -> None:
         if result.tile is None:
@@ -238,7 +320,7 @@ def parallel_atmult(
             result.tile.data,
             r1 - r0,
             c1 - c0,
-            estimate.region_density(r0, r1, c0, c1),
+            estimate.region_density(r0, r1, c0, c1) if estimate is not None else None,
             pair=(ti, tj),
         )
 
@@ -278,12 +360,14 @@ def parallel_atmult(
     if runner is None:
         failure.attempts = len(pairs)
     start = time.perf_counter()
-    with ThreadPoolExecutor(
-        max_workers=topology.sockets, thread_name_prefix="team"
-    ) as pool:
-        tiles = [tile for tile in pool.map(lambda p: run_pair(*p), pairs) if tile]
+    with _span(obs, "pair_loop", attrs={"pairs": len(pairs)} if obs else None):
+        with ThreadPoolExecutor(
+            max_workers=topology.sockets, thread_name_prefix="team"
+        ) as pool:
+            tiles = [tile for tile in pool.map(lambda p: run_pair(*p), pairs) if tile]
     report.wall_seconds = time.perf_counter() - start
     report.conversions = optimizer.stats.conversions
+    report.merge_kernel_counts(optimizer.stats.kernel_counts)
     if failure.pair_errors:
         raise TaskFailedError(
             aggregate_message(failure.pair_errors, len(pairs)),
@@ -294,5 +378,39 @@ def parallel_atmult(
     if memory_limit_bytes is not None:
         from .atmult import enforce_memory_limit
 
-        enforce_memory_limit(result, memory_limit_bytes)
+        start = time.perf_counter()
+        with _span(obs, "memory_limit_enforce"):
+            enforce_memory_limit(result, memory_limit_bytes)
+        report.add_phase("optimize", time.perf_counter() - start)
     return result, report
+
+
+def _record_product(
+    obs: Observation,
+    cost_model: CostModel,
+    payload_a,
+    payload_b,
+    c_kind: StorageKind,
+    wa: Window,
+    wb: Window,
+    a_tile: Tile,
+    b_tile: Tile,
+    rho_c: float,
+    optimize_seconds: float,
+    measured_seconds: float,
+) -> None:
+    """Record one tile product's metrics and cost-accuracy sample."""
+    from .atmult import _payload_kind
+    from ..kinds import kernel_name
+
+    kind_a = _payload_kind(payload_a)
+    kind_b = _payload_kind(payload_b)
+    name = kernel_name(kind_a, kind_b, c_kind)
+    obs.metrics.histogram(f"kernel.seconds.{name}").observe(measured_seconds)
+    obs.metrics.histogram("optimizer.decision_seconds").observe(optimize_seconds)
+    predicted = cost_model.product_cost(
+        kind_a, kind_b, c_kind,
+        wa.rows, wa.cols, wb.cols,
+        a_tile.density, b_tile.density, rho_c,
+    )
+    obs.cost_accuracy.record(name, predicted, measured_seconds)

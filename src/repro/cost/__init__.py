@@ -8,6 +8,12 @@ cheapest kernel per tile product.
 """
 
 from .model import CostCoefficients, CostModel, DEFAULT_COEFFICIENTS
-from .calibrate import calibrate
+from .calibrate import calibrate, refine_from_observation
 
-__all__ = ["CostCoefficients", "CostModel", "DEFAULT_COEFFICIENTS", "calibrate"]
+__all__ = [
+    "CostCoefficients",
+    "CostModel",
+    "DEFAULT_COEFFICIENTS",
+    "calibrate",
+    "refine_from_observation",
+]

@@ -125,6 +125,67 @@ def calibrate(
     )
 
 
+#: Kernel-name prefix -> the coefficient(s) dominating that kernel family.
+#: Kernel names are ``{a}{b}{c}_gemm`` with storage codes ``sp``/``d``,
+#: so the A/B prefix identifies the compute term of the cost model.
+_KERNEL_COEFFICIENTS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("spsp", ("sparse_expand", "sparse_sort")),
+    ("spd", ("spd_flop",)),
+    ("dsp", ("dsp_flop",)),
+    ("dd", ("dense_flop",)),
+)
+
+
+def refine_from_observation(
+    observation,
+    coefficients: CostCoefficients | None = None,
+    *,
+    min_samples: int = 8,
+    max_scale: float = 16.0,
+) -> CostCoefficients:
+    """Refine cost coefficients from a run's measured-vs-predicted costs.
+
+    Closes the loop between the cost-accuracy tracker and the model: for
+    every kernel family with at least ``min_samples`` recorded tile
+    products, the family's dominant compute coefficient is multiplied by
+    the geometric-mean measured/predicted ratio, so the next run's
+    predictions center on the observed timings.  Scale corrections are
+    clamped to ``[1/max_scale, max_scale]`` — a wildly skewed ratio
+    means noise (tiny tiles, timer resolution), not a miscalibrated
+    machine constant.
+
+    ``observation`` is a :class:`~repro.observe.Observation` (only its
+    ``cost_accuracy`` tracker is consulted).
+    """
+    base = coefficients or DEFAULT_COEFFICIENTS
+    ratios = observation.cost_accuracy.ratio_by_kernel()
+    counts = {
+        kernel: accuracy.count
+        for kernel, accuracy in observation.cost_accuracy.summary().items()
+    }
+    updates: dict[str, float] = {}
+    for kernel, ratio in ratios.items():
+        if counts.get(kernel, 0) < min_samples or not math.isfinite(ratio):
+            continue
+        scale = min(max_scale, max(1.0 / max_scale, ratio))
+        for prefix, names in _KERNEL_COEFFICIENTS:
+            if kernel.startswith(prefix):
+                for name in names:
+                    # Average scales when several kernels share a term
+                    # (e.g. spspd and spspsp both refine the sparse pair).
+                    previous = updates.get(name)
+                    updates[name] = (
+                        scale if previous is None else (previous + scale) / 2.0
+                    )
+                break
+    if not updates:
+        return base
+    return replace(
+        base,
+        **{name: getattr(base, name) * scale for name, scale in updates.items()},
+    )
+
+
 def describe(coefficients: CostCoefficients) -> str:
     """Human-readable one-line-per-coefficient dump."""
     lines = [
@@ -134,4 +195,4 @@ def describe(coefficients: CostCoefficients) -> str:
     return "\n".join(["CostCoefficients:"] + lines)
 
 
-__all__ = ["calibrate", "describe"]
+__all__ = ["calibrate", "describe", "refine_from_observation"]

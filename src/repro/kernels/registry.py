@@ -13,12 +13,13 @@ stay in sync.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Protocol
 
 from ..errors import ShapeError
 from ..formats.csr import CSRMatrix
 from ..formats.dense import DenseMatrix
 from ..kinds import StorageKind, kernel_name
+from ..observe import session as observe_session
 from ..resilience.faults import fire_corruption, fire_hooks
 from . import products
 from .accumulator import Accumulator, DenseAccumulator
@@ -133,6 +134,15 @@ def run_tile_product(
         return
     hook_extra = (row0, col0, wa.row0, wa.col0, wb.row0, wb.col0)
     fire_hooks("kernel", hook_extra)
-    kernel = get_kernel(kind_of(a), kind_of(b), out.kind)
-    kernel(a, wa, b, wb, out, row0, col0)
+    a_kind, b_kind = kind_of(a), kind_of(b)
+    kernel = get_kernel(a_kind, b_kind, out.kind)
+    obs = observe_session.current()
+    if obs is None:
+        # Disabled path: one global read and a None check, nothing else.
+        kernel(a, wa, b, wb, out, row0, col0)
+    else:
+        name = kernel_name(a_kind, b_kind, out.kind)
+        with obs.tracer.span(name, "kernel"):
+            kernel(a, wa, b, wb, out, row0, col0)
+        obs.metrics.counter(f"kernel.dispatch.{name}").inc()
     fire_corruption("kernel", out, hook_extra)

@@ -1,0 +1,86 @@
+"""Unified observability: spans, metrics, and cost-model accuracy.
+
+One layer instruments the whole execution stack — partitioning, ATMULT
+phases, the parallel pair loop, kernel dispatches, just-in-time
+conversions and the resilience hooks — behind a single opt-in session:
+
+>>> from repro import observe, atmult
+>>> with observe() as obs:                                   # doctest: +SKIP
+...     result, report = atmult(a, b)
+>>> obs is report.observation                                # doctest: +SKIP
+True
+
+Everything is strictly off by default: with no active session the hook
+sites reduce to one global read and a ``None`` check, and the shared
+null instruments allocate nothing per call.  Exports come in three
+formats (JSON, Chrome trace events for Perfetto, plain text); the CLI
+exposes them as ``--trace-out`` / ``--metrics-out``.
+
+See docs/OBSERVABILITY.md for the span model and the metric catalogue.
+"""
+
+from .accuracy import CostAccuracyTracker, CostSample, KernelAccuracy
+from .exporters import (
+    spans_from_chrome_trace,
+    to_chrome_trace,
+    to_json_dict,
+    to_text_summary,
+    write_chrome_trace,
+    write_json,
+    write_text_summary,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+from .session import (
+    Observation,
+    activate,
+    counter,
+    current,
+    gauge,
+    histogram,
+    maybe_span,
+    observe,
+    resolve,
+    tracer_span,
+)
+from .trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Observation",
+    "observe",
+    "activate",
+    "current",
+    "resolve",
+    "maybe_span",
+    "tracer_span",
+    "counter",
+    "gauge",
+    "histogram",
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "CostAccuracyTracker",
+    "CostSample",
+    "KernelAccuracy",
+    "to_json_dict",
+    "to_chrome_trace",
+    "to_text_summary",
+    "spans_from_chrome_trace",
+    "write_json",
+    "write_chrome_trace",
+    "write_text_summary",
+]

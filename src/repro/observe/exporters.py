@@ -1,0 +1,185 @@
+"""Exporters: JSON, Chrome trace-event format, and a text summary.
+
+Three consumers, three formats:
+
+* :func:`to_json_dict` / :func:`write_json` — the full observation
+  (spans + metrics + cost accuracy) as one JSON document, the format
+  the round-trip tests and downstream tooling parse;
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Trace
+  Event Format understood by Perfetto and ``chrome://tracing``: one
+  complete-event (``"ph": "X"``) per span with microsecond timestamps,
+  one lane per thread, plus thread-name metadata events.  Span ids and
+  parent ids ride along in ``args`` so the exact tree can be rebuilt
+  from the file;
+* :func:`to_text_summary` — a terminal-friendly digest (phase totals,
+  kernel counts, resilience counters, cost-model residuals).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+from .session import Observation
+from .trace import Span, Tracer
+
+#: pid used for all events; the library is single-process.
+_PID = 1
+
+
+def to_json_dict(observation: Observation) -> dict[str, Any]:
+    """The whole observation as one JSON-serializable dict."""
+    payload = observation.as_dict()
+    payload["format"] = "repro-observation"
+    payload["version"] = 1
+    return payload
+
+
+def write_json(observation: Observation, target: str | IO[str]) -> None:
+    """Write the JSON export to a path or text stream."""
+    _dump(to_json_dict(observation), target)
+
+
+def to_chrome_trace(observation: Observation) -> dict[str, Any]:
+    """The observation's spans in Chrome trace-event format.
+
+    Returns the JSON-object flavor (``{"traceEvents": [...]}``) which
+    both Perfetto and chrome://tracing load directly.
+    """
+    events: list[dict[str, Any]] = []
+    threads: dict[int, str] = {}
+    for span in observation.tracer.spans():
+        threads.setdefault(span.thread_id, span.thread_name)
+        args: dict[str, Any] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * 1e6,  # microseconds
+                "dur": span.duration * 1e6,
+                "pid": _PID,
+                "tid": span.thread_id,
+                "args": args,
+            }
+        )
+    for tid, name in sorted(threads.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(observation: Observation, target: str | IO[str]) -> None:
+    """Write the Chrome trace export to a path or text stream."""
+    _dump(to_chrome_trace(observation), target)
+
+
+def spans_from_chrome_trace(document: dict[str, Any]) -> list[Span]:
+    """Rebuild :class:`Span` objects from a Chrome trace export.
+
+    The inverse of :func:`to_chrome_trace` (attributes other than the
+    structural ones land back in ``attrs``); used by the round-trip
+    tests and handy for offline analysis of saved traces.
+    """
+    spans: list[Span] = []
+    names = {
+        event["tid"]: event["args"]["name"]
+        for event in document.get("traceEvents", [])
+        if event.get("ph") == "M" and event.get("name") == "thread_name"
+    }
+    for event in document.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args", {}))
+        span_id = args.pop("span_id")
+        parent_id = args.pop("parent_id")
+        start = event["ts"] / 1e6
+        spans.append(
+            Span(
+                span_id=span_id,
+                name=event["name"],
+                category=event.get("cat", ""),
+                start=start,
+                end=start + event["dur"] / 1e6,
+                parent_id=parent_id,
+                thread_id=event["tid"],
+                thread_name=names.get(event["tid"], ""),
+                attrs=args,
+            )
+        )
+    spans.sort(key=lambda span: span.span_id)
+    return spans
+
+
+def to_text_summary(observation: Observation) -> str:
+    """Terminal-friendly digest of one observation."""
+    lines: list[str] = ["observation summary", "==================="]
+    lines.append(_phase_section(observation.tracer))
+    metric_dump = observation.metrics.as_dict()
+    if metric_dump:
+        lines.append("")
+        lines.append("metrics:")
+        for name, instrument in metric_dump.items():
+            if instrument["type"] == "histogram":
+                lines.append(
+                    f"  {name}: n={instrument['count']} "
+                    f"mean={instrument['mean']:.3e} "
+                    f"min={instrument['min']} max={instrument['max']}"
+                )
+            else:
+                lines.append(f"  {name}: {instrument['value']}")
+    summary = observation.cost_accuracy.summary()
+    if summary:
+        lines.append("")
+        lines.append("cost-model accuracy (measured/predicted):")
+        for kernel, accuracy in summary.items():
+            lines.append(
+                f"  {kernel}: n={accuracy.count} "
+                f"geo-ratio={accuracy.geometric_mean_ratio:.3f} "
+                f"mean|rel residual|={accuracy.mean_abs_relative_residual:.3f}"
+            )
+    return "\n".join(lines)
+
+
+def _phase_section(tracer: Tracer) -> str:
+    totals: dict[str, tuple[int, float]] = {}
+    for span in tracer.spans():
+        count, seconds = totals.get(span.name, (0, 0.0))
+        totals[span.name] = (count + 1, seconds + span.duration)
+    if not totals:
+        return "spans: none recorded"
+    width = max(len(name) for name in totals)
+    rows = ["spans (total seconds, by name):"]
+    for name, (count, seconds) in sorted(
+        totals.items(), key=lambda item: -item[1][1]
+    ):
+        rows.append(f"  {name:<{width}}  n={count:<6d} {seconds:10.6f}s")
+    return "\n".join(rows)
+
+
+def write_text_summary(observation: Observation, target: str | IO[str]) -> None:
+    text = to_text_summary(observation) + "\n"
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as stream:
+            stream.write(text)
+    else:
+        target.write(text)
+
+
+def _dump(payload: dict[str, Any], target: str | IO[str]) -> None:
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=1)
+    else:
+        json.dump(payload, target, indent=1)

@@ -1,0 +1,176 @@
+"""Counters, gauges and histograms for the execution stack.
+
+The :class:`MetricsRegistry` is a flat, thread-safe name -> instrument
+map.  Names are dotted paths (``kernel.dispatch.spspsp_gemm``,
+``resilience.retries``, ``numa.bytes.node0``); the full catalogue of
+names the built-in instrumentation emits is documented in
+docs/OBSERVABILITY.md.
+
+Like the tracer, the registry is self-contained and cheap when unused:
+disabled call sites receive the shared :data:`NULL_COUNTER` /
+:data:`NULL_GAUGE` / :data:`NULL_HISTOGRAM` singletons whose methods do
+nothing and allocate nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+
+class Counter:
+    """Monotonically increasing value (int or float increments)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins scalar (thresholds, limits, pool sizes)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution summary with log2 buckets.
+
+    Tracks count/sum/min/max plus a sparse ``{exponent: count}`` bucket
+    map where a sample ``v`` falls into bucket ``ceil(log2(v))``
+    (bucket upper bounds are powers of two).  Good enough to read
+    latency shapes out of an export without storing every sample.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        exponent = math.ceil(math.log2(value)) if value > 0 else -1024
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "log2_buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument for the disabled path."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+NULL_COUNTER = _NullInstrument()
+NULL_GAUGE = _NullInstrument()
+NULL_HISTOGRAM = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Thread-safe, create-on-first-use instrument registry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, factory: type) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = factory(name)
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {factory.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """Look up an instrument without creating it."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def value(self, name: str, default: float = 0) -> float:
+        """Convenience: current value of a counter/gauge (or ``default``)."""
+        instrument = self.get(name)
+        if instrument is None or isinstance(instrument, Histogram):
+            return default
+        return instrument.value if instrument.value is not None else default
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        """Serializable snapshot of every instrument, sorted by name."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return {name: instrument.as_dict() for name, instrument in items}

@@ -36,6 +36,7 @@ from ..config import SystemConfig
 from ..density.map import DensityMap
 from ..density.water_level import water_level_threshold
 from ..errors import MemoryLimitError
+from ..observe import session as observe_session
 
 
 class DegradationState:
@@ -136,6 +137,10 @@ class DegradationState:
             if candidate <= current:
                 candidate = self._escalate_locked(current)
             self._threshold = float(candidate)
+            observe_session.gauge("degradation.threshold").set(
+                self._threshold if math.isfinite(self._threshold) else -1.0
+            )
+            observe_session.counter("degradation.steps").inc()
             return self._threshold
 
     def _escalate_locked(self, current: float) -> float:

@@ -40,6 +40,7 @@ from ..errors import (
     ResultCorruptionError,
     RetryExhaustedError,
 )
+from ..observe import session as observe_session
 from .degrade import DegradationState
 from .faults import stable_unit, suppress_faults, task_scope
 from .report import FailureReport, PairOutcome
@@ -171,6 +172,7 @@ class ResilientPairRunner:
         while True:
             iteration += 1
             outcome.attempts += 1
+            observe_session.counter("resilience.attempts").inc()
             started = time.perf_counter()
             try:
                 with task_scope(pair, iteration):
@@ -180,6 +182,8 @@ class ResilientPairRunner:
                 if degradations > policy.max_degradations:
                     self._fail(outcome, pair, iteration, error)
                 outcome.degradations += 1
+                observe_session.counter("resilience.degradations").inc()
+                self._instant("degrade", pair, iteration)
                 if self.degradation is not None:
                     self.degradation.degrade()
                 force_sparse = True
@@ -189,6 +193,8 @@ class ResilientPairRunner:
                 if transient_attempts >= policy.max_attempts:
                     self._fail(outcome, pair, iteration, error)
                 outcome.retries += 1
+                observe_session.counter("resilience.retries").inc()
+                self._instant("retry", pair, iteration)
                 delay = policy.backoff_seconds(pair, transient_attempts)
                 if delay > 0.0:
                     self._sleep(delay)
@@ -201,6 +207,8 @@ class ResilientPairRunner:
                 if transient_attempts + 1 < policy.max_attempts:
                     transient_attempts += 1
                     outcome.deadline_violations += 1
+                    observe_session.counter("resilience.deadline_violations").inc()
+                    self._instant("deadline_violation", pair, iteration)
                     continue
                 outcome.late = True  # best effort: accept the final late result
             if validate is not None and policy.validate_results:
@@ -208,11 +216,24 @@ class ResilientPairRunner:
                     validate(result)
                 except ResultCorruptionError:
                     outcome.fallbacks += 1
+                    observe_session.counter("resilience.fallbacks").inc()
+                    self._instant("fallback", pair, iteration)
                     if fallback is not None and policy.fallback_to_reference:
                         with suppress_faults():
                             result = fallback(force_sparse)
             self._finish(outcome)
             return result
+
+    @staticmethod
+    def _instant(event: str, pair: tuple[int, int], iteration: int) -> None:
+        """Mark a resilience event in the active trace, if any."""
+        obs = observe_session.current()
+        if obs is not None:
+            obs.tracer.instant(
+                f"resilience.{event}",
+                "resilience",
+                {"ti": pair[0], "tj": pair[1], "attempt": iteration},
+            )
 
     def _finish(self, outcome: PairOutcome) -> None:
         with self._lock:
@@ -223,6 +244,7 @@ class ResilientPairRunner:
     ) -> None:
         outcome.failed = True
         outcome.error = repr(error)
+        observe_session.counter("resilience.failures").inc()
         self._finish(outcome)
         raise RetryExhaustedError(
             f"pair {pair} failed after {attempts} attempts: {error}",

@@ -17,7 +17,7 @@ comparisons on a single-core host.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import SchedulerError
 from .system import SystemTopology

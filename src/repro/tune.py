@@ -25,6 +25,7 @@ from .core.builder import build_at_matrix
 from .cost.model import CostModel
 from .errors import ConfigError
 from .formats.coo import COOMatrix
+from .observe import Observation
 
 
 @dataclass(frozen=True)
@@ -36,6 +37,10 @@ class Trial:
     partition_seconds: float
     multiply_seconds: float
     tiles: int
+    #: geometric-mean measured/predicted kernel cost ratio of the trial's
+    #: multiplication (``None`` unless ``observe_costs=True``); 1.0 means
+    #: the cost model predicted this configuration perfectly
+    cost_ratio: float | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -54,11 +59,16 @@ class TuningResult:
         lines = ["autotuning trials (sorted by multiply time):"]
         for trial in sorted(self.trials, key=lambda t: t.multiply_seconds):
             marker = " <= best" if trial == self.best else ""
+            accuracy = (
+                f" cost-ratio={trial.cost_ratio:5.2f}"
+                if trial.cost_ratio is not None
+                else ""
+            )
             lines.append(
                 f"  b_atomic={trial.b_atomic:<5d} rho0_R={trial.read_threshold:<5.2f}"
                 f" partition={trial.partition_seconds * 1e3:7.1f}ms"
                 f" multiply={trial.multiply_seconds * 1e3:8.1f}ms"
-                f" tiles={trial.tiles}{marker}"
+                f" tiles={trial.tiles}{accuracy}{marker}"
             )
         return "\n".join(lines)
 
@@ -71,6 +81,7 @@ def autotune(
     read_threshold_candidates: list[float] | None = None,
     probe_dim: int | None = None,
     include_partitioning: bool = False,
+    observe_costs: bool = False,
 ) -> TuningResult:
     """Find the fastest (b_atomic, rho0_R) pair for a matrix empirically.
 
@@ -92,6 +103,12 @@ def autotune(
         Rank candidates by partition+multiply time instead of multiply
         time only (choose this when matrices are multiplied once; the
         default assumes the partitioned matrix is reused).
+    observe_costs:
+        Run each trial under an observation session and record the
+        cost model's geometric-mean measured/predicted ratio on the
+        trial (``Trial.cost_ratio``) — a configuration whose ratio sits
+        far from 1.0 is one the optimizer reasons poorly about, so its
+        win may not transfer to other matrices.
     """
     base_config = base_config or SystemConfig()
     assert base_config.b_atomic is not None
@@ -124,9 +141,21 @@ def autotune(
             start = time.perf_counter()
             matrix = build_at_matrix(probe, config, read_threshold=threshold)
             partition_seconds = time.perf_counter() - start
+            observer = Observation() if observe_costs else None
             start = time.perf_counter()
-            atmult(matrix, matrix, config=config, cost_model=model)
+            atmult(
+                matrix, matrix, config=config, cost_model=model,
+                observer=observer,
+            )
             multiply_seconds = time.perf_counter() - start
+            cost_ratio = None
+            if observer is not None:
+                ratios = observer.cost_accuracy.ratio_by_kernel()
+                if ratios:
+                    product = 1.0
+                    for ratio in ratios.values():
+                        product *= ratio
+                    cost_ratio = product ** (1.0 / len(ratios))
             trials.append(
                 Trial(
                     b_atomic,
@@ -134,6 +163,7 @@ def autotune(
                     partition_seconds,
                     multiply_seconds,
                     len(matrix.tiles),
+                    cost_ratio,
                 )
             )
 

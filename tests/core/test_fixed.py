@@ -1,7 +1,6 @@
 """Tests for fixed-grid tiling (ablation levels 2-4)."""
 
 import numpy as np
-import pytest
 
 from repro import COOMatrix, StorageKind, fixed_grid_at_matrix
 

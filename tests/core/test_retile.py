@@ -1,7 +1,6 @@
 """Tests for pre-multiplication re-tiling and ATMatrix transpose."""
 
 import numpy as np
-import pytest
 
 from repro import COOMatrix, SystemConfig, atmult, build_at_matrix, retile
 from repro.core.retile import align_to_operand, split_tiles_at_cols

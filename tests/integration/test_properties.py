@@ -1,7 +1,6 @@
 """Cross-module property-based tests (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import COOMatrix, SystemConfig, atmult, build_at_matrix, fixed_grid_at_matrix

@@ -1,0 +1,58 @@
+"""Cost-accuracy tracker: ratios, residuals, and aggregation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.observe import CostAccuracyTracker, CostSample
+
+
+class TestCostSample:
+    def test_ratio_and_residual(self):
+        sample = CostSample("ddd_gemm", predicted_seconds=2.0, measured_seconds=3.0)
+        assert sample.ratio == pytest.approx(1.5)
+        assert sample.relative_residual == pytest.approx(0.5)
+
+    def test_zero_prediction_is_infinite(self):
+        sample = CostSample("ddd_gemm", predicted_seconds=0.0, measured_seconds=1.0)
+        assert math.isinf(sample.ratio)
+        assert math.isinf(sample.relative_residual)
+
+
+class TestTracker:
+    def test_per_kernel_summary(self):
+        tracker = CostAccuracyTracker()
+        tracker.record("ddd_gemm", 1.0, 2.0)
+        tracker.record("ddd_gemm", 1.0, 0.5)
+        tracker.record("spspsp_gemm", 4.0, 4.0)
+        summary = tracker.summary()
+        assert set(summary) == {"ddd_gemm", "spspsp_gemm"}
+        ddd = summary["ddd_gemm"]
+        assert ddd.count == 2
+        assert ddd.mean_ratio == pytest.approx(1.25)
+        # geometric mean of 2.0 and 0.5 is exactly 1.0
+        assert ddd.geometric_mean_ratio == pytest.approx(1.0)
+        assert summary["spspsp_gemm"].mean_abs_relative_residual == pytest.approx(0.0)
+
+    def test_ratio_by_kernel_uses_geometric_mean(self):
+        tracker = CostAccuracyTracker()
+        tracker.record("spdd_gemm", 1.0, 4.0)
+        tracker.record("spdd_gemm", 1.0, 1.0)
+        assert tracker.ratio_by_kernel()["spdd_gemm"] == pytest.approx(2.0)
+
+    def test_samples_filter_and_len(self):
+        tracker = CostAccuracyTracker()
+        tracker.record("a", 1.0, 1.0)
+        tracker.record("b", 1.0, 1.0)
+        assert len(tracker) == 2
+        assert [s.kernel for s in tracker.samples("a")] == ["a"]
+        assert tracker.kernels() == ["a", "b"]
+
+    def test_as_dict_round_trips_counts(self):
+        tracker = CostAccuracyTracker()
+        tracker.record("ddd_gemm", 1.0, 2.0)
+        payload = tracker.as_dict()
+        assert payload["summary"]["ddd_gemm"]["count"] == 1
+        assert payload["samples"][0]["measured_seconds"] == 2.0

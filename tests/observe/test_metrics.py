@@ -1,0 +1,91 @@
+"""Metrics registry: instrument semantics and the null instruments."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observe import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    MetricsRegistry,
+)
+from repro.observe import session as observe_session
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("k")
+        counter.inc()
+        counter.inc(2.5)
+        assert registry.value("k") == 3.5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.0)
+        registry.gauge("g").set(7.0)
+        assert registry.value("g") == 7.0
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (1.0, 2.0, 4.0):
+            histogram.observe(value)
+        payload = histogram.as_dict()
+        assert payload["count"] == 3
+        assert payload["min"] == 1.0
+        assert payload["max"] == 4.0
+        assert payload["mean"] == pytest.approx(7.0 / 3.0)
+        # log2 buckets: ceil(log2(1))=0, ceil(log2(2))=1, ceil(log2(4))=2
+        assert payload["log2_buckets"] == {"0": 1, "1": 1, "2": 1}
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(TypeError):
+            registry.gauge("name")
+
+    def test_as_dict_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(0.5)
+        payload = registry.as_dict()
+        assert list(payload) == ["a", "b"]
+        assert payload["a"]["type"] == "gauge"
+        assert payload["b"]["type"] == "counter"
+
+    def test_counter_thread_safety(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+
+        def bump() -> None:
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.value("n") == 4000
+
+
+class TestDisabledPath:
+    def test_ambient_helpers_return_null_singletons(self):
+        assert observe_session.current() is None
+        assert observe_session.counter("whatever") is NULL_COUNTER
+        assert observe_session.gauge("whatever") is NULL_GAUGE
+        assert observe_session.histogram("whatever") is NULL_HISTOGRAM
+
+    def test_null_instruments_are_inert(self):
+        NULL_COUNTER.inc()
+        NULL_COUNTER.inc(5)
+        NULL_GAUGE.set(1.0)
+        NULL_HISTOGRAM.observe(0.5)

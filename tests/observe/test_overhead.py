@@ -1,0 +1,84 @@
+"""Overhead guard: the disabled observability path must stay a no-op.
+
+The contract (docs/OBSERVABILITY.md): with no active session, every hook
+site reduces to one module-global read plus a ``None`` check, handing
+back shared singletons — no span objects, no metric lookups, no kernel
+name strings are built per call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.kernels.registry as registry
+from repro import observe
+from repro.formats.dense import DenseMatrix
+from repro.kernels.accumulator import make_accumulator
+from repro.kernels.window import Window
+from repro.kinds import StorageKind
+from repro.observe import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM, NULL_SPAN
+from repro.observe import session as observe_session
+
+
+def _run_one_kernel() -> None:
+    a = DenseMatrix(np.ones((8, 8)))
+    b = DenseMatrix(np.ones((8, 8)))
+    out = make_accumulator(StorageKind.DENSE, 8, 8)
+    registry.run_tile_product(a, Window(0, 8, 0, 8), b, Window(0, 8, 0, 8), out)
+
+
+class TestNullSingletons:
+    def test_every_disabled_hook_returns_the_shared_singleton(self):
+        assert observe_session.current() is None
+        # Identity (not just equality): the same object every call means
+        # zero allocations on the hot path, by construction.
+        for _ in range(3):
+            assert observe_session.maybe_span("kernel") is NULL_SPAN
+            assert observe_session.tracer_span(None, "pair") is NULL_SPAN
+            assert observe_session.counter("c") is NULL_COUNTER
+            assert observe_session.gauge("g") is NULL_GAUGE
+            assert observe_session.histogram("h") is NULL_HISTOGRAM
+
+    def test_null_span_context_is_reentrant(self):
+        with NULL_SPAN:
+            with NULL_SPAN:
+                NULL_SPAN.annotate("k", "v")
+
+
+class TestDisabledKernelDispatch:
+    def test_disabled_dispatch_builds_no_kernel_name(self, monkeypatch):
+        """With no session, run_tile_product must not reach kernel_name.
+
+        Building the name string (and the derived metric name) is the
+        allocation-heavy part of the instrumented path; the disabled
+        branch must skip it entirely.
+        """
+        def _fail(*args, **kwargs):
+            raise AssertionError("kernel_name called on the disabled path")
+
+        monkeypatch.setattr(registry, "kernel_name", _fail)
+        assert observe_session.current() is None
+        _run_one_kernel()  # would raise if the disabled path built names
+
+    def test_enabled_dispatch_does_build_kernel_name(self, monkeypatch):
+        """Sanity check for the guard above: the patched hook IS reached
+        as soon as a session is active."""
+        def _fail(*args, **kwargs):
+            raise AssertionError("reached")
+
+        monkeypatch.setattr(registry, "kernel_name", _fail)
+        with observe():
+            with pytest.raises(AssertionError, match="reached"):
+                _run_one_kernel()
+
+    def test_disabled_dispatch_records_nothing(self):
+        assert observe_session.current() is None
+        _run_one_kernel()
+        # a later session must start empty — nothing leaked from the
+        # untraced call into process state
+        with observe() as obs:
+            pass
+        assert len(obs.tracer) == 0
+        assert obs.metrics.names() == []
+        assert len(obs.cost_accuracy) == 0

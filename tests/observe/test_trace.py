@@ -1,0 +1,113 @@
+"""Tracer: nesting, thread identity, and the strict no-op path."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.observe import NULL_SPAN, Tracer
+from repro.observe import session as observe_session
+from repro.observe.trace import _NullSpan
+
+
+class TestSpanNesting:
+    def test_nested_spans_link_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        spans = {span.name: span for span in tracer.spans()}
+        assert spans["outer"].parent_id is None
+        assert spans["middle"].parent_id == spans["outer"].span_id
+        assert spans["inner"].parent_id == spans["middle"].span_id
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        spans = {span.name: span for span in tracer.spans()}
+        assert spans["first"].parent_id == spans["root"].span_id
+        assert spans["second"].parent_id == spans["root"].span_id
+
+    def test_span_records_duration_and_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        (span,) = tracer.spans()
+        assert span.end is not None
+        assert span.end >= span.start
+        assert span.duration >= 0.0
+
+    def test_roots_children_and_find(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("kid"):
+                pass
+            with tracer.span("kid"):
+                pass
+        (root,) = tracer.roots()
+        assert root.name == "root"
+        assert [s.name for s in tracer.children(root)] == ["kid", "kid"]
+        assert len(tracer.find("kid")) == 2
+
+    def test_annotate_via_context(self):
+        tracer = Tracer()
+        with tracer.span("k", "kernel", {"ti": 1}) as span:
+            span.annotate("nnz", 42)
+        (finished,) = tracer.spans()
+        assert finished.attrs == {"ti": 1, "nnz": 42}
+        assert finished.category == "kernel"
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (span,) = tracer.spans()
+        assert span.end is not None
+
+
+class TestThreadSeparation:
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(label: str) -> None:
+            with tracer.span(label):
+                barrier.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",), name=f"worker-{i}")
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tracer.spans()
+        assert len(spans) == 2
+        # Concurrent spans on different threads must not nest into each other.
+        assert all(span.parent_id is None for span in spans)
+        assert {span.thread_name for span in spans} == {"worker-0", "worker-1"}
+
+
+class TestDisabledPath:
+    def test_maybe_span_returns_shared_null_singleton(self):
+        assert observe_session.current() is None
+        assert observe_session.maybe_span("anything") is NULL_SPAN
+        assert observe_session.maybe_span("other", "kernel") is NULL_SPAN
+
+    def test_null_span_is_reusable_and_inert(self):
+        with NULL_SPAN as span:
+            span.annotate("ignored", 1)
+        with NULL_SPAN:
+            pass
+        assert isinstance(NULL_SPAN, _NullSpan)
+
+    def test_tracer_span_helper_none_observation(self):
+        assert observe_session.tracer_span(None, "x") is NULL_SPAN

@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.config import SystemConfig
 from repro.density.map import DensityMap

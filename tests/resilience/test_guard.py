@@ -5,7 +5,6 @@ import pytest
 
 from repro.config import SystemConfig
 from repro.errors import ResultCorruptionError
-from repro.formats.csr import CSRMatrix
 from repro.formats.dense import DenseMatrix
 from repro.kernels.accumulator import DenseAccumulator, SparseAccumulator
 from repro.kernels.registry import run_tile_product

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.bench.figures import load_results, main, render_experiment
+from repro.bench.figures import main, render_experiment
 from repro.errors import ParseError
 
 

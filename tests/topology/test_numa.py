@@ -1,6 +1,5 @@
 """Tests for NUMA placement policies."""
 
-import numpy as np
 
 from repro import COOMatrix, SystemTopology, build_at_matrix, distribute_tile_rows
 from repro.topology.numa import first_touch_node, placement_histogram
