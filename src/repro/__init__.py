@@ -29,6 +29,7 @@ from .errors import (
     MemoryLimitError,
     ParseError,
     PartitionError,
+    PlanMismatchError,
     ReproError,
     ResultCorruptionError,
     RetryExhaustedError,
@@ -73,6 +74,7 @@ from .core import (
     BaseReport,
     ParallelReport,
     ChainPlan,
+    ChainReport,
     align_to_operand,
     multiply_chain,
     plan_chain,
@@ -91,6 +93,18 @@ from .core import (
     build_at_matrix,
     fixed_grid_at_matrix,
     multiply,
+)
+from .engine import (
+    ExecutionPlan,
+    MultiplyOptions,
+    PlanCache,
+    PlanKey,
+    Session,
+    build_plan,
+    config_fingerprint,
+    execute,
+    plan,
+    structure_fingerprint,
 )
 from .expr import M, MatrixExpr
 from .solve import SolveResult, conjugate_gradient, jacobi, richardson
@@ -118,6 +132,7 @@ __all__ = [
     "ParseError",
     "ConfigError",
     "MemoryLimitError",
+    "PlanMismatchError",
     "PartitionError",
     "SchedulerError",
     "TaskFailedError",
@@ -165,7 +180,19 @@ __all__ = [
     "multiply",
     "build_at_matrix",
     "fixed_grid_at_matrix",
+    # -- the plan-and-execute engine (redesigned API surface) -------------
+    "Session",
+    "MultiplyOptions",
+    "PlanCache",
+    "PlanKey",
+    "ExecutionPlan",
+    "plan",
+    "execute",
+    "build_plan",
+    "structure_fingerprint",
+    "config_fingerprint",
     "ChainPlan",
+    "ChainReport",
     "plan_chain",
     "multiply_chain",
     "align_to_operand",

@@ -7,8 +7,9 @@ from .builder import ATMatrixBuilder, BuildReport, build_at_matrix
 from .fixed import fixed_grid_at_matrix
 from .optimizer import DynamicOptimizer, OptimizerStats
 from .report import BaseReport, MultiplyReport, ParallelReport
-from .atmult import as_at_matrix, atmult, multiply, operand_density_map
-from .chain import ChainPlan, multiply_chain, plan_chain
+from .atmult import atmult, enforce_memory_limit, multiply
+from .chain import ChainPlan, ChainReport, multiply_chain, plan_chain
+from .operands import MatrixOperand, as_at_matrix, operand_density_map
 from .retile import align_to_operand, retile, split_tiles_at_cols
 from .arith import add, scale
 from .atmv import PowerIterationResult, atmv, atmv_transposed, power_iteration
@@ -29,9 +30,12 @@ __all__ = [
     "MultiplyReport",
     "atmult",
     "multiply",
+    "enforce_memory_limit",
+    "MatrixOperand",
     "as_at_matrix",
     "operand_density_map",
     "ChainPlan",
+    "ChainReport",
     "plan_chain",
     "multiply_chain",
     "align_to_operand",

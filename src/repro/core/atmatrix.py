@@ -49,6 +49,8 @@ class ATMatrix:
             raise ShapeError(f"dimensions must be positive, got {self.shape}")
         self._index: np.ndarray | None = None
         self._density_map: DensityMap | None = None
+        self._structural_density_map: DensityMap | None = None
+        self._structure_fp: str | None = None
 
     # -- basic properties -------------------------------------------------
     @property
@@ -107,6 +109,8 @@ class ATMatrix:
         """Drop cached derived state (call after mutating ``tiles``)."""
         self._index = None
         self._density_map = None
+        self._structural_density_map = None
+        self._structure_fp = None
 
     def tile_at(self, row: int, col: int) -> Tile | None:
         """The tile covering element ``(row, col)``, if any."""
@@ -151,34 +155,31 @@ class ATMatrix:
         return sorted(cuts)
 
     # -- whole-matrix views ---------------------------------------------------
-    def density_map(self) -> DensityMap:
+    def density_map(self, *, structural: bool = False) -> DensityMap:
         """Block-granular density map of the stored data.
 
         Computed tile-locally (no whole-matrix flattening) and cached as
         matrix metadata — the estimator's inputs are statistics the matrix
         carries, like SpMachO's density maps.
+
+        ``structural=True`` is the view the planner consumes: dense
+        tiles contribute their fingerprinted (two-decimal quantized)
+        density spread uniformly over their extent, so the resulting
+        estimate — and hence the cached plan — is a pure function of
+        the plan key (see :mod:`repro.engine.fingerprint`).
         """
-        if self._density_map is not None:
-            return self._density_map
-        zspace = self.zspace
-        b = zspace.b_atomic
-        counts = np.zeros((zspace.grid_rows, zspace.grid_cols), dtype=np.float64)
-        for tile in self.tiles:
-            if isinstance(tile.data, CSRMatrix):
-                row_ids = np.repeat(
-                    np.arange(tile.rows, dtype=np.int64), tile.data.row_nnz()
-                )
-                col_ids = tile.data.indices
-            else:
-                row_ids, col_ids = np.nonzero(tile.data.array)
-            np.add.at(
-                counts,
-                ((row_ids + tile.row0) // b, (col_ids + tile.col0) // b),
-                1.0,
-            )
-        areas = DensityMap._areas(self.rows, self.cols, b)
-        self._density_map = DensityMap(self.rows, self.cols, b, counts / areas)
-        return self._density_map
+        cached = self._structural_density_map if structural else self._density_map
+        if cached is not None:
+            return cached
+        computed = tile_density_map(
+            self.tiles, self.rows, self.cols, self.zspace.b_atomic,
+            structural=structural,
+        )
+        if structural:
+            self._structural_density_map = computed
+        else:
+            self._density_map = computed
+        return computed
 
     def to_coo(self) -> COOMatrix:
         """Flatten all tiles back into a single COO table."""
@@ -325,9 +326,10 @@ class ATMatrix:
 
     def __matmul__(self, other):
         """``A @ B`` runs ATMULT under this matrix's configuration."""
-        from .atmult import multiply
+        from .atmult import atmult
 
-        return multiply(self, other, config=self.config)
+        result, _ = atmult(self, other, config=self.config)
+        return result
 
     def __getitem__(self, key):
         """Element access ``at[i, j]`` and region access ``at[r0:r1, c0:c1]``.
@@ -374,3 +376,58 @@ class ATMatrix:
             f"ATMatrix(shape={self.shape}, nnz={self.nnz}, "
             f"tiles={len(self.tiles)} [{dense}d/{sparse}sp])"
         )
+
+
+def _block_overlap(lo: int, hi: int, block: int) -> np.ndarray:
+    """Element overlap of ``[lo, hi)`` with each block it touches."""
+    edges = np.arange(lo // block, -(-hi // block) + 1, dtype=np.int64) * block
+    return (np.minimum(edges[1:], hi) - np.maximum(edges[:-1], lo)).astype(
+        np.float64
+    )
+
+
+def tile_density_map(
+    tiles: list[Tile],
+    rows: int,
+    cols: int,
+    block: int,
+    *,
+    structural: bool = False,
+) -> DensityMap:
+    """Density map of a tile set at an arbitrary block granularity.
+
+    With ``structural=True`` dense tiles contribute their quantized
+    density uniformly over their extent instead of their exact non-zero
+    pattern (see :meth:`ATMatrix.density_map`).
+    """
+    grid_rows = -(-rows // block)
+    grid_cols = -(-cols // block)
+    counts = np.zeros((grid_rows, grid_cols), dtype=np.float64)
+    for tile in tiles:
+        if isinstance(tile.data, CSRMatrix):
+            row_ids = np.repeat(
+                np.arange(tile.rows, dtype=np.int64), tile.data.row_nnz()
+            )
+            col_ids = tile.data.indices
+        elif structural:
+            # A dense tile is fingerprinted by extent + quantized density,
+            # so the structural map spreads that density uniformly over
+            # the extent (per-block variation is value detail the plan
+            # key does not capture).
+            counts[
+                tile.row0 // block : -(-tile.row1 // block),
+                tile.col0 // block : -(-tile.col1 // block),
+            ] += tile.structural_density * np.outer(
+                _block_overlap(tile.row0, tile.row1, block),
+                _block_overlap(tile.col0, tile.col1, block),
+            )
+            continue
+        else:
+            row_ids, col_ids = np.nonzero(tile.data.array)
+        np.add.at(
+            counts,
+            ((row_ids + tile.row0) // block, (col_ids + tile.col0) // block),
+            1.0,
+        )
+    areas = DensityMap._areas(rows, cols, block)
+    return DensityMap(rows, cols, block, counts / areas)

@@ -12,6 +12,16 @@ independently a plain matrix (dense array or CSR) or an AT Matrix:
    let the dynamic optimizer pick (and JIT-convert to) the cheapest input
    representations before dispatching the kernel.
 
+Since the engine redesign, steps 1-3 plus the per-product kernel
+decisions are the *planning* half (:func:`repro.engine.plan.build_plan`)
+and the kernel dispatch is the *execution* half
+(:func:`repro.engine.executor.execute_plan`); this module is the
+operator front-end gluing them together.  Pass
+``options=MultiplyOptions(plan_cache=PlanCache())`` (or drive the call
+through a :class:`repro.Session`) and repeated multiplications over the
+same operand topology skip estimation, partitioning and optimization
+entirely.
+
 Note on the threshold combination: Alg. 2 line 3 of the paper prints
 ``min{rho0_W, waterlevel(...)}``; since lowering the threshold *increases*
 memory for sub-half densities, honoring the memory SLA requires the
@@ -20,110 +30,49 @@ them with ``max``.  With an unbounded memory limit the water level drops
 to 0 and the static ``rho0_W`` decides alone, which reproduces the
 paper's described behavior in both regimes.
 
-Observability: pass ``observer=`` (or run inside ``repro.observe()``) to
-record estimate/water-level/pair/optimize/kernel spans, the metric
-catalogue of docs/OBSERVABILITY.md, and per-product predicted-vs-measured
-cost samples.  With no active session every hook is a strict no-op.
+Observability: pass ``observer=MultiplyOptions(observer=...)`` (or run
+inside ``repro.observe()``) to record estimate/water-level/pair/optimize/
+kernel spans, the metric catalogue of docs/OBSERVABILITY.md, and
+per-product predicted-vs-measured cost samples.  With no active session
+every hook is a strict no-op.
 """
 
 from __future__ import annotations
 
 import logging
-import time
-from dataclasses import dataclass, field
-from typing import NamedTuple
+import warnings
 
-import numpy as np
-
-from ..config import DEFAULT_CONFIG, SystemConfig
+from ..config import SystemConfig
 from ..cost.model import CostModel
-from ..density.estimate import coarsen, estimate_product_density
-from ..density.map import DensityMap
-from ..density.water_level import water_level_threshold
-from ..errors import MemoryLimitError, ShapeError
-from ..formats.csr import CSRMatrix
+from ..engine.api import resolve_plan
+from ..engine.cache import PlanCache
+from ..engine.executor import _payload_kind, _seed_accumulator, execute_plan
+from ..engine.options import UNSET, MultiplyOptions, coerce_options
+from ..engine.plan import ExecutionPlan
+from ..errors import ShapeError
 from ..formats.dense import DenseMatrix
-from ..kernels.accumulator import DenseAccumulator, make_accumulator
-from ..kernels.registry import run_tile_product
-from ..kernels.window import Window
-from ..kinds import StorageKind, kernel_name
 from ..observe import Observation
 from ..observe import session as observe_session
-from ..resilience.degrade import DegradationState
-from ..resilience.faults import fire_hooks, task_scope
-from ..resilience.guard import reference_tile_product, validate_tile
-from ..resilience.retry import ResilientPairRunner, RetryPolicy
-from ..topology.trace import TaskRecord
+from ..resilience.retry import RetryPolicy
 from .atmatrix import ATMatrix
-from .optimizer import DynamicOptimizer
+from .operands import MatrixOperand, _csr_row_ids, as_at_matrix, operand_density_map
 from .report import MultiplyReport
-from .tile import Tile
+
+# Pre-engine call sites imported these from here; their homes are now
+# repro.core.operands and repro.engine.executor.
+__all__ = [
+    "MatrixOperand",
+    "as_at_matrix",
+    "atmult",
+    "enforce_memory_limit",
+    "multiply",
+    "operand_density_map",
+    "_csr_row_ids",
+    "_payload_kind",
+    "_seed_accumulator",
+]
 
 logger = logging.getLogger("repro.atmult")
-
-MatrixOperand = ATMatrix | CSRMatrix | DenseMatrix
-
-_span = observe_session.tracer_span
-
-
-@dataclass
-class _PairStats:
-    """Per-attempt bookkeeping, merged into the report only on success."""
-
-    optimize_seconds: float = 0.0
-    multiply_seconds: float = 0.0
-    kernel_counts: dict[str, int] = field(default_factory=dict)
-    tasks: list[TaskRecord] = field(default_factory=list)
-
-
-class _SeqPairResult(NamedTuple):
-    tile: Tile | None
-    stats: _PairStats
-
-
-def as_at_matrix(operand: MatrixOperand, config: SystemConfig) -> ATMatrix:
-    """View a plain operand as a single-tile AT Matrix (zero partitioning).
-
-    This is how ATMULT supports "plain matrix structures such as dense
-    arrays or sparse CSR matrices" as independent operand types.
-    """
-    if isinstance(operand, ATMatrix):
-        return operand
-    kind = StorageKind.SPARSE if isinstance(operand, CSRMatrix) else StorageKind.DENSE
-    tile = Tile(0, 0, operand.rows, operand.cols, kind, operand)
-    return ATMatrix(operand.rows, operand.cols, config, [tile])
-
-
-def operand_density_map(operand: MatrixOperand, config: SystemConfig) -> DensityMap:
-    """Block-density map of any operand type at ``config.b_atomic``.
-
-    An AT Matrix partitioned under a *different* granularity has its
-    cached map brought to the requested block size: coarsened when the
-    requested size is a multiple of the matrix's own, recomputed from the
-    flattened content otherwise.
-    """
-    block = config.b_atomic
-    assert block is not None
-    if isinstance(operand, ATMatrix):
-        own = operand.density_map()
-        if own.block == block:
-            return own
-        if block % own.block == 0:
-            return coarsen(own, block // own.block)
-        coo = operand.to_coo()
-        return DensityMap.from_coordinates(
-            operand.rows, operand.cols, coo.row_ids, coo.col_ids, block
-        )
-    if isinstance(operand, CSRMatrix):
-        coo_rows = _csr_row_ids(operand)
-        return DensityMap.from_coordinates(
-            operand.rows, operand.cols, coo_rows, operand.indices, block
-        )
-    return DensityMap.from_dense(operand.array, block)
-
-
-def _csr_row_ids(matrix: CSRMatrix) -> np.ndarray:
-    return np.repeat(np.arange(matrix.rows, dtype=np.int64), matrix.row_nnz())
 
 
 def atmult(
@@ -131,13 +80,15 @@ def atmult(
     b: MatrixOperand,
     c: MatrixOperand | None = None,
     *,
+    options: MultiplyOptions | None = None,
     config: SystemConfig | None = None,
     cost_model: CostModel | None = None,
-    memory_limit_bytes: float | None = None,
-    dynamic_conversion: bool = True,
-    use_estimation: bool = True,
-    resilience: RetryPolicy | None = None,
-    observer: Observation | None = None,
+    plan_cache: PlanCache | None = None,
+    memory_limit_bytes: float | None = UNSET,
+    dynamic_conversion: bool = UNSET,
+    use_estimation: bool = UNSET,
+    resilience: RetryPolicy | None = UNSET,
+    observer: Observation | None = UNSET,
 ) -> tuple[ATMatrix, MultiplyReport]:
     """Multiply ``C' = C + A x B`` with tile-granular optimization.
 
@@ -147,367 +98,96 @@ def atmult(
         Operands; each may be an :class:`ATMatrix`, :class:`CSRMatrix`
         or :class:`DenseMatrix`.  ``c`` is an optional matrix added into
         the result.
+    options:
+        A :class:`~repro.engine.options.MultiplyOptions` consolidating
+        the execution knobs (memory limit, ablation flags, resilience,
+        observer, plan cache).  This is the preferred way to configure
+        the call.
     config:
         System configuration; defaults to the library default.
     cost_model:
         Cost oracle for the optimizer; a default model is created if
         omitted.
-    memory_limit_bytes:
-        Memory SLA for the output matrix, enforced through the
-        water-level method.  ``None`` disables the limit.
-    dynamic_conversion:
-        Enable the just-in-time input conversions (ablation step 6).
-    use_estimation:
-        Enable density estimation and dense target tiles (ablation
-        step 3+); when off, all target tiles are sparse.
-    resilience:
-        A :class:`~repro.resilience.RetryPolicy` enabling bounded
-        per-pair retries, result validation with reference-kernel
-        fallback, and graceful degradation under memory pressure.
-        ``None`` keeps the fail-fast behavior.  Exhausted pairs raise
-        :class:`~repro.errors.RetryExhaustedError`; outcomes land in
-        ``report.failure``.
-    observer:
-        An :class:`~repro.observe.Observation` to record spans, metrics
-        and cost-accuracy samples into; it is activated as the ambient
-        session for the duration of the call.  ``None`` records into
-        the already-active session, if any.
+    plan_cache:
+        A :class:`~repro.engine.cache.PlanCache`; when set (here or in
+        ``options``), planning is skipped whenever a cached plan matches
+        the operand topologies and configuration.
+    memory_limit_bytes, dynamic_conversion, use_estimation, resilience, observer:
+        **Deprecated** — the legacy keyword set, still honored (one
+        consolidated :class:`DeprecationWarning` per call).  Pass the
+        same fields on ``options`` instead; explicitly supplied legacy
+        values override the corresponding ``options`` fields.
 
     Returns
     -------
     (result, report):
         The product as an :class:`ATMatrix` plus the phase report.
     """
-    config = config or DEFAULT_CONFIG
-    cost_model = cost_model or CostModel()
+    opts = coerce_options(
+        options,
+        where="atmult",
+        config=config,
+        cost_model=cost_model,
+        plan_cache=plan_cache,
+        memory_limit_bytes=memory_limit_bytes,
+        dynamic_conversion=dynamic_conversion,
+        use_estimation=use_estimation,
+        resilience=resilience,
+        observer=observer,
+    )
     if a.cols != b.rows:
         raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
     if c is not None and c.shape != (a.rows, b.cols):
         raise ShapeError(f"C shape {c.shape} != result shape {(a.rows, b.cols)}")
-    with observe_session.resolve(observer) as obs:
-        return _atmult(
-            a,
-            b,
-            c,
-            config=config,
-            cost_model=cost_model,
-            memory_limit_bytes=memory_limit_bytes,
-            dynamic_conversion=dynamic_conversion,
-            use_estimation=use_estimation,
-            resilience=resilience,
+    resolved_config = opts.resolved_config()
+    resolved_model = opts.resolved_cost_model()
+    with observe_session.resolve(opts.observer) as obs:
+        at_a = as_at_matrix(a, resolved_config)
+        at_b = as_at_matrix(b, resolved_config)
+        at_c = as_at_matrix(c, resolved_config) if c is not None else None
+        plan, fresh = resolve_plan(
+            at_a,
+            at_b,
+            config=resolved_config,
+            cost_model=resolved_model,
+            options=opts,
             obs=obs,
         )
-
-
-def _atmult(
-    a: MatrixOperand,
-    b: MatrixOperand,
-    c: MatrixOperand | None,
-    *,
-    config: SystemConfig,
-    cost_model: CostModel,
-    memory_limit_bytes: float | None,
-    dynamic_conversion: bool,
-    use_estimation: bool,
-    resilience: RetryPolicy | None,
-    obs: Observation | None,
-) -> tuple[ATMatrix, MultiplyReport]:
-    report = MultiplyReport(observation=obs)
-
-    at_a = as_at_matrix(a, config)
-    at_b = as_at_matrix(b, config)
-    at_c = as_at_matrix(c, config) if c is not None else None
-
-    # -- phase 1: density estimation (Alg. 2 line 2) ----------------------
-    estimate: DensityMap | None = None
-    if use_estimation:
-        start = time.perf_counter()
-        with _span(obs, "estimate"):
-            map_a = operand_density_map(at_a, config)
-            map_b = operand_density_map(at_b, config)
-            estimate = estimate_product_density(map_a, map_b)
-        report.estimate_seconds = time.perf_counter() - start
-
-    # -- phase 2: write threshold via the water level (line 3) --------------
-    start = time.perf_counter()
-    with _span(obs, "water_level"):
-        if estimate is not None:
-            level = water_level_threshold(estimate, memory_limit_bytes, config)
-            report.water_level = level
-            write_threshold = max(cost_model.write_threshold, level.threshold)
-        else:
-            write_threshold = float("inf")  # no estimation: sparse targets only
-    report.write_threshold = write_threshold
-    optimizer = DynamicOptimizer(cost_model, enabled=dynamic_conversion)
-    report.optimize_seconds += time.perf_counter() - start
-    if obs is not None:
-        obs.metrics.gauge("water_level.threshold").set(
-            write_threshold if np.isfinite(write_threshold) else -1.0
+        result, report = execute_plan(
+            plan,
+            at_a,
+            at_b,
+            at_c,
+            config=resolved_config,
+            cost_model=resolved_model,
+            resilience=opts.resilience,
+            obs=obs,
+            check_fingerprints=False,  # resolve_plan keyed/built on these operands
         )
-        if memory_limit_bytes is not None:
-            obs.metrics.gauge("memory.limit_bytes").set(memory_limit_bytes)
-
-    # -- phase 3: tile loop (lines 4-10) ---------------------------------------
-    row_cuts = at_a.row_cuts()
-    col_cuts = at_b.col_cuts()
-    degradation = (
-        DegradationState(estimate, memory_limit_bytes, config, write_threshold)
-        if resilience is not None
-        else None
-    )
-    runner = (
-        ResilientPairRunner(resilience, report.failure, degradation)
-        if resilience is not None
-        else None
-    )
-
-    def compute_pair(
-        ti: int, tj: int, force_sparse: bool, use_reference: bool = False
-    ) -> _SeqPairResult:
-        """One full pair computation (one attempt), stats kept local so a
-        retried attempt cannot double-count into the report."""
-        stats = _PairStats()
-        attrs = (
-            {"ti": ti, "tj": tj, "force_sparse": force_sparse}
-            if obs is not None
-            else None
-        )
-        with _span(obs, "pair", "pair", attrs):
-            fire_hooks("pair", (ti, tj))
-            r0, r1 = row_cuts[ti], row_cuts[ti + 1]
-            c0, c1 = col_cuts[tj], col_cuts[tj + 1]
-            a_strip = at_a.tiles_overlapping(r0, r1, 0, at_a.cols)
-            team_node = a_strip[0].numa_node if a_strip else 0
-            b_strip = at_b.tiles_overlapping(0, at_b.rows, c0, c1)
-
-            rho_c = (
-                estimate.region_density(r0, r1, c0, c1)
-                if estimate is not None
-                else 0.0
-            )
-            threshold = (
-                degradation.threshold if degradation is not None else write_threshold
-            )
-            c_kind = (
-                StorageKind.SPARSE
-                if force_sparse or rho_c < threshold
-                else StorageKind.DENSE
-            )
-            accumulator = make_accumulator(c_kind, r1 - r0, c1 - c0)
-
-            if at_c is not None:
-                _seed_accumulator(accumulator, at_c, r0, r1, c0, c1)
-
-            wrote_any = accumulator.writes > 0
-            for a_tile in a_strip:
-                for b_tile in b_strip:
-                    k0 = max(a_tile.col0, b_tile.row0)
-                    k1 = min(a_tile.col1, b_tile.row1)
-                    if k0 >= k1:
-                        continue
-                    wa = Window(
-                        max(r0, a_tile.row0) - a_tile.row0,
-                        min(r1, a_tile.row1) - a_tile.row0,
-                        k0 - a_tile.col0,
-                        k1 - a_tile.col0,
-                    )
-                    wb = Window(
-                        k0 - b_tile.row0,
-                        k1 - b_tile.row0,
-                        max(c0, b_tile.col0) - b_tile.col0,
-                        min(c1, b_tile.col1) - b_tile.col0,
-                    )
-                    target_row = max(r0, a_tile.row0) - r0
-                    target_col = max(c0, b_tile.col0) - c0
-                    start = time.perf_counter()
-                    if use_reference:
-                        payload_a, payload_b = a_tile.data, b_tile.data
-                        opt_elapsed = time.perf_counter() - start
-                        start = time.perf_counter()
-                        reference_tile_product(
-                            payload_a, wa, payload_b, wb, accumulator,
-                            target_row, target_col,
-                        )
-                    else:
-                        with _span(obs, "optimize", "optimize"):
-                            payload_a, payload_b = optimizer.choose(
-                                a_tile, b_tile, c_kind, wa.rows, wa.cols, wb.cols,
-                                rho_c,
-                            )
-                        opt_elapsed = time.perf_counter() - start
-                        start = time.perf_counter()
-                        run_tile_product(
-                            payload_a, wa, payload_b, wb, accumulator,
-                            target_row, target_col,
-                        )
-                    mult_elapsed = time.perf_counter() - start
-                    stats.multiply_seconds += mult_elapsed
-                    stats.optimize_seconds += opt_elapsed
-
-                    kind_a = _payload_kind(payload_a)
-                    kind_b = _payload_kind(payload_b)
-                    name = kernel_name(kind_a, kind_b, c_kind)
-                    stats.kernel_counts[name] = stats.kernel_counts.get(name, 0) + 1
-                    stats.tasks.append(
-                        TaskRecord(
-                            pair=(ti, tj),
-                            team_node=team_node,
-                            seconds=opt_elapsed + mult_elapsed,
-                            bytes_by_node={
-                                a_tile.numa_node: a_tile.memory_bytes(),
-                                b_tile.numa_node: b_tile.memory_bytes(),
-                            },
-                        )
-                    )
-                    if obs is not None and not use_reference:
-                        _record_product(
-                            obs, cost_model, name, kind_a, kind_b, c_kind,
-                            wa, wb, a_tile, b_tile, rho_c, mult_elapsed,
-                        )
-                    wrote_any = True
-
-            start = time.perf_counter()
-            tile: Tile | None = None
-            if wrote_any:
-                payload = accumulator.finalize()
-                if payload.nnz or isinstance(accumulator, DenseAccumulator):
-                    candidate = Tile(
-                        r0,
-                        c0,
-                        r1 - r0,
-                        c1 - c0,
-                        c_kind,
-                        payload,
-                        numa_node=team_node,
-                    )
-                    if candidate.nnz:
-                        tile = candidate
-            stats.multiply_seconds += time.perf_counter() - start
-            if obs is not None:
-                obs.metrics.counter("accumulator.writes").inc(accumulator.writes)
-                for node, nbytes in (
-                    (t.numa_node, t.memory_bytes()) for t in (*a_strip, *b_strip)
-                ):
-                    obs.metrics.counter(f"numa.bytes.node{node}").inc(nbytes)
-            if (
-                degradation is not None
-                and not force_sparse
-                and tile is not None
-                and tile.kind is StorageKind.DENSE
-                and degradation.over_budget(tile.memory_bytes())
-            ):
-                raise MemoryLimitError(
-                    f"pair {(ti, tj)} dense tile of {tile.memory_bytes()} B "
-                    f"would exceed the memory budget"
-                )
-            return _SeqPairResult(tile, stats)
-
-    def validate_pair(ti: int, tj: int, pair_result: _SeqPairResult) -> None:
-        if pair_result.tile is None:
-            return
-        r0, r1 = row_cuts[ti], row_cuts[ti + 1]
-        c0, c1 = col_cuts[tj], col_cuts[tj + 1]
-        rho_c = estimate.region_density(r0, r1, c0, c1) if estimate is not None else None
-        validate_tile(
-            pair_result.tile.data, r1 - r0, c1 - c0, rho_c, pair=(ti, tj)
-        )
-
-    result_tiles: list[Tile] = []
-    for ti in range(len(row_cuts) - 1):
-        for tj in range(len(col_cuts) - 1):
-            pair = (ti, tj)
-            if runner is None:
-                with task_scope(pair, 1):
-                    pair_result = compute_pair(ti, tj, False)
-            else:
-                pair_result = runner.run(
-                    pair,
-                    lambda force_sparse, ti=ti, tj=tj: compute_pair(
-                        ti, tj, force_sparse
-                    ),
-                    validate=lambda res, ti=ti, tj=tj: validate_pair(ti, tj, res),
-                    fallback=lambda force_sparse, ti=ti, tj=tj: compute_pair(
-                        ti, tj, force_sparse, use_reference=True
-                    ),
-                )
-            stats = pair_result.stats
-            report.optimize_seconds += stats.optimize_seconds
-            report.multiply_seconds += stats.multiply_seconds
-            report.merge_kernel_counts(stats.kernel_counts)
-            report.tasks.extend(stats.tasks)
-            if pair_result.tile is not None:
-                result_tiles.append(pair_result.tile)
-                if degradation is not None:
-                    degradation.note_completed(
-                        row_cuts[ti], row_cuts[ti + 1],
-                        col_cuts[tj], col_cuts[tj + 1],
-                        pair_result.tile.memory_bytes(),
-                    )
-
-    report.conversions = optimizer.stats.conversions
-    result = ATMatrix(a.rows, b.cols, config, result_tiles)
+        assert isinstance(report, MultiplyReport)
+        if fresh:
+            _fold_plan_phases(report, plan)
     logger.debug(
         "atmult %sx%s @ %sx%s -> nnz=%d in %.3fs "
-        "(estimate %.1f%%, optimize %.1f%%, %d conversions, kernels %s)",
+        "(estimate %.1f%%, optimize %.1f%%, %d conversions, kernels %s, "
+        "plan %s)",
         a.rows, a.cols, b.rows, b.cols, result.nnz, report.total_seconds,
         100 * report.estimate_fraction, 100 * report.optimize_fraction,
         report.conversions, dict(report.kernel_counts),
+        "fresh" if fresh else "cached",
     )
-    if memory_limit_bytes is not None and not np.isinf(memory_limit_bytes):
-        start = time.perf_counter()
-        with _span(obs, "memory_limit_enforce"):
-            enforce_memory_limit(result, memory_limit_bytes)
-        report.optimize_seconds += time.perf_counter() - start
     return result, report
 
 
-def _record_product(
-    obs: Observation,
-    cost_model: CostModel,
-    name: str,
-    kind_a: StorageKind,
-    kind_b: StorageKind,
-    c_kind: StorageKind,
-    wa: Window,
-    wb: Window,
-    a_tile: Tile,
-    b_tile: Tile,
-    rho_c: float,
-    measured_seconds: float,
-) -> None:
-    """Record one tile product's metrics and cost-accuracy sample."""
-    obs.metrics.histogram(f"kernel.seconds.{name}").observe(measured_seconds)
-    predicted = cost_model.product_cost(
-        kind_a, kind_b, c_kind,
-        wa.rows, wa.cols, wb.cols,
-        a_tile.density, b_tile.density, rho_c,
-    )
-    obs.cost_accuracy.record(name, predicted, measured_seconds)
+def _fold_plan_phases(report, plan: ExecutionPlan) -> None:
+    """Attribute a freshly built plan's phase durations to this report.
 
-
-def _payload_kind(payload) -> StorageKind:
-    return StorageKind.SPARSE if isinstance(payload, CSRMatrix) else StorageKind.DENSE
-
-
-def _seed_accumulator(accumulator, at_c: ATMatrix, r0, r1, c0, c1) -> None:
-    """Add the prior C content of a region into a fresh accumulator."""
-    for tile in at_c.tiles_overlapping(r0, r1, c0, c1):
-        row_lo = max(r0, tile.row0)
-        row_hi = min(r1, tile.row1)
-        col_lo = max(c0, tile.col0)
-        col_hi = min(c1, tile.col1)
-        if isinstance(tile.data, DenseMatrix):
-            view = tile.data.window_view(
-                row_lo - tile.row0, row_hi - tile.row0,
-                col_lo - tile.col0, col_hi - tile.col0,
-            )
-            accumulator.add_dense(row_lo - r0, col_lo - c0, view)
-        else:
-            rows, cols, values = tile.data.window_mask(
-                row_lo - tile.row0, row_hi - tile.row0,
-                col_lo - tile.col0, col_hi - tile.col0,
-            )
-            accumulator.add_triples(row_lo - r0, col_lo - c0, rows, cols, values)
+    Cached replays skip this — their reports show (near) zero estimate
+    and decision time, which is the whole point of plan reuse.
+    """
+    if plan.use_estimation:
+        report.add_phase("estimate", plan.estimate_seconds)
+    report.add_phase("optimize", plan.optimize_seconds)
 
 
 def enforce_memory_limit(result: ATMatrix, memory_limit_bytes: float) -> int:
@@ -554,13 +234,28 @@ def enforce_memory_limit(result: ATMatrix, memory_limit_bytes: float) -> int:
 
 
 def multiply(
-    a: MatrixOperand, b: MatrixOperand, **kwargs
-) -> ATMatrix:
-    """Convenience wrapper around :func:`atmult` returning only the result.
+    a: MatrixOperand,
+    b: MatrixOperand,
+    *,
+    return_report: bool = True,
+    **kwargs,
+) -> tuple[ATMatrix, MultiplyReport] | ATMatrix:
+    """Convenience wrapper around :func:`atmult`.
 
-    Accepts the full :func:`atmult` keyword set (``config``,
-    ``cost_model``, ``memory_limit_bytes``, ``dynamic_conversion``,
-    ``use_estimation``, ``resilience``, ``observer``).
+    Returns ``(result, report)`` like every other multiply entry point.
+    ``return_report=False`` restores the pre-redesign result-only shape
+    and is **deprecated**.
+
+    Accepts the full :func:`atmult` keyword set (``options``, ``config``,
+    ``cost_model``, ``plan_cache`` plus the deprecated legacy knobs).
     """
-    result, _ = atmult(a, b, **kwargs)
-    return result
+    result, report = atmult(a, b, **kwargs)
+    if not return_report:
+        warnings.warn(
+            "multiply(return_report=False) is deprecated; the default now "
+            "returns (result, report) like atmult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return result
+    return result, report

@@ -16,17 +16,21 @@ is itself an adaptive tile matrix with cost-optimized kernels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..cost.model import CostModel
 from ..density.estimate import estimate_product_density
 from ..density.map import DensityMap
+from ..engine.cache import PlanCache
+from ..engine.options import UNSET, MultiplyOptions, coerce_options
 from ..errors import ShapeError
 from ..kinds import StorageKind
 from ..observe import session as observe_session
 from .atmatrix import ATMatrix
 from .atmult import MatrixOperand, atmult, operand_density_map
+from .report import BaseReport, MultiplyReport
 
 
 @dataclass(frozen=True)
@@ -147,33 +151,113 @@ def plan_chain(
     )
 
 
+@dataclass
+class ChainReport(BaseReport):
+    """Aggregate report of one chain execution.
+
+    Extends :class:`~repro.core.report.BaseReport` with the executed
+    :class:`ChainPlan` (``.plan``) and the per-step
+    :class:`~repro.core.report.MultiplyReport` list (``.steps``); the
+    base phase/kernel/conversion counters hold the sums over all steps.
+    For compatibility with the pre-redesign ``(result, plan)`` return
+    shape, the plan's ``cost``/``splits``/``order`` and
+    :meth:`parenthesization` are exposed directly on the report.
+    """
+
+    plan: ChainPlan | None = None
+    steps: list[MultiplyReport] = field(default_factory=list)
+
+    def _plan(self) -> ChainPlan:
+        assert self.plan is not None
+        return self.plan
+
+    @property
+    def cost(self) -> float:
+        return self._plan().cost
+
+    @property
+    def splits(self) -> tuple[tuple[int, ...], ...]:
+        return self._plan().splits
+
+    @property
+    def order(self) -> tuple[tuple[int, int, int], ...]:
+        return self._plan().order
+
+    def parenthesization(self, names: list[str] | None = None) -> str:
+        return self._plan().parenthesization(names)
+
+    def merge_step(self, step: MultiplyReport) -> None:
+        """Fold one multiplication's report into the aggregate."""
+        self.steps.append(step)
+        for name, seconds in step.phase_seconds.items():
+            self.add_phase(name, seconds)
+        self.merge_kernel_counts(step.kernel_counts)
+        self.conversions += step.conversions
+
+
 def multiply_chain(
     operands: list[MatrixOperand],
     *,
+    options: MultiplyOptions | None = None,
     config: SystemConfig | None = None,
     cost_model: CostModel | None = None,
-    memory_limit_bytes: float | None = None,
-    dynamic_conversion: bool = True,
-    use_estimation: bool = True,
-    resilience=None,
-    observer=None,
-) -> tuple[ATMatrix, ChainPlan]:
+    plan_cache: PlanCache | None = None,
+    memory_limit_bytes: float | None = UNSET,
+    dynamic_conversion: bool = UNSET,
+    use_estimation: bool = UNSET,
+    resilience=UNSET,
+    observer=UNSET,
+    return_report: bool = True,
+) -> tuple[ATMatrix, "ChainReport | ChainPlan"]:
     """Plan and execute a matrix chain with ATMULT.
 
-    Returns the product and the executed plan.  Each intermediate is an
-    AT Matrix, so later products in the chain keep benefiting from the
-    tile-granular optimization.  The execution keywords
-    (``dynamic_conversion``, ``use_estimation``, ``resilience``,
-    ``observer``) are forwarded to every :func:`atmult` step.
-    """
-    config = config or DEFAULT_CONFIG
-    with observe_session.resolve(observer) as obs:
-        with observe_session.tracer_span(obs, "chain_plan"):
-            plan = plan_chain(operands, config=config, cost_model=cost_model)
-        if len(operands) == 1:
-            from .atmult import as_at_matrix
+    Returns ``(product, report)`` where the :class:`ChainReport` carries
+    the executed :class:`ChainPlan` (``report.plan``, with ``order``/
+    ``parenthesization()`` available directly on the report) plus the
+    aggregated phase and kernel statistics of every step.  Each
+    intermediate is an AT Matrix, so later products in the chain keep
+    benefiting from the tile-granular optimization; with a plan cache in
+    ``options`` every step's plan is reused across repeated chain runs.
 
-            return as_at_matrix(operands[0], config), plan
+    ``return_report=False`` restores the pre-redesign
+    ``(product, ChainPlan)`` shape and is **deprecated**; the legacy
+    execution keywords (``memory_limit_bytes`` etc.) are likewise
+    deprecated in favor of ``options=MultiplyOptions(...)``.
+    """
+    opts = coerce_options(
+        options,
+        where="multiply_chain",
+        config=config,
+        cost_model=cost_model,
+        plan_cache=plan_cache,
+        memory_limit_bytes=memory_limit_bytes,
+        dynamic_conversion=dynamic_conversion,
+        use_estimation=use_estimation,
+        resilience=resilience,
+        observer=observer,
+    )
+    if not return_report:
+        warnings.warn(
+            "multiply_chain(return_report=False) is deprecated; the default "
+            "now returns (result, ChainReport) — the report exposes the "
+            "ChainPlan as report.plan",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    resolved_config = opts.resolved_config()
+    resolved_model = opts.resolved_cost_model()
+    with observe_session.resolve(opts.observer) as obs:
+        report = ChainReport(observation=obs)
+        with observe_session.tracer_span(obs, "chain_plan"):
+            plan = plan_chain(
+                operands, config=resolved_config, cost_model=resolved_model
+            )
+        report.plan = plan
+        if len(operands) == 1:
+            from .operands import as_at_matrix
+
+            single = as_at_matrix(operands[0], resolved_config)
+            return (single, report) if return_report else (single, plan)
 
         results: dict[tuple[int, int], MatrixOperand] = {
             (i, i): operand for i, operand in enumerate(operands)
@@ -182,16 +266,8 @@ def multiply_chain(
         for i, k, j in plan.order:
             left = results[(i, k)]
             right = results[(k + 1, j)]
-            product, _ = atmult(
-                left,
-                right,
-                config=config,
-                cost_model=cost_model,
-                memory_limit_bytes=memory_limit_bytes,
-                dynamic_conversion=dynamic_conversion,
-                use_estimation=use_estimation,
-                resilience=resilience,
-            )
+            product, step_report = atmult(left, right, options=opts)
+            report.merge_step(step_report)
             results[(i, j)] = product
         assert product is not None
-        return product, plan
+        return (product, report) if return_report else (product, plan)

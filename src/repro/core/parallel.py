@@ -4,12 +4,17 @@ Paper section III-F: pairs ``(ti, tj)`` of A tile-rows and B tile-columns
 form independent task sets; all tile products of one pair run on the same
 worker team, different pairs run on different teams concurrently.  This
 module executes that scheme with a thread pool — one worker per simulated
-socket — on top of the same kernels and optimizer ATMULT uses.
+socket — on top of the same engine the sequential operator uses: the
+plan is resolved once (:func:`repro.engine.api.resolve_plan`, possibly
+from the plan cache, and *shared* with the sequential path — the plan
+key deliberately excludes the execution mode) and the planned pairs are
+dispatched by :func:`repro.engine.executor.execute_plan` with
+``parallel=True``.
 
 Two facts make this sound in Python:
 
 * different pairs write *different* target accumulators, so pair tasks
-  share no mutable state except the optimizer's conversion cache (guarded
+  share no mutable state except the engine's conversion cache (guarded
   by a lock);
 * the heavy numpy/BLAS kernels release the GIL, so dense-dominated
   workloads overlap on multicore hosts (on a single-core host the result
@@ -26,67 +31,28 @@ memory pressure — see :mod:`repro.resilience`.
 
 Observability: pass ``observer=`` (or run inside ``repro.observe()``) and
 the pair spans land on their worker threads — the Chrome trace export
-then shows one lane per ``team`` thread with nested pair/optimize/kernel
-spans, which is the paper's Fig. 9 execution picture as a timeline.
+then shows one lane per ``team`` thread with nested pair/kernel spans,
+which is the paper's Fig. 9 execution picture as a timeline.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from concurrent.futures import ThreadPoolExecutor
-
-from ..config import DEFAULT_CONFIG, SystemConfig
+from ..config import SystemConfig
 from ..cost.model import CostModel
-from ..density.map import DensityMap
-from ..density.water_level import water_level_threshold
-from ..errors import MemoryLimitError, ShapeError, TaskFailedError
-from ..kernels.accumulator import make_accumulator
-from ..kernels.registry import run_tile_product
-from ..kernels.window import Window
-from ..kinds import StorageKind
+from ..engine.api import resolve_plan
+from ..engine.cache import PlanCache
+from ..engine.executor import execute_plan
+from ..engine.options import UNSET, MultiplyOptions, coerce_options
+from ..errors import ShapeError
 from ..observe import Observation
 from ..observe import session as observe_session
-from ..resilience.degrade import DegradationState
-from ..resilience.faults import fire_hooks, task_scope
-from ..resilience.guard import reference_tile_product, validate_tile
-from ..resilience.report import FailureReport, aggregate_message
-from ..resilience.retry import ResilientPairRunner, RetryPolicy
+from ..resilience.retry import RetryPolicy
 from ..topology.system import SystemTopology
 from .atmatrix import ATMatrix
-from .atmult import MatrixOperand, as_at_matrix, operand_density_map
-from .optimizer import DynamicOptimizer
+from .operands import MatrixOperand, as_at_matrix
 from .report import ParallelReport
-from .tile import Tile
 
-_span = observe_session.tracer_span
-
-
-class _LockedOptimizer(DynamicOptimizer):
-    """DynamicOptimizer with locks around the shared mutable state."""
-
-    def __init__(self, cost_model: CostModel, *, enabled: bool = True) -> None:
-        super().__init__(cost_model, enabled=enabled)
-        self._lock = threading.Lock()
-        self._stats_lock = threading.Lock()
-
-    def _payload_as(self, tile: Tile, kind: StorageKind):
-        if kind is tile.kind:
-            return tile.data
-        with self._lock:
-            return super()._payload_as(tile, kind)
-
-    def _record_kernel(self, name: str) -> None:
-        with self._stats_lock:
-            super()._record_kernel(name)
-
-
-class _PairResult:
-    __slots__ = ("tile", "products")
-
-    def __init__(self, tile: Tile | None, products: int) -> None:
-        self.tile = tile
-        self.products = products
+__all__ = ["parallel_atmult"]
 
 
 def parallel_atmult(
@@ -94,323 +60,80 @@ def parallel_atmult(
     b: MatrixOperand,
     *,
     topology: SystemTopology,
+    options: MultiplyOptions | None = None,
     config: SystemConfig | None = None,
     cost_model: CostModel | None = None,
-    memory_limit_bytes: float | None = None,
-    dynamic_conversion: bool = True,
-    use_estimation: bool = True,
-    resilience: RetryPolicy | None = None,
-    observer: Observation | None = None,
+    plan_cache: PlanCache | None = None,
+    memory_limit_bytes: float | None = UNSET,
+    dynamic_conversion: bool = UNSET,
+    use_estimation: bool = UNSET,
+    resilience: RetryPolicy | None = UNSET,
+    observer: Observation | None = UNSET,
+    workers: int | None = UNSET,
 ) -> tuple[ATMatrix, ParallelReport]:
     """Multiply ``C = A x B`` with one worker team per socket.
 
     Semantically identical to :func:`~repro.core.atmult.atmult` and
-    accepts the same keyword set (``topology`` replaces the implicit
+    accepts the same keyword surface (``topology`` replaces the implicit
     sequential execution; ``c`` seeding is not supported in parallel —
     see docs/API.md).  The tile-row/tile-column pairs are dispatched to
-    a thread pool of ``topology.sockets`` workers instead of a
-    sequential loop.  With a ``resilience`` policy, flaky pairs are
-    retried in isolation, finished tiles are validated, and memory
-    pressure degrades the write threshold instead of failing the run.
-    With ``use_estimation=False`` the density estimation phase is
-    skipped and every target tile is sparse (ablation step 3).
+    a thread pool of ``topology.sockets`` workers (overridable via
+    ``options.workers``) instead of a sequential loop.  With a
+    ``resilience`` policy, flaky pairs are retried in isolation,
+    finished tiles are validated, and memory pressure degrades the
+    write threshold instead of failing the run.  With
+    ``use_estimation=False`` the density estimation phase is skipped and
+    every target tile is sparse (ablation step 3).
+
+    The legacy ``memory_limit_bytes``/``dynamic_conversion``/
+    ``use_estimation``/``resilience``/``observer``/``workers`` keywords
+    are **deprecated** in favor of ``options=MultiplyOptions(...)`` (one
+    consolidated :class:`DeprecationWarning` per call).
     """
-    config = config or DEFAULT_CONFIG
-    cost_model = cost_model or CostModel()
+    opts = coerce_options(
+        options,
+        where="parallel_atmult",
+        config=config,
+        cost_model=cost_model,
+        plan_cache=plan_cache,
+        memory_limit_bytes=memory_limit_bytes,
+        dynamic_conversion=dynamic_conversion,
+        use_estimation=use_estimation,
+        resilience=resilience,
+        observer=observer,
+        workers=workers,
+    )
     if a.cols != b.rows:
         raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
-    with observe_session.resolve(observer) as obs:
-        return _parallel_atmult(
-            a,
-            b,
-            topology=topology,
-            config=config,
-            cost_model=cost_model,
-            memory_limit_bytes=memory_limit_bytes,
-            dynamic_conversion=dynamic_conversion,
-            use_estimation=use_estimation,
-            resilience=resilience,
+    resolved_config = opts.resolved_config()
+    resolved_model = opts.resolved_cost_model()
+    worker_count = opts.workers if opts.workers is not None else topology.sockets
+    with observe_session.resolve(opts.observer) as obs:
+        at_a = as_at_matrix(a, resolved_config)
+        at_b = as_at_matrix(b, resolved_config)
+        plan, fresh = resolve_plan(
+            at_a,
+            at_b,
+            config=resolved_config,
+            cost_model=resolved_model,
+            options=opts,
             obs=obs,
         )
-
-
-def _parallel_atmult(
-    a: MatrixOperand,
-    b: MatrixOperand,
-    *,
-    topology: SystemTopology,
-    config: SystemConfig,
-    cost_model: CostModel,
-    memory_limit_bytes: float | None,
-    dynamic_conversion: bool,
-    use_estimation: bool,
-    resilience: RetryPolicy | None,
-    obs: Observation | None,
-) -> tuple[ATMatrix, ParallelReport]:
-    at_a = as_at_matrix(a, config)
-    at_b = as_at_matrix(b, config)
-
-    failure = FailureReport()
-    report = ParallelReport(
-        workers=topology.sockets, failure=failure, observation=obs
-    )
-
-    estimate: DensityMap | None = None
-    if use_estimation:
-        from ..density.estimate import estimate_product_density
-
-        start = time.perf_counter()
-        with _span(obs, "estimate"):
-            estimate = estimate_product_density(
-                operand_density_map(at_a, config), operand_density_map(at_b, config)
-            )
-        report.add_phase("estimate", time.perf_counter() - start)
-
-    start = time.perf_counter()
-    with _span(obs, "water_level"):
-        if estimate is not None:
-            level = water_level_threshold(estimate, memory_limit_bytes, config)
-            write_threshold = max(cost_model.write_threshold, level.threshold)
-        else:
-            write_threshold = float("inf")  # no estimation: sparse targets only
-    optimizer = _LockedOptimizer(cost_model, enabled=dynamic_conversion)
-    report.add_phase("optimize", time.perf_counter() - start)
-    if obs is not None:
-        obs.metrics.gauge("workers").set(topology.sockets)
-
-    row_cuts = at_a.row_cuts()
-    col_cuts = at_b.col_cuts()
-    busy_lock = threading.Lock()
-
-    degradation = (
-        DegradationState(estimate, memory_limit_bytes, config, write_threshold)
-        if resilience is not None
-        else None
-    )
-    runner = (
-        ResilientPairRunner(resilience, failure, degradation)
-        if resilience is not None
-        else None
-    )
-
-    def compute_pair(
-        ti: int, tj: int, force_sparse: bool, use_reference: bool = False
-    ) -> _PairResult:
-        """One full pair computation (one attempt); records busy time."""
-        start = time.perf_counter()
-        attrs = (
-            {"ti": ti, "tj": tj, "force_sparse": force_sparse}
-            if obs is not None
-            else None
+        result, report = execute_plan(
+            plan,
+            at_a,
+            at_b,
+            config=resolved_config,
+            cost_model=resolved_model,
+            resilience=opts.resilience,
+            obs=obs,
+            parallel=True,
+            workers=worker_count,
+            check_fingerprints=False,  # resolve_plan keyed/built on these operands
         )
-        try:
-            with _span(obs, "pair", "pair", attrs):
-                fire_hooks("pair", (ti, tj))
-                r0, r1 = row_cuts[ti], row_cuts[ti + 1]
-                c0, c1 = col_cuts[tj], col_cuts[tj + 1]
-                a_strip = at_a.tiles_overlapping(r0, r1, 0, at_a.cols)
-                b_strip = at_b.tiles_overlapping(0, at_b.rows, c0, c1)
-                rho_c = (
-                    estimate.region_density(r0, r1, c0, c1)
-                    if estimate is not None
-                    else 0.0
-                )
-                threshold = (
-                    degradation.threshold
-                    if degradation is not None
-                    else write_threshold
-                )
-                c_kind = (
-                    StorageKind.SPARSE
-                    if force_sparse or rho_c < threshold
-                    else StorageKind.DENSE
-                )
-                accumulator = make_accumulator(c_kind, r1 - r0, c1 - c0)
-                products = 0
-                for a_tile in a_strip:
-                    for b_tile in b_strip:
-                        k0 = max(a_tile.col0, b_tile.row0)
-                        k1 = min(a_tile.col1, b_tile.row1)
-                        if k0 >= k1:
-                            continue
-                        wa = Window(
-                            max(r0, a_tile.row0) - a_tile.row0,
-                            min(r1, a_tile.row1) - a_tile.row0,
-                            k0 - a_tile.col0,
-                            k1 - a_tile.col0,
-                        )
-                        wb = Window(
-                            k0 - b_tile.row0,
-                            k1 - b_tile.row0,
-                            max(c0, b_tile.col0) - b_tile.col0,
-                            min(c1, b_tile.col1) - b_tile.col0,
-                        )
-                        target = (
-                            max(r0, a_tile.row0) - r0,
-                            max(c0, b_tile.col0) - c0,
-                        )
-                        if use_reference:
-                            reference_tile_product(
-                                a_tile.data, wa, b_tile.data, wb, accumulator,
-                                *target,
-                            )
-                        else:
-                            product_start = time.perf_counter()
-                            with _span(obs, "optimize", "optimize"):
-                                payload_a, payload_b = optimizer.choose(
-                                    a_tile, b_tile, c_kind,
-                                    wa.rows, wa.cols, wb.cols, rho_c,
-                                )
-                            kernel_start = time.perf_counter()
-                            run_tile_product(
-                                payload_a, wa, payload_b, wb, accumulator,
-                                *target,
-                            )
-                            if obs is not None:
-                                _record_product(
-                                    obs, cost_model, payload_a, payload_b,
-                                    c_kind, wa, wb, a_tile, b_tile, rho_c,
-                                    kernel_start - product_start,
-                                    time.perf_counter() - kernel_start,
-                                )
-                        products += 1
-                if obs is not None:
-                    obs.metrics.counter("accumulator.writes").inc(
-                        accumulator.writes
-                    )
-                    for t in (*a_strip, *b_strip):
-                        obs.metrics.counter(
-                            f"numa.bytes.node{t.numa_node}"
-                        ).inc(t.memory_bytes())
-                if not products:
-                    return _PairResult(None, 0)
-                payload = accumulator.finalize()
-                if not payload.nnz and c_kind is StorageKind.SPARSE:
-                    return _PairResult(None, products)
-                tile = Tile(r0, c0, r1 - r0, c1 - c0, c_kind, payload)
-                if not tile.nnz:
-                    return _PairResult(None, products)
-                if (
-                    degradation is not None
-                    and not force_sparse
-                    and c_kind is StorageKind.DENSE
-                    and degradation.over_budget(tile.memory_bytes())
-                ):
-                    raise MemoryLimitError(
-                        f"pair {(ti, tj)} dense tile of {tile.memory_bytes()} B "
-                        f"would exceed the memory budget"
-                    )
-                return _PairResult(tile, products)
-        finally:
-            elapsed = time.perf_counter() - start
-            name = threading.current_thread().name
-            with busy_lock:
-                report.worker_busy_seconds[name] = (
-                    report.worker_busy_seconds.get(name, 0.0) + elapsed
-                )
-            if obs is not None:
-                obs.metrics.counter(f"worker.busy_seconds.{name}").inc(elapsed)
-
-    def validate_pair(ti: int, tj: int, result: _PairResult) -> None:
-        if result.tile is None:
-            return
-        r0, r1 = row_cuts[ti], row_cuts[ti + 1]
-        c0, c1 = col_cuts[tj], col_cuts[tj + 1]
-        validate_tile(
-            result.tile.data,
-            r1 - r0,
-            c1 - c0,
-            estimate.region_density(r0, r1, c0, c1) if estimate is not None else None,
-            pair=(ti, tj),
-        )
-
-    def run_pair(ti: int, tj: int) -> Tile | None:
-        pair = (ti, tj)
-        try:
-            if runner is None:
-                with task_scope(pair, 1):
-                    result = compute_pair(ti, tj, False)
-            else:
-                result = runner.run(
-                    pair,
-                    lambda force_sparse: compute_pair(ti, tj, force_sparse),
-                    validate=lambda res: validate_pair(ti, tj, res),
-                    fallback=lambda force_sparse: compute_pair(
-                        ti, tj, force_sparse, use_reference=True
-                    ),
-                )
-        except Exception as error:  # noqa: BLE001 — aggregated after the pool drains
-            with busy_lock:
-                failure.record_error(pair, error)
-            return None
-        with busy_lock:
-            report.products += result.products
-        if degradation is not None and result.tile is not None:
-            r0, r1 = row_cuts[ti], row_cuts[ti + 1]
-            c0, c1 = col_cuts[tj], col_cuts[tj + 1]
-            degradation.note_completed(r0, r1, c0, c1, result.tile.memory_bytes())
-        return result.tile
-
-    pairs = [
-        (ti, tj)
-        for ti in range(len(row_cuts) - 1)
-        for tj in range(len(col_cuts) - 1)
-    ]
-    report.pairs = len(pairs)
-    if runner is None:
-        failure.attempts = len(pairs)
-    start = time.perf_counter()
-    with _span(obs, "pair_loop", attrs={"pairs": len(pairs)} if obs else None):
-        with ThreadPoolExecutor(
-            max_workers=topology.sockets, thread_name_prefix="team"
-        ) as pool:
-            tiles = [tile for tile in pool.map(lambda p: run_pair(*p), pairs) if tile]
-    report.wall_seconds = time.perf_counter() - start
-    report.conversions = optimizer.stats.conversions
-    report.merge_kernel_counts(optimizer.stats.kernel_counts)
-    if failure.pair_errors:
-        raise TaskFailedError(
-            aggregate_message(failure.pair_errors, len(pairs)),
-            pair_errors=failure.pair_errors,
-            report=report,
-        )
-    result = ATMatrix(a.rows, b.cols, config, tiles)
-    if memory_limit_bytes is not None:
-        from .atmult import enforce_memory_limit
-
-        start = time.perf_counter()
-        with _span(obs, "memory_limit_enforce"):
-            enforce_memory_limit(result, memory_limit_bytes)
-        report.add_phase("optimize", time.perf_counter() - start)
+        assert isinstance(report, ParallelReport)
+        if fresh:
+            if plan.use_estimation:
+                report.add_phase("estimate", plan.estimate_seconds)
+            report.add_phase("optimize", plan.optimize_seconds)
     return result, report
-
-
-def _record_product(
-    obs: Observation,
-    cost_model: CostModel,
-    payload_a,
-    payload_b,
-    c_kind: StorageKind,
-    wa: Window,
-    wb: Window,
-    a_tile: Tile,
-    b_tile: Tile,
-    rho_c: float,
-    optimize_seconds: float,
-    measured_seconds: float,
-) -> None:
-    """Record one tile product's metrics and cost-accuracy sample."""
-    from .atmult import _payload_kind
-    from ..kinds import kernel_name
-
-    kind_a = _payload_kind(payload_a)
-    kind_b = _payload_kind(payload_b)
-    name = kernel_name(kind_a, kind_b, c_kind)
-    obs.metrics.histogram(f"kernel.seconds.{name}").observe(measured_seconds)
-    obs.metrics.histogram("optimizer.decision_seconds").observe(optimize_seconds)
-    predicted = cost_model.product_cost(
-        kind_a, kind_b, c_kind,
-        wa.rows, wa.cols, wb.cols,
-        a_tile.density, b_tile.density, rho_c,
-    )
-    obs.cost_accuracy.record(name, predicted, measured_seconds)

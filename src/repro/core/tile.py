@@ -87,6 +87,24 @@ class Tile:
     def density(self) -> float:
         return self.nnz / (self.rows * self.cols)
 
+    @property
+    def structural_density(self) -> float:
+        """Density exactly as the payload's structure fingerprint captures it.
+
+        A CSR pattern is fingerprinted exactly, so the sparse density is
+        the real one; a dense payload is fingerprinted over shape plus
+        its density quantized to two decimals, so the planner sees that
+        quantized value.  Every planning decision must consume this
+        instead of :attr:`density` — plan content has to be a pure
+        function of the plan key, or a cached plan would silently carry
+        decisions made for values the replay operands no longer hold
+        (the classic failure: a solver's all-zero start vector planning
+        sparse kernels for every later, fully-populated iterate).
+        """
+        if self.kind is StorageKind.DENSE:
+            return round(self.density, 2)
+        return self.density
+
     def memory_bytes(self) -> int:
         """Paper-model footprint of the payload."""
         return self.data.memory_bytes()

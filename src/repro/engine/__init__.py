@@ -1,0 +1,37 @@
+"""The plan-and-execute engine behind every multiply entry point.
+
+Splits ATMULT's monolithic loop into *deciding*
+(:func:`~repro.engine.plan.build_plan` → :class:`ExecutionPlan`) and
+*doing* (:func:`~repro.engine.executor.execute_plan`), keyed for reuse
+by operand-structure fingerprints plus a configuration hash
+(:mod:`repro.engine.fingerprint`, :class:`PlanCache`), and fronted by
+the consolidated :class:`MultiplyOptions` / :class:`Session` API.
+"""
+
+from .api import execute, plan, resolve_plan
+from .cache import PlanCache, PlanKey
+from .executor import execute_plan
+from .fingerprint import config_fingerprint, structure_fingerprint
+from .options import LEGACY_OPTION_KEYWORDS, UNSET, MultiplyOptions, coerce_options
+from .plan import ExecutionPlan, PlannedPair, PlannedProduct, build_plan
+from .session import Session
+
+__all__ = [
+    "ExecutionPlan",
+    "LEGACY_OPTION_KEYWORDS",
+    "MultiplyOptions",
+    "PlanCache",
+    "PlanKey",
+    "PlannedPair",
+    "PlannedProduct",
+    "Session",
+    "UNSET",
+    "build_plan",
+    "coerce_options",
+    "config_fingerprint",
+    "execute",
+    "execute_plan",
+    "plan",
+    "resolve_plan",
+    "structure_fingerprint",
+]

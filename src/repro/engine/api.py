@@ -1,0 +1,159 @@
+"""The plan/execute front door of the execution engine.
+
+:func:`plan` resolves every decision of ``A x B`` into an
+:class:`~repro.engine.plan.ExecutionPlan` (through the options' plan
+cache when one is configured); :func:`execute` replays a plan against
+same-topology operands.  ``atmult(a, b)`` is exactly
+``execute(plan(a, b), a, b)`` — the operator front-ends in
+:mod:`repro.core` route through :func:`resolve_plan` so iterative
+workloads skip estimation, partitioning and optimization from the
+second call on.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..core.atmatrix import ATMatrix
+from ..core.operands import MatrixOperand, as_at_matrix
+from ..core.report import MultiplyReport
+from ..cost.model import CostModel
+from ..errors import ShapeError
+from ..observe import Observation
+from ..observe import session as observe_session
+from .cache import PlanKey
+from .executor import execute_plan
+from .options import MultiplyOptions, coerce_options
+from .plan import ExecutionPlan, build_plan
+from .fingerprint import config_fingerprint, structure_fingerprint
+
+
+def resolve_plan(
+    at_a: ATMatrix,
+    at_b: ATMatrix,
+    *,
+    config: SystemConfig,
+    cost_model: CostModel,
+    options: MultiplyOptions,
+    obs: Observation | None,
+) -> tuple[ExecutionPlan, bool]:
+    """The plan for ``at_a x at_b`` under ``options``: cached or fresh.
+
+    Returns ``(plan, fresh)`` — ``fresh`` is True when the plan was
+    built by this call (its planning-phase durations then belong in the
+    caller's report).
+    """
+    cache = options.plan_cache
+    if cache is None:
+        built = build_plan(
+            at_a,
+            at_b,
+            config=config,
+            cost_model=cost_model,
+            memory_limit_bytes=options.memory_limit_bytes,
+            dynamic_conversion=options.dynamic_conversion,
+            use_estimation=options.use_estimation,
+            obs=obs,
+        )
+        return built, True
+    key = PlanKey(
+        structure_fingerprint(at_a),
+        structure_fingerprint(at_b),
+        config_fingerprint(
+            config,
+            cost_model,
+            memory_limit_bytes=options.memory_limit_bytes,
+            dynamic_conversion=options.dynamic_conversion,
+            use_estimation=options.use_estimation,
+        ),
+    )
+    cached = cache.get(key)
+    if cached is not None:
+        return cached, False
+    built = build_plan(
+        at_a,
+        at_b,
+        config=config,
+        cost_model=cost_model,
+        memory_limit_bytes=options.memory_limit_bytes,
+        dynamic_conversion=options.dynamic_conversion,
+        use_estimation=options.use_estimation,
+        obs=obs,
+    )
+    cache.put(key, built)
+    return built, True
+
+
+def plan(
+    a: MatrixOperand,
+    b: MatrixOperand,
+    *,
+    options: MultiplyOptions | None = None,
+    config: SystemConfig | None = None,
+    cost_model: CostModel | None = None,
+) -> ExecutionPlan:
+    """Resolve the execution plan for ``A x B`` without running kernels.
+
+    Consults (and fills) ``options.plan_cache`` when one is set.
+    """
+    opts = coerce_options(
+        options, where="plan", config=config, cost_model=cost_model
+    )
+    if a.cols != b.rows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    resolved_config = opts.resolved_config()
+    resolved_model = opts.resolved_cost_model()
+    with observe_session.resolve(opts.observer) as obs:
+        at_a = as_at_matrix(a, resolved_config)
+        at_b = as_at_matrix(b, resolved_config)
+        resolved, _ = resolve_plan(
+            at_a,
+            at_b,
+            config=resolved_config,
+            cost_model=resolved_model,
+            options=opts,
+            obs=obs,
+        )
+    return resolved
+
+
+def execute(
+    execution_plan: ExecutionPlan,
+    a: MatrixOperand,
+    b: MatrixOperand,
+    c: MatrixOperand | None = None,
+    *,
+    options: MultiplyOptions | None = None,
+    config: SystemConfig | None = None,
+    cost_model: CostModel | None = None,
+) -> tuple[ATMatrix, MultiplyReport]:
+    """Replay a plan against operands of matching topology.
+
+    Raises :class:`~repro.errors.PlanMismatchError` when either
+    operand's structure fingerprint differs from the plan's.
+    """
+    opts = coerce_options(
+        options, where="execute", config=config, cost_model=cost_model
+    )
+    resolved_config = opts.resolved_config()
+    resolved_model = opts.resolved_cost_model()
+    if c is not None and c.shape != execution_plan.shape:
+        raise ShapeError(
+            f"C shape {c.shape} != result shape {execution_plan.shape}"
+        )
+    with observe_session.resolve(opts.observer) as obs:
+        at_a = as_at_matrix(a, resolved_config)
+        at_b = as_at_matrix(b, resolved_config)
+        at_c = as_at_matrix(c, resolved_config) if c is not None else None
+        result, report = execute_plan(
+            execution_plan,
+            at_a,
+            at_b,
+            at_c,
+            config=resolved_config,
+            cost_model=resolved_model,
+            resilience=opts.resilience,
+            obs=obs,
+            check_fingerprints=True,
+        )
+    assert isinstance(report, MultiplyReport)
+    return result, report

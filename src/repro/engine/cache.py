@@ -1,0 +1,118 @@
+"""Keyed plan cache: skip re-planning for same-topology multiplies.
+
+Iterative workloads (solvers, chained expressions, power iteration)
+multiply the *same* matrix topology over and over with different values.
+Planning — density estimation, the water-level sweep, thousands of
+kernel decisions — depends only on topology and configuration, so its
+result is cacheable: :class:`PlanCache` maps
+``(A fingerprint, B fingerprint, setup key)`` to the resolved
+:class:`~repro.engine.plan.ExecutionPlan`.
+
+The cache is LRU over an approximate byte budget
+(:meth:`ExecutionPlan.memory_bytes`), thread-safe, and observable: hits,
+misses and evictions land both in local counters (``cache.stats()``)
+and, when an observation session is active, in the
+``plan_cache.hits`` / ``plan_cache.misses`` / ``plan_cache.evictions``
+metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..observe import session as observe_session
+from .plan import ExecutionPlan
+
+#: Default byte budget: roomy enough for hundreds of realistic plans.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Full identity of a plan: operand topologies plus planning setup."""
+
+    a_fingerprint: str
+    b_fingerprint: str
+    setup_key: str
+
+
+class PlanCache:
+    """LRU cache of :class:`ExecutionPlan` under a byte budget.
+
+    >>> cache = PlanCache(max_bytes=1 << 20)
+    >>> cache.stats()["hits"]
+    0
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._plans: OrderedDict[PlanKey, ExecutionPlan] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    @property
+    def current_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def get(self, key: PlanKey) -> ExecutionPlan | None:
+        """The cached plan for ``key``, bumped to most-recently-used."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                observe_session.counter("plan_cache.misses").inc()
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            observe_session.counter("plan_cache.hits").inc()
+            return plan
+
+    def put(self, key: PlanKey, plan: ExecutionPlan) -> None:
+        """Insert ``plan``, evicting least-recently-used entries to fit.
+
+        A plan larger than the whole budget is not cached at all (it
+        would only evict everything and then miss next time anyway).
+        """
+        size = plan.memory_bytes()
+        if size > self.max_bytes:
+            return
+        with self._lock:
+            previous = self._plans.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous.memory_bytes()
+            self._plans[key] = plan
+            self._bytes += size
+            while self._bytes > self.max_bytes and len(self._plans) > 1:
+                _, evicted = self._plans.popitem(last=False)
+                self._bytes -= evicted.memory_bytes()
+                self.evictions += 1
+                observe_session.counter("plan_cache.evictions").inc()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of the cache counters and occupancy."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._plans),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+            }

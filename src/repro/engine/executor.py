@@ -1,0 +1,475 @@
+"""Plan execution: the kernel-dispatch half of ATMULT.
+
+:func:`execute_plan` replays an :class:`~repro.engine.plan.ExecutionPlan`
+against concrete operands.  All *deciding* (estimation, water level,
+kernel choice) already happened at plan time; execution walks the
+planned pair list, materializes accumulators, performs the (cached)
+just-in-time conversions the decisions call for and dispatches the
+kernels — in a sequential loop or on one worker team per socket.
+
+The executor keeps the full legacy behavior surface:
+
+* span names and nesting (``pair`` spans with nested kernel spans,
+  ``pair_loop`` around the parallel pool, ``memory_limit_enforce``);
+* per-report semantics — sequential :class:`~repro.core.report.MultiplyReport`
+  with :class:`~repro.topology.trace.TaskRecord` entries, parallel
+  :class:`~repro.core.report.ParallelReport` with per-worker busy time;
+* resilience — each pair runs under the
+  :class:`~repro.resilience.retry.ResilientPairRunner` when a policy is
+  given: bounded retries, result validation with reference fallback and
+  memory-pressure degradation.  A degraded (or force-sparse) pair whose
+  effective target kind differs from the planned one gets its kernel
+  decisions re-derived live; everything else replays the plan verbatim.
+
+Replaying against operands whose structure fingerprint differs from the
+plan's raises :class:`~repro.errors.PlanMismatchError`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..cost.model import CostModel
+from ..core.atmatrix import ATMatrix
+from ..core.report import MultiplyReport, ParallelReport
+from ..core.tile import Tile, TilePayload
+from ..errors import MemoryLimitError, PlanMismatchError, TaskFailedError
+from ..formats.convert import csr_to_dense, dense_to_csr
+from ..formats.csr import CSRMatrix
+from ..formats.dense import DenseMatrix
+from ..kernels.accumulator import DenseAccumulator, make_accumulator
+from ..kernels.registry import run_tile_product
+from ..kinds import StorageKind, kernel_name
+from ..observe import Observation
+from ..observe import session as observe_session
+from ..resilience.degrade import DegradationState
+from ..resilience.faults import fire_hooks, task_scope
+from ..resilience.guard import reference_tile_product, validate_tile
+from ..resilience.report import aggregate_message
+from ..resilience.retry import ResilientPairRunner, RetryPolicy
+from ..topology.trace import TaskRecord
+from .fingerprint import structure_fingerprint
+from .plan import ExecutionPlan, PlannedPair, _DecisionMemo
+
+_span = observe_session.tracer_span
+
+
+@dataclass
+class _PairStats:
+    """Per-attempt bookkeeping, merged into the report only on success."""
+
+    optimize_seconds: float = 0.0
+    multiply_seconds: float = 0.0
+    products: int = 0
+    kernel_counts: dict[str, int] = field(default_factory=dict)
+    tasks: list[TaskRecord] = field(default_factory=list)
+
+
+@dataclass
+class _PairOutcome:
+    tile: Tile | None
+    stats: _PairStats
+
+
+class _ConversionCache:
+    """Cached just-in-time tile conversions (one per tile, at most).
+
+    The execution-time twin of the legacy optimizer's conversion cache:
+    decisions live in the plan, but the converted payloads are runtime
+    state keyed by tile identity — a tile converted for one product is
+    reused by every later product of the same run.
+    """
+
+    def __init__(self, *, locked: bool) -> None:
+        self._converted: dict[int, TilePayload] = {}
+        self._lock = threading.Lock() if locked else None
+        self.conversions = 0
+        self.conversion_seconds = 0.0
+
+    def payload(self, tile: Tile, kind: StorageKind) -> TilePayload:
+        if kind is tile.kind:
+            return tile.data
+        if self._lock is None:
+            return self._convert(tile, kind)
+        with self._lock:
+            return self._convert(tile, kind)
+
+    def _convert(self, tile: Tile, kind: StorageKind) -> TilePayload:
+        cached = self._converted.get(id(tile))
+        if cached is not None:
+            return cached
+        start = time.perf_counter()
+        if kind is StorageKind.DENSE:
+            assert isinstance(tile.data, CSRMatrix)
+            converted: TilePayload = csr_to_dense(tile.data)
+        else:
+            assert isinstance(tile.data, DenseMatrix)
+            converted = dense_to_csr(tile.data)
+        elapsed = time.perf_counter() - start
+        self.conversions += 1
+        self.conversion_seconds += elapsed
+        observe_session.counter("optimizer.conversions").inc()
+        observe_session.histogram("optimizer.conversion_seconds").observe(elapsed)
+        self._converted[id(tile)] = converted
+        return converted
+
+
+def check_plan_applies(
+    plan: ExecutionPlan, at_a: ATMatrix, at_b: ATMatrix
+) -> None:
+    """Raise :class:`PlanMismatchError` unless the plan fits the operands."""
+    fp_a = structure_fingerprint(at_a)
+    fp_b = structure_fingerprint(at_b)
+    if fp_a != plan.a_fingerprint or fp_b != plan.b_fingerprint:
+        raise PlanMismatchError(
+            "operand topology does not match the plan's structure "
+            f"fingerprints (A: {fp_a[:12]} vs {plan.a_fingerprint[:12]}, "
+            f"B: {fp_b[:12]} vs {plan.b_fingerprint[:12]}); re-plan against "
+            "the new operands"
+        )
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    at_a: ATMatrix,
+    at_b: ATMatrix,
+    at_c: ATMatrix | None = None,
+    *,
+    config: SystemConfig,
+    cost_model: CostModel,
+    resilience: RetryPolicy | None = None,
+    obs: Observation | None = None,
+    parallel: bool = False,
+    workers: int = 1,
+    check_fingerprints: bool = True,
+) -> tuple[ATMatrix, MultiplyReport | ParallelReport]:
+    """Execute a plan against operands of matching topology.
+
+    Sequential mode returns a :class:`MultiplyReport` (with task
+    records); ``parallel=True`` dispatches pairs to a ``workers``-sized
+    thread pool (one per simulated socket) and returns a
+    :class:`ParallelReport`.  ``at_c`` seeding is sequential-only, as
+    before the redesign.
+    """
+    if check_fingerprints:
+        check_plan_applies(plan, at_a, at_b)
+    if parallel and at_c is not None:
+        raise PlanMismatchError("C seeding is not supported in parallel execution")
+
+    if parallel:
+        report: MultiplyReport | ParallelReport = ParallelReport(
+            workers=workers, observation=obs
+        )
+        if obs is not None:
+            obs.metrics.gauge("workers").set(workers)
+    else:
+        report = MultiplyReport(observation=obs)
+        report.write_threshold = plan.write_threshold
+        report.water_level = plan.water_level
+
+    degradation = (
+        DegradationState(
+            plan.estimate, plan.memory_limit_bytes, config, plan.write_threshold
+        )
+        if resilience is not None
+        else None
+    )
+    runner = (
+        ResilientPairRunner(resilience, report.failure, degradation)
+        if resilience is not None
+        else None
+    )
+    conversions = _ConversionCache(locked=parallel)
+    memo = _DecisionMemo(cost_model, plan.dynamic_conversion)
+    busy_lock = threading.Lock()
+    counts_lock = threading.Lock()
+
+    def compute_pair(
+        pair: PlannedPair, force_sparse: bool, use_reference: bool = False
+    ) -> _PairOutcome:
+        """One full pair computation (one attempt), stats kept local so a
+        retried attempt cannot double-count into the report."""
+        attempt_start = time.perf_counter()
+        stats = _PairStats()
+        attrs = (
+            {"ti": pair.ti, "tj": pair.tj, "force_sparse": force_sparse}
+            if obs is not None
+            else None
+        )
+        try:
+            with _span(obs, "pair", "pair", attrs):
+                fire_hooks("pair", (pair.ti, pair.tj))
+                threshold = (
+                    degradation.threshold
+                    if degradation is not None
+                    else plan.write_threshold
+                )
+                c_kind = (
+                    StorageKind.SPARSE
+                    if force_sparse or pair.rho_c < threshold
+                    else StorageKind.DENSE
+                )
+                # A degraded target kind invalidates the planned input
+                # decisions for this pair; re-derive them live.
+                replan = c_kind is not pair.c_kind
+                accumulator = make_accumulator(
+                    c_kind, pair.r1 - pair.r0, pair.c1 - pair.c0
+                )
+                if at_c is not None:
+                    _seed_accumulator(
+                        accumulator, at_c, pair.r0, pair.r1, pair.c0, pair.c1
+                    )
+                seeded = accumulator.writes > 0
+                for product in pair.products:
+                    a_tile = at_a.tiles[product.a_index]
+                    b_tile = at_b.tiles[product.b_index]
+                    start = time.perf_counter()
+                    if use_reference:
+                        payload_a, payload_b = a_tile.data, b_tile.data
+                        opt_elapsed = time.perf_counter() - start
+                        start = time.perf_counter()
+                        reference_tile_product(
+                            payload_a, product.wa, payload_b, product.wb,
+                            accumulator, product.target_row, product.target_col,
+                        )
+                        name = kernel_name(
+                            a_tile.kind, b_tile.kind, c_kind
+                        )
+                    else:
+                        if replan:
+                            kind_a, kind_b = memo.decide(
+                                a_tile.kind, b_tile.kind, c_kind,
+                                product.wa.rows, product.wa.cols, product.wb.cols,
+                                a_tile.structural_density,
+                                b_tile.structural_density,
+                                pair.rho_c,
+                            )
+                        else:
+                            kind_a, kind_b = product.kind_a, product.kind_b
+                        name = kernel_name(kind_a, kind_b, c_kind)
+                        if parallel:
+                            with counts_lock:
+                                report.count_kernel(name)
+                        payload_a = conversions.payload(a_tile, kind_a)
+                        payload_b = conversions.payload(b_tile, kind_b)
+                        opt_elapsed = time.perf_counter() - start
+                        start = time.perf_counter()
+                        run_tile_product(
+                            payload_a, product.wa, payload_b, product.wb,
+                            accumulator, product.target_row, product.target_col,
+                        )
+                    mult_elapsed = time.perf_counter() - start
+                    stats.optimize_seconds += opt_elapsed
+                    stats.multiply_seconds += mult_elapsed
+                    stats.products += 1
+                    if not parallel:
+                        stats.kernel_counts[name] = (
+                            stats.kernel_counts.get(name, 0) + 1
+                        )
+                        stats.tasks.append(
+                            TaskRecord(
+                                pair=(pair.ti, pair.tj),
+                                team_node=pair.team_node,
+                                seconds=opt_elapsed + mult_elapsed,
+                                bytes_by_node={
+                                    a_tile.numa_node: a_tile.memory_bytes(),
+                                    b_tile.numa_node: b_tile.memory_bytes(),
+                                },
+                            )
+                        )
+                    if obs is not None and not use_reference:
+                        obs.metrics.histogram(
+                            f"kernel.seconds.{name}"
+                        ).observe(mult_elapsed)
+                        predicted = cost_model.product_cost(
+                            kind_a, kind_b, c_kind,
+                            product.wa.rows, product.wa.cols, product.wb.cols,
+                            a_tile.density, b_tile.density, pair.rho_c,
+                        )
+                        obs.cost_accuracy.record(name, predicted, mult_elapsed)
+
+                start = time.perf_counter()
+                tile: Tile | None = None
+                if stats.products or seeded:
+                    payload = accumulator.finalize()
+                    if payload.nnz or isinstance(accumulator, DenseAccumulator):
+                        candidate = Tile(
+                            pair.r0,
+                            pair.c0,
+                            pair.r1 - pair.r0,
+                            pair.c1 - pair.c0,
+                            c_kind,
+                            payload,
+                            numa_node=pair.team_node,
+                        )
+                        if candidate.nnz:
+                            tile = candidate
+                stats.multiply_seconds += time.perf_counter() - start
+                if obs is not None:
+                    obs.metrics.counter("accumulator.writes").inc(
+                        accumulator.writes
+                    )
+                    for index in pair.a_strip:
+                        t = at_a.tiles[index]
+                        obs.metrics.counter(
+                            f"numa.bytes.node{t.numa_node}"
+                        ).inc(t.memory_bytes())
+                    for index in pair.b_strip:
+                        t = at_b.tiles[index]
+                        obs.metrics.counter(
+                            f"numa.bytes.node{t.numa_node}"
+                        ).inc(t.memory_bytes())
+                if (
+                    degradation is not None
+                    and not force_sparse
+                    and tile is not None
+                    and tile.kind is StorageKind.DENSE
+                    and degradation.over_budget(tile.memory_bytes())
+                ):
+                    raise MemoryLimitError(
+                        f"pair {(pair.ti, pair.tj)} dense tile of "
+                        f"{tile.memory_bytes()} B would exceed the memory budget"
+                    )
+                return _PairOutcome(tile, stats)
+        finally:
+            if parallel:
+                elapsed = time.perf_counter() - attempt_start
+                name = threading.current_thread().name
+                with busy_lock:
+                    report.worker_busy_seconds[name] = (
+                        report.worker_busy_seconds.get(name, 0.0) + elapsed
+                    )
+                if obs is not None:
+                    obs.metrics.counter(
+                        f"worker.busy_seconds.{name}"
+                    ).inc(elapsed)
+
+    def validate_pair(pair: PlannedPair, outcome: _PairOutcome) -> None:
+        if outcome.tile is None:
+            return
+        validate_tile(
+            outcome.tile.data,
+            pair.r1 - pair.r0,
+            pair.c1 - pair.c0,
+            pair.rho_c if plan.estimate is not None else None,
+            pair=(pair.ti, pair.tj),
+        )
+
+    def run_pair(pair: PlannedPair) -> _PairOutcome:
+        coords = (pair.ti, pair.tj)
+        if runner is None:
+            with task_scope(coords, 1):
+                return compute_pair(pair, False)
+        return runner.run(
+            coords,
+            lambda force_sparse: compute_pair(pair, force_sparse),
+            validate=lambda res: validate_pair(pair, res),
+            fallback=lambda force_sparse: compute_pair(
+                pair, force_sparse, use_reference=True
+            ),
+        )
+
+    result_tiles: list[Tile] = []
+    if parallel:
+        assert isinstance(report, ParallelReport)
+        report.pairs = len(plan.pairs)
+        if runner is None:
+            report.failure.attempts = len(plan.pairs)
+
+        def run_pair_captured(pair: PlannedPair) -> Tile | None:
+            try:
+                outcome = run_pair(pair)
+            except Exception as error:  # noqa: BLE001 — aggregated after the pool drains
+                with busy_lock:
+                    report.failure.record_error((pair.ti, pair.tj), error)
+                return None
+            with busy_lock:
+                report.products += outcome.stats.products
+            if degradation is not None and outcome.tile is not None:
+                degradation.note_completed(
+                    pair.r0, pair.r1, pair.c0, pair.c1,
+                    outcome.tile.memory_bytes(),
+                )
+            return outcome.tile
+
+        start = time.perf_counter()
+        with _span(
+            obs, "pair_loop", attrs={"pairs": len(plan.pairs)} if obs else None
+        ):
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="team"
+            ) as pool:
+                result_tiles = [
+                    tile
+                    for tile in pool.map(run_pair_captured, plan.pairs)
+                    if tile is not None
+                ]
+        report.wall_seconds = time.perf_counter() - start
+        report.conversions = conversions.conversions
+        if report.failure.pair_errors:
+            raise TaskFailedError(
+                aggregate_message(report.failure.pair_errors, len(plan.pairs)),
+                pair_errors=report.failure.pair_errors,
+                report=report,
+            )
+    else:
+        assert isinstance(report, MultiplyReport)
+        for pair in plan.pairs:
+            outcome = run_pair(pair)
+            stats = outcome.stats
+            report.optimize_seconds += stats.optimize_seconds
+            report.multiply_seconds += stats.multiply_seconds
+            report.merge_kernel_counts(stats.kernel_counts)
+            report.tasks.extend(stats.tasks)
+            if outcome.tile is not None:
+                result_tiles.append(outcome.tile)
+                if degradation is not None:
+                    degradation.note_completed(
+                        pair.r0, pair.r1, pair.c0, pair.c1,
+                        outcome.tile.memory_bytes(),
+                    )
+        report.conversions = conversions.conversions
+
+    result = ATMatrix(plan.shape[0], plan.shape[1], config, result_tiles)
+
+    limit = plan.memory_limit_bytes
+    enforce = limit is not None and (parallel or not np.isinf(limit))
+    if enforce:
+        from ..core.atmult import enforce_memory_limit
+
+        start = time.perf_counter()
+        with _span(obs, "memory_limit_enforce"):
+            enforce_memory_limit(result, limit)
+        report.add_phase("optimize", time.perf_counter() - start)
+    return result, report
+
+
+def _payload_kind(payload) -> StorageKind:
+    return StorageKind.SPARSE if isinstance(payload, CSRMatrix) else StorageKind.DENSE
+
+
+def _seed_accumulator(accumulator, at_c: ATMatrix, r0, r1, c0, c1) -> None:
+    """Add the prior C content of a region into a fresh accumulator."""
+    for tile in at_c.tiles_overlapping(r0, r1, c0, c1):
+        row_lo = max(r0, tile.row0)
+        row_hi = min(r1, tile.row1)
+        col_lo = max(c0, tile.col0)
+        col_hi = min(c1, tile.col1)
+        if isinstance(tile.data, DenseMatrix):
+            view = tile.data.window_view(
+                row_lo - tile.row0, row_hi - tile.row0,
+                col_lo - tile.col0, col_hi - tile.col0,
+            )
+            accumulator.add_dense(row_lo - r0, col_lo - c0, view)
+        else:
+            rows, cols, values = tile.data.window_mask(
+                row_lo - tile.row0, row_hi - tile.row0,
+                col_lo - tile.col0, col_hi - tile.col0,
+            )
+            accumulator.add_triples(row_lo - r0, col_lo - c0, rows, cols, values)

@@ -1,0 +1,168 @@
+"""The consolidated multiply configuration: :class:`MultiplyOptions`.
+
+Before the engine redesign every multiply entry point grew the same
+sprawl of keywords (``memory_limit_bytes``, ``use_estimation``,
+``dynamic_conversion``, ``resilience``, ``observer``, worker counts) and
+they drifted independently.  :class:`MultiplyOptions` consolidates them
+into one frozen value object that `atmult`, `parallel_atmult`,
+`multiply`, `multiply_chain`, the solvers and :class:`~repro.engine.session.Session`
+all accept as ``options=``.
+
+The legacy keywords keep working through :func:`coerce_options`, the
+shared coercion helper every entry point calls: any legacy keyword that
+was explicitly supplied is folded into the options object and **one**
+consolidated :class:`DeprecationWarning` is emitted per call, naming the
+keywords to migrate (never one warning per keyword).  Explicitly
+supplied legacy values override the corresponding ``options`` fields, so
+mixed calls behave predictably during migration.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Any
+
+from ..config import DEFAULT_CONFIG, SystemConfig
+from ..cost.model import CostModel
+from ..observe import Observation
+from ..resilience.retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cache import PlanCache
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from an explicit ``None``."""
+
+    _instance: "_Unset | None" = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<unset>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Default value of every legacy keyword on the multiply entry points.
+UNSET: Any = _Unset()
+
+
+@dataclass(frozen=True)
+class MultiplyOptions:
+    """Everything a multiplication needs besides its operands.
+
+    Parameters
+    ----------
+    config:
+        System configuration; ``None`` means the library default.
+    cost_model:
+        Cost oracle for planning and kernel selection; ``None`` creates
+        a default model.
+    memory_limit_bytes:
+        Memory SLA for the output matrix (water-level method).
+    dynamic_conversion:
+        Enable just-in-time input conversions (ablation step 6).
+    use_estimation:
+        Enable density estimation and dense target tiles (ablation
+        step 3+).
+    resilience:
+        A :class:`~repro.resilience.RetryPolicy`, or ``None`` for
+        fail-fast execution.
+    observer:
+        An :class:`~repro.observe.Observation` activated for the call.
+    workers:
+        Worker-team count override for parallel execution (``None``
+        uses the topology's socket count).
+    plan_cache:
+        A :class:`~repro.engine.cache.PlanCache`; when set, planning is
+        skipped whenever a cached :class:`~repro.engine.plan.ExecutionPlan`
+        matches the operand topologies and this configuration.
+    """
+
+    config: SystemConfig | None = None
+    cost_model: CostModel | None = None
+    memory_limit_bytes: float | None = None
+    dynamic_conversion: bool = True
+    use_estimation: bool = True
+    resilience: RetryPolicy | None = None
+    observer: Observation | None = None
+    workers: int | None = None
+    plan_cache: "PlanCache | None" = field(default=None, compare=False)
+
+    def replace(self, **changes: Any) -> "MultiplyOptions":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def resolved_config(self) -> SystemConfig:
+        return self.config or DEFAULT_CONFIG
+
+    def resolved_cost_model(self) -> CostModel:
+        return self.cost_model or CostModel()
+
+
+#: Legacy multiply keywords folded into :class:`MultiplyOptions`.
+LEGACY_OPTION_KEYWORDS = (
+    "memory_limit_bytes",
+    "dynamic_conversion",
+    "use_estimation",
+    "resilience",
+    "observer",
+    "workers",
+)
+
+_FIELD_NAMES = {spec.name for spec in fields(MultiplyOptions)}
+
+
+def coerce_options(
+    options: MultiplyOptions | None,
+    *,
+    where: str,
+    config: SystemConfig | None = None,
+    cost_model: CostModel | None = None,
+    plan_cache: "PlanCache | None" = None,
+    stacklevel: int = 3,
+    **legacy: Any,
+) -> MultiplyOptions:
+    """Fold legacy keywords into a :class:`MultiplyOptions`.
+
+    ``legacy`` holds the raw values of the deprecated keywords with
+    :data:`UNSET` marking "not passed".  Supplying any of them emits one
+    consolidated :class:`DeprecationWarning` for the call; explicitly
+    supplied values override the matching ``options`` fields.  The
+    ``config``/``cost_model``/``plan_cache`` keywords are part of the
+    redesigned surface and are folded in silently when given.
+    """
+    base = options if options is not None else MultiplyOptions()
+    supplied = {
+        name: value for name, value in legacy.items() if value is not UNSET
+    }
+    unknown = set(supplied) - _FIELD_NAMES
+    if unknown:
+        raise TypeError(f"{where}() got unexpected keyword(s): {sorted(unknown)}")
+    if supplied:
+        names = ", ".join(sorted(supplied))
+        warnings.warn(
+            f"{where}(): the keyword(s) {names} are deprecated; pass "
+            f"options=MultiplyOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        base = base.replace(**supplied)
+    explicit = {
+        name: value
+        for name, value in (
+            ("config", config),
+            ("cost_model", cost_model),
+            ("plan_cache", plan_cache),
+        )
+        if value is not None
+    }
+    if explicit:
+        base = base.replace(**explicit)
+    return base

@@ -1,0 +1,181 @@
+"""Session: one configuration, one plan cache, one observation.
+
+A :class:`Session` is the object-oriented entry point of the redesigned
+API: it owns a resolved :class:`~repro.engine.options.MultiplyOptions`
+(with a :class:`~repro.engine.cache.PlanCache` always attached) and
+optionally an :class:`~repro.observe.Observation`, and exposes the
+operator surface — multiply, parallel multiply, chains, matrix-vector
+products and the iterative solvers — with plan reuse wired through
+everything:
+
+>>> from repro import Session
+>>> session = Session()
+>>> # result, report = session.multiply(a, b)
+>>> # outcome = session.conjugate_gradient(a, rhs)  # plans A once
+
+Solvers driven through a session multiply via the engine, so iterations
+2..N of a solve replay the cached plan instead of re-estimating and
+re-optimizing (see docs/API.md).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..core.operands import MatrixOperand, as_at_matrix
+from ..cost.model import CostModel
+from ..formats.dense import DenseMatrix
+from ..observe import Observation
+from .api import plan as plan_api
+from .cache import PlanCache
+from .options import MultiplyOptions
+from .plan import ExecutionPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.atmatrix import ATMatrix
+    from ..core.chain import ChainReport
+    from ..core.report import MultiplyReport, ParallelReport
+    from ..solve import SolveResult
+    from ..topology.system import SystemTopology
+
+
+class Session:
+    """A long-lived execution context with plan reuse.
+
+    Parameters
+    ----------
+    config, cost_model:
+        Overrides folded into the session's options.
+    options:
+        Base :class:`MultiplyOptions`; defaults to a fresh one.
+    plan_cache:
+        The cache to use; when neither this nor ``options.plan_cache``
+        is given, the session creates its own :class:`PlanCache` — a
+        session always has one.
+    observer:
+        An :class:`~repro.observe.Observation` recorded into by every
+        call made through the session.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: SystemConfig | None = None,
+        cost_model: CostModel | None = None,
+        options: MultiplyOptions | None = None,
+        plan_cache: PlanCache | None = None,
+        observer: Observation | None = None,
+    ) -> None:
+        base = options if options is not None else MultiplyOptions()
+        overrides: dict[str, Any] = {}
+        if config is not None:
+            overrides["config"] = config
+        if cost_model is not None:
+            overrides["cost_model"] = cost_model
+        if observer is not None:
+            overrides["observer"] = observer
+        cache = plan_cache if plan_cache is not None else base.plan_cache
+        overrides["plan_cache"] = cache if cache is not None else PlanCache()
+        self.options = base.replace(**overrides)
+
+    # -- resolved components ----------------------------------------------
+    @property
+    def config(self) -> SystemConfig:
+        return self.options.resolved_config()
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self.options.resolved_cost_model()
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        cache = self.options.plan_cache
+        assert cache is not None  # the constructor guarantees it
+        return cache
+
+    @property
+    def observer(self) -> Observation | None:
+        return self.options.observer
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the session's plan cache."""
+        return self.plan_cache.stats()
+
+    # -- operators ---------------------------------------------------------
+    def plan(self, a: MatrixOperand, b: MatrixOperand) -> ExecutionPlan:
+        """The (cached) execution plan for ``A x B`` under this session."""
+        return plan_api(a, b, options=self.options)
+
+    def multiply(
+        self,
+        a: MatrixOperand,
+        b: MatrixOperand,
+        c: MatrixOperand | None = None,
+    ) -> tuple["ATMatrix", "MultiplyReport"]:
+        """Sequential ``C' = C + A x B`` through the plan cache."""
+        from ..core.atmult import atmult
+
+        return atmult(a, b, c, options=self.options)
+
+    def parallel_multiply(
+        self,
+        a: MatrixOperand,
+        b: MatrixOperand,
+        *,
+        topology: "SystemTopology",
+    ) -> tuple["ATMatrix", "ParallelReport"]:
+        """Parallel ``C = A x B``; shares plans with the sequential path."""
+        from ..core.parallel import parallel_atmult
+
+        return parallel_atmult(a, b, topology=topology, options=self.options)
+
+    def multiply_chain(
+        self, operands: list[MatrixOperand]
+    ) -> tuple["ATMatrix", "ChainReport"]:
+        """Optimally-parenthesized chain product through the plan cache."""
+        from ..core.chain import multiply_chain
+
+        return multiply_chain(operands, options=self.options)
+
+    def matvec(self, matrix: MatrixOperand, vector: np.ndarray) -> np.ndarray:
+        """``A @ x`` through the engine, so repeated products reuse one plan.
+
+        The vector rides as a dense ``n x 1`` operand; dense topology is
+        shape-only, so every same-length vector hits the same plan.
+        """
+        at = as_at_matrix(matrix, self.config)
+        column = np.asarray(vector, dtype=np.float64).reshape(-1, 1)
+        result, _ = self.multiply(at, DenseMatrix(column, copy=False))
+        return result.to_dense().ravel()
+
+    # -- solvers -----------------------------------------------------------
+    def richardson(
+        self, matrix: MatrixOperand, rhs: np.ndarray, **kwargs: Any
+    ) -> "SolveResult":
+        from ..solve import richardson
+
+        return richardson(matrix, rhs, session=self, **kwargs)
+
+    def jacobi(
+        self, matrix: MatrixOperand, rhs: np.ndarray, **kwargs: Any
+    ) -> "SolveResult":
+        from ..solve import jacobi
+
+        return jacobi(matrix, rhs, session=self, **kwargs)
+
+    def conjugate_gradient(
+        self, matrix: MatrixOperand, rhs: np.ndarray, **kwargs: Any
+    ) -> "SolveResult":
+        from ..solve import conjugate_gradient
+
+        return conjugate_gradient(matrix, rhs, session=self, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.cache_stats()
+        return (
+            f"Session(plans={stats['entries']}, hits={stats['hits']}, "
+            f"misses={stats['misses']})"
+        )

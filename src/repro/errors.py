@@ -12,6 +12,7 @@ Hierarchy::
     ├── ParseError            (ValueError)   unreadable serialized matrix
     ├── ConfigError           (ValueError)   configuration value out of domain
     ├── MemoryLimitError      (RuntimeError) memory SLA unsatisfiable / pressure
+    ├── PlanMismatchError     (ValueError)   ExecutionPlan replayed on wrong operands
     ├── PartitionError        (RuntimeError) quadtree partitioner inconsistency
     ├── SchedulerError        (RuntimeError) simulated scheduler invalid state
     ├── TaskFailedError       (RuntimeError) tile-product task(s) failed
@@ -51,6 +52,16 @@ class ConfigError(ReproError, ValueError):
 
 class MemoryLimitError(ReproError, RuntimeError):
     """A memory SLA cannot be satisfied even with the sparsest layout."""
+
+
+class PlanMismatchError(ReproError, ValueError):
+    """An :class:`~repro.engine.plan.ExecutionPlan` was replayed against
+    operands whose structure fingerprints do not match the plan's.
+
+    Plans are replayable only against same-topology operands: the values
+    may change, but the shapes, tile grid and nonzero patterns must be
+    the ones the plan was built for.
+    """
 
 
 class PartitionError(ReproError, RuntimeError):

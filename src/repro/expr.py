@@ -24,15 +24,20 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from .config import DEFAULT_CONFIG, SystemConfig
+from .config import SystemConfig
 from .core.arith import add as at_add
 from .core.arith import scale as at_scale
 from .core.atmatrix import ATMatrix
 from .core.atmult import MatrixOperand, as_at_matrix
 from .core.chain import multiply_chain
 from .cost.model import CostModel
+from .engine.options import MultiplyOptions
 from .errors import ShapeError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine.session import Session
 
 
 class MatrixExpr:
@@ -74,12 +79,33 @@ class MatrixExpr:
         *,
         config: SystemConfig | None = None,
         cost_model: CostModel | None = None,
+        options: MultiplyOptions | None = None,
+        session: "Session | None" = None,
     ) -> ATMatrix:
-        """Normalize, plan and execute the expression."""
-        config = config or DEFAULT_CONFIG
-        cost_model = cost_model or CostModel()
+        """Normalize, plan and execute the expression.
+
+        Execution context, highest precedence first: ``session`` (its
+        options — plan cache included — drive every product), then
+        ``options``, then a default :class:`MultiplyOptions`;
+        ``config``/``cost_model`` override the corresponding fields of
+        whichever applies.  With a plan cache attached, re-evaluating an
+        expression over same-topology operands replays cached plans for
+        every product in its chains.
+        """
+        if session is not None:
+            base = session.options
+        elif options is not None:
+            base = options
+        else:
+            base = MultiplyOptions()
+        if config is not None:
+            base = base.replace(config=config)
+        if cost_model is not None:
+            base = base.replace(cost_model=cost_model)
         normalized = self._pushdown(False)
-        return normalized._execute(config, cost_model)
+        return normalized._execute(
+            base.resolved_config(), base.resolved_cost_model(), base
+        )
 
     def plan(self, *, config: SystemConfig | None = None) -> str:
         """Human-readable normalized structure (for inspection/tests)."""
@@ -89,7 +115,12 @@ class MatrixExpr:
     def _pushdown(self, transposed: bool) -> "MatrixExpr":
         raise NotImplementedError
 
-    def _execute(self, config: SystemConfig, cost_model: CostModel) -> ATMatrix:
+    def _execute(
+        self,
+        config: SystemConfig,
+        cost_model: CostModel,
+        options: MultiplyOptions,
+    ) -> ATMatrix:
         raise NotImplementedError
 
     def _describe(self) -> str:
@@ -124,7 +155,12 @@ class Leaf(MatrixExpr):
             return Leaf(self.operand, not self.transposed)
         return self
 
-    def _execute(self, config: SystemConfig, cost_model: CostModel) -> ATMatrix:
+    def _execute(
+        self,
+        config: SystemConfig,
+        cost_model: CostModel,
+        options: MultiplyOptions,
+    ) -> ATMatrix:
         matrix = as_at_matrix(self.operand, config)
         return matrix.transpose() if self.transposed else matrix
 
@@ -148,7 +184,7 @@ class Transpose(MatrixExpr):
         # Double transpose cancels.
         return self.child._pushdown(not transposed)
 
-    def _execute(self, config, cost_model):  # pragma: no cover - normalized away
+    def _execute(self, config, cost_model, options):  # pragma: no cover - normalized away
         raise AssertionError("Transpose nodes are eliminated before execution")
 
     def _describe(self) -> str:  # pragma: no cover - normalized away
@@ -184,12 +220,17 @@ class Product(MatrixExpr):
                 factors.append(side)
         return factors
 
-    def _execute(self, config: SystemConfig, cost_model: CostModel) -> ATMatrix:
+    def _execute(
+        self,
+        config: SystemConfig,
+        cost_model: CostModel,
+        options: MultiplyOptions,
+    ) -> ATMatrix:
         factors = self._chain()
-        operands = [factor._execute(config, cost_model) for factor in factors]
-        result, _ = multiply_chain(
-            operands, config=config, cost_model=cost_model
-        )
+        operands = [
+            factor._execute(config, cost_model, options) for factor in factors
+        ]
+        result, _ = multiply_chain(operands, options=options)
         return result
 
     def _describe(self) -> str:
@@ -214,9 +255,14 @@ class Sum(MatrixExpr):
             self.left._pushdown(transposed), self.right._pushdown(transposed)
         )
 
-    def _execute(self, config: SystemConfig, cost_model: CostModel) -> ATMatrix:
-        left = self.left._execute(config, cost_model)
-        right = self.right._execute(config, cost_model)
+    def _execute(
+        self,
+        config: SystemConfig,
+        cost_model: CostModel,
+        options: MultiplyOptions,
+    ) -> ATMatrix:
+        left = self.left._execute(config, cost_model, options)
+        right = self.right._execute(config, cost_model, options)
         return at_add(left, right, config=config)
 
     def _describe(self) -> str:
@@ -240,8 +286,15 @@ class Scaled(MatrixExpr):
             return Scaled(inner.child, inner.factor * self.factor)
         return Scaled(inner, self.factor)
 
-    def _execute(self, config: SystemConfig, cost_model: CostModel) -> ATMatrix:
-        return at_scale(self.child._execute(config, cost_model), self.factor)
+    def _execute(
+        self,
+        config: SystemConfig,
+        cost_model: CostModel,
+        options: MultiplyOptions,
+    ) -> ATMatrix:
+        return at_scale(
+            self.child._execute(config, cost_model, options), self.factor
+        )
 
     def _describe(self) -> str:
         return f"{self.factor} * {self.child._describe()}"

@@ -21,7 +21,9 @@ from ..errors import FormatError, ShapeError
 class CSRMatrix:
     """A sparse matrix in CSR layout with per-row sorted column indices."""
 
-    __slots__ = ("rows", "cols", "indptr", "indices", "values", "_keys")
+    # _structure_fp caches the engine's topology fingerprint (lazily set
+    # by repro.engine.fingerprint; absent until first fingerprinting).
+    __slots__ = ("rows", "cols", "indptr", "indices", "values", "_keys", "_structure_fp")
 
     def __init__(
         self,

@@ -19,7 +19,10 @@ from ..errors import FormatError, ShapeError
 class DenseMatrix:
     """A dense row-major matrix of doubles."""
 
-    __slots__ = ("array",)
+    # _structure_fp caches the engine's topology fingerprint and _nnz the
+    # non-zero count (both lazily set; stale if the backing array is
+    # mutated in place, like every other derived statistic).
+    __slots__ = ("array", "_structure_fp", "_nnz")
 
     def __init__(self, array: np.ndarray, *, copy: bool = True) -> None:
         array = np.array(array, dtype=np.float64, copy=copy)
@@ -54,7 +57,11 @@ class DenseMatrix:
     @property
     def nnz(self) -> int:
         """Number of non-zero entries (by value, not storage)."""
-        return int(np.count_nonzero(self.array))
+        cached = getattr(self, "_nnz", None)
+        if cached is None:
+            cached = int(np.count_nonzero(self.array))
+            self._nnz = cached
+        return cached
 
     @property
     def density(self) -> float:

@@ -1,9 +1,22 @@
 """Iterative linear solvers over AT Matrices.
 
 "Solving linear systems" is the first application the paper's
-introduction lists.  These solvers drive everything through
-:func:`~repro.core.atmv.atmv`, so every iteration benefits from the
+introduction lists.  These solvers accept any matrix operand (AT Matrix,
+CSR or dense); the operand is wrapped **once** before the iteration loop
+— the pre-redesign solvers rebuilt the wrapper every iteration, which
+defeated plan reuse — and every iteration benefits from the
 heterogeneous tile storage (dense regions go through BLAS gemv).
+
+Two execution paths:
+
+* plain (default): matrix-vector products run through the light
+  :func:`~repro.core.atmv.atmv` tile loop;
+* engine (``session=`` or ``options=``): products run through
+  :func:`~repro.core.atmult.atmult` with the caller's
+  :class:`~repro.engine.options.MultiplyOptions` — with a plan cache
+  attached (a :class:`~repro.Session` always has one), iterations 2..N
+  replay the cached :class:`~repro.engine.plan.ExecutionPlan` and skip
+  estimation/partitioning/optimization entirely.
 
 Provided methods:
 
@@ -17,12 +30,20 @@ Provided methods:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from .core.atmatrix import ATMatrix
+from .config import DEFAULT_CONFIG
 from .core.atmv import atmv
+from .core.operands import MatrixOperand, as_at_matrix
+from .engine.options import MultiplyOptions
 from .errors import ReproError, ShapeError
+from .formats.dense import DenseMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core.atmatrix import ATMatrix
+    from .engine.session import Session
 
 
 class ConvergenceError(ReproError, RuntimeError):
@@ -47,7 +68,7 @@ class SolveResult:
         return self
 
 
-def _check_system(matrix: ATMatrix, rhs: np.ndarray) -> np.ndarray:
+def _check_system(matrix: MatrixOperand, rhs: np.ndarray) -> np.ndarray:
     if matrix.rows != matrix.cols:
         raise ShapeError(f"solver needs a square matrix, got {matrix.shape}")
     rhs = np.asarray(rhs, dtype=np.float64).ravel()
@@ -56,22 +77,58 @@ def _check_system(matrix: ATMatrix, rhs: np.ndarray) -> np.ndarray:
     return rhs
 
 
+def _matvec_driver(
+    matrix: MatrixOperand,
+    session: "Session | None",
+    options: MultiplyOptions | None,
+) -> tuple["ATMatrix", Callable[[np.ndarray], np.ndarray]]:
+    """Hoisted operand wrapping plus the per-iteration product kernel.
+
+    The operand is wrapped with :func:`as_at_matrix` exactly once, here,
+    before any iteration runs (the regression tests count
+    ``operand.wraps.*`` metric increments to pin this down).  Without a
+    session/options the product is the plain :func:`atmv` tile loop;
+    with one, each product runs ``A @ x`` through the engine, where the
+    vector rides as a dense ``n x 1`` operand — dense topology is
+    fingerprinted by shape plus quantized density, and a solve's
+    iterates are fully populated, so every iteration hits the same
+    cached :class:`~repro.engine.plan.ExecutionPlan`.
+    """
+    opts = session.options if session is not None else options
+    if opts is None:
+        at = as_at_matrix(matrix, DEFAULT_CONFIG)
+        return at, lambda x: atmv(at, x)
+    from .core.atmult import atmult
+
+    at = as_at_matrix(matrix, opts.resolved_config())
+
+    def matvec(x: np.ndarray) -> np.ndarray:
+        column = np.asarray(x, dtype=np.float64).reshape(-1, 1)
+        result, _ = atmult(at, DenseMatrix(column, copy=False), options=opts)
+        return result.to_dense().ravel()
+
+    return at, matvec
+
+
 def richardson(
-    matrix: ATMatrix,
+    matrix: MatrixOperand,
     rhs: np.ndarray,
     *,
     omega: float = 0.1,
     tolerance: float = 1e-8,
     max_iterations: int = 1000,
     x0: np.ndarray | None = None,
+    session: "Session | None" = None,
+    options: MultiplyOptions | None = None,
 ) -> SolveResult:
     """Damped Richardson iteration ``x += omega * (b - A x)``."""
     rhs = _check_system(matrix, rhs)
+    _, matvec = _matvec_driver(matrix, session, options)
     x = np.zeros_like(rhs) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     norm_b = np.linalg.norm(rhs) or 1.0
     residual_norm = np.inf
     for iteration in range(1, max_iterations + 1):
-        residual = rhs - atmv(matrix, x)
+        residual = rhs - matvec(x)
         residual_norm = float(np.linalg.norm(residual))
         if residual_norm <= tolerance * norm_b:
             return SolveResult(x, iteration - 1, residual_norm, True)
@@ -80,12 +137,14 @@ def richardson(
 
 
 def jacobi(
-    matrix: ATMatrix,
+    matrix: MatrixOperand,
     rhs: np.ndarray,
     *,
     tolerance: float = 1e-10,
     max_iterations: int = 1000,
     x0: np.ndarray | None = None,
+    session: "Session | None" = None,
+    options: MultiplyOptions | None = None,
 ) -> SolveResult:
     """Jacobi iteration ``x = D^-1 (b - (A - D) x)``.
 
@@ -93,14 +152,15 @@ def jacobi(
     :class:`ShapeError` when the diagonal contains zeros.
     """
     rhs = _check_system(matrix, rhs)
-    diagonal = matrix.to_csr().diagonal()
+    at, matvec = _matvec_driver(matrix, session, options)
+    diagonal = at.to_csr().diagonal()
     if np.any(diagonal == 0.0):
         raise ShapeError("Jacobi requires a zero-free diagonal")
     x = np.zeros_like(rhs) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     norm_b = np.linalg.norm(rhs) or 1.0
     residual_norm = np.inf
     for iteration in range(1, max_iterations + 1):
-        ax = atmv(matrix, x)
+        ax = matvec(x)
         residual_norm = float(np.linalg.norm(rhs - ax))
         if residual_norm <= tolerance * norm_b:
             return SolveResult(x, iteration - 1, residual_norm, True)
@@ -110,26 +170,34 @@ def jacobi(
 
 
 def conjugate_gradient(
-    matrix: ATMatrix,
+    matrix: MatrixOperand,
     rhs: np.ndarray,
     *,
     tolerance: float = 1e-10,
     max_iterations: int | None = None,
     x0: np.ndarray | None = None,
+    session: "Session | None" = None,
+    options: MultiplyOptions | None = None,
 ) -> SolveResult:
     """Conjugate gradients for symmetric positive definite systems."""
     rhs = _check_system(matrix, rhs)
+    _, matvec = _matvec_driver(matrix, session, options)
     n = matrix.rows
     budget = max_iterations if max_iterations is not None else 10 * n
-    x = np.zeros_like(rhs) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
-    residual = rhs - atmv(matrix, x)
+    if x0 is None:
+        # Default zero start: r0 = b - A 0 = b, no product needed.
+        x = np.zeros_like(rhs)
+        residual = rhs.copy()
+    else:
+        x = np.asarray(x0, dtype=np.float64).copy()
+        residual = rhs - matvec(x)
     direction = residual.copy()
     rho = float(residual @ residual)
     norm_b = np.linalg.norm(rhs) or 1.0
     for iteration in range(1, budget + 1):
         if np.sqrt(rho) <= tolerance * norm_b:
             return SolveResult(x, iteration - 1, float(np.sqrt(rho)), True)
-        a_direction = atmv(matrix, direction)
+        a_direction = matvec(direction)
         curvature = float(direction @ a_direction)
         if curvature <= 0.0:
             # Not SPD (or numerically singular): stop honestly.

@@ -23,6 +23,7 @@ from .config import SystemConfig
 from .core.atmult import atmult
 from .core.builder import build_at_matrix
 from .cost.model import CostModel
+from .engine.options import MultiplyOptions
 from .errors import ConfigError
 from .formats.coo import COOMatrix
 from .observe import Observation
@@ -144,8 +145,10 @@ def autotune(
             observer = Observation() if observe_costs else None
             start = time.perf_counter()
             atmult(
-                matrix, matrix, config=config, cost_model=model,
-                observer=observer,
+                matrix, matrix,
+                options=MultiplyOptions(
+                    config=config, cost_model=model, observer=observer
+                ),
             )
             multiply_seconds = time.perf_counter() - start
             cost_ratio = None

@@ -63,8 +63,9 @@ class TestCorrectness:
 
     def test_multiply_wrapper(self, workload, small_config):
         a, b, at_a, at_b = workload
-        result = multiply(at_a, at_b, config=small_config)
+        result, report = multiply(at_a, at_b, config=small_config)
         np.testing.assert_allclose(result.to_dense(), a @ b, atol=1e-10)
+        assert report.total_seconds >= 0
 
 
 class TestReport:

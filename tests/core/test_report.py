@@ -129,14 +129,15 @@ class TestKeywordParity:
 
         array = heterogeneous_array(rng, 64, 64, background=0.05)
         matrix = build_at_matrix(COOMatrix.from_dense(array), small_config)
-        result = multiply(
-            matrix,
-            matrix,
-            config=small_config,
-            memory_limit_bytes=None,
-            dynamic_conversion=True,
-            use_estimation=True,
-            resilience=None,
-            observer=None,
-        )
+        with pytest.warns(DeprecationWarning):
+            result, _ = multiply(
+                matrix,
+                matrix,
+                config=small_config,
+                memory_limit_bytes=None,
+                dynamic_conversion=True,
+                use_estimation=True,
+                resilience=None,
+                observer=None,
+            )
         assert result.shape == (64, 64)
