@@ -1,0 +1,1 @@
+"""Development tooling for the repro codebase (not shipped with the package)."""

@@ -1,0 +1,45 @@
+"""repro-check: domain-invariant static analysis for the repro codebase.
+
+The generic gates (``mypy --strict``, ruff) check what any Python
+project needs checked.  This package checks what only *this* project
+needs checked — the structural invariants of the paper's dispatch design
+and of the plan-and-execute engine that no general-purpose tool can
+know about:
+
+RPR001
+    Kernel-registry completeness: every (sparse|dense) x (sparse|dense)
+    x output-kind combination has a registered kernel (paper section
+    III-A: 2**3 = 8 kernels).
+RPR002
+    Plan determinism: no wall-clock reads, ambient randomness,
+    ``id()``-keyed containers or set-iteration-order dependence in the
+    modules whose output is cached under a plan key.
+RPR003
+    Locking discipline: classes that own a ``threading.Lock`` mutate
+    their ``__init__``-assigned state only under ``with self._lock``.
+RPR004
+    No internal use of the deprecated legacy multiply keywords; options
+    flow through ``MultiplyOptions`` inside ``src/repro``.
+RPR005
+    Observability coverage: public kernel/executor functions that loop
+    over tile pairs open a span.
+RPR006
+    Annotation completeness: every function in ``src/repro`` is fully
+    annotated (the AST-level proxy for the ``mypy --strict`` gate,
+    runnable without mypy installed).
+
+Run ``python -m tools.repro_check src tests`` from the repository root.
+Violations are suppressed per line with ``# repro-lint: disable=RPRxxx``.
+"""
+
+from .core import CheckResult, Violation, check_paths, check_source
+from .rules import ALL_RULES, RULES_BY_CODE
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "CheckResult",
+    "Violation",
+    "check_paths",
+    "check_source",
+]

@@ -1,0 +1,104 @@
+"""Command-line front end: ``python -m tools.repro_check [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from collections.abc import Sequence
+
+from .core import CheckResult, check_paths
+from .rules import ALL_RULES, RULES_BY_CODE
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description=(
+            "Domain-invariant static analysis for the repro codebase "
+            "(RPR001-RPR006); see docs/STATIC_ANALYSIS.md for the catalog."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to check (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append a per-rule violation count (text format)",
+    )
+    return parser
+
+
+def _selected_rules(spec: str | None) -> list[object]:
+    if spec is None:
+        return list(ALL_RULES)
+    codes = [code.strip().upper() for code in spec.split(",") if code.strip()]
+    unknown = [code for code in codes if code not in RULES_BY_CODE]
+    if unknown:
+        raise SystemExit(
+            f"repro-check: unknown rule code(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(RULES_BY_CODE))}"
+        )
+    return [RULES_BY_CODE[code] for code in codes]
+
+
+def _render_text(result: CheckResult, statistics: bool) -> str:
+    lines = [violation.render() for violation in result.all_violations]
+    total = len(result.all_violations)
+    if statistics and total:
+        counts: dict[str, int] = {}
+        for violation in result.all_violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        lines.append("")
+        lines.extend(
+            f"{code}: {count}" for code, count in sorted(counts.items())
+        )
+    summary = (
+        f"repro-check: {result.files_checked} files, {total} violation(s)"
+        + (f", {result.suppressed} suppressed" if result.suppressed else "")
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    rules = _selected_rules(args.select)
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"repro-check: path(s) not found: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    result = check_paths(args.paths, rules)
+    if args.format == "json":
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(_render_text(result, args.statistics))
+    return result.exit_code

@@ -1,0 +1,183 @@
+"""Rule-agnostic machinery: violations, suppressions, file walking.
+
+A *rule* is an object with a ``code`` (``RPRxxx``), a one-line
+``summary``, an ``applies(path)`` predicate over repo-relative POSIX
+paths, and a ``check(tree, source, path)`` method returning violations.
+The driver parses each file once and hands the same tree to every rule
+whose scope matches, then drops violations suppressed by a same-line
+``# repro-lint: disable=RPRxxx`` comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable
+from typing import Any, Protocol
+
+#: Directories never scanned: deliberate-violation fixtures and caches.
+EXCLUDED_PARTS = frozenset(
+    {"fixtures", "__pycache__", ".git", "build", "dist", ".egg-info"}
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a concrete source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class Rule(Protocol):
+    """Interface every RPR rule implements."""
+
+    code: str
+    summary: str
+
+    def applies(self, path: str) -> bool: ...
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> list[Violation]: ...
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one run: violations plus scan bookkeeping."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    errors: list[Violation] = field(default_factory=list)
+
+    @property
+    def all_violations(self) -> list[Violation]:
+        """Violations plus scan errors, in stable (path, line, code) order."""
+        return sorted(
+            self.violations + self.errors,
+            key=lambda v: (v.path, v.line, v.col, v.code),
+        )
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.violations or self.errors) else 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "violations": [v.as_dict() for v in self.all_violations],
+        }
+
+
+def suppressed_codes(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule codes disabled on that line."""
+    out: dict[int, set[str]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = {code.strip() for code in match.group(1).split(",")}
+        out[number] = {code for code in codes if code}
+    return out
+
+
+def iter_python_files(roots: Iterable[Path]) -> list[Path]:
+    """Every ``.py`` file under the given roots, excluded parts pruned."""
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file() and root.suffix == ".py":
+            files.append(root)
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if EXCLUDED_PARTS.isdisjoint(path.parts):
+                files.append(path)
+    return files
+
+
+def relative_posix(path: Path, base: Path) -> str:
+    try:
+        return path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def check_source(
+    source: str,
+    path: str,
+    rules: Iterable[Rule],
+    *,
+    honor_scope: bool = True,
+) -> list[Violation]:
+    """Run rules over one in-memory source file.
+
+    ``path`` is the repo-relative POSIX path used both for scoping and
+    for reporting.  ``honor_scope=False`` forces every rule to run (the
+    fixture tests use this to point a rule at an arbitrary snippet).
+    """
+    tree = ast.parse(source, filename=path)
+    suppressions = suppressed_codes(source)
+    violations: list[Violation] = []
+    for rule in rules:
+        if honor_scope and not rule.applies(path):
+            continue
+        for violation in rule.check(tree, source, path):
+            if violation.code in suppressions.get(violation.line, set()):
+                continue
+            violations.append(violation)
+    return sorted(violations, key=lambda v: (v.line, v.col, v.code))
+
+
+def check_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable[Rule],
+    *,
+    base: Path | None = None,
+) -> CheckResult:
+    """Run rules over files/directories; the CLI entry point's engine."""
+    base = base if base is not None else Path.cwd()
+    rules = list(rules)
+    result = CheckResult()
+    for file_path in iter_python_files(Path(p) for p in paths):
+        rel = relative_posix(file_path, base)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=rel)
+        except (SyntaxError, UnicodeDecodeError) as error:
+            line = getattr(error, "lineno", 0) or 0
+            result.errors.append(
+                Violation("RPR000", f"file does not parse: {error}", rel, line)
+            )
+            continue
+        result.files_checked += 1
+        suppressions = suppressed_codes(source)
+        for rule in rules:
+            if not rule.applies(rel):
+                continue
+            for violation in rule.check(tree, source, rel):
+                if violation.code in suppressions.get(violation.line, set()):
+                    result.suppressed += 1
+                    continue
+                result.violations.append(violation)
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return result
