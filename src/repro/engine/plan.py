@@ -251,8 +251,14 @@ def build_plan(
     # -- phase 3 (deciding half): pair and product resolution --------------
     row_cuts = at_a.row_cuts()
     col_cuts = at_b.col_cuts()
-    a_ids = {id(tile): index for index, tile in enumerate(at_a.tiles)}
-    b_ids = {id(tile): index for index, tile in enumerate(at_b.tiles)}
+    # Tiles are keyed by their anchor coordinates — unique within an
+    # AT Matrix and stable across processes, unlike object identity.
+    a_ids = {
+        (tile.row0, tile.col0): index for index, tile in enumerate(at_a.tiles)
+    }
+    b_ids = {
+        (tile.row0, tile.col0): index for index, tile in enumerate(at_b.tiles)
+    }
     memo = _DecisionMemo(cost_model, dynamic_conversion)
     decisions = 0
     pairs: list[PlannedPair] = []
@@ -306,8 +312,8 @@ def build_plan(
                         )
                     products.append(
                         PlannedProduct(
-                            a_index=a_ids[id(a_tile)],
-                            b_index=b_ids[id(b_tile)],
+                            a_index=a_ids[a_tile.row0, a_tile.col0],
+                            b_index=b_ids[b_tile.row0, b_tile.col0],
                             wa=wa,
                             wb=wb,
                             target_row=max(r0, a_tile.row0) - r0,
@@ -321,8 +327,8 @@ def build_plan(
                 PlannedPair(
                     ti=ti, tj=tj, r0=r0, r1=r1, c0=c0, c1=c1,
                     rho_c=rho_c, c_kind=c_kind, team_node=team_node,
-                    a_strip=tuple(a_ids[id(t)] for t in a_strip),
-                    b_strip=tuple(b_ids[id(t)] for t in b_strip),
+                    a_strip=tuple(a_ids[t.row0, t.col0] for t in a_strip),
+                    b_strip=tuple(b_ids[t.row0, t.col0] for t in b_strip),
                     products=tuple(products),
                 )
             )
