@@ -86,21 +86,21 @@ class _ConversionCache:
     reused by every later product of the same run.
     """
 
-    def __init__(self, *, locked: bool) -> None:
+    def __init__(self) -> None:
         self._converted: dict[int, TilePayload] = {}
-        self._lock = threading.Lock() if locked else None
+        # Uncontended acquisition is ~100ns and conversions happen at
+        # most once per tile, so sequential runs share the locked path.
+        self._lock = threading.Lock()
         self.conversions = 0
         self.conversion_seconds = 0.0
 
     def payload(self, tile: Tile, kind: StorageKind) -> TilePayload:
         if kind is tile.kind:
             return tile.data
-        if self._lock is None:
-            return self._convert(tile, kind)
         with self._lock:
-            return self._convert(tile, kind)
+            return self._convert_locked(tile, kind)
 
-    def _convert(self, tile: Tile, kind: StorageKind) -> TilePayload:
+    def _convert_locked(self, tile: Tile, kind: StorageKind) -> TilePayload:
         cached = self._converted.get(id(tile))
         if cached is not None:
             return cached
@@ -185,7 +185,7 @@ def execute_plan(
         if resilience is not None
         else None
     )
-    conversions = _ConversionCache(locked=parallel)
+    conversions = _ConversionCache()
     memo = _DecisionMemo(cost_model, plan.dynamic_conversion)
     busy_lock = threading.Lock()
     counts_lock = threading.Lock()
