@@ -80,14 +80,16 @@ class BCSRMatrix:
         order = np.argsort(cell_keys, kind="stable")
         cell_sorted = cell_keys[order]
         unique_cells, starts = np.unique(cell_sorted, return_index=True)
-        ends = np.append(starts[1:], len(cell_sorted))
+        # Sliced after the append so an empty matrix yields zero cell
+        # ranges rather than the spurious single range [_, 0].
+        ends = np.append(starts, len(cell_sorted))[1:]
         blocks = np.zeros(
             (len(unique_cells), block_rows, block_cols), dtype=np.float64
         )
         rows_sorted = rows[order]
         cols_sorted = cols[order]
         values_sorted = matrix.values[order]
-        for i, (start, end) in enumerate(zip(starts, ends)):
+        for i, (start, end) in enumerate(zip(starts, ends, strict=True)):
             local_rows = rows_sorted[start:end] % block_rows
             local_cols = cols_sorted[start:end] % block_cols
             blocks[i, local_rows, local_cols] = values_sorted[start:end]
