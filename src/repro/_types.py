@@ -1,0 +1,23 @@
+"""Shared array type aliases for the formats/kernels/engine boundaries.
+
+The storage formats normalize every payload to two concrete dtypes —
+``int64`` coordinates/pointers and ``float64`` values — and the kernels
+rely on that invariant (e.g. Morton key arithmetic assumes 64-bit
+indices, accumulators assume double-precision values).  These aliases
+make the invariant part of the signatures instead of a convention:
+
+- :data:`IndexArray` — ``int64`` row/column ids, indptr, sort keys;
+- :data:`FloatArray` — ``float64`` matrix values and dense blocks;
+- :data:`BoolArray` — boolean masks from window/selection predicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+IndexArray = NDArray[np.int64]
+FloatArray = NDArray[np.float64]
+BoolArray = NDArray[np.bool_]
+
+__all__ = ["BoolArray", "FloatArray", "IndexArray"]

@@ -7,7 +7,7 @@ pytest's captured output.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 
 def format_table(
@@ -19,10 +19,10 @@ def format_table(
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths, strict=True)))
     lines.append("  ".join("-" * w for w in widths))
     for row in cells[1:]:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

@@ -14,6 +14,13 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from .formats.coo import COOMatrix
+    from .resilience import FaultPlan, RetryPolicy
 
 from .config import (
     SystemConfig,
@@ -115,7 +122,9 @@ def cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resilience_from_args(args: argparse.Namespace):
+def _resilience_from_args(
+    args: argparse.Namespace,
+) -> tuple[RetryPolicy | None, FaultPlan | None]:
     """Build the (policy, fault plan) pair from the multiply flags."""
     from .resilience import FaultPlan, RetryPolicy
 
@@ -260,7 +269,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0 if result.converged else 3
 
 
-def _vector_as_coo(vector):
+def _vector_as_coo(vector: np.ndarray) -> COOMatrix:
     """A length-n vector as an n x 1 COO matrix (for .mtx output)."""
     import numpy as np
 

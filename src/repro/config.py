@@ -153,7 +153,7 @@ class SystemConfig:
         assert self.b_atomic is not None
         return self.b_atomic.bit_length() - 1
 
-    def with_llc(self, llc_bytes: int) -> "SystemConfig":
+    def with_llc(self, llc_bytes: int) -> SystemConfig:
         """A copy with a different LLC size and re-derived ``b_atomic``."""
         return replace(self, llc_bytes=llc_bytes, b_atomic=None)
 

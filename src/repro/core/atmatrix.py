@@ -229,7 +229,7 @@ class ATMatrix:
                 out[tile.row0 : tile.row1, tile.col0 : tile.col1] = block
         return out
 
-    def submatrix(self, row0: int, row1: int, col0: int, col1: int) -> "ATMatrix":
+    def submatrix(self, row0: int, row1: int, col0: int, col1: int) -> ATMatrix:
         """The half-open region as a new AT Matrix (tiles clipped).
 
         Tiles fully inside the region share their payloads; boundary
@@ -276,7 +276,7 @@ class ATMatrix:
             )
         return ATMatrix(row1 - row0, col1 - col0, self.config, tiles)
 
-    def allclose(self, other: "ATMatrix | np.ndarray", *, atol: float = 1e-12) -> bool:
+    def allclose(self, other: ATMatrix | np.ndarray, *, atol: float = 1e-12) -> bool:
         """Numerical equality against another matrix or dense array."""
         if isinstance(other, ATMatrix):
             if self.shape != other.shape:
@@ -287,7 +287,7 @@ class ATMatrix:
             return False
         return bool(np.allclose(self.to_dense(), other, atol=atol))
 
-    def transpose(self) -> "ATMatrix":
+    def transpose(self) -> ATMatrix:
         """The transposed matrix as a new AT Matrix.
 
         Every tile is transposed in place of its mirrored position; the
@@ -324,14 +324,16 @@ class ATMatrix:
                 return
         raise FormatError("tile to replace is not part of this matrix")
 
-    def __matmul__(self, other):
+    def __matmul__(self, other: ATMatrix | CSRMatrix | DenseMatrix) -> ATMatrix:
         """``A @ B`` runs ATMULT under this matrix's configuration."""
         from .atmult import atmult
 
         result, _ = atmult(self, other, config=self.config)
         return result
 
-    def __getitem__(self, key):
+    def __getitem__(
+        self, key: tuple[int | slice, int | slice]
+    ) -> float | ATMatrix:
         """Element access ``at[i, j]`` and region access ``at[r0:r1, c0:c1]``.
 
         Element reads resolve through the tile index (dense tiles O(1),

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import logging
 import warnings
+from typing import Any
 
 from ..config import SystemConfig
 from ..cost.model import CostModel
@@ -179,7 +180,7 @@ def atmult(
     return result, report
 
 
-def _fold_plan_phases(report, plan: ExecutionPlan) -> None:
+def _fold_plan_phases(report: MultiplyReport, plan: ExecutionPlan) -> None:
     """Attribute a freshly built plan's phase durations to this report.
 
     Cached replays skip this — their reports show (near) zero estimate
@@ -238,7 +239,7 @@ def multiply(
     b: MatrixOperand,
     *,
     return_report: bool = True,
-    **kwargs,
+    **kwargs: Any,
 ) -> tuple[ATMatrix, MultiplyReport] | ATMatrix:
     """Convenience wrapper around :func:`atmult`.
 

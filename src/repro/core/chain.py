@@ -18,6 +18,11 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observe import Observation
+    from ..resilience.retry import RetryPolicy
 
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..cost.model import CostModel
@@ -96,7 +101,7 @@ def plan_chain(
     n = len(operands)
     if n == 0:
         raise ShapeError("empty matrix chain")
-    for left, right in zip(operands, operands[1:]):
+    for left, right in zip(operands, operands[1:], strict=False):
         if left.cols != right.rows:
             raise ShapeError(
                 f"chain dimension mismatch: {left.shape} then {right.shape}"
@@ -205,8 +210,8 @@ def multiply_chain(
     memory_limit_bytes: float | None = UNSET,
     dynamic_conversion: bool = UNSET,
     use_estimation: bool = UNSET,
-    resilience=UNSET,
-    observer=UNSET,
+    resilience: RetryPolicy | None = UNSET,
+    observer: Observation | None = UNSET,
     return_report: bool = True,
 ) -> tuple[ATMatrix, "ChainReport | ChainPlan"]:
     """Plan and execute a matrix chain with ATMULT.

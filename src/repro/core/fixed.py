@@ -50,7 +50,7 @@ def fixed_grid_at_matrix(
         np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=boundaries[1:])
         starts = np.flatnonzero(boundaries)
         ends = np.append(starts[1:], len(keys_sorted))
-        for start, end in zip(starts, ends):
+        for start, end in zip(starts, ends, strict=True):
             cell = int(keys_sorted[start])
             block_row, block_col = divmod(cell, grid_cols)
             row0 = block_row * block

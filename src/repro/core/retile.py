@@ -43,7 +43,7 @@ def split_tiles_at_cols(matrix: ATMatrix, cuts: list[int]) -> ATMatrix:
             new_tiles.append(tile)
             continue
         boundaries = [tile.col0] + inner + [tile.col1]
-        for col0, col1 in zip(boundaries[:-1], boundaries[1:]):
+        for col0, col1 in zip(boundaries[:-1], boundaries[1:], strict=True):
             if isinstance(tile.data, CSRMatrix):
                 payload = tile.data.extract_window(
                     0, tile.rows, col0 - tile.col0, col1 - tile.col0

@@ -109,7 +109,7 @@ class Tile:
         """Paper-model footprint of the payload."""
         return self.data.memory_bytes()
 
-    def with_payload(self, data: TilePayload) -> "Tile":
+    def with_payload(self, data: TilePayload) -> Tile:
         """A tile at the same position with a different representation."""
         kind = StorageKind.SPARSE if isinstance(data, CSRMatrix) else StorageKind.DENSE
         return Tile(self.row0, self.col0, self.rows, self.cols, kind, data, self.numa_node)

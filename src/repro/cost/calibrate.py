@@ -14,6 +14,11 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import replace
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observe import Observation
 
 import numpy as np
 
@@ -31,7 +36,7 @@ def _random_csr(rng: np.random.Generator, rows: int, cols: int, density: float) 
     )
 
 
-def _time(fn, *, repeats: int = 3) -> float:
+def _time(fn: Callable[[], object], *, repeats: int = 3) -> float:
     best = math.inf
     for _ in range(repeats):
         start = time.perf_counter()
@@ -137,7 +142,7 @@ _KERNEL_COEFFICIENTS: tuple[tuple[str, tuple[str, ...]], ...] = (
 
 
 def refine_from_observation(
-    observation,
+    observation: Observation,
     coefficients: CostCoefficients | None = None,
     *,
     min_samples: int = 8,

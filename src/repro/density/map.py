@@ -46,7 +46,7 @@ class DensityMap:
         row_ids: np.ndarray,
         col_ids: np.ndarray,
         block: int,
-    ) -> "DensityMap":
+    ) -> DensityMap:
         """Count coordinates into blocks and normalize by clipped block area."""
         grid_rows = _ceil_div(rows, block)
         grid_cols = _ceil_div(cols, block)
@@ -60,14 +60,14 @@ class DensityMap:
         return cls(rows, cols, block, counts / cls._areas(rows, cols, block))
 
     @classmethod
-    def from_dense(cls, array: np.ndarray, block: int) -> "DensityMap":
+    def from_dense(cls, array: np.ndarray, block: int) -> DensityMap:
         """Density map of a 2-D numpy array (non-zeros by value)."""
         array = np.asarray(array)
         row_ids, col_ids = np.nonzero(array)
         return cls.from_coordinates(array.shape[0], array.shape[1], row_ids, col_ids, block)
 
     @classmethod
-    def uniform(cls, rows: int, cols: int, block: int, density: float) -> "DensityMap":
+    def uniform(cls, rows: int, cols: int, block: int, density: float) -> DensityMap:
         """A map with the same density in every block."""
         grid = np.full(
             (_ceil_div(rows, block), _ceil_div(cols, block)), float(density)

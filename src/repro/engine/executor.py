@@ -43,7 +43,7 @@ from ..errors import MemoryLimitError, PlanMismatchError, TaskFailedError
 from ..formats.convert import csr_to_dense, dense_to_csr
 from ..formats.csr import CSRMatrix
 from ..formats.dense import DenseMatrix
-from ..kernels.accumulator import DenseAccumulator, make_accumulator
+from ..kernels.accumulator import Accumulator, DenseAccumulator, make_accumulator
 from ..kernels.registry import run_tile_product
 from ..kinds import StorageKind, kernel_name
 from ..observe import Observation
@@ -401,15 +401,14 @@ def execute_plan(
         start = time.perf_counter()
         with _span(
             obs, "pair_loop", attrs={"pairs": len(plan.pairs)} if obs else None
-        ):
-            with ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="team"
-            ) as pool:
-                result_tiles = [
-                    tile
-                    for tile in pool.map(run_pair_captured, plan.pairs)
-                    if tile is not None
-                ]
+        ), ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="team"
+        ) as pool:
+            result_tiles = [
+                tile
+                for tile in pool.map(run_pair_captured, plan.pairs)
+                if tile is not None
+            ]
         report.wall_seconds = time.perf_counter() - start
         report.conversions = conversions.conversions
         if report.failure.pair_errors:
@@ -450,11 +449,13 @@ def execute_plan(
     return result, report
 
 
-def _payload_kind(payload) -> StorageKind:
+def _payload_kind(payload: TilePayload) -> StorageKind:
     return StorageKind.SPARSE if isinstance(payload, CSRMatrix) else StorageKind.DENSE
 
 
-def _seed_accumulator(accumulator, at_c: ATMatrix, r0, r1, c0, c1) -> None:
+def _seed_accumulator(
+    accumulator: Accumulator, at_c: ATMatrix, r0: int, r1: int, c0: int, c1: int
+) -> None:
     """Add the prior C content of a region into a fresh accumulator."""
     for tile in at_c.tiles_overlapping(r0, r1, c0, c1):
         row_lo = max(r0, tile.row0)

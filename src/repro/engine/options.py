@@ -35,9 +35,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class _Unset:
     """Sentinel distinguishing "not passed" from an explicit ``None``."""
 
-    _instance: "_Unset | None" = None
+    _instance: _Unset | None = None
 
-    def __new__(cls) -> "_Unset":
+    def __new__(cls) -> _Unset:
         if cls._instance is None:
             cls._instance = super().__new__(cls)
         return cls._instance
@@ -93,9 +93,9 @@ class MultiplyOptions:
     resilience: RetryPolicy | None = None
     observer: Observation | None = None
     workers: int | None = None
-    plan_cache: "PlanCache | None" = field(default=None, compare=False)
+    plan_cache: PlanCache | None = field(default=None, compare=False)
 
-    def replace(self, **changes: Any) -> "MultiplyOptions":
+    def replace(self, **changes: Any) -> MultiplyOptions:
         """A copy with the given fields replaced."""
         return replace(self, **changes)
 
@@ -125,7 +125,7 @@ def coerce_options(
     where: str,
     config: SystemConfig | None = None,
     cost_model: CostModel | None = None,
-    plan_cache: "PlanCache | None" = None,
+    plan_cache: PlanCache | None = None,
     stacklevel: int = 3,
     **legacy: Any,
 ) -> MultiplyOptions:

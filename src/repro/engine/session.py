@@ -125,7 +125,7 @@ class Session:
         a: MatrixOperand,
         b: MatrixOperand,
         *,
-        topology: "SystemTopology",
+        topology: SystemTopology,
     ) -> tuple["ATMatrix", "ParallelReport"]:
         """Parallel ``C = A x B``; shares plans with the sequential path."""
         from ..core.parallel import parallel_atmult
@@ -154,21 +154,21 @@ class Session:
     # -- solvers -----------------------------------------------------------
     def richardson(
         self, matrix: MatrixOperand, rhs: np.ndarray, **kwargs: Any
-    ) -> "SolveResult":
+    ) -> SolveResult:
         from ..solve import richardson
 
         return richardson(matrix, rhs, session=self, **kwargs)
 
     def jacobi(
         self, matrix: MatrixOperand, rhs: np.ndarray, **kwargs: Any
-    ) -> "SolveResult":
+    ) -> SolveResult:
         from ..solve import jacobi
 
         return jacobi(matrix, rhs, session=self, **kwargs)
 
     def conjugate_gradient(
         self, matrix: MatrixOperand, rhs: np.ndarray, **kwargs: Any
-    ) -> "SolveResult":
+    ) -> SolveResult:
         from ..solve import conjugate_gradient
 
         return conjugate_gradient(matrix, rhs, session=self, **kwargs)

@@ -29,6 +29,14 @@ was rejected by the result guard.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core.report import BaseReport
+
+    #: ``(tile_row, tile_col)`` coordinates of a result-grid pair.
+    PairCoords = tuple[int, int]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -88,7 +96,14 @@ class TaskFailedError(ReproError, RuntimeError):
         so completed work and busy-time statistics are not lost.
     """
 
-    def __init__(self, message, *, pair=None, pair_errors=None, report=None):
+    def __init__(
+        self,
+        message: str,
+        *,
+        pair: PairCoords | None = None,
+        pair_errors: list[tuple[PairCoords, Exception]] | None = None,
+        report: BaseReport | None = None,
+    ) -> None:
         super().__init__(message)
         self.pair = pair
         self.pair_errors = list(pair_errors or [])
@@ -108,7 +123,15 @@ class RetryExhaustedError(TaskFailedError):
         The exception raised by the final attempt.
     """
 
-    def __init__(self, message, *, pair=None, attempts=0, last_error=None, report=None):
+    def __init__(
+        self,
+        message: str,
+        *,
+        pair: PairCoords | None = None,
+        attempts: int = 0,
+        last_error: Exception | None = None,
+        report: BaseReport | None = None,
+    ) -> None:
         super().__init__(message, pair=pair, report=report)
         self.attempts = attempts
         self.last_error = last_error
@@ -130,7 +153,13 @@ class ResultCorruptionError(ReproError, RuntimeError):
         ``"nnz-bound"``).
     """
 
-    def __init__(self, message, *, pair=None, reason=None):
+    def __init__(
+        self,
+        message: str,
+        *,
+        pair: PairCoords | None = None,
+        reason: str | None = None,
+    ) -> None:
         super().__init__(message)
         self.pair = pair
         self.reason = reason

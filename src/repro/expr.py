@@ -47,7 +47,7 @@ class MatrixExpr:
     shape: tuple[int, int]
 
     # -- composition -------------------------------------------------------
-    def __matmul__(self, other: "MatrixExpr") -> "MatrixExpr":
+    def __matmul__(self, other: MatrixExpr) -> MatrixExpr:
         other = _as_expr(other)
         if self.shape[1] != other.shape[0]:
             raise ShapeError(
@@ -55,22 +55,22 @@ class MatrixExpr:
             )
         return Product(self, other)
 
-    def __add__(self, other: "MatrixExpr") -> "MatrixExpr":
+    def __add__(self, other: MatrixExpr) -> MatrixExpr:
         other = _as_expr(other)
         if self.shape != other.shape:
             raise ShapeError(f"cannot add {self.shape} + {other.shape}")
         return Sum(self, other)
 
-    def __sub__(self, other: "MatrixExpr") -> "MatrixExpr":
+    def __sub__(self, other: MatrixExpr) -> MatrixExpr:
         return self + (-1.0) * _as_expr(other)
 
-    def __mul__(self, factor: float) -> "MatrixExpr":
+    def __mul__(self, factor: float) -> MatrixExpr:
         return Scaled(self, float(factor))
 
     __rmul__ = __mul__
 
     @property
-    def T(self) -> "MatrixExpr":
+    def T(self) -> MatrixExpr:
         return Transpose(self)
 
     # -- evaluation -----------------------------------------------------------
@@ -80,7 +80,7 @@ class MatrixExpr:
         config: SystemConfig | None = None,
         cost_model: CostModel | None = None,
         options: MultiplyOptions | None = None,
-        session: "Session | None" = None,
+        session: Session | None = None,
     ) -> ATMatrix:
         """Normalize, plan and execute the expression.
 
@@ -112,7 +112,7 @@ class MatrixExpr:
         return self._pushdown(False)._describe()
 
     # -- internals (overridden per node) ------------------------------------------
-    def _pushdown(self, transposed: bool) -> "MatrixExpr":
+    def _pushdown(self, transposed: bool) -> MatrixExpr:
         raise NotImplementedError
 
     def _execute(
@@ -127,13 +127,13 @@ class MatrixExpr:
         raise NotImplementedError
 
 
-def _as_expr(value) -> MatrixExpr:
+def _as_expr(value: MatrixExpr | MatrixOperand) -> MatrixExpr:
     if isinstance(value, MatrixExpr):
         return value
     return M(value)
 
 
-def M(operand: MatrixOperand) -> "Leaf":
+def M(operand: MatrixOperand) -> Leaf:
     """Wrap a matrix (AT Matrix, CSR or dense) as an expression leaf."""
     return Leaf(operand)
 
@@ -184,7 +184,12 @@ class Transpose(MatrixExpr):
         # Double transpose cancels.
         return self.child._pushdown(not transposed)
 
-    def _execute(self, config, cost_model, options):  # pragma: no cover - normalized away
+    def _execute(
+        self,
+        config: SystemConfig,
+        cost_model: CostModel,
+        options: MultiplyOptions,
+    ) -> ATMatrix:  # pragma: no cover - normalized away
         raise AssertionError("Transpose nodes are eliminated before execution")
 
     def _describe(self) -> str:  # pragma: no cover - normalized away

@@ -71,7 +71,7 @@ class BCSRMatrix:
     @classmethod
     def from_csr(
         cls, matrix: CSRMatrix, block_rows: int = 3, block_cols: int = 3
-    ) -> "BCSRMatrix":
+    ) -> BCSRMatrix:
         """Convert from CSR; occupied grid cells become dense blocks."""
         grid_cols = -(-matrix.cols // block_cols)
         rows = np.repeat(np.arange(matrix.rows, dtype=np.int64), matrix.row_nnz())

@@ -13,7 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
+from .._types import FloatArray, IndexArray
 from ..errors import FormatError, ShapeError
 from ..zorder.morton import morton_encode
 
@@ -31,17 +33,17 @@ class COOMatrix:
 
     rows: int
     cols: int
-    row_ids: np.ndarray
-    col_ids: np.ndarray
-    values: np.ndarray
+    row_ids: IndexArray
+    col_ids: IndexArray
+    values: FloatArray
 
     def __init__(
         self,
         rows: int,
         cols: int,
-        row_ids: np.ndarray,
-        col_ids: np.ndarray,
-        values: np.ndarray,
+        row_ids: ArrayLike,
+        col_ids: ArrayLike,
+        values: ArrayLike,
         *,
         check: bool = True,
         copy: bool = True,
@@ -67,13 +69,13 @@ class COOMatrix:
 
     # -- constructors ------------------------------------------------------
     @classmethod
-    def empty(cls, rows: int, cols: int) -> "COOMatrix":
+    def empty(cls, rows: int, cols: int) -> COOMatrix:
         """A matrix of the given shape with no stored elements."""
         zero = np.empty(0, dtype=np.int64)
         return cls(rows, cols, zero, zero, np.empty(0, dtype=np.float64), copy=False)
 
     @classmethod
-    def from_dense(cls, array: np.ndarray) -> "COOMatrix":
+    def from_dense(cls, array: ArrayLike) -> COOMatrix:
         """Extract the non-zero entries of a 2-D numpy array."""
         array = np.asarray(array, dtype=np.float64)
         if array.ndim != 2:
@@ -101,7 +103,7 @@ class COOMatrix:
         return self.nnz * COO_TRIPLE_BYTES
 
     # -- transformations -----------------------------------------------------
-    def sum_duplicates(self) -> "COOMatrix":
+    def sum_duplicates(self) -> COOMatrix:
         """A copy with duplicate coordinates summed and zeros dropped,
         sorted row-major."""
         if not self.nnz:
@@ -129,7 +131,7 @@ class COOMatrix:
             copy=False,
         )
 
-    def z_ordered(self, *, copy: bool = True) -> "COOMatrix":
+    def z_ordered(self, *, copy: bool = True) -> COOMatrix:
         """A copy with elements sorted by their Morton (Z) code.
 
         This is the "locality-aware element reordering" step of paper
@@ -148,7 +150,7 @@ class COOMatrix:
             copy=copy,
         )
 
-    def transpose(self) -> "COOMatrix":
+    def transpose(self) -> COOMatrix:
         """The transposed matrix (coordinates swapped)."""
         return COOMatrix(
             self.cols, self.rows, self.col_ids, self.row_ids, self.values, check=False
@@ -156,7 +158,7 @@ class COOMatrix:
 
     def extract_window(
         self, row0: int, row1: int, col0: int, col1: int
-    ) -> "COOMatrix":
+    ) -> COOMatrix:
         """Entries inside the half-open window, re-based to window origin."""
         if not (0 <= row0 <= row1 <= self.rows and 0 <= col0 <= col1 <= self.cols):
             raise ShapeError(
@@ -178,7 +180,7 @@ class COOMatrix:
             copy=False,
         )
 
-    def to_dense(self) -> np.ndarray:
+    def to_dense(self) -> FloatArray:
         """Materialize as a 2-D numpy array (duplicates summed)."""
         out = np.zeros(self.shape, dtype=np.float64)
         np.add.at(out, (self.row_ids, self.col_ids), self.values)

@@ -13,7 +13,9 @@ Memory accounting follows the paper's ``S_sp = 16`` bytes per element
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
+from .._types import FloatArray, IndexArray
 from ..config import S_SPARSE
 from ..errors import FormatError, ShapeError
 
@@ -25,13 +27,19 @@ class CSRMatrix:
     # by repro.engine.fingerprint; absent until first fingerprinting).
     __slots__ = ("rows", "cols", "indptr", "indices", "values", "_keys", "_structure_fp")
 
+    rows: int
+    cols: int
+    indptr: IndexArray
+    indices: IndexArray
+    values: FloatArray
+
     def __init__(
         self,
         rows: int,
         cols: int,
-        indptr: np.ndarray,
-        indices: np.ndarray,
-        values: np.ndarray,
+        indptr: ArrayLike,
+        indices: ArrayLike,
+        values: ArrayLike,
         *,
         check: bool = True,
         copy: bool = True,
@@ -41,7 +49,7 @@ class CSRMatrix:
         self.indptr = np.array(indptr, dtype=np.int64, copy=copy).ravel()
         self.indices = np.array(indices, dtype=np.int64, copy=copy).ravel()
         self.values = np.array(values, dtype=np.float64, copy=copy).ravel()
-        self._keys: np.ndarray | None = None
+        self._keys: IndexArray | None = None
         if check:
             self._validate()
 
@@ -73,7 +81,7 @@ class CSRMatrix:
 
     # -- constructors -------------------------------------------------------
     @classmethod
-    def empty(cls, rows: int, cols: int) -> "CSRMatrix":
+    def empty(cls, rows: int, cols: int) -> CSRMatrix:
         """A matrix of the given shape with no stored elements."""
         return cls(
             rows,
@@ -90,12 +98,12 @@ class CSRMatrix:
         cls,
         rows: int,
         cols: int,
-        row_ids: np.ndarray,
-        col_ids: np.ndarray,
-        values: np.ndarray,
+        row_ids: ArrayLike,
+        col_ids: ArrayLike,
+        values: ArrayLike,
         *,
         sum_duplicates: bool = True,
-    ) -> "CSRMatrix":
+    ) -> CSRMatrix:
         """Build from unordered coordinate arrays (sorting + dedup here)."""
         row_ids = np.asarray(row_ids, dtype=np.int64)
         col_ids = np.asarray(col_ids, dtype=np.int64)
@@ -143,7 +151,7 @@ class CSRMatrix:
         """Population density ``rho = nnz / (rows * cols)``."""
         return self.nnz / (self.rows * self.cols)
 
-    def row_nnz(self) -> np.ndarray:
+    def row_nnz(self) -> IndexArray:
         """Non-zero count of every row (length ``rows``)."""
         return np.diff(self.indptr)
 
@@ -151,7 +159,7 @@ class CSRMatrix:
         """Paper-model CSR footprint: ``S_sp`` bytes per stored element."""
         return self.nnz * S_SPARSE
 
-    def sorted_keys(self) -> np.ndarray:
+    def sorted_keys(self) -> IndexArray:
         """Globally sorted row-major element keys ``row * cols + col``.
 
         Because CSR stores rows in order and columns sorted within each
@@ -166,7 +174,7 @@ class CSRMatrix:
 
     def window_ranges(
         self, row0: int, row1: int, col0: int, col1: int
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[IndexArray, IndexArray]:
         """Per-row ``(lo, hi)`` storage-index bounds of a half-open window."""
         if col0 == 0 and col1 == self.cols:
             return self.indptr[row0:row1], self.indptr[row0 + 1 : row1 + 1]
@@ -177,14 +185,14 @@ class CSRMatrix:
         return lo, hi
 
     # -- element access --------------------------------------------------------
-    def row_slice(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+    def row_slice(self, row: int) -> tuple[IndexArray, FloatArray]:
         """``(column ids, values)`` views of one row."""
         start, end = self.indptr[row], self.indptr[row + 1]
         return self.indices[start:end], self.values[start:end]
 
     def window_mask(
         self, row0: int, row1: int, col0: int, col1: int
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[IndexArray, IndexArray, FloatArray]:
         """Entries inside a half-open window as ``(rows, cols, values)``,
         re-based to the window origin.
 
@@ -206,7 +214,7 @@ class CSRMatrix:
         out_rows = np.repeat(np.arange(row1 - row0, dtype=np.int64), lengths)
         return out_rows, self.indices[take] - col0, self.values[take]
 
-    def extract_window(self, row0: int, row1: int, col0: int, col1: int) -> "CSRMatrix":
+    def extract_window(self, row0: int, row1: int, col0: int, col1: int) -> CSRMatrix:
         """A standalone CSR matrix holding the windowed submatrix."""
         rows, cols, values = self.window_mask(row0, row1, col0, col1)
         return CSRMatrix.from_arrays_unsorted(
@@ -218,14 +226,14 @@ class CSRMatrix:
             sum_duplicates=False,
         )
 
-    def column_nnz(self) -> np.ndarray:
+    def column_nnz(self) -> IndexArray:
         """Non-zero count of every column (length ``cols``)."""
         counts = np.zeros(self.cols, dtype=np.int64)
         if self.nnz:
             np.add.at(counts, self.indices, 1)
         return counts
 
-    def diagonal(self) -> np.ndarray:
+    def diagonal(self) -> FloatArray:
         """The main diagonal as a dense vector (missing entries are 0)."""
         out = np.zeros(min(self.rows, self.cols), dtype=np.float64)
         for row in range(len(out)):
@@ -236,7 +244,7 @@ class CSRMatrix:
         return out
 
     # -- conversions / utilities ------------------------------------------------
-    def to_dense(self) -> np.ndarray:
+    def to_dense(self) -> FloatArray:
         """Materialize as a 2-D numpy array."""
         out = np.zeros(self.shape, dtype=np.float64)
         if self.nnz:
@@ -244,7 +252,7 @@ class CSRMatrix:
             out[rows, self.indices] = self.values
         return out
 
-    def transpose(self) -> "CSRMatrix":
+    def transpose(self) -> CSRMatrix:
         """The transposed matrix as a new CSR matrix."""
         if not self.nnz:
             return CSRMatrix.empty(self.cols, self.rows)
@@ -253,7 +261,7 @@ class CSRMatrix:
             self.cols, self.rows, self.indices, rows, self.values, sum_duplicates=False
         )
 
-    def scale(self, factor: float) -> "CSRMatrix":
+    def scale(self, factor: float) -> CSRMatrix:
         """A copy with all values multiplied by ``factor``."""
         return CSRMatrix(
             self.rows,
@@ -268,7 +276,7 @@ class CSRMatrix:
         return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
 
 
-def _segment_gather_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+def _segment_gather_indices(starts: IndexArray, lengths: IndexArray) -> IndexArray:
     """Flat gather indices for variable-length segments.
 
     Produces ``concat(arange(s, s + l) for s, l in zip(starts, lengths))``
@@ -281,7 +289,7 @@ def _segment_gather_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarr
     return np.arange(total, dtype=np.int64) + offsets
 
 
-def _exclusive_cumsum(values: np.ndarray) -> np.ndarray:
+def _exclusive_cumsum(values: IndexArray) -> IndexArray:
     out = np.empty(len(values), dtype=np.int64)
     out[0] = 0
     np.cumsum(values[:-1], out=out[1:])

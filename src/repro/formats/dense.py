@@ -11,7 +11,9 @@ zero-copy numpy view.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
+from .._types import FloatArray
 from ..config import S_DENSE
 from ..errors import FormatError, ShapeError
 
@@ -24,7 +26,9 @@ class DenseMatrix:
     # mutated in place, like every other derived statistic).
     __slots__ = ("array", "_structure_fp", "_nnz")
 
-    def __init__(self, array: np.ndarray, *, copy: bool = True) -> None:
+    array: FloatArray
+
+    def __init__(self, array: ArrayLike, *, copy: bool = True) -> None:
         array = np.array(array, dtype=np.float64, copy=copy)
         if array.ndim != 2:
             raise FormatError(f"expected a 2-D array, got ndim={array.ndim}")
@@ -35,7 +39,7 @@ class DenseMatrix:
         self.array = array
 
     @classmethod
-    def zeros(cls, rows: int, cols: int) -> "DenseMatrix":
+    def zeros(cls, rows: int, cols: int) -> DenseMatrix:
         """An all-zero matrix of the given shape."""
         if rows <= 0 or cols <= 0:
             raise ShapeError(f"dimensions must be positive, got ({rows}, {cols})")
@@ -73,7 +77,7 @@ class DenseMatrix:
         return self.rows * self.cols * S_DENSE
 
     # -- windows ---------------------------------------------------------------
-    def window_view(self, row0: int, row1: int, col0: int, col1: int) -> np.ndarray:
+    def window_view(self, row0: int, row1: int, col0: int, col1: int) -> FloatArray:
         """Zero-copy view of the half-open window (the ``lda`` trick)."""
         if not (0 <= row0 <= row1 <= self.rows and 0 <= col0 <= col1 <= self.cols):
             raise ShapeError(
@@ -81,16 +85,16 @@ class DenseMatrix:
             )
         return self.array[row0:row1, col0:col1]
 
-    def extract_window(self, row0: int, row1: int, col0: int, col1: int) -> "DenseMatrix":
+    def extract_window(self, row0: int, row1: int, col0: int, col1: int) -> DenseMatrix:
         """A standalone copy of the windowed submatrix."""
         return DenseMatrix(self.window_view(row0, row1, col0, col1))
 
     # -- utilities ---------------------------------------------------------------
-    def to_dense(self) -> np.ndarray:
+    def to_dense(self) -> FloatArray:
         """The backing array (owned copy)."""
         return self.array.copy()
 
-    def transpose(self) -> "DenseMatrix":
+    def transpose(self) -> DenseMatrix:
         """The transposed matrix (materialized row-major)."""
         return DenseMatrix(self.array.T)
 

@@ -62,7 +62,7 @@ class ELLMatrix:
 
     # -- constructors -------------------------------------------------------
     @classmethod
-    def from_csr(cls, matrix: CSRMatrix) -> "ELLMatrix":
+    def from_csr(cls, matrix: CSRMatrix) -> ELLMatrix:
         """Convert from CSR, padding to the maximum row width."""
         row_nnz = matrix.row_nnz()
         width = int(row_nnz.max()) if matrix.nnz else 0

@@ -32,7 +32,7 @@ def _require_scipy() -> Any:
     return sparse
 
 
-def from_scipy(matrix: "scipy.sparse.spmatrix") -> COOMatrix:
+def from_scipy(matrix: scipy.sparse.spmatrix) -> COOMatrix:
     """Convert any scipy.sparse matrix into a COO staging matrix."""
     _require_scipy()
     coo = matrix.tocoo()
@@ -45,7 +45,7 @@ def from_scipy(matrix: "scipy.sparse.spmatrix") -> COOMatrix:
     )
 
 
-def csr_from_scipy(matrix: "scipy.sparse.spmatrix") -> CSRMatrix:
+def csr_from_scipy(matrix: scipy.sparse.spmatrix) -> CSRMatrix:
     """Convert any scipy.sparse matrix into the library's CSR format."""
     sparse = _require_scipy()
     csr = sparse.csr_matrix(matrix)
@@ -60,7 +60,7 @@ def csr_from_scipy(matrix: "scipy.sparse.spmatrix") -> CSRMatrix:
     )
 
 
-def to_scipy_coo(matrix: COOMatrix) -> "scipy.sparse.coo_matrix":
+def to_scipy_coo(matrix: COOMatrix) -> scipy.sparse.coo_matrix:
     """Export a COO staging matrix as ``scipy.sparse.coo_matrix``."""
     sparse = _require_scipy()
     return sparse.coo_matrix(
@@ -68,7 +68,7 @@ def to_scipy_coo(matrix: COOMatrix) -> "scipy.sparse.coo_matrix":
     )
 
 
-def to_scipy_csr(matrix: CSRMatrix) -> "scipy.sparse.csr_matrix":
+def to_scipy_csr(matrix: CSRMatrix) -> scipy.sparse.csr_matrix:
     """Export the library's CSR format as ``scipy.sparse.csr_matrix``."""
     sparse = _require_scipy()
     return sparse.csr_matrix(

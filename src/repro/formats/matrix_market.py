@@ -144,7 +144,7 @@ def _write_stream(matrix: COOMatrix, stream: TextIO, comment: str) -> None:
         stream.write(f"% {line}\n")
     stream.write(f"{canonical.rows} {canonical.cols} {canonical.nnz}\n")
     for row, col, value in zip(
-        canonical.row_ids, canonical.col_ids, canonical.values
+        canonical.row_ids, canonical.col_ids, canonical.values, strict=True
     ):
         # repr of a Python float is the shortest exact decimal form.
         stream.write(f"{row + 1} {col + 1} {float(value)!r}\n")

@@ -14,7 +14,7 @@ Use :func:`load_matrix` to obtain the staged COO matrix for a key, and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from ..formats.coo import COOMatrix
 from .rmat import PAPER_RMAT_PARAMETERS, rmat_matrix
@@ -42,7 +42,14 @@ class SuiteEntry:
         return self.factory()
 
 
-def _entry(key, name, domain, n, description, factory) -> SuiteEntry:
+def _entry(
+    key: str,
+    name: str,
+    domain: str,
+    n: int,
+    description: str,
+    factory: Callable[[], COOMatrix],
+) -> SuiteEntry:
     return SuiteEntry(key, name, domain, n, description, factory)
 
 

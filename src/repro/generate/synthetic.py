@@ -89,7 +89,7 @@ def block_diagonal_matrix(
     offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
     rows_runs: list[np.ndarray] = []
     cols_runs: list[np.ndarray] = []
-    for offset, size in zip(offsets, sizes):
+    for offset, size in zip(offsets, sizes, strict=True):
         cells = int(size) * int(size)
         fill = min(cells, max(1, int(cells * block_fill)))
         keys = rng.choice(cells, size=fill, replace=False)

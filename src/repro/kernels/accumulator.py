@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._types import FloatArray, IndexArray
 from ..errors import ShapeError
 from ..formats.csr import CSRMatrix
 from ..formats.dense import DenseMatrix
@@ -38,14 +39,14 @@ class DenseAccumulator:
         #: Number of scalar writes performed (cost-model bookkeeping).
         self.writes = 0
 
-    def add_dense(self, row0: int, col0: int, block: np.ndarray) -> None:
+    def add_dense(self, row0: int, col0: int, block: FloatArray) -> None:
         """Add a dense product block at offset ``(row0, col0)``."""
         rows, cols = block.shape
         self.array[row0 : row0 + rows, col0 : col0 + cols] += block
         self.writes += block.size
 
     def add_triples(
-        self, row0: int, col0: int, rows: np.ndarray, cols: np.ndarray, values: np.ndarray
+        self, row0: int, col0: int, rows: IndexArray, cols: IndexArray, values: FloatArray
     ) -> None:
         """Scatter-add coordinate triples at offset ``(row0, col0)``.
 
@@ -78,18 +79,18 @@ class SparseAccumulator:
             raise ShapeError(f"accumulator dims must be positive, got ({rows}, {cols})")
         self.rows = rows
         self.cols = cols
-        self._row_runs: list[np.ndarray] = []
-        self._col_runs: list[np.ndarray] = []
-        self._val_runs: list[np.ndarray] = []
+        self._row_runs: list[IndexArray] = []
+        self._col_runs: list[IndexArray] = []
+        self._val_runs: list[FloatArray] = []
         self.writes = 0
 
-    def add_dense(self, row0: int, col0: int, block: np.ndarray) -> None:
+    def add_dense(self, row0: int, col0: int, block: FloatArray) -> None:
         """Add a dense product block (non-zeros extracted) at an offset."""
         nz_rows, nz_cols = np.nonzero(block)
         self.add_triples(row0, col0, nz_rows, nz_cols, block[nz_rows, nz_cols])
 
     def add_triples(
-        self, row0: int, col0: int, rows: np.ndarray, cols: np.ndarray, values: np.ndarray
+        self, row0: int, col0: int, rows: IndexArray, cols: IndexArray, values: FloatArray
     ) -> None:
         """Append coordinate triples at offset ``(row0, col0)``."""
         if len(values) == 0:

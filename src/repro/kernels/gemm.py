@@ -10,6 +10,8 @@ paper's Intel MKL call.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 from ..errors import ShapeError
 from ..formats.csr import CSRMatrix
 from ..formats.dense import DenseMatrix
@@ -19,7 +21,7 @@ from .registry import Operand, run_tile_product
 from .window import Window
 
 
-def _multiply(a: Operand, b: Operand, c_kind: StorageKind):
+def _multiply(a: Operand, b: Operand, c_kind: StorageKind) -> Operand:
     if a.cols != b.rows:
         raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
     out = make_accumulator(c_kind, a.rows, b.cols)
@@ -67,12 +69,12 @@ def ddd_gemm(a: DenseMatrix, b: DenseMatrix) -> DenseMatrix:
     return _multiply(a, b, StorageKind.DENSE)
 
 
-def multiply_plain(a: Operand, b: Operand, c_kind: StorageKind):
+def multiply_plain(a: Operand, b: Operand, c_kind: StorageKind) -> Operand:
     """Generic baseline multiply; operand kinds are dispatched internally."""
     return _multiply(a, b, c_kind)
 
 
-_BY_NAME = {
+_BY_NAME: dict[str, Callable[..., Operand]] = {
     "spspsp_gemm": spspsp_gemm,
     "spspd_gemm": spspd_gemm,
     "spdsp_gemm": spdsp_gemm,
@@ -84,7 +86,7 @@ _BY_NAME = {
 }
 
 
-def by_name(name: str):
+def by_name(name: str) -> Callable[..., Operand]:
     """Look up a baseline operator by its paper-style name."""
     try:
         return _BY_NAME[name]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._types import FloatArray, IndexArray
 from ..errors import ShapeError
 from ..formats.csr import CSRMatrix, _segment_gather_indices
 from ..formats.dense import DenseMatrix
@@ -24,7 +25,7 @@ from .window import Window
 #: Expansion buffer budget (elements) for chunked products.
 EXPANSION_CHUNK = 1 << 22
 
-Triples = tuple[np.ndarray, np.ndarray, np.ndarray]
+Triples = tuple[IndexArray, IndexArray, FloatArray]
 
 
 def _empty_triples() -> Triples:
@@ -41,7 +42,7 @@ def _check_inner(wa: Window, wb: Window) -> None:
 
 
 def compress_triples(
-    rows: np.ndarray, cols: np.ndarray, values: np.ndarray, ncols: int
+    rows: IndexArray, cols: IndexArray, values: FloatArray, ncols: int
 ) -> Triples:
     """Sort triples row-major and sum duplicates, dropping explicit zeros."""
     if not len(values):
@@ -64,7 +65,7 @@ def compress_triples(
 
 def _csr_row_ranges(
     matrix: CSRMatrix, window: Window
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[IndexArray, IndexArray]:
     """Per-row ``(lo, hi)`` index bounds of ``matrix`` inside ``window``.
 
     The column range is resolved with one vectorized binary search over
@@ -103,9 +104,9 @@ def spsp_triples(a: CSRMatrix, wa: Window, b: CSRMatrix, wb: Window) -> Triples:
     total = int(cumulative[-1]) if len(cumulative) else 0
     if not total:
         return _empty_triples()
-    row_runs: list[np.ndarray] = []
-    col_runs: list[np.ndarray] = []
-    val_runs: list[np.ndarray] = []
+    row_runs: list[IndexArray] = []
+    col_runs: list[IndexArray] = []
+    val_runs: list[FloatArray] = []
     start = 0
     while start < len(a_vals):
         base = cumulative[start - 1] if start else 0
@@ -141,7 +142,7 @@ def spsp_flops(a: CSRMatrix, wa: Window, b: CSRMatrix, wb: Window) -> int:
     return int((b_hi - b_lo)[a_cols].sum())
 
 
-def spsp_dense(a: CSRMatrix, wa: Window, b: CSRMatrix, wb: Window) -> np.ndarray:
+def spsp_dense(a: CSRMatrix, wa: Window, b: CSRMatrix, wb: Window) -> FloatArray:
     """Windowed CSR x CSR product materialized as a dense block."""
     rows, cols, values = spsp_triples(a, wa, b, wb)
     out = np.zeros((wa.rows, wb.cols), dtype=np.float64)
@@ -152,7 +153,7 @@ def spsp_dense(a: CSRMatrix, wa: Window, b: CSRMatrix, wb: Window) -> np.ndarray
 # ---------------------------------------------------------------------------
 # sparse x dense
 # ---------------------------------------------------------------------------
-def spd_dense(a: CSRMatrix, wa: Window, b: DenseMatrix, wb: Window) -> np.ndarray:
+def spd_dense(a: CSRMatrix, wa: Window, b: DenseMatrix, wb: Window) -> FloatArray:
     """Windowed CSR x dense product as a dense block.
 
     For every non-zero ``A[i,k]`` the dense row ``B[k,:]`` is scaled and
@@ -189,7 +190,7 @@ def spd_triples(a: CSRMatrix, wa: Window, b: DenseMatrix, wb: Window) -> Triples
 # ---------------------------------------------------------------------------
 # dense x sparse
 # ---------------------------------------------------------------------------
-def dsp_dense(a: DenseMatrix, wa: Window, b: CSRMatrix, wb: Window) -> np.ndarray:
+def dsp_dense(a: DenseMatrix, wa: Window, b: CSRMatrix, wb: Window) -> FloatArray:
     """Windowed dense x CSR product as a dense block.
 
     Every non-zero ``B[k,j]`` contributes ``A[:,k] * v`` to output column
@@ -227,7 +228,7 @@ def dsp_triples(a: DenseMatrix, wa: Window, b: CSRMatrix, wb: Window) -> Triples
 # ---------------------------------------------------------------------------
 # dense x dense
 # ---------------------------------------------------------------------------
-def dd_dense(a: DenseMatrix, wa: Window, b: DenseMatrix, wb: Window) -> np.ndarray:
+def dd_dense(a: DenseMatrix, wa: Window, b: DenseMatrix, wb: Window) -> FloatArray:
     """Windowed dense x dense product (delegates to BLAS via numpy)."""
     _check_inner(wa, wb)
     a_view = a.window_view(wa.row0, wa.row1, wa.col0, wa.col1)

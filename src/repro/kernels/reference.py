@@ -16,6 +16,7 @@ machinery stay unchanged.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from collections.abc import Iterator
 
 from ..formats.csr import CSRMatrix
 from ..kinds import StorageKind
@@ -36,9 +37,9 @@ def gustavson_spsp(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
     for i in range(a.rows):
         spa: dict[int, float] = {}
         a_cols, a_vals = a.row_slice(i)
-        for k, a_ik in zip(a_cols, a_vals):
+        for k, a_ik in zip(a_cols, a_vals, strict=True):
             b_cols, b_vals = b.row_slice(int(k))
-            for j, b_kj in zip(b_cols, b_vals):
+            for j, b_kj in zip(b_cols, b_vals, strict=True):
                 spa[int(j)] = spa.get(int(j), 0.0) + float(a_ik) * float(b_kj)
         for j in sorted(spa):
             value = spa[j]
@@ -82,7 +83,7 @@ reference_spsp_kernel = _reference_spsp_kernel
 
 
 @contextmanager
-def use_reference_kernels():
+def use_reference_kernels() -> Iterator[None]:
     """Swap the sparse-sparse kernels for the reference implementation.
 
     Restores the previous registrations on exit, even on error.  Only

@@ -52,27 +52,39 @@ def kind_of(operand: Operand) -> StorageKind:
     raise TypeError(f"not a kernel operand: {type(operand).__name__}")
 
 
-def _kernel_sp_sp(a, wa, b, wb, out, row0, col0):
+def _kernel_sp_sp(
+    a: Operand, wa: Window, b: Operand, wb: Window,
+    out: Accumulator, row0: int, col0: int,
+) -> None:
     # Both accumulator flavors take the compressed expansion as triples;
     # the write-cost asymmetry materializes in the accumulator itself.
     out.add_triples(row0, col0, *products.spsp_triples(a, wa, b, wb))
 
 
-def _kernel_sp_d(a, wa, b, wb, out, row0, col0):
+def _kernel_sp_d(
+    a: Operand, wa: Window, b: Operand, wb: Window,
+    out: Accumulator, row0: int, col0: int,
+) -> None:
     if isinstance(out, DenseAccumulator):
         out.add_dense(row0, col0, products.spd_dense(a, wa, b, wb))
     else:
         out.add_triples(row0, col0, *products.spd_triples(a, wa, b, wb))
 
 
-def _kernel_d_sp(a, wa, b, wb, out, row0, col0):
+def _kernel_d_sp(
+    a: Operand, wa: Window, b: Operand, wb: Window,
+    out: Accumulator, row0: int, col0: int,
+) -> None:
     if isinstance(out, DenseAccumulator):
         out.add_dense(row0, col0, products.dsp_dense(a, wa, b, wb))
     else:
         out.add_triples(row0, col0, *products.dsp_triples(a, wa, b, wb))
 
 
-def _kernel_d_d(a, wa, b, wb, out, row0, col0):
+def _kernel_d_d(
+    a: Operand, wa: Window, b: Operand, wb: Window,
+    out: Accumulator, row0: int, col0: int,
+) -> None:
     if isinstance(out, DenseAccumulator):
         out.add_dense(row0, col0, products.dd_dense(a, wa, b, wb))
     else:

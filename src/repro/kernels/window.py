@@ -50,7 +50,7 @@ class Window:
         if self.row1 > shape[0] or self.col1 > shape[1]:
             raise ShapeError(f"window {self} exceeds matrix shape {shape}")
 
-    def shifted(self, row_offset: int, col_offset: int) -> "Window":
+    def shifted(self, row_offset: int, col_offset: int) -> Window:
         """The same window translated by the given offsets."""
         return Window(
             self.row0 + row_offset,
@@ -60,12 +60,12 @@ class Window:
         )
 
     @staticmethod
-    def full(shape: tuple[int, int]) -> "Window":
+    def full(shape: tuple[int, int]) -> Window:
         """The window covering an entire matrix of the given shape."""
         return Window(0, shape[0], 0, shape[1])
 
     @staticmethod
-    def intersect(a: "Window", b: "Window") -> "Window":
+    def intersect(a: Window, b: Window) -> Window:
         """The (possibly empty) intersection of two windows."""
         row0 = max(a.row0, b.row0)
         col0 = max(a.col0, b.col0)

@@ -20,11 +20,21 @@ pool, and a contextvar would silently detach those workers.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 from .accuracy import CostAccuracyTracker
-from .metrics import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM, MetricsRegistry
-from .trace import NULL_SPAN, Tracer
+from .metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _NullInstrument,
+)
+from .trace import NULL_SPAN, Tracer, _NullSpan, _SpanContext
 
 
 class Observation:
@@ -101,8 +111,8 @@ def tracer_span(
     observation: Observation | None,
     name: str,
     category: str = "phase",
-    attrs: dict | None = None,
-):
+    attrs: dict[str, Any] | None = None,
+) -> _SpanContext | _NullSpan:
     """A span under ``observation``, or the shared no-op when ``None``.
 
     For call sites that already resolved the session once (the pair
@@ -113,7 +123,9 @@ def tracer_span(
     return observation.tracer.span(name, category, attrs)
 
 
-def maybe_span(name: str, category: str = "phase", attrs: dict | None = None):
+def maybe_span(
+    name: str, category: str = "phase", attrs: dict[str, Any] | None = None
+) -> _SpanContext | _NullSpan:
     """A span context under the active session, or the shared no-op."""
     obs = _ACTIVE
     if obs is None:
@@ -121,7 +133,7 @@ def maybe_span(name: str, category: str = "phase", attrs: dict | None = None):
     return obs.tracer.span(name, category, attrs)
 
 
-def counter(name: str):
+def counter(name: str) -> Counter | _NullInstrument:
     """The named counter of the active session, or the shared no-op."""
     obs = _ACTIVE
     if obs is None:
@@ -129,7 +141,7 @@ def counter(name: str):
     return obs.metrics.counter(name)
 
 
-def gauge(name: str):
+def gauge(name: str) -> Gauge | _NullInstrument:
     """The named gauge of the active session, or the shared no-op."""
     obs = _ACTIVE
     if obs is None:
@@ -137,7 +149,7 @@ def gauge(name: str):
     return obs.metrics.gauge(name)
 
 
-def histogram(name: str):
+def histogram(name: str) -> Histogram | _NullInstrument:
     """The named histogram of the active session, or the shared no-op."""
     obs = _ACTIVE
     if obs is None:

@@ -25,7 +25,8 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 
 class _NullSpan:
@@ -38,7 +39,7 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self) -> "_NullSpan":
+    def __enter__(self) -> _NullSpan:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -101,7 +102,7 @@ class _SpanContext:
 
     __slots__ = ("_tracer", "_span")
 
-    def __init__(self, tracer: "Tracer", span: Span) -> None:
+    def __init__(self, tracer: Tracer, span: Span) -> None:
         self._tracer = tracer
         self._span = span
 

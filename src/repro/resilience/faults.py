@@ -42,7 +42,8 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 from ..errors import ConfigError, MemoryLimitError, TaskFailedError
 

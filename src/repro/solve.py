@@ -30,7 +30,8 @@ Provided methods:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -59,7 +60,7 @@ class SolveResult:
     residual_norm: float
     converged: bool
 
-    def raise_if_failed(self) -> "SolveResult":
+    def raise_if_failed(self) -> SolveResult:
         if not self.converged:
             raise ConvergenceError(
                 f"no convergence after {self.iterations} iterations "
@@ -79,7 +80,7 @@ def _check_system(matrix: MatrixOperand, rhs: np.ndarray) -> np.ndarray:
 
 def _matvec_driver(
     matrix: MatrixOperand,
-    session: "Session | None",
+    session: Session | None,
     options: MultiplyOptions | None,
 ) -> tuple["ATMatrix", Callable[[np.ndarray], np.ndarray]]:
     """Hoisted operand wrapping plus the per-iteration product kernel.
@@ -118,7 +119,7 @@ def richardson(
     tolerance: float = 1e-8,
     max_iterations: int = 1000,
     x0: np.ndarray | None = None,
-    session: "Session | None" = None,
+    session: Session | None = None,
     options: MultiplyOptions | None = None,
 ) -> SolveResult:
     """Damped Richardson iteration ``x += omega * (b - A x)``."""
@@ -143,7 +144,7 @@ def jacobi(
     tolerance: float = 1e-10,
     max_iterations: int = 1000,
     x0: np.ndarray | None = None,
-    session: "Session | None" = None,
+    session: Session | None = None,
     options: MultiplyOptions | None = None,
 ) -> SolveResult:
     """Jacobi iteration ``x = D^-1 (b - (A - D) x)``.
@@ -176,7 +177,7 @@ def conjugate_gradient(
     tolerance: float = 1e-10,
     max_iterations: int | None = None,
     x0: np.ndarray | None = None,
-    session: "Session | None" = None,
+    session: Session | None = None,
     options: MultiplyOptions | None = None,
 ) -> SolveResult:
     """Conjugate gradients for symmetric positive definite systems."""

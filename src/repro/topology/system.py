@@ -10,6 +10,7 @@ and hyperthreading — is available as :func:`SystemTopology.paper_machine`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..config import SystemConfig
 from ..errors import ConfigError
@@ -71,14 +72,14 @@ class SystemTopology:
         """NUMA memory nodes (one per socket)."""
         return self.sockets
 
-    def system_config(self, **overrides) -> SystemConfig:
+    def system_config(self, **overrides: Any) -> SystemConfig:
         """Derive the tiling :class:`SystemConfig` from this topology."""
-        params = {"llc_bytes": self.llc_bytes}
+        params: dict[str, Any] = {"llc_bytes": self.llc_bytes}
         params.update(overrides)
         return SystemConfig(**params)
 
     @classmethod
-    def paper_machine(cls) -> "SystemTopology":
+    def paper_machine(cls) -> SystemTopology:
         """The paper's four-socket Intel E7-4870 evaluation system."""
         return cls(
             sockets=4,
@@ -90,6 +91,6 @@ class SystemTopology:
         )
 
     @classmethod
-    def scaled_default(cls, sockets: int = 2) -> "SystemTopology":
+    def scaled_default(cls, sockets: int = 2) -> SystemTopology:
         """A small simulated machine matched to the scaled benchmarks."""
         return cls(sockets=sockets, cores_per_socket=4, llc_bytes=384 * 1024)

@@ -71,7 +71,7 @@ class TestScale:
         at = build(a)
         scaled = scale(at, -1.0)
         assert len(scaled.tiles) == len(at.tiles)
-        for original, result in zip(at.tiles, scaled.tiles):
+        for original, result in zip(at.tiles, scaled.tiles, strict=True):
             assert result.extent == original.extent
             assert result.kind is original.kind
 

@@ -151,7 +151,7 @@ class TestSubmatrix:
         sub = at.submatrix(0, at.rows, 0, at.cols)
         np.testing.assert_allclose(sub.to_dense(), array)
         shared = sum(
-            1 for a, b in zip(at.tiles, sub.tiles) if a.data is b.data
+            1 for a, b in zip(at.tiles, sub.tiles, strict=True) if a.data is b.data
         )
         assert shared == len(at.tiles)
 

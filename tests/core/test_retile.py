@@ -31,7 +31,7 @@ class TestSplitTiles:
         array = heterogeneous_array(rng, 64, 64)
         at = build_at_matrix(COOMatrix.from_dense(array), CONFIG)
         split = split_tiles_at_cols(at, [0, 64])  # boundary cuts only
-        assert all(a is b for a, b in zip(at.tiles, split.tiles))
+        assert all(a is b for a, b in zip(at.tiles, split.tiles, strict=True))
 
     def test_empty_slices_dropped(self, rng):
         # A sparse tile whose nonzeros sit left of the cut: the right

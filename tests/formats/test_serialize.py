@@ -40,7 +40,7 @@ class TestRoundTrip:
         save_at_matrix(at, path)
         loaded = load_at_matrix(path)
         assert len(loaded.tiles) == len(at.tiles)
-        for original, restored in zip(at.tiles, loaded.tiles):
+        for original, restored in zip(at.tiles, loaded.tiles, strict=True):
             assert restored.extent == original.extent
             assert restored.kind is original.kind
             assert restored.numa_node == original.numa_node

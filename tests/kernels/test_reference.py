@@ -81,9 +81,8 @@ class TestPlugIn:
         from repro.kinds import StorageKind
 
         before = get_kernel(StorageKind.SPARSE, StorageKind.SPARSE, StorageKind.SPARSE)
-        with pytest.raises(RuntimeError):
-            with use_reference_kernels():
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), use_reference_kernels():
+            raise RuntimeError("boom")
         assert (
             get_kernel(StorageKind.SPARSE, StorageKind.SPARSE, StorageKind.SPARSE)
             is before

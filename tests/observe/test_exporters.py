@@ -54,7 +54,7 @@ class TestChromeTraceRoundTrip:
         parsed = spans_from_chrome_trace(to_chrome_trace(obs))
         original = sorted(obs.tracer.spans(), key=lambda s: s.span_id)
         assert len(parsed) == len(original)
-        for before, after in zip(original, parsed):
+        for before, after in zip(original, parsed, strict=True):
             assert after.span_id == before.span_id
             assert after.name == before.name
             assert after.parent_id == before.parent_id
@@ -85,7 +85,7 @@ class TestChromeTraceRoundTrip:
     def test_timestamps_are_microseconds(self, traced_parallel_run):
         obs, _, _, _ = traced_parallel_run
         document = to_chrome_trace(obs)
-        for event, span in zip(document["traceEvents"], obs.tracer.spans()):
+        for event, span in zip(document["traceEvents"], obs.tracer.spans(), strict=True):
             assert event["ts"] == pytest.approx(span.start * 1e6)
             assert event["dur"] == pytest.approx(span.duration * 1e6)
             break

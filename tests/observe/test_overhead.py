@@ -41,9 +41,8 @@ class TestNullSingletons:
             assert observe_session.histogram("h") is NULL_HISTOGRAM
 
     def test_null_span_context_is_reentrant(self):
-        with NULL_SPAN:
-            with NULL_SPAN:
-                NULL_SPAN.annotate("k", "v")
+        with NULL_SPAN, NULL_SPAN:
+            NULL_SPAN.annotate("k", "v")
 
 
 class TestDisabledKernelDispatch:
@@ -68,9 +67,8 @@ class TestDisabledKernelDispatch:
             raise AssertionError("reached")
 
         monkeypatch.setattr(registry, "kernel_name", _fail)
-        with observe():
-            with pytest.raises(AssertionError, match="reached"):
-                _run_one_kernel()
+        with observe(), pytest.raises(AssertionError, match="reached"):
+            _run_one_kernel()
 
     def test_disabled_dispatch_records_nothing(self):
         assert observe_session.current() is None

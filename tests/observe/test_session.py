@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 import threading
 
 from repro import COOMatrix, atmult, build_at_matrix, observe
@@ -29,11 +30,8 @@ class TestActivation:
         assert current() is None
 
     def test_restores_on_exception(self):
-        try:
-            with observe():
-                raise RuntimeError("boom")
-        except RuntimeError:
-            pass
+        with contextlib.suppress(RuntimeError), observe():
+            raise RuntimeError("boom")
         assert current() is None
 
     def test_resolve_with_explicit_observer_activates_it(self):
@@ -44,9 +42,8 @@ class TestActivation:
         assert current() is None
 
     def test_resolve_without_observer_yields_ambient(self):
-        with observe() as ambient:
-            with observe_session.resolve(None) as obs:
-                assert obs is ambient
+        with observe() as ambient, observe_session.resolve(None) as obs:
+            assert obs is ambient
         with observe_session.resolve(None) as obs:
             assert obs is None
 

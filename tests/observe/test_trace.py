@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 import threading
 
 from repro.observe import NULL_SPAN, Tracer
@@ -12,10 +13,8 @@ from repro.observe.trace import _NullSpan
 class TestSpanNesting:
     def test_nested_spans_link_parent_ids(self):
         tracer = Tracer()
-        with tracer.span("outer"):
-            with tracer.span("middle"):
-                with tracer.span("inner"):
-                    pass
+        with tracer.span("outer"), tracer.span("middle"), tracer.span("inner"):
+            pass
         spans = {span.name: span for span in tracer.spans()}
         assert spans["outer"].parent_id is None
         assert spans["middle"].parent_id == spans["outer"].span_id
@@ -63,11 +62,8 @@ class TestSpanNesting:
 
     def test_exception_still_closes_span(self):
         tracer = Tracer()
-        try:
-            with tracer.span("fails"):
-                raise ValueError("boom")
-        except ValueError:
-            pass
+        with contextlib.suppress(ValueError), tracer.span("fails"):
+            raise ValueError("boom")
         (span,) = tracer.spans()
         assert span.end is not None
 

@@ -79,9 +79,12 @@ class TestFaultPlan:
 
     def test_events_recorded_with_context(self):
         plan = FaultPlan(3, kernel_error_rate=1.0)
-        with inject_faults(plan), task_scope((2, 5), 4):
-            with pytest.raises(InjectedFaultError) as excinfo:
-                fire_hooks("kernel", "extra")
+        with (
+            inject_faults(plan),
+            task_scope((2, 5), 4),
+            pytest.raises(InjectedFaultError) as excinfo,
+        ):
+            fire_hooks("kernel", "extra")
         assert excinfo.value.pair == (2, 5)
         event = plan.events[0]
         assert event.task == (2, 5)
@@ -120,9 +123,8 @@ class TestActivation:
         assert active_plan() is None
 
     def test_restores_on_error(self):
-        with pytest.raises(RuntimeError):
-            with inject_faults(FaultPlan(0)):
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), inject_faults(FaultPlan(0)):
+            raise RuntimeError("boom")
         assert active_plan() is None
 
     def test_suppress_faults(self):

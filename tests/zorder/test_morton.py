@@ -51,7 +51,7 @@ class TestVectorized:
     def test_matches_scalar(self):
         rows = np.array([0, 3, 17, 100])
         cols = np.array([5, 0, 9, 63])
-        expected = [morton_encode_scalar(int(r), int(c)) for r, c in zip(rows, cols)]
+        expected = [morton_encode_scalar(int(r), int(c)) for r, c in zip(rows, cols, strict=True)]
         assert morton_encode(rows, cols).tolist() == expected
 
     def test_decode_vectorized(self):
