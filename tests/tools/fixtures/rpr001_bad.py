@@ -1,0 +1,27 @@
+"""RPR001 fixture: a registry missing the dense x dense combinations."""
+
+from enum import Enum
+
+
+class StorageKind(Enum):
+    SPARSE = "sparse"
+    DENSE = "dense"
+
+
+_KERNELS = {}
+
+
+def register_kernel(a_kind, b_kind, c_kind, kernel):
+    _KERNELS[(a_kind, b_kind, c_kind)] = kernel
+
+
+def _kernel(a, wa, b, wb, out, row0, col0):
+    pass
+
+
+def _install_builtins():
+    for c_kind in StorageKind:
+        register_kernel(StorageKind.SPARSE, StorageKind.SPARSE, c_kind, _kernel)
+        register_kernel(StorageKind.SPARSE, StorageKind.DENSE, c_kind, _kernel)
+        register_kernel(StorageKind.DENSE, StorageKind.SPARSE, c_kind, _kernel)
+    # dense x dense deliberately left unregistered

@@ -1,0 +1,15 @@
+"""RPR002 fixture: five distinct determinism violations."""
+
+import random
+import time
+
+import numpy as np
+
+
+def build(tiles):
+    stamp = time.time()
+    jitter = random.random()
+    noise = np.random.rand(4)
+    anchors = {id(tile): i for i, tile in enumerate(tiles)}
+    order = [row for row in {tile.row0 for tile in tiles}]
+    return stamp, jitter, noise, anchors, order

@@ -1,0 +1,11 @@
+"""RPR002 fixture: planning code that stays deterministic."""
+
+import numpy as np
+
+
+def build(tiles, seed):
+    rng = np.random.default_rng(seed)
+    anchors = {(tile.row0, tile.col0): i for i, tile in enumerate(tiles)}
+    order = sorted({tile.row0 for tile in tiles})
+    sample = rng.random(4)
+    return anchors, order, sample

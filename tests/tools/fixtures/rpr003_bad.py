@@ -1,0 +1,21 @@
+"""RPR003 fixture: a lock-owning class mutating state outside the lock."""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._entries = {}
+        self._hits = 0
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        self._hits += 1
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key, value):
+        self._entries[key] = value
+
+    def note(self, items):
+        self._entries.update(items)

@@ -1,0 +1,22 @@
+"""RPR003 fixture: every mutation of shared state is under the lock."""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._entries = {}
+        self._hits = 0
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        with self._lock:
+            self._hits += 1
+            return self._entries.get(key)
+
+    def put(self, key, value):
+        with self._lock:
+            self._store_locked(key, value)
+
+    def _store_locked(self, key, value):
+        self._entries[key] = value

@@ -1,0 +1,7 @@
+"""RPR004 fixture: internal call sites using the deprecated keywords."""
+
+
+def run(a, b, atmult, multiply_chain):
+    result, _ = atmult(a, b, memory_limit_bytes=1e9)
+    chained = multiply_chain([a, b], use_estimation=False)
+    return result, chained

@@ -1,0 +1,6 @@
+"""RPR004 fixture: internal call sites route through MultiplyOptions."""
+
+
+def run(a, b, atmult, MultiplyOptions):
+    options = MultiplyOptions(memory_limit_bytes=1e9, use_estimation=False)
+    return atmult(a, b, options=options)

@@ -1,0 +1,8 @@
+"""RPR005 fixture: a public pair loop with no span anywhere."""
+
+
+def execute_pairs(pairs):
+    results = []
+    for pair in pairs:
+        results.append(pair)
+    return results

@@ -1,0 +1,9 @@
+"""RPR005 fixture: the public pair loop is covered by a span."""
+
+
+def execute_pairs(pairs, observation, tracer_span):
+    results = []
+    with tracer_span(observation, "pair_loop"):
+        for pair in pairs:
+            results.append(pair)
+    return results

@@ -1,0 +1,9 @@
+"""RPR006 fixture: missing parameter and return annotations."""
+
+
+def scale(value, factor=2.0) -> float:
+    return value * factor
+
+
+def shift(value: float, offset: float):
+    return value + offset

@@ -1,0 +1,13 @@
+"""RPR006 fixture: fully annotated functions."""
+
+
+def scale(value: float, factor: float = 2.0) -> float:
+    return value * factor
+
+
+class Box:
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def get(self) -> float:
+        return self.value
