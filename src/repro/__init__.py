@@ -26,6 +26,7 @@ from .kinds import StorageKind, kernel_name
 from .errors import (
     ConfigError,
     FormatError,
+    IntegrityError,
     MemoryLimitError,
     ParseError,
     PartitionError,
@@ -36,13 +37,6 @@ from .errors import (
     SchedulerError,
     ShapeError,
     TaskFailedError,
-)
-from .resilience import (
-    FailureReport,
-    FaultKind,
-    FaultPlan,
-    RetryPolicy,
-    inject_faults,
 )
 from .observe import (
     CostAccuracyTracker,
@@ -94,6 +88,21 @@ from .core import (
     fixed_grid_at_matrix,
     multiply,
 )
+
+# After .core: the resilience package's checkpoint/integrity modules
+# reach back into repro.core / repro.formats at import time.
+from .resilience import (
+    CheckpointStore,
+    FailureReport,
+    FaultKind,
+    FaultPlan,
+    IntegrityViolation,
+    RetryPolicy,
+    check_integrity,
+    inject_faults,
+    verify_archive,
+    verify_at_matrix,
+)
 from .engine import (
     ExecutionPlan,
     MultiplyOptions,
@@ -138,11 +147,17 @@ __all__ = [
     "TaskFailedError",
     "RetryExhaustedError",
     "ResultCorruptionError",
+    "IntegrityError",
+    "CheckpointStore",
     "FailureReport",
     "FaultKind",
     "FaultPlan",
+    "IntegrityViolation",
     "RetryPolicy",
+    "check_integrity",
     "inject_faults",
+    "verify_archive",
+    "verify_at_matrix",
     "COOMatrix",
     "CSRMatrix",
     "DenseMatrix",

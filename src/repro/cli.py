@@ -5,6 +5,8 @@ Usage (also via ``python -m repro``):
     repro info matrix.mtx
     repro partition matrix.mtx --llc-kib 384
     repro multiply a.mtx b.mtx -o c.mtx --memory-limit-mb 64
+    repro multiply a.mtx b.mtx --checkpoint-dir ckpt/ --resume
+    repro verify matrix.npz
     repro generate R3 -o r3.mtx
     repro calibrate
 """
@@ -70,6 +72,11 @@ def _validate_args(args: argparse.Namespace) -> None:
     tolerance = getattr(args, "tolerance", None)
     if tolerance is not None:
         validate_positive(tolerance, "--tolerance")
+    flush = getattr(args, "checkpoint_flush", None)
+    if flush is not None and flush < 1:
+        raise ConfigError(f"--checkpoint-flush must be >= 1, got {flush}")
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
+        raise ConfigError("--resume requires --checkpoint-dir")
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -171,8 +178,17 @@ def cmd_multiply(args: argparse.Namespace) -> int:
         context = inject_faults(plan) if plan is not None else nullcontext()
         from .engine import MultiplyOptions
 
+        checkpoint = None
+        if args.checkpoint_dir:
+            from .resilience.checkpoint import CheckpointStore
+
+            checkpoint = CheckpointStore(args.checkpoint_dir, resume=args.resume)
         options = MultiplyOptions(
-            config=config, memory_limit_bytes=limit, resilience=policy
+            config=config,
+            memory_limit_bytes=limit,
+            resilience=policy,
+            checkpoint=checkpoint,
+            checkpoint_flush_pairs=args.checkpoint_flush,
         )
         start = time.perf_counter()
         with context:
@@ -188,6 +204,10 @@ def cmd_multiply(args: argparse.Namespace) -> int:
     if policy is not None:
         injected = f", {plan.injected} faults injected" if plan is not None else ""
         print(f"  resilience: {report.failure.summary()}{injected}")
+    if checkpoint is not None:
+        print(f"  checkpoint: {report.failure.pairs_resumed} pairs resumed, "
+              f"{report.pairs_executed} executed, "
+              f"{report.checkpoint_flushes} flushes -> {args.checkpoint_dir}")
     if observer is not None:
         if args.trace_out:
             write_chrome_trace(observer, args.trace_out)
@@ -200,6 +220,40 @@ def cmd_multiply(args: argparse.Namespace) -> int:
         write_matrix_market(result.to_coo(), args.output,
                             comment="produced by repro ATMULT")
         print(f"  written to {args.output}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Deep integrity verification of persisted matrices (exit 4 on damage)."""
+    from pathlib import Path
+
+    from .errors import ParseError
+    from .resilience.integrity import verify_archive
+
+    total = 0
+    for target in args.targets:
+        if not Path(target).exists():
+            raise FileNotFoundError(f"no such file: {target}")
+        if target.endswith(".mtx"):
+            try:
+                matrix = read_matrix_market(target).sum_duplicates()
+            except ParseError as error:
+                print(f"{target}: parse-error: {error}")
+                total += 1
+                continue
+            print(f"{target}: OK ({matrix.rows} x {matrix.cols}, "
+                  f"nnz={matrix.nnz})")
+            continue
+        violations = verify_archive(target)
+        if violations:
+            for violation in violations:
+                print(f"{target}: {violation.render()}")
+            total += len(violations)
+        else:
+            print(f"{target}: OK")
+    if total:
+        print(f"{total} integrity violation(s) found", file=sys.stderr)
+        return 4
     return 0
 
 
@@ -327,8 +381,25 @@ def build_parser() -> argparse.ArgumentParser:
     multiply.add_argument("--metrics-out", default=None, metavar="FILE",
                           help="write the full observation (metrics, spans, "
                                "cost-model accuracy) as JSON")
+    multiply.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                          help="journal each completed tile-pair to DIR so an "
+                               "interrupted run can be resumed")
+    multiply.add_argument("--resume", action="store_true",
+                          help="restore completed pairs from --checkpoint-dir "
+                               "and execute only the unfinished ones")
+    multiply.add_argument("--checkpoint-flush", type=int, default=1, metavar="N",
+                          help="flush the checkpoint journal every N completed "
+                               "pairs (default 1: after every pair)")
     _add_config_arguments(multiply)
     multiply.set_defaults(handler=cmd_multiply)
+
+    verify = commands.add_parser(
+        "verify", help="deep integrity check of .npz archives / .mtx files"
+    )
+    verify.add_argument("targets", nargs="+", metavar="FILE",
+                        help=".npz AT Matrix archives (checksums + structural "
+                             "invariants) or .mtx files (parseability)")
+    verify.set_defaults(handler=cmd_verify)
 
     advise = commands.add_parser(
         "advise", help="recommend storage/strategy for a matrix"
@@ -373,6 +444,16 @@ def main(argv: list[str] | None = None) -> int:
     try:
         _validate_args(args)
         return args.handler(args)
+    except KeyboardInterrupt:
+        checkpoint_dir = getattr(args, "checkpoint_dir", None)
+        hint = (
+            f"; flushed pairs are preserved in {checkpoint_dir} "
+            "(rerun with --resume)"
+            if checkpoint_dir
+            else ""
+        )
+        print(f"interrupted{hint}", file=sys.stderr)
+        return 130
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

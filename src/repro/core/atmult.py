@@ -164,6 +164,8 @@ def atmult(
             resilience=opts.resilience,
             obs=obs,
             check_fingerprints=False,  # resolve_plan keyed/built on these operands
+            checkpoint=opts.checkpoint,
+            checkpoint_flush_pairs=opts.checkpoint_flush_pairs,
         )
         assert isinstance(report, MultiplyReport)
         if fresh:

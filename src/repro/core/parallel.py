@@ -130,6 +130,8 @@ def parallel_atmult(
             parallel=True,
             workers=worker_count,
             check_fingerprints=False,  # resolve_plan keyed/built on these operands
+            checkpoint=opts.checkpoint,
+            checkpoint_flush_pairs=opts.checkpoint_flush_pairs,
         )
         assert isinstance(report, ParallelReport)
         if fresh:

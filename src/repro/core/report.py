@@ -49,6 +49,10 @@ class BaseReport:
     kernel_counts: dict[str, int] = field(default_factory=dict)
     #: just-in-time tile representation conversions performed
     conversions: int = 0
+    #: pairs actually executed this run (excludes checkpoint-resumed pairs)
+    pairs_executed: int = 0
+    #: checkpoint journal flushes performed during the run
+    checkpoint_flushes: int = 0
     #: structured resilience accounting (always present; empty on clean runs)
     failure: FailureReport = field(default_factory=FailureReport)
     #: the observation session the run recorded into (``None`` untraced)
@@ -87,6 +91,9 @@ class BaseReport:
             "total_seconds": self.total_seconds,
             "kernel_counts": dict(self.kernel_counts),
             "conversions": self.conversions,
+            "pairs_executed": self.pairs_executed,
+            "pairs_resumed": self.failure.pairs_resumed,
+            "checkpoint_flushes": self.checkpoint_flushes,
             "failure": self.failure.summary(),
             "observed": self.observation is not None,
         }

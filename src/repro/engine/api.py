@@ -154,6 +154,8 @@ def execute(
             resilience=opts.resilience,
             obs=obs,
             check_fingerprints=True,
+            checkpoint=opts.checkpoint,
+            checkpoint_flush_pairs=opts.checkpoint_flush_pairs,
         )
     assert isinstance(report, MultiplyReport)
     return result, report

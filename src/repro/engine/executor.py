@@ -48,6 +48,7 @@ from ..kernels.registry import run_tile_product
 from ..kinds import StorageKind, kernel_name
 from ..observe import Observation
 from ..observe import session as observe_session
+from ..resilience.checkpoint import CheckpointStore
 from ..resilience.degrade import DegradationState
 from ..resilience.faults import fire_hooks, task_scope
 from ..resilience.guard import reference_tile_product, validate_tile
@@ -148,6 +149,8 @@ def execute_plan(
     parallel: bool = False,
     workers: int = 1,
     check_fingerprints: bool = True,
+    checkpoint: CheckpointStore | None = None,
+    checkpoint_flush_pairs: int = 1,
 ) -> tuple[ATMatrix, MultiplyReport | ParallelReport]:
     """Execute a plan against operands of matching topology.
 
@@ -156,11 +159,20 @@ def execute_plan(
     thread pool (one per simulated socket) and returns a
     :class:`ParallelReport`.  ``at_c`` seeding is sequential-only, as
     before the redesign.
+
+    With a ``checkpoint`` store, pairs already present in its journal
+    are restored instead of re-executed (counted as
+    ``failure.pairs_resumed``), and every completed pair is journaled —
+    durably flushed after each ``checkpoint_flush_pairs`` completions —
+    so a killed process resumes from the last flush.
     """
     if check_fingerprints:
         check_plan_applies(plan, at_a, at_b)
     if parallel and at_c is not None:
         raise PlanMismatchError("C seeding is not supported in parallel execution")
+    completed: dict[tuple[int, int], Tile | None] = (
+        checkpoint.begin(plan) if checkpoint is not None else {}
+    )
 
     if parallel:
         report: MultiplyReport | ParallelReport = ParallelReport(
@@ -376,11 +388,35 @@ def execute_plan(
         )
 
     result_tiles: list[Tile] = []
+
+    def resume_pair(pair: PlannedPair) -> None:
+        """Adopt a journaled result tile instead of re-executing the pair."""
+        tile = completed[(pair.ti, pair.tj)]
+        report.failure.pairs_resumed += 1
+        if tile is not None:
+            result_tiles.append(tile)
+            if degradation is not None:
+                degradation.note_completed(
+                    pair.r0, pair.r1, pair.c0, pair.c1, tile.memory_bytes()
+                )
+
+    def journal_pair(pair: PlannedPair, tile: Tile | None) -> None:
+        assert checkpoint is not None
+        checkpoint.record((pair.ti, pair.tj), tile)
+        if checkpoint.pending() >= checkpoint_flush_pairs:
+            checkpoint.flush()
+
     if parallel:
         assert isinstance(report, ParallelReport)
         report.pairs = len(plan.pairs)
+        pending_pairs = [
+            pair for pair in plan.pairs if (pair.ti, pair.tj) not in completed
+        ]
+        for pair in plan.pairs:
+            if (pair.ti, pair.tj) in completed:
+                resume_pair(pair)
         if runner is None:
-            report.failure.attempts = len(plan.pairs)
+            report.failure.attempts = len(pending_pairs)
 
         def run_pair_captured(pair: PlannedPair) -> Tile | None:
             try:
@@ -391,11 +427,14 @@ def execute_plan(
                 return None
             with busy_lock:
                 report.products += outcome.stats.products
+                report.pairs_executed += 1
             if degradation is not None and outcome.tile is not None:
                 degradation.note_completed(
                     pair.r0, pair.r1, pair.c0, pair.c1,
                     outcome.tile.memory_bytes(),
                 )
+            if checkpoint is not None:
+                journal_pair(pair, outcome.tile)
             return outcome.tile
 
         start = time.perf_counter()
@@ -404,13 +443,16 @@ def execute_plan(
         ), ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="team"
         ) as pool:
-            result_tiles = [
+            result_tiles.extend(
                 tile
-                for tile in pool.map(run_pair_captured, plan.pairs)
+                for tile in pool.map(run_pair_captured, pending_pairs)
                 if tile is not None
-            ]
+            )
         report.wall_seconds = time.perf_counter() - start
         report.conversions = conversions.conversions
+        if checkpoint is not None:
+            checkpoint.flush()
+            report.checkpoint_flushes = checkpoint.flushes
         if report.failure.pair_errors:
             raise TaskFailedError(
                 aggregate_message(report.failure.pair_errors, len(plan.pairs)),
@@ -420,12 +462,16 @@ def execute_plan(
     else:
         assert isinstance(report, MultiplyReport)
         for pair in plan.pairs:
+            if (pair.ti, pair.tj) in completed:
+                resume_pair(pair)
+                continue
             outcome = run_pair(pair)
             stats = outcome.stats
             report.optimize_seconds += stats.optimize_seconds
             report.multiply_seconds += stats.multiply_seconds
             report.merge_kernel_counts(stats.kernel_counts)
             report.tasks.extend(stats.tasks)
+            report.pairs_executed += 1
             if outcome.tile is not None:
                 result_tiles.append(outcome.tile)
                 if degradation is not None:
@@ -433,7 +479,12 @@ def execute_plan(
                         pair.r0, pair.r1, pair.c0, pair.c1,
                         outcome.tile.memory_bytes(),
                     )
+            if checkpoint is not None:
+                journal_pair(pair, outcome.tile)
         report.conversions = conversions.conversions
+        if checkpoint is not None:
+            checkpoint.flush()
+            report.checkpoint_flushes = checkpoint.flushes
 
     result = ATMatrix(plan.shape[0], plan.shape[1], config, result_tiles)
 

@@ -29,6 +29,7 @@ from ..observe import Observation
 from ..resilience.retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.checkpoint import CheckpointStore
     from .cache import PlanCache
 
 
@@ -83,6 +84,15 @@ class MultiplyOptions:
         A :class:`~repro.engine.cache.PlanCache`; when set, planning is
         skipped whenever a cached :class:`~repro.engine.plan.ExecutionPlan`
         matches the operand topologies and this configuration.
+    checkpoint:
+        A :class:`~repro.resilience.checkpoint.CheckpointStore`; when
+        set, every completed tile-pair is journaled to its spill
+        directory and pairs already present in the journal are restored
+        instead of re-executed (crash-safe resume).
+    checkpoint_flush_pairs:
+        Flush the checkpoint journal after this many completed pairs
+        (default 1: flush every pair — maximally durable).  Larger
+        values trade recovery granularity for fewer fsyncs.
     """
 
     config: SystemConfig | None = None
@@ -94,6 +104,8 @@ class MultiplyOptions:
     observer: Observation | None = None
     workers: int | None = None
     plan_cache: PlanCache | None = field(default=None, compare=False)
+    checkpoint: CheckpointStore | None = field(default=None, compare=False)
+    checkpoint_flush_pairs: int = 1
 
     def replace(self, **changes: Any) -> MultiplyOptions:
         """A copy with the given fields replaced."""

@@ -22,6 +22,7 @@ doing half.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 
@@ -118,6 +119,21 @@ class ExecutionPlan:
     @property
     def num_products(self) -> int:
         return sum(len(pair.products) for pair in self.pairs)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity of this plan across processes.
+
+        Digest of both operand structure fingerprints and the setup
+        key — exactly the inputs replay validation checks — so a
+        checkpoint journal written under one plan is recognized by any
+        later process that rebuilds the same plan.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for part in (self.a_fingerprint, self.b_fingerprint, self.setup_key):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
 
     def memory_bytes(self) -> int:
         """Approximate in-memory footprint (plan-cache byte accounting)."""

@@ -17,7 +17,8 @@ Hierarchy::
     ├── SchedulerError        (RuntimeError) simulated scheduler invalid state
     ├── TaskFailedError       (RuntimeError) tile-product task(s) failed
     │   └── RetryExhaustedError              one task failed every allowed attempt
-    └── ResultCorruptionError (RuntimeError) a finished tile failed validation
+    ├── ResultCorruptionError (RuntimeError) a finished tile failed validation
+    └── IntegrityError        (RuntimeError) at-rest data failed verification
 
 The task-execution errors carry structured context for the resilience
 layer (:mod:`repro.resilience`): :class:`TaskFailedError` aggregates
@@ -29,7 +30,7 @@ was rejected by the result guard.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .core.report import BaseReport
@@ -163,3 +164,27 @@ class ResultCorruptionError(ReproError, RuntimeError):
         super().__init__(message)
         self.pair = pair
         self.reason = reason
+
+
+class IntegrityError(ReproError, RuntimeError):
+    """Persisted or in-memory matrix data failed integrity verification.
+
+    Raised by the deep verifier (:mod:`repro.resilience.integrity`) and
+    by checksum-carrying loaders (archive format v2, the checkpoint
+    journal) when stored bytes do not match their recorded CRC-32C or a
+    structural invariant (CSR monotonicity, tile disjointness, dense
+    finiteness) is violated.  Distinct from :class:`ParseError`, which
+    covers *unreadable* input; an :class:`IntegrityError` means the
+    input parsed but its content is provably corrupt.
+
+    Attributes
+    ----------
+    violations:
+        The :class:`~repro.resilience.integrity.IntegrityViolation`
+        records behind the failure (possibly empty for single-cause
+        checksum errors raised outside the verifier).
+    """
+
+    def __init__(self, message: str, *, violations: list[Any] | None = None) -> None:
+        super().__init__(message)
+        self.violations = list(violations or [])

@@ -21,6 +21,7 @@ from typing import TextIO
 import numpy as np
 
 from ..errors import ParseError
+from ..ioutil import atomic_write
 from .coo import COOMatrix
 
 _HEADER_PREFIX = "%%MatrixMarket"
@@ -39,9 +40,13 @@ def read_matrix_market(source: str | Path | TextIO) -> COOMatrix:
 def write_matrix_market(
     matrix: COOMatrix, target: str | Path | TextIO, *, comment: str = ""
 ) -> None:
-    """Serialize a COO matrix as ``matrix coordinate real general``."""
+    """Serialize a COO matrix as ``matrix coordinate real general``.
+
+    Path targets are written atomically (temp file + rename), so an
+    interrupted export never leaves a truncated ``.mtx`` behind.
+    """
     if isinstance(target, (str, Path)):
-        with open(target, "w", encoding="utf-8") as handle:
+        with atomic_write(target, mode="w", encoding="utf-8") as handle:
             _write_stream(matrix, handle, comment)
     else:
         _write_stream(matrix, target, comment)

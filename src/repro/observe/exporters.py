@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 from typing import IO, Any
 
+from ..ioutil import atomic_write
 from .session import Observation
 from .trace import Span, Tracer
 
@@ -171,7 +172,7 @@ def _phase_section(tracer: Tracer) -> str:
 def write_text_summary(observation: Observation, target: str | IO[str]) -> None:
     text = to_text_summary(observation) + "\n"
     if isinstance(target, str):
-        with open(target, "w", encoding="utf-8") as stream:
+        with atomic_write(target, mode="w", encoding="utf-8") as stream:
             stream.write(text)
     else:
         target.write(text)
@@ -179,7 +180,7 @@ def write_text_summary(observation: Observation, target: str | IO[str]) -> None:
 
 def _dump(payload: dict[str, Any], target: str | IO[str]) -> None:
     if isinstance(target, str):
-        with open(target, "w", encoding="utf-8") as stream:
+        with atomic_write(target, mode="w", encoding="utf-8") as stream:
             json.dump(payload, stream, indent=1)
     else:
         json.dump(payload, target, indent=1)

@@ -14,7 +14,12 @@ makes the engine safe to run unattended (see ``docs/RESILIENCE.md``):
 * :mod:`~repro.resilience.degrade` — progressive write-threshold
   escalation under memory pressure via the water-level method;
 * :mod:`~repro.resilience.report` — the structured
-  :class:`FailureReport` attached to both executors' reports.
+  :class:`FailureReport` attached to both executors' reports;
+* :mod:`~repro.resilience.checkpoint` — the durable
+  :class:`CheckpointStore` journal that makes an interrupted
+  multiplication resumable across process crashes;
+* :mod:`~repro.resilience.integrity` — the deep at-rest verifier behind
+  ``repro verify`` (structural invariants plus archive checksums).
 
 Pass ``resilience=RetryPolicy(...)`` to
 :func:`~repro.core.atmult.atmult` or
@@ -39,17 +44,32 @@ from .guard import reference_tile_product, validate_tile
 from .report import FailureReport, PairOutcome
 from .retry import ResilientPairRunner, RetryPolicy
 
+# Imported last: these reach back into repro.core / repro.formats, whose
+# own import chains re-enter this package for the symbols bound above.
+from .checkpoint import CheckpointStore  # noqa: E402
+from .integrity import (  # noqa: E402
+    IntegrityViolation,
+    check_integrity,
+    verify_archive,
+    verify_at_matrix,
+    verify_csr,
+    verify_dense,
+)
+
 __all__ = [
+    "CheckpointStore",
     "DegradationState",
     "FailureReport",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
     "InjectedFaultError",
+    "IntegrityViolation",
     "PairOutcome",
     "ResilientPairRunner",
     "RetryPolicy",
     "active_plan",
+    "check_integrity",
     "fire_corruption",
     "fire_hooks",
     "inject_faults",
@@ -58,4 +78,8 @@ __all__ = [
     "suppress_faults",
     "task_scope",
     "validate_tile",
+    "verify_archive",
+    "verify_at_matrix",
+    "verify_csr",
+    "verify_dense",
 ]

@@ -60,6 +60,8 @@ class FailureReport:
     fallbacks: int = 0
     #: pairs that exhausted their retry budget
     failures: int = 0
+    #: pairs restored from a checkpoint journal instead of re-executed
+    pairs_resumed: int = 0
     #: per-pair outcome details (only pairs that needed resilience, plus failures)
     pair_outcomes: dict[tuple[int, int], PairOutcome] = field(default_factory=dict)
     #: ``[(pair, exception), ...]`` captured when running without a policy
@@ -108,9 +110,15 @@ class FailureReport:
 
     def summary(self) -> str:
         """One-line human-readable digest."""
+        resumed = f", {self.pairs_resumed} pairs resumed" if self.pairs_resumed else ""
         if self.clean:
-            return f"clean run ({self.attempts} attempts, no faults handled)"
+            return (
+                f"clean run ({self.attempts} attempts{resumed}, "
+                "no faults handled)"
+            )
         parts = [f"{self.attempts} attempts"]
+        if self.pairs_resumed:
+            parts.append(f"{self.pairs_resumed} pairs resumed")
         if self.retries:
             parts.append(f"{self.retries} retries")
         if self.degradations:

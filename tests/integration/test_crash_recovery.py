@@ -1,0 +1,148 @@
+"""Crash-recovery acceptance test: SIGKILL a checkpointed multiply, resume.
+
+The issue's headline guarantee: a multiplication killed with SIGKILL and
+resumed produces a result bit-identical to the uninterrupted run,
+re-executing only the pairs after the last flush.  The child process
+kills *itself* from inside ``CheckpointStore.flush`` after a fixed
+number of flushes, so the kill point is deterministic: exactly
+``KILL_AFTER_FLUSHES`` records are durable when the process dies.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+KILL_AFTER_FLUSHES = 3
+
+# Both processes build the exact same operands from this module, so the
+# plan fingerprints match and the journal is accepted on resume.
+WORKLOAD = '''\
+"""Deterministic workload shared by the killed child and the parent."""
+import numpy as np
+
+from repro import COOMatrix, SystemConfig, build_at_matrix
+
+CONFIG = SystemConfig(llc_bytes=8 * 1024, b_atomic=16)
+
+
+def build():
+    rng = np.random.default_rng(20260806)
+
+    def heterogeneous(rows, cols):
+        mask = rng.random((rows, cols)) < 0.06
+        array = np.where(mask, rng.uniform(0.1, 1.0, (rows, cols)), 0.0)
+        block = min(rows, cols) // 3
+        array[:block, :block] = rng.uniform(0.1, 1.0, (block, block))
+        return array
+
+    a = heterogeneous(96, 72)
+    b = heterogeneous(72, 88)
+    at_a = build_at_matrix(COOMatrix.from_dense(a), CONFIG)
+    at_b = build_at_matrix(COOMatrix.from_dense(b), CONFIG)
+    return at_a, at_b
+'''
+
+CHILD = '''\
+"""Run a checkpointed multiply and SIGKILL ourselves after N flushes."""
+import os
+import signal
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from workload import CONFIG, build
+
+from repro import CheckpointStore, MultiplyOptions, atmult
+
+directory, kill_after = sys.argv[1], int(sys.argv[2])
+store = CheckpointStore(directory)
+original_flush = CheckpointStore.flush
+
+
+def killing_flush(self):
+    written = original_flush(self)
+    if self.flushes >= kill_after:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return written
+
+
+CheckpointStore.flush = killing_flush
+at_a, at_b = build()
+options = MultiplyOptions(config=CONFIG, checkpoint=store, checkpoint_flush_pairs=1)
+atmult(at_a, at_b, options=options)
+sys.exit(7)  # unreachable: the kill must fire before the run completes
+'''
+
+
+@pytest.fixture
+def scripts(tmp_path):
+    (tmp_path / "workload.py").write_text(WORKLOAD, encoding="utf-8")
+    child = tmp_path / "child.py"
+    child.write_text(CHILD, encoding="utf-8")
+    return child
+
+
+def load_workload(tmp_path):
+    spec = importlib.util.spec_from_file_location(
+        "crash_recovery_workload", tmp_path / "workload.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSigkillResume:
+    def test_resumed_run_is_bit_identical(self, scripts, tmp_path):
+        from repro import CheckpointStore, MultiplyOptions, atmult
+
+        checkpoint_dir = tmp_path / "ckpt"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_SRC)] + env.get("PYTHONPATH", "").split(os.pathsep)
+        ).rstrip(os.pathsep)
+        process = subprocess.run(
+            [
+                sys.executable,
+                str(scripts),
+                str(checkpoint_dir),
+                str(KILL_AFTER_FLUSHES),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert process.returncode == -signal.SIGKILL, process.stderr
+        survivors = sorted(checkpoint_dir.glob("pairs/pair-*.npz"))
+        # flush interval 1: every flush writes exactly one pair record.
+        assert len(survivors) == KILL_AFTER_FLUSHES
+
+        workload = load_workload(tmp_path)
+        at_a, at_b = workload.build()
+        reference, reference_report = atmult(
+            at_a, at_b, options=MultiplyOptions(config=workload.CONFIG)
+        )
+        total = reference_report.pairs_executed
+        assert total > KILL_AFTER_FLUSHES  # the kill interrupted a real run
+
+        store = CheckpointStore(checkpoint_dir, resume=True)
+        resumed, report = atmult(
+            at_a,
+            at_b,
+            options=MultiplyOptions(config=workload.CONFIG, checkpoint=store),
+        )
+        # Only the pairs after the last durable flush re-execute...
+        assert report.failure.pairs_resumed == KILL_AFTER_FLUSHES
+        assert report.pairs_executed == total - KILL_AFTER_FLUSHES
+        # ...and the stitched result is bit-identical to the clean run.
+        assert np.array_equal(resumed.to_dense(), reference.to_dense())

@@ -49,6 +49,48 @@ class TestBookkeeping:
         assert not state.over_budget(1e18)
 
 
+class TestEscalationPath:
+    """Walk the full escalation path step by step (issue 5, satellite 3).
+
+    Every degradation step must (a) strictly raise the effective
+    threshold, (b) demote at least one future dense target to sparse,
+    and (c) eventually reach infinity — the all-sparse floor — under
+    repeated pressure, in a bounded number of steps.
+    """
+
+    def test_every_step_raises_and_demotes_until_all_sparse(self):
+        grid = heterogeneous_grid()
+        state, _ = make_state(limit=None, threshold=0.0, grid=grid)
+        previous = state.threshold
+        steps = 0
+        while not state.exhausted:
+            dense_before = int((state._remaining >= previous).sum())
+            new = state.degrade()
+            steps += 1
+            assert new > previous  # (a) strictly monotone
+            dense_after = int((state._remaining >= new).sum())
+            if not math.isinf(new):
+                assert dense_before > 0
+                assert dense_after < dense_before  # (b) demotes >= 1 target
+            previous = new
+            assert steps <= grid.size + 1  # bounded escalation
+        assert math.isinf(state.threshold)  # (c) all-sparse floor
+        assert state.degradations == steps
+
+    def test_pressure_with_a_real_budget_also_reaches_all_sparse(self):
+        grid = heterogeneous_grid()
+        state, _ = make_state(limit=50.0, threshold=0.0, grid=grid)
+        state.note_completed(0, 8, 0, 8, 49.0)  # nearly exhaust the budget
+        previous = state.threshold
+        for _ in range(grid.size + 2):
+            if state.exhausted:
+                break
+            new = state.degrade()
+            assert new > previous
+            previous = new
+        assert state.exhausted
+
+
 class TestDegrade:
     def test_monotone_to_infinity(self):
         state, _ = make_state(limit=None, threshold=0.0, grid=heterogeneous_grid())

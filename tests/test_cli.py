@@ -135,6 +135,126 @@ class TestArgumentValidation:
         assert "error" in capsys.readouterr().err
 
 
+class TestCheckpointFlags:
+    def test_checkpointed_multiply_writes_journal(self, mtx_file, tmp_path, capsys):
+        path, _ = mtx_file
+        ckpt = tmp_path / "ckpt"
+        code = main(
+            ["multiply", str(path), str(path), "--llc-kib", "8",
+             "--checkpoint-dir", str(ckpt), "--checkpoint-flush", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpoint:" in out
+        assert "0 pairs resumed" in out
+        assert (ckpt / "MANIFEST.json").exists()
+        assert list(ckpt.glob("pairs/pair-*.npz"))
+
+    def test_resume_skips_completed_pairs(self, mtx_file, tmp_path, capsys):
+        path, _ = mtx_file
+        ckpt = tmp_path / "ckpt"
+        base = ["multiply", str(path), str(path), "--llc-kib", "8",
+                "--checkpoint-dir", str(ckpt)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out
+
+    def test_resume_requires_checkpoint_dir(self, mtx_file, capsys):
+        path, _ = mtx_file
+        code = main(["multiply", str(path), str(path), "--resume"])
+        assert code == 1
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_zero_checkpoint_flush_rejected(self, mtx_file, capsys):
+        path, _ = mtx_file
+        code = main(
+            ["multiply", str(path), str(path), "--checkpoint-flush", "0"]
+        )
+        assert code == 1
+        assert "--checkpoint-flush" in capsys.readouterr().err
+
+
+class TestVerify:
+    @pytest.fixture
+    def archive(self, mtx_file, tmp_path):
+        from repro import COOMatrix, SystemConfig, build_at_matrix, save_at_matrix
+
+        _, array = mtx_file
+        at = build_at_matrix(
+            COOMatrix.from_dense(array),
+            SystemConfig(llc_bytes=8 * 1024, b_atomic=16),
+        )
+        path = tmp_path / "matrix.npz"
+        save_at_matrix(at, path)
+        return path
+
+    def test_clean_archive_exits_zero(self, archive, capsys):
+        assert main(["verify", str(archive)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_clean_mtx_exits_zero(self, mtx_file, capsys):
+        path, _ = mtx_file
+        assert main(["verify", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_corrupt_archive_exits_four(self, archive, capsys):
+        archive.write_bytes(b"garbage, not an archive")
+        assert main(["verify", str(archive)]) == 4
+        captured = capsys.readouterr()
+        assert "archive-unreadable" in captured.out
+        assert "integrity violation(s) found" in captured.err
+
+    def test_unparsable_mtx_exits_four(self, tmp_path, capsys):
+        path = tmp_path / "broken.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n1 1\n")
+        assert main(["verify", str(path)]) == 4
+        assert "parse-error" in capsys.readouterr().out
+
+    def test_mixed_targets_report_each(self, archive, mtx_file, capsys):
+        path, _ = mtx_file
+        assert main(["verify", str(archive), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 2
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path / "nope.npz")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_exits_130_with_one_line(self, mtx_file, capsys, monkeypatch):
+        path, _ = mtx_file
+        from repro import cli
+
+        monkeypatch.setattr(
+            cli, "cmd_multiply", lambda args: (_ for _ in ()).throw(KeyboardInterrupt())
+        )
+        code = main(["multiply", str(path), str(path)])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert err == "interrupted\n"
+
+    def test_interrupt_mentions_checkpoint_dir(
+        self, mtx_file, tmp_path, capsys, monkeypatch
+    ):
+        path, _ = mtx_file
+        from repro import cli
+
+        monkeypatch.setattr(
+            cli, "cmd_multiply", lambda args: (_ for _ in ()).throw(KeyboardInterrupt())
+        )
+        ckpt = tmp_path / "ckpt"
+        code = main(
+            ["multiply", str(path), str(path), "--checkpoint-dir", str(ckpt)]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert str(ckpt) in err
+        assert "--resume" in err
+
+
 class TestAdvise:
     def test_prints_recommendation(self, mtx_file, capsys):
         path, _ = mtx_file

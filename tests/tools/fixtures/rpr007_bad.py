@@ -1,0 +1,23 @@
+"""RPR007 fixture: direct writes to final paths, four flavors."""
+
+import json
+from pathlib import Path
+
+
+def save_config(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def save_blob(path, blob):
+    with Path(path).open(mode="wb") as handle:
+        handle.write(blob)
+
+
+def save_manifest(path, text):
+    Path(path).write_text(text, encoding="utf-8")
+
+
+def append_log(path, line):
+    with open(path, mode="a", encoding="utf-8") as handle:
+        handle.write(line)

@@ -1,0 +1,30 @@
+"""RPR007 fixture: reads and atomic writes are both fine."""
+
+import json
+from pathlib import Path
+
+from repro.ioutil import atomic_write, atomic_write_text
+
+
+def load_config(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def load_blob(path):
+    with Path(path).open("rb") as handle:
+        return handle.read()
+
+
+def save_config(path, payload):
+    with atomic_write(path, mode="w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def save_manifest(path, text):
+    atomic_write_text(path, text)
+
+
+def reopen(path, mode):
+    # Dynamic mode: the rule cannot prove a write, so this is skipped.
+    return open(path, mode)

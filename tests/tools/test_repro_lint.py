@@ -154,6 +154,37 @@ class TestAnnotationRule:
         assert "return annotation" in violations[1].message
 
 
+class TestAtomicWriteRule:
+    PATH = "src/repro/formats/store.py"
+
+    def test_reads_and_atomic_writes_are_clean(self):
+        assert run_rule("RPR007", "rpr007_good.py", self.PATH) == []
+
+    def test_each_direct_write_flavor_is_flagged(self):
+        violations = run_rule("RPR007", "rpr007_bad.py", self.PATH)
+        assert [(v.code, v.line) for v in violations] == [
+            ("RPR007", 8),  # open(path, "w")
+            ("RPR007", 13),  # Path(path).open(mode="wb")
+            ("RPR007", 18),  # Path(path).write_text(...)
+            ("RPR007", 22),  # open(path, mode="a")
+        ]
+        assert "open(..., 'w')" in violations[0].message
+        assert "atomic_write" in violations[0].message
+        assert "'wb'" in violations[1].message
+        assert "atomic_write_text" in violations[2].message
+        assert "'a'" in violations[3].message
+
+    def test_ioutil_itself_is_exempt(self):
+        source = fixture("rpr007_bad.py")
+        rule = RULES_BY_CODE["RPR007"]
+        assert check_source(source, "src/repro/ioutil.py", [rule]) == []
+
+    def test_rule_only_applies_inside_src(self):
+        source = fixture("rpr007_bad.py")
+        rule = RULES_BY_CODE["RPR007"]
+        assert check_source(source, "tests/test_store.py", [rule]) == []
+
+
 class TestSuppression:
     def test_same_line_disable_comment_drops_the_violation(self):
         source = (

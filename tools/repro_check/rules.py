@@ -799,6 +799,100 @@ def _is_overload(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# RPR007: atomic writes to final paths
+# ---------------------------------------------------------------------------
+
+#: Mode characters that make an ``open(...)`` call a write.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+@dataclass
+class AtomicWriteRule:
+    """File-writing code in src/repro goes through the atomic helper.
+
+    A crash between ``open(path, "w")`` and the final flush leaves a
+    truncated file at the *final* path — exactly the failure mode the
+    durability layer exists to rule out.  Inside src/repro every write
+    to a real path must use :func:`repro.ioutil.atomic_write` (temp
+    file + fsync + rename); the helper module itself is the one place
+    allowed to open files for writing.  Reads are unrestricted, and a
+    call whose mode is not a string literal is skipped (cannot prove a
+    write).
+    """
+
+    code: str = "RPR007"
+    summary: str = "writes under src/repro use ioutil.atomic_write"
+
+    def applies(self, path: str) -> bool:
+        return _in_src(path) and not path.endswith("repro/ioutil.py")
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) and node.func.attr in {
+                "write_text",
+                "write_bytes",
+            }:
+                violations.append(
+                    _violation(
+                        self.code,
+                        f".{node.func.attr}(...) writes to the final path "
+                        f"non-atomically; use repro.ioutil.atomic_"
+                        f"{node.func.attr} instead",
+                        path,
+                        node,
+                    )
+                )
+                continue
+            mode = self._open_mode(node)
+            if mode is None:
+                continue
+            if _WRITE_MODE_CHARS.intersection(mode):
+                callee = _name_chain(node.func) or "open"
+                violations.append(
+                    _violation(
+                        self.code,
+                        f"{callee}(..., {mode!r}) opens the final path for "
+                        "writing; a crash mid-write leaves it truncated — "
+                        "use repro.ioutil.atomic_write instead",
+                        path,
+                        node,
+                    )
+                )
+        return violations
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> str | None:
+        """The literal mode of an ``open``-like call, or ``None``.
+
+        Covers the builtin ``open(file, mode)`` and ``<expr>.open(mode)``
+        (``Path.open``).  Returns ``None`` for non-open calls and for
+        calls whose mode is not a string literal.
+        """
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            mode_index = 1
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "open":
+            mode_index = 0
+        else:
+            return None
+        mode_node: ast.expr | None = None
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode_node = keyword.value
+        if mode_node is None and len(node.args) > mode_index:
+            mode_node = node.args[mode_index]
+        if mode_node is None:
+            return "r"  # open() defaults to read mode
+        if isinstance(mode_node, ast.Constant) and isinstance(
+            mode_node.value, str
+        ):
+            return mode_node.value
+        return None  # dynamic mode: cannot prove a write
+
+
+# ---------------------------------------------------------------------------
 
 ALL_RULES: tuple[object, ...] = (
     KernelRegistryRule(),
@@ -807,6 +901,7 @@ ALL_RULES: tuple[object, ...] = (
     LegacyKeywordRule(),
     SpanCoverageRule(),
     AnnotationRule(),
+    AtomicWriteRule(),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
