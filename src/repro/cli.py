@@ -77,6 +77,15 @@ def _validate_args(args: argparse.Namespace) -> None:
         raise ConfigError(f"--checkpoint-flush must be >= 1, got {flush}")
     if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
         raise ConfigError("--resume requires --checkpoint-dir")
+    worker_count = getattr(args, "workers", None)
+    if worker_count is not None:
+        if worker_count < 1:
+            raise ConfigError(f"--workers must be >= 1, got {worker_count}")
+        if getattr(args, "execution", None) is None:
+            raise ConfigError("--workers requires --execution")
+    heartbeat = getattr(args, "heartbeat_interval", None)
+    if heartbeat is not None:
+        validate_positive(heartbeat, "--heartbeat-interval")
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -189,10 +198,22 @@ def cmd_multiply(args: argparse.Namespace) -> int:
             resilience=policy,
             checkpoint=checkpoint,
             checkpoint_flush_pairs=args.checkpoint_flush,
+            execution=args.execution or "threads",
+            workers=args.workers,
+            heartbeat_interval_seconds=args.heartbeat_interval,
         )
         start = time.perf_counter()
         with context:
-            result, report = atmult(a, b, options=options)
+            if args.execution is not None:
+                from .core.parallel import parallel_atmult
+                from .topology.system import SystemTopology
+
+                topology = SystemTopology.scaled_default()
+                result, report = parallel_atmult(
+                    a, b, topology=topology, options=options
+                )
+            else:
+                result, report = atmult(a, b, options=options)
         elapsed = time.perf_counter() - start
     print(f"C = A x B: {result.rows} x {result.cols}, nnz={result.nnz}, "
           f"{elapsed:.3f} s")
@@ -201,6 +222,9 @@ def cmd_multiply(args: argparse.Namespace) -> int:
           f"{report.conversions} tile conversions")
     print(f"  kernels: {report.kernel_counts}")
     print(f"  output memory: {result.memory_bytes() / 1e6:.2f} MB")
+    if args.execution is not None:
+        print(f"  execution: {args.execution}, {report.workers} workers, "
+              f"parallel efficiency {report.parallel_efficiency:.1%}")
     if policy is not None:
         injected = f", {plan.injected} faults injected" if plan is not None else ""
         print(f"  resilience: {report.failure.summary()}{injected}")
@@ -390,6 +414,17 @@ def build_parser() -> argparse.ArgumentParser:
     multiply.add_argument("--checkpoint-flush", type=int, default=1, metavar="N",
                           help="flush the checkpoint journal every N completed "
                                "pairs (default 1: after every pair)")
+    multiply.add_argument("--execution", choices=["threads", "processes"],
+                          default=None,
+                          help="run the tile-pair schedule in parallel with "
+                               "the given backend (default: sequential)")
+    multiply.add_argument("--workers", type=int, default=None, metavar="N",
+                          help="worker count for --execution (default: the "
+                               "simulated topology's socket count)")
+    multiply.add_argument("--heartbeat-interval", type=float, default=0.25,
+                          metavar="SECONDS",
+                          help="worker heartbeat cadence under "
+                               "--execution=processes (default 0.25)")
     _add_config_arguments(multiply)
     multiply.set_defaults(handler=cmd_multiply)
 

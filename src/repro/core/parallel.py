@@ -1,15 +1,23 @@
-"""Thread-parallel ATMULT: the paper's two-level execution for real.
+"""Parallel ATMULT: the paper's two-level execution for real.
 
 Paper section III-F: pairs ``(ti, tj)`` of A tile-rows and B tile-columns
 form independent task sets; all tile products of one pair run on the same
 worker team, different pairs run on different teams concurrently.  This
-module executes that scheme with a thread pool — one worker per simulated
-socket — on top of the same engine the sequential operator uses: the
-plan is resolved once (:func:`repro.engine.api.resolve_plan`, possibly
-from the plan cache, and *shared* with the sequential path — the plan
-key deliberately excludes the execution mode) and the planned pairs are
-dispatched by :func:`repro.engine.executor.execute_plan` with
-``parallel=True``.
+module executes that scheme on top of the same engine the sequential
+operator uses: the plan is resolved once
+(:func:`repro.engine.api.resolve_plan`, possibly from the plan cache,
+and *shared* with the sequential path — the plan key deliberately
+excludes the execution mode) and the planned pairs are dispatched by
+:func:`repro.engine.executor.execute_plan` to one of two backends,
+selected by ``MultiplyOptions.execution``:
+
+* ``"threads"`` (default) — a thread pool, one worker per simulated
+  socket;
+* ``"processes"`` — the supervised multiprocess shard executor
+  (:mod:`repro.resilience.supervisor`): one OS process per simulated
+  socket, heartbeat liveness, crash detection and pair reassignment.
+  Falls back to threads (with a :class:`RuntimeWarning`) when the
+  platform cannot run ``multiprocessing``.
 
 Two facts make this sound in Python:
 
@@ -36,6 +44,8 @@ which is the paper's Fig. 9 execution picture as a timeline.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..config import SystemConfig
 from ..cost.model import CostModel
@@ -108,6 +118,20 @@ def parallel_atmult(
     resolved_config = opts.resolved_config()
     resolved_model = opts.resolved_cost_model()
     worker_count = opts.workers if opts.workers is not None else topology.sockets
+    execution = opts.execution
+    if execution == "processes":
+        # The supervisor is the only module allowed to know whether the
+        # platform can run it; degrade to the thread backend otherwise.
+        from ..resilience.supervisor import processes_available
+
+        if not processes_available():  # pragma: no cover - platform-specific
+            warnings.warn(
+                "multiprocessing is unavailable on this platform; "
+                "execution='processes' falls back to threads",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            execution = "threads"
     with observe_session.resolve(opts.observer) as obs:
         at_a = as_at_matrix(a, resolved_config)
         at_b = as_at_matrix(b, resolved_config)
@@ -129,6 +153,9 @@ def parallel_atmult(
             obs=obs,
             parallel=True,
             workers=worker_count,
+            execution=execution,
+            heartbeat_interval=opts.heartbeat_interval_seconds,
+            pair_deadline_seconds=opts.pair_deadline_seconds,
             check_fingerprints=False,  # resolve_plan keyed/built on these operands
             checkpoint=opts.checkpoint,
             checkpoint_flush_pairs=opts.checkpoint_flush_pairs,

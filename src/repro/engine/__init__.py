@@ -10,22 +10,27 @@ the consolidated :class:`MultiplyOptions` / :class:`Session` API.
 
 from .api import execute, plan, resolve_plan
 from .cache import PlanCache, PlanKey
-from .executor import execute_plan
+from .executor import EXECUTION_MODES, PairComputer, execute_plan
 from .fingerprint import config_fingerprint, structure_fingerprint
 from .options import LEGACY_OPTION_KEYWORDS, UNSET, MultiplyOptions, coerce_options
 from .plan import ExecutionPlan, PlannedPair, PlannedProduct, build_plan
 from .session import Session
+from .shard import ShardConfig, assign_shards
 
 __all__ = [
+    "EXECUTION_MODES",
     "ExecutionPlan",
     "LEGACY_OPTION_KEYWORDS",
     "MultiplyOptions",
+    "PairComputer",
     "PlanCache",
     "PlanKey",
     "PlannedPair",
     "PlannedProduct",
     "Session",
+    "ShardConfig",
     "UNSET",
+    "assign_shards",
     "build_plan",
     "coerce_options",
     "config_fingerprint",

@@ -5,21 +5,28 @@ against concrete operands.  All *deciding* (estimation, water level,
 kernel choice) already happened at plan time; execution walks the
 planned pair list, materializes accumulators, performs the (cached)
 just-in-time conversions the decisions call for and dispatches the
-kernels — in a sequential loop or on one worker team per socket.
+kernels through one of three backends:
 
-The executor keeps the full legacy behavior surface:
+``"sequential"``
+    a plain loop, returning a :class:`~repro.core.report.MultiplyReport`
+    with :class:`~repro.topology.trace.TaskRecord` entries;
+``"threads"``
+    one worker team per simulated socket on a thread pool
+    (:class:`~repro.core.report.ParallelReport` with per-worker busy
+    time);
+``"processes"``
+    the supervised multiprocess shard executor
+    (:mod:`repro.resilience.supervisor`): pairs are sharded across OS
+    worker processes, heartbeats and per-pair deadlines detect dead or
+    hung workers, and their unfinished pairs are reassigned.
 
-* span names and nesting (``pair`` spans with nested kernel spans,
-  ``pair_loop`` around the parallel pool, ``memory_limit_enforce``);
-* per-report semantics — sequential :class:`~repro.core.report.MultiplyReport`
-  with :class:`~repro.topology.trace.TaskRecord` entries, parallel
-  :class:`~repro.core.report.ParallelReport` with per-worker busy time;
-* resilience — each pair runs under the
-  :class:`~repro.resilience.retry.ResilientPairRunner` when a policy is
-  given: bounded retries, result validation with reference fallback and
-  memory-pressure degradation.  A degraded (or force-sparse) pair whose
-  effective target kind differs from the planned one gets its kernel
-  decisions re-derived live; everything else replays the plan verbatim.
+The per-pair logic all three backends share lives in
+:class:`PairComputer`: accumulator setup, planned-decision replay (or a
+live re-derivation when degradation changed the target kind), kernel
+dispatch, and the resilience wrapper —
+:class:`~repro.resilience.retry.ResilientPairRunner` when a policy is
+given: bounded retries, result validation with reference fallback and
+memory-pressure degradation.
 
 Replaying against operands whose structure fingerprint differs from the
 plan's raises :class:`~repro.errors.PlanMismatchError`.
@@ -31,6 +38,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from collections.abc import Callable
 
 import numpy as np
 
@@ -39,7 +47,7 @@ from ..cost.model import CostModel
 from ..core.atmatrix import ATMatrix
 from ..core.report import MultiplyReport, ParallelReport
 from ..core.tile import Tile, TilePayload
-from ..errors import MemoryLimitError, PlanMismatchError, TaskFailedError
+from ..errors import ConfigError, MemoryLimitError, PlanMismatchError, TaskFailedError
 from ..formats.convert import csr_to_dense, dense_to_csr
 from ..formats.csr import CSRMatrix
 from ..formats.dense import DenseMatrix
@@ -52,13 +60,16 @@ from ..resilience.checkpoint import CheckpointStore
 from ..resilience.degrade import DegradationState
 from ..resilience.faults import fire_hooks, task_scope
 from ..resilience.guard import reference_tile_product, validate_tile
-from ..resilience.report import aggregate_message
+from ..resilience.report import FailureReport, aggregate_message
 from ..resilience.retry import ResilientPairRunner, RetryPolicy
 from ..topology.trace import TaskRecord
 from .fingerprint import structure_fingerprint
 from .plan import ExecutionPlan, PlannedPair, _DecisionMemo
 
 _span = observe_session.tracer_span
+
+#: The execution backends :func:`execute_plan` dispatches between.
+EXECUTION_MODES = ("sequential", "threads", "processes")
 
 
 @dataclass
@@ -136,79 +147,79 @@ def check_plan_applies(
         )
 
 
-def execute_plan(
-    plan: ExecutionPlan,
-    at_a: ATMatrix,
-    at_b: ATMatrix,
-    at_c: ATMatrix | None = None,
-    *,
-    config: SystemConfig,
-    cost_model: CostModel,
-    resilience: RetryPolicy | None = None,
-    obs: Observation | None = None,
-    parallel: bool = False,
-    workers: int = 1,
-    check_fingerprints: bool = True,
-    checkpoint: CheckpointStore | None = None,
-    checkpoint_flush_pairs: int = 1,
-) -> tuple[ATMatrix, MultiplyReport | ParallelReport]:
-    """Execute a plan against operands of matching topology.
+class PairComputer:
+    """One pair's worth of plan replay, shared by every backend.
 
-    Sequential mode returns a :class:`MultiplyReport` (with task
-    records); ``parallel=True`` dispatches pairs to a ``workers``-sized
-    thread pool (one per simulated socket) and returns a
-    :class:`ParallelReport`.  ``at_c`` seeding is sequential-only, as
-    before the redesign.
+    Holds the per-run execution state — conversion cache, decision memo,
+    degradation state, resilience runner — and computes single planned
+    pairs against the operands.  The sequential loop, the thread pool
+    and the supervised worker processes all drive the same instance
+    shape, which is what makes the backends interchangeable: a worker
+    process builds its own ``PairComputer`` from the shipped operands
+    and produces outcomes indistinguishable from the in-process ones.
 
-    With a ``checkpoint`` store, pairs already present in its journal
-    are restored instead of re-executed (counted as
-    ``failure.pairs_resumed``), and every completed pair is journaled —
-    durably flushed after each ``checkpoint_flush_pairs`` completions —
-    so a killed process resumes from the last flush.
+    ``record_tasks`` controls whether per-product
+    :class:`~repro.topology.trace.TaskRecord` entries are collected
+    (sequential reports only); ``busy_hook`` — when set — receives the
+    wall seconds of every attempt (the thread backend attributes them to
+    the current worker thread, the process backend to its shard).
     """
-    if check_fingerprints:
-        check_plan_applies(plan, at_a, at_b)
-    if parallel and at_c is not None:
-        raise PlanMismatchError("C seeding is not supported in parallel execution")
-    completed: dict[tuple[int, int], Tile | None] = (
-        checkpoint.begin(plan) if checkpoint is not None else {}
-    )
 
-    if parallel:
-        report: MultiplyReport | ParallelReport = ParallelReport(
-            workers=workers, observation=obs
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        at_a: ATMatrix,
+        at_b: ATMatrix,
+        *,
+        cost_model: CostModel,
+        at_c: ATMatrix | None = None,
+        obs: Observation | None = None,
+        resilience: RetryPolicy | None = None,
+        record_tasks: bool = False,
+        busy_hook: Callable[[float], None] | None = None,
+    ) -> None:
+        self.plan = plan
+        self.at_a = at_a
+        self.at_b = at_b
+        self.at_c = at_c
+        self.cost_model = cost_model
+        self.obs = obs
+        self.record_tasks = record_tasks
+        self.busy_hook = busy_hook
+        self.conversions = _ConversionCache()
+        self.memo = _DecisionMemo(cost_model, plan.dynamic_conversion)
+        self.degradation: DegradationState | None = None
+        self.runner: ResilientPairRunner | None = None
+        self._policy = resilience
+
+    def bind_resilience(self, config: SystemConfig, failure: FailureReport) -> None:
+        """Create the degradation state and runner for ``config``.
+
+        Separate from ``__init__`` because the failure report lives on
+        the backend's report object, which the caller creates after
+        deciding the execution mode.
+        """
+        if self._policy is None:
+            return
+        self.degradation = DegradationState(
+            self.plan.estimate,
+            self.plan.memory_limit_bytes,
+            config,
+            self.plan.write_threshold,
         )
-        if obs is not None:
-            obs.metrics.gauge("workers").set(workers)
-    else:
-        report = MultiplyReport(observation=obs)
-        report.write_threshold = plan.write_threshold
-        report.water_level = plan.water_level
+        self.runner = ResilientPairRunner(self._policy, failure, self.degradation)
 
-    degradation = (
-        DegradationState(
-            plan.estimate, plan.memory_limit_bytes, config, plan.write_threshold
-        )
-        if resilience is not None
-        else None
-    )
-    runner = (
-        ResilientPairRunner(resilience, report.failure, degradation)
-        if resilience is not None
-        else None
-    )
-    conversions = _ConversionCache()
-    memo = _DecisionMemo(cost_model, plan.dynamic_conversion)
-    busy_lock = threading.Lock()
-    counts_lock = threading.Lock()
-
-    def compute_pair(
-        pair: PlannedPair, force_sparse: bool, use_reference: bool = False
+    # -- per-pair execution ----------------------------------------------
+    def compute(
+        self, pair: PlannedPair, force_sparse: bool, use_reference: bool = False
     ) -> _PairOutcome:
         """One full pair computation (one attempt), stats kept local so a
         retried attempt cannot double-count into the report."""
         attempt_start = time.perf_counter()
         stats = _PairStats()
+        obs = self.obs
+        plan = self.plan
+        degradation = self.degradation
         attrs = (
             {"ti": pair.ti, "tj": pair.tj, "force_sparse": force_sparse}
             if obs is not None
@@ -233,14 +244,14 @@ def execute_plan(
                 accumulator = make_accumulator(
                     c_kind, pair.r1 - pair.r0, pair.c1 - pair.c0
                 )
-                if at_c is not None:
+                if self.at_c is not None:
                     _seed_accumulator(
-                        accumulator, at_c, pair.r0, pair.r1, pair.c0, pair.c1
+                        accumulator, self.at_c, pair.r0, pair.r1, pair.c0, pair.c1
                     )
                 seeded = accumulator.writes > 0
                 for product in pair.products:
-                    a_tile = at_a.tiles[product.a_index]
-                    b_tile = at_b.tiles[product.b_index]
+                    a_tile = self.at_a.tiles[product.a_index]
+                    b_tile = self.at_b.tiles[product.b_index]
                     start = time.perf_counter()
                     if use_reference:
                         payload_a, payload_b = a_tile.data, b_tile.data
@@ -255,7 +266,7 @@ def execute_plan(
                         )
                     else:
                         if replan:
-                            kind_a, kind_b = memo.decide(
+                            kind_a, kind_b = self.memo.decide(
                                 a_tile.kind, b_tile.kind, c_kind,
                                 product.wa.rows, product.wa.cols, product.wb.cols,
                                 a_tile.structural_density,
@@ -265,11 +276,8 @@ def execute_plan(
                         else:
                             kind_a, kind_b = product.kind_a, product.kind_b
                         name = kernel_name(kind_a, kind_b, c_kind)
-                        if parallel:
-                            with counts_lock:
-                                report.count_kernel(name)
-                        payload_a = conversions.payload(a_tile, kind_a)
-                        payload_b = conversions.payload(b_tile, kind_b)
+                        payload_a = self.conversions.payload(a_tile, kind_a)
+                        payload_b = self.conversions.payload(b_tile, kind_b)
                         opt_elapsed = time.perf_counter() - start
                         start = time.perf_counter()
                         run_tile_product(
@@ -280,10 +288,10 @@ def execute_plan(
                     stats.optimize_seconds += opt_elapsed
                     stats.multiply_seconds += mult_elapsed
                     stats.products += 1
-                    if not parallel:
-                        stats.kernel_counts[name] = (
-                            stats.kernel_counts.get(name, 0) + 1
-                        )
+                    stats.kernel_counts[name] = (
+                        stats.kernel_counts.get(name, 0) + 1
+                    )
+                    if self.record_tasks:
                         stats.tasks.append(
                             TaskRecord(
                                 pair=(pair.ti, pair.tj),
@@ -299,7 +307,7 @@ def execute_plan(
                         obs.metrics.histogram(
                             f"kernel.seconds.{name}"
                         ).observe(mult_elapsed)
-                        predicted = cost_model.product_cost(
+                        predicted = self.cost_model.product_cost(
                             kind_a, kind_b, c_kind,
                             product.wa.rows, product.wa.cols, product.wb.cols,
                             a_tile.density, b_tile.density, pair.rho_c,
@@ -328,12 +336,12 @@ def execute_plan(
                         accumulator.writes
                     )
                     for index in pair.a_strip:
-                        t = at_a.tiles[index]
+                        t = self.at_a.tiles[index]
                         obs.metrics.counter(
                             f"numa.bytes.node{t.numa_node}"
                         ).inc(t.memory_bytes())
                     for index in pair.b_strip:
-                        t = at_b.tiles[index]
+                        t = self.at_b.tiles[index]
                         obs.metrics.counter(
                             f"numa.bytes.node{t.numa_node}"
                         ).inc(t.memory_bytes())
@@ -350,42 +358,154 @@ def execute_plan(
                     )
                 return _PairOutcome(tile, stats)
         finally:
-            if parallel:
-                elapsed = time.perf_counter() - attempt_start
-                name = threading.current_thread().name
-                with busy_lock:
-                    report.worker_busy_seconds[name] = (
-                        report.worker_busy_seconds.get(name, 0.0) + elapsed
-                    )
-                if obs is not None:
-                    obs.metrics.counter(
-                        f"worker.busy_seconds.{name}"
-                    ).inc(elapsed)
+            if self.busy_hook is not None:
+                self.busy_hook(time.perf_counter() - attempt_start)
 
-    def validate_pair(pair: PlannedPair, outcome: _PairOutcome) -> None:
+    def validate(self, pair: PlannedPair, outcome: _PairOutcome) -> None:
         if outcome.tile is None:
             return
         validate_tile(
             outcome.tile.data,
             pair.r1 - pair.r0,
             pair.c1 - pair.c0,
-            pair.rho_c if plan.estimate is not None else None,
+            pair.rho_c if self.plan.estimate is not None else None,
             pair=(pair.ti, pair.tj),
         )
 
-    def run_pair(pair: PlannedPair) -> _PairOutcome:
+    def run_pair(self, pair: PlannedPair) -> _PairOutcome:
+        """Execute one pair under the resilience policy, if any."""
         coords = (pair.ti, pair.tj)
-        if runner is None:
+        if self.runner is None:
             with task_scope(coords, 1):
-                return compute_pair(pair, False)
-        return runner.run(
+                return self.compute(pair, False)
+        return self.runner.run(
             coords,
-            lambda force_sparse: compute_pair(pair, force_sparse),
-            validate=lambda res: validate_pair(pair, res),
-            fallback=lambda force_sparse: compute_pair(
+            lambda force_sparse: self.compute(pair, force_sparse),
+            validate=lambda res: self.validate(pair, res),
+            fallback=lambda force_sparse: self.compute(
                 pair, force_sparse, use_reference=True
             ),
         )
+
+    def note_completed(self, pair: PlannedPair, tile: Tile | None) -> None:
+        """Account a finished pair's memory against the degradation budget."""
+        if self.degradation is not None and tile is not None:
+            self.degradation.note_completed(
+                pair.r0, pair.r1, pair.c0, pair.c1, tile.memory_bytes()
+            )
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    at_a: ATMatrix,
+    at_b: ATMatrix,
+    at_c: ATMatrix | None = None,
+    *,
+    config: SystemConfig,
+    cost_model: CostModel,
+    resilience: RetryPolicy | None = None,
+    obs: Observation | None = None,
+    parallel: bool = False,
+    workers: int = 1,
+    execution: str | None = None,
+    heartbeat_interval: float = 0.25,
+    pair_deadline_seconds: float | None = None,
+    check_fingerprints: bool = True,
+    checkpoint: CheckpointStore | None = None,
+    checkpoint_flush_pairs: int = 1,
+) -> tuple[ATMatrix, MultiplyReport | ParallelReport]:
+    """Execute a plan against operands of matching topology.
+
+    ``execution`` selects the backend (:data:`EXECUTION_MODES`); the
+    legacy ``parallel=True`` keyword keeps meaning ``"threads"``.
+    Sequential mode returns a :class:`MultiplyReport` (with task
+    records); the thread backend dispatches pairs to a ``workers``-sized
+    thread pool (one per simulated socket) and returns a
+    :class:`ParallelReport`; the process backend hands the whole run to
+    :func:`repro.resilience.supervisor.run_supervised` — worker
+    processes with ``heartbeat_interval``-spaced liveness reporting and
+    an optional per-pair dispatch deadline.  ``at_c`` seeding is
+    sequential-only, as before the redesign.
+
+    With a ``checkpoint`` store, pairs already present in its journal
+    are restored instead of re-executed (counted as
+    ``failure.pairs_resumed``), and every completed pair is journaled —
+    durably flushed after each ``checkpoint_flush_pairs`` completions —
+    so a killed process resumes from the last flush.  A
+    :class:`KeyboardInterrupt` in any backend flushes the buffered
+    records before propagating, so Ctrl-C costs nothing that was
+    already computed.
+    """
+    mode = execution if execution is not None else (
+        "threads" if parallel else "sequential"
+    )
+    if mode not in EXECUTION_MODES:
+        raise ConfigError(
+            f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+        )
+    if mode != "sequential" and at_c is not None:
+        raise PlanMismatchError("C seeding is not supported in parallel execution")
+    if check_fingerprints:
+        check_plan_applies(plan, at_a, at_b)
+    if mode == "processes":
+        # Imported lazily: the supervisor reaches back into this module
+        # (through engine.shard) for the worker-side PairComputer.
+        from ..resilience.supervisor import run_supervised
+
+        return run_supervised(
+            plan,
+            at_a,
+            at_b,
+            config=config,
+            cost_model=cost_model,
+            resilience=resilience,
+            obs=obs,
+            workers=workers,
+            heartbeat_interval=heartbeat_interval,
+            pair_deadline_seconds=pair_deadline_seconds,
+            checkpoint=checkpoint,
+            checkpoint_flush_pairs=checkpoint_flush_pairs,
+        )
+
+    parallel = mode == "threads"
+    completed: dict[tuple[int, int], Tile | None] = (
+        checkpoint.begin(plan) if checkpoint is not None else {}
+    )
+
+    if parallel:
+        report: MultiplyReport | ParallelReport = ParallelReport(
+            workers=workers, observation=obs
+        )
+        if obs is not None:
+            obs.metrics.gauge("workers").set(workers)
+    else:
+        report = MultiplyReport(observation=obs)
+        report.write_threshold = plan.write_threshold
+        report.water_level = plan.water_level
+
+    busy_lock = threading.Lock()
+
+    def thread_busy_hook(elapsed: float) -> None:
+        name = threading.current_thread().name
+        with busy_lock:
+            report.worker_busy_seconds[name] = (
+                report.worker_busy_seconds.get(name, 0.0) + elapsed
+            )
+        if obs is not None:
+            obs.metrics.counter(f"worker.busy_seconds.{name}").inc(elapsed)
+
+    computer = PairComputer(
+        plan,
+        at_a,
+        at_b,
+        cost_model=cost_model,
+        at_c=at_c,
+        obs=obs,
+        resilience=resilience,
+        record_tasks=not parallel,
+        busy_hook=thread_busy_hook if parallel else None,
+    )
+    computer.bind_resilience(config, report.failure)
 
     result_tiles: list[Tile] = []
 
@@ -395,16 +515,19 @@ def execute_plan(
         report.failure.pairs_resumed += 1
         if tile is not None:
             result_tiles.append(tile)
-            if degradation is not None:
-                degradation.note_completed(
-                    pair.r0, pair.r1, pair.c0, pair.c1, tile.memory_bytes()
-                )
+            computer.note_completed(pair, tile)
 
     def journal_pair(pair: PlannedPair, tile: Tile | None) -> None:
         assert checkpoint is not None
         checkpoint.record((pair.ti, pair.tj), tile)
         if checkpoint.pending() >= checkpoint_flush_pairs:
             checkpoint.flush()
+
+    def flush_on_interrupt() -> None:
+        """Satellite contract: Ctrl-C must not lose buffered records."""
+        if checkpoint is not None:
+            checkpoint.flush()
+            report.checkpoint_flushes = checkpoint.flushes
 
     if parallel:
         assert isinstance(report, ParallelReport)
@@ -415,12 +538,12 @@ def execute_plan(
         for pair in plan.pairs:
             if (pair.ti, pair.tj) in completed:
                 resume_pair(pair)
-        if runner is None:
+        if computer.runner is None:
             report.failure.attempts = len(pending_pairs)
 
         def run_pair_captured(pair: PlannedPair) -> Tile | None:
             try:
-                outcome = run_pair(pair)
+                outcome = computer.run_pair(pair)
             except Exception as error:  # noqa: BLE001 — aggregated after the pool drains
                 with busy_lock:
                     report.failure.record_error((pair.ti, pair.tj), error)
@@ -428,28 +551,33 @@ def execute_plan(
             with busy_lock:
                 report.products += outcome.stats.products
                 report.pairs_executed += 1
-            if degradation is not None and outcome.tile is not None:
-                degradation.note_completed(
-                    pair.r0, pair.r1, pair.c0, pair.c1,
-                    outcome.tile.memory_bytes(),
-                )
+                report.merge_kernel_counts(outcome.stats.kernel_counts)
+            computer.note_completed(pair, outcome.tile)
             if checkpoint is not None:
                 journal_pair(pair, outcome.tile)
             return outcome.tile
 
         start = time.perf_counter()
-        with _span(
-            obs, "pair_loop", attrs={"pairs": len(plan.pairs)} if obs else None
-        ), ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="team"
-        ) as pool:
-            result_tiles.extend(
-                tile
-                for tile in pool.map(run_pair_captured, pending_pairs)
-                if tile is not None
-            )
+        pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="team")
+        try:
+            with _span(
+                obs, "pair_loop", attrs={"pairs": len(plan.pairs)} if obs else None
+            ):
+                result_tiles.extend(
+                    tile
+                    for tile in pool.map(run_pair_captured, pending_pairs)
+                    if tile is not None
+                )
+        except KeyboardInterrupt:
+            # Tear the pool down without waiting for queued pairs, keep
+            # what finished, and let the CLI print its one-line exit.
+            pool.shutdown(wait=False, cancel_futures=True)
+            flush_on_interrupt()
+            raise
+        finally:
+            pool.shutdown(wait=True)
         report.wall_seconds = time.perf_counter() - start
-        report.conversions = conversions.conversions
+        report.conversions = computer.conversions.conversions
         if checkpoint is not None:
             checkpoint.flush()
             report.checkpoint_flushes = checkpoint.flushes
@@ -461,27 +589,27 @@ def execute_plan(
             )
     else:
         assert isinstance(report, MultiplyReport)
-        for pair in plan.pairs:
-            if (pair.ti, pair.tj) in completed:
-                resume_pair(pair)
-                continue
-            outcome = run_pair(pair)
-            stats = outcome.stats
-            report.optimize_seconds += stats.optimize_seconds
-            report.multiply_seconds += stats.multiply_seconds
-            report.merge_kernel_counts(stats.kernel_counts)
-            report.tasks.extend(stats.tasks)
-            report.pairs_executed += 1
-            if outcome.tile is not None:
-                result_tiles.append(outcome.tile)
-                if degradation is not None:
-                    degradation.note_completed(
-                        pair.r0, pair.r1, pair.c0, pair.c1,
-                        outcome.tile.memory_bytes(),
-                    )
-            if checkpoint is not None:
-                journal_pair(pair, outcome.tile)
-        report.conversions = conversions.conversions
+        try:
+            for pair in plan.pairs:
+                if (pair.ti, pair.tj) in completed:
+                    resume_pair(pair)
+                    continue
+                outcome = computer.run_pair(pair)
+                stats = outcome.stats
+                report.optimize_seconds += stats.optimize_seconds
+                report.multiply_seconds += stats.multiply_seconds
+                report.merge_kernel_counts(stats.kernel_counts)
+                report.tasks.extend(stats.tasks)
+                report.pairs_executed += 1
+                if outcome.tile is not None:
+                    result_tiles.append(outcome.tile)
+                    computer.note_completed(pair, outcome.tile)
+                if checkpoint is not None:
+                    journal_pair(pair, outcome.tile)
+        except KeyboardInterrupt:
+            flush_on_interrupt()
+            raise
+        report.conversions = computer.conversions.conversions
         if checkpoint is not None:
             checkpoint.flush()
             report.checkpoint_flushes = checkpoint.flushes

@@ -80,6 +80,23 @@ class MultiplyOptions:
     workers:
         Worker-team count override for parallel execution (``None``
         uses the topology's socket count).
+    execution:
+        Parallel backend: ``"threads"`` (default — one worker thread
+        per simulated socket) or ``"processes"`` (the supervised
+        multiprocess shard executor, see docs/RESILIENCE.md).  Ignored
+        by the sequential entry points.  When ``multiprocessing`` is
+        unavailable on the platform, ``"processes"`` falls back to
+        threads with a :class:`RuntimeWarning`.
+    heartbeat_interval_seconds:
+        Cadence of worker liveness heartbeats under
+        ``execution="processes"``; a worker whose heartbeat goes stale
+        is killed and its pairs are reassigned.
+    pair_deadline_seconds:
+        Per-pair dispatch deadline under ``execution="processes"``:
+        a worker spending longer than this on one pair is declared hung
+        (``None`` disables the deadline).  Distinct from the retry
+        layer's ``task_deadline_seconds``, which measures a single
+        attempt inside a live worker.
     plan_cache:
         A :class:`~repro.engine.cache.PlanCache`; when set, planning is
         skipped whenever a cached :class:`~repro.engine.plan.ExecutionPlan`
@@ -103,6 +120,9 @@ class MultiplyOptions:
     resilience: RetryPolicy | None = None
     observer: Observation | None = None
     workers: int | None = None
+    execution: str = "threads"
+    heartbeat_interval_seconds: float = 0.25
+    pair_deadline_seconds: float | None = None
     plan_cache: PlanCache | None = field(default=None, compare=False)
     checkpoint: CheckpointStore | None = field(default=None, compare=False)
     checkpoint_flush_pairs: int = 1

@@ -1,0 +1,373 @@
+"""Worker-side protocol of the supervised multiprocess executor.
+
+The paper's two-level scheme (Section III-F) places tile-row/tile-column
+pairs on worker teams, one per socket; :mod:`repro.resilience.supervisor`
+makes those teams real OS processes.  This module holds everything a
+worker process needs — and deliberately imports no ``multiprocessing``
+(repro-lint RPR008 confines process management to the supervisor):
+
+* :func:`assign_shards` — the placement function: pairs land on the
+  shard of their planned ``team_node`` (round-robin tile-row placement,
+  exactly the paper's NUMA assignment), so one shard corresponds to one
+  simulated socket;
+* :class:`ShardConfig` — the picklable per-run contract shipped to each
+  worker: system config, cost model, retry policy, heartbeat cadence,
+  fault-injection spec and the journal directory;
+* :func:`prepare_run_dir` — serializes the operands (v2 ``.npz``
+  archives), the :class:`~repro.engine.plan.ExecutionPlan` and the
+  :class:`ShardConfig` into the run directory;
+* :func:`worker_main` — the worker entry point: load the run directory,
+  start the heartbeat thread, then serve dispatched pairs until the
+  ``None`` sentinel arrives.
+
+Worker → supervisor communication is **files only** (heartbeat files,
+per-pair done files, checkpoint journal records), each written with
+:func:`~repro.ioutil.atomic_write_text` — a worker killed mid-write can
+never corrupt shared IPC state the way a SIGKILLed queue writer can.
+The supervisor → worker direction is a queue-like object satisfying
+:class:`TaskSource` (the supervisor passes a ``multiprocessing``
+``SimpleQueue``; tests pass plain stubs).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+import time
+from pathlib import Path
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+from ..config import SystemConfig
+from ..cost.model import CostModel
+from ..core.atmatrix import ATMatrix
+from ..ioutil import atomic_write_bytes, atomic_write_text
+from ..observe import session as observe_session
+from ..resilience import faults
+from ..resilience.checkpoint import CheckpointStore
+from ..resilience.faults import FaultPlanSpec, fire_worker_crash
+from ..resilience.report import FailureReport
+from ..resilience.retry import RetryPolicy
+from .executor import PairComputer, check_plan_applies
+from .plan import ExecutionPlan, PlannedPair
+
+__all__ = [
+    "ShardConfig",
+    "TaskSource",
+    "assign_shards",
+    "done_file",
+    "heartbeat_file",
+    "prepare_run_dir",
+    "worker_main",
+]
+
+#: Pair coordinates ``(ti, tj)``.
+PairCoords = tuple[int, int]
+
+#: One dispatched task: the pair plus its 1-based dispatch attempt
+#: (counted by the supervisor across worker deaths and reassignments).
+ShardTask = tuple[PairCoords, int]
+
+_OPERAND_A = "operand-a.npz"
+_OPERAND_B = "operand-b.npz"
+_PLAN = "plan.pkl"
+_SHARD = "shard.pkl"
+
+
+class TaskSource(Protocol):
+    """The supervisor → worker half of the dispatch channel."""
+
+    def get(self) -> ShardTask | None:  # pragma: no cover - protocol
+        """Block until the next task (or the ``None`` shutdown sentinel)."""
+        ...
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """The per-run contract shipped (pickled) to every worker process."""
+
+    config: SystemConfig
+    cost_model: CostModel
+    resilience: RetryPolicy | None
+    #: seconds between heartbeat-file updates
+    heartbeat_interval: float
+    #: directory the checkpoint journal lives in (shared with the
+    #: supervisor; workers :meth:`~CheckpointStore.attach`, never begin)
+    journal_dir: str
+    #: rebuildable fault-injection schedule, when the supervising
+    #: process had a plan active (``--inject-faults`` parity)
+    fault_spec: FaultPlanSpec | None = None
+    #: the B operand is the same object as A (self-product): ship one
+    #: archive and alias it in the worker
+    b_is_a: bool = False
+
+
+def assign_shards(
+    pairs: list[PlannedPair], workers: int
+) -> list[list[PairCoords]]:
+    """Partition planned pairs into one shard per worker.
+
+    A pair lands on shard ``team_node % workers`` — its planned NUMA
+    placement, so shard ``k`` is the process-world twin of simulated
+    socket ``k`` and operand tile-rows stay with their round-robin home.
+    Deterministic: plan order is preserved within each shard, and the
+    supervisor's work stealing only rebalances *dispatch*, never
+    results.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    shards: list[list[PairCoords]] = [[] for _ in range(workers)]
+    for pair in pairs:
+        shards[pair.team_node % workers].append((pair.ti, pair.tj))
+    return shards
+
+
+def heartbeat_file(run_dir: Path, worker_id: int) -> Path:
+    return run_dir / f"hb-{worker_id:03d}.json"
+
+
+def done_file(run_dir: Path, coords: PairCoords) -> Path:
+    return run_dir / f"done-{coords[0]:05d}-{coords[1]:05d}.json"
+
+
+def prepare_run_dir(
+    run_dir: Path,
+    plan: ExecutionPlan,
+    at_a: ATMatrix,
+    at_b: ATMatrix,
+    shard_config: ShardConfig,
+) -> None:
+    """Serialize everything a worker loads into ``run_dir``.
+
+    Operands travel as v2 ``.npz`` archives (atomic write, per-member
+    CRC-32C — the same end-to-end integrity story as at-rest matrices),
+    the plan and shard config as pickles of frozen dataclasses.
+    """
+    # Imported lazily: repro.formats.serialize itself imports the core
+    # package, whose import chain re-enters this module via the engine.
+    from ..formats.serialize import save_at_matrix
+
+    run_dir.mkdir(parents=True, exist_ok=True)
+    save_at_matrix(at_a, run_dir / _OPERAND_A)
+    if not shard_config.b_is_a:
+        save_at_matrix(at_b, run_dir / _OPERAND_B)
+    atomic_write_bytes(run_dir / _PLAN, pickle.dumps(plan))
+    atomic_write_bytes(run_dir / _SHARD, pickle.dumps(shard_config))
+
+
+def load_shard_config(run_dir: Path) -> ShardConfig:
+    """Just the (small) shard config — cheap enough to read before the
+    heartbeat starts, so liveness covers the expensive operand load."""
+    with open(run_dir / _SHARD, "rb") as handle:
+        config = pickle.load(handle)
+    assert isinstance(config, ShardConfig)
+    return config
+
+
+def load_run_dir(
+    run_dir: Path,
+) -> tuple[ExecutionPlan, ATMatrix, ATMatrix, ShardConfig]:
+    """The worker-side inverse of :func:`prepare_run_dir` (validated)."""
+    from ..formats.serialize import load_at_matrix
+
+    shard_config = load_shard_config(run_dir)
+    with open(run_dir / _PLAN, "rb") as handle:
+        plan = pickle.load(handle)
+    at_a = load_at_matrix(run_dir / _OPERAND_A)
+    at_b = at_a if shard_config.b_is_a else load_at_matrix(run_dir / _OPERAND_B)
+    # The archives round-tripped through disk; replay validation makes a
+    # worker executing against torn or mismatched operands impossible.
+    check_plan_applies(plan, at_a, at_b)
+    return plan, at_a, at_b, shard_config
+
+
+class _Heartbeat:
+    """A daemon thread writing this worker's liveness file."""
+
+    def __init__(self, path: Path, worker_id: int, interval: float) -> None:
+        self._path = path
+        self._worker_id = worker_id
+        self._interval = max(interval, 0.01)
+        self._stop = threading.Event()
+        self._beats = 0
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{worker_id}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._write()
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._write()
+
+    def _write(self) -> None:
+        import os
+
+        self._beats += 1
+        payload = {
+            "worker": self._worker_id,
+            "pid": os.getpid(),
+            "beat": self._beats,
+            "time": time.time(),
+        }
+        atomic_write_text(self._path, json.dumps(payload))
+
+
+def _outcome_delta(
+    failure: FailureReport, before: tuple[int, int, int, int, int], coords: PairCoords
+) -> dict[str, Any]:
+    """The per-pair resilience counters accrued by the last ``run_pair``."""
+    attempts, retries, degradations, deadlines, fallbacks = before
+    recorded = failure.pair_outcomes.get(coords)
+    return {
+        # Without a retry policy nothing touches the counters; report
+        # the one attempt that ran so the aggregate matches the thread
+        # backend's "attempts == pairs" accounting.
+        "attempts": max(failure.attempts - attempts, 1),
+        "retries": failure.retries - retries,
+        "degradations": failure.degradations - degradations,
+        "deadline_violations": failure.deadline_violations - deadlines,
+        "fallbacks": failure.fallbacks - fallbacks,
+        "late": bool(recorded.late) if recorded is not None else False,
+        "failed": bool(recorded.failed) if recorded is not None else False,
+        "error": recorded.error if recorded is not None else None,
+    }
+
+
+def _failure_snapshot(failure: FailureReport) -> tuple[int, int, int, int, int]:
+    return (
+        failure.attempts,
+        failure.retries,
+        failure.degradations,
+        failure.deadline_violations,
+        failure.fallbacks,
+    )
+
+
+def worker_main(worker_id: int, run_dir: str, tasks: TaskSource) -> None:
+    """One supervised worker: serve dispatched pairs until the sentinel.
+
+    Lifecycle: reset inherited process-global state (a forked child
+    shares the parent's fault plan and observation objects), start the
+    heartbeat thread (before the expensive operand load, so liveness
+    covers it), load the run directory, install the shipped fault spec,
+    attach to the shared checkpoint journal, then loop::
+
+        task = tasks.get()            # ((ti, tj), dispatch_attempt)
+        fire_worker_crash(...)        # injected SIGKILL, maybe
+        outcome = computer.run_pair(pair)
+        store.record + store.flush    # durable before "done"
+        write done-<ti>-<tj>.json     # stats + resilience outcome
+
+    Every completed pair is flushed *before* its done file appears, so
+    the supervisor never trusts a result that could vanish with the
+    worker.  Failures never escape: an exhausted retry budget (or any
+    unexpected exception) becomes a ``failed`` done file and the worker
+    moves on — dying is reserved for injected crashes and real ones.
+    """
+    directory = Path(run_dir)
+    faults.clear_active()
+    observe_session.clear()
+    # Heartbeat first: loading the operand archives (CRC-verified) can
+    # take longer than the staleness window on big matrices, and the
+    # supervisor must see a live worker the whole time.
+    shard_config = load_shard_config(directory)
+    heartbeat = _Heartbeat(
+        heartbeat_file(directory, worker_id), worker_id,
+        shard_config.heartbeat_interval,
+    )
+    heartbeat.start()
+    plan, at_a, at_b, shard_config = load_run_dir(directory)
+    pairs_by_coords: dict[PairCoords, PlannedPair] = {
+        (pair.ti, pair.tj): pair for pair in plan.pairs
+    }
+
+    fault_plan = (
+        shard_config.fault_spec.build() if shard_config.fault_spec is not None else None
+    )
+    store = CheckpointStore(shard_config.journal_dir)
+    store.attach(plan.fingerprint)
+
+    failure = FailureReport()
+    busy_cell = [0.0]
+
+    def busy_hook(elapsed: float) -> None:
+        busy_cell[0] += elapsed
+
+    computer = PairComputer(
+        plan,
+        at_a,
+        at_b,
+        cost_model=shard_config.cost_model,
+        resilience=shard_config.resilience,
+        record_tasks=False,
+        busy_hook=busy_hook,
+    )
+    computer.bind_resilience(shard_config.config, failure)
+    events_shipped = 0
+
+    def new_events() -> list[dict[str, Any]]:
+        nonlocal events_shipped
+        if fault_plan is None:
+            return []
+        events = fault_plan.events[events_shipped:]
+        events_shipped += len(events)
+        return [faults.event_to_wire(event) for event in events]
+
+    def serve() -> None:
+        while True:
+            task = tasks.get()
+            if task is None:
+                return
+            coords, dispatch_attempt = task
+            fire_worker_crash(coords, dispatch_attempt)
+            pair = pairs_by_coords[coords]
+            before = _failure_snapshot(failure)
+            busy_before = busy_cell[0]
+            payload: dict[str, Any] = {
+                "worker": worker_id,
+                "pair": list(coords),
+                "dispatch_attempt": dispatch_attempt,
+            }
+            try:
+                outcome = computer.run_pair(pair)
+            except Exception as error:  # noqa: BLE001 — shipped to the supervisor
+                payload.update(
+                    failed=True,
+                    error=repr(error),
+                    outcome=_outcome_delta(failure, before, coords),
+                    busy_seconds=busy_cell[0] - busy_before,
+                    conversions=computer.conversions.conversions,
+                    flushes=store.flushes,
+                    events=new_events(),
+                )
+            else:
+                store.record(coords, outcome.tile)
+                store.flush()
+                payload.update(
+                    failed=False,
+                    error=None,
+                    products=outcome.stats.products,
+                    kernel_counts=outcome.stats.kernel_counts,
+                    outcome=_outcome_delta(failure, before, coords),
+                    busy_seconds=busy_cell[0] - busy_before,
+                    conversions=computer.conversions.conversions,
+                    flushes=store.flushes,
+                    events=new_events(),
+                )
+            atomic_write_text(done_file(directory, coords), json.dumps(payload))
+
+    try:
+        if fault_plan is not None:
+            with faults.inject_faults(fault_plan):
+                serve()
+        else:
+            serve()
+    finally:
+        heartbeat.stop()

@@ -64,6 +64,19 @@ def current() -> Observation | None:
     return _ACTIVE
 
 
+def clear() -> None:
+    """Drop the ambient session (forked-worker initialization).
+
+    A forked worker process inherits the parent's process-global
+    observation, whose collectors nobody will ever read in the child;
+    supervised workers clear it so their hooks stay no-ops and ship
+    statistics back to the supervisor through the shard protocol
+    instead.
+    """
+    global _ACTIVE
+    _ACTIVE = None
+
+
 @contextmanager
 def activate(observation: Observation) -> Iterator[Observation]:
     """Install ``observation`` as the ambient session for the block."""

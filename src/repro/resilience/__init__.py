@@ -18,6 +18,11 @@ makes the engine safe to run unattended (see ``docs/RESILIENCE.md``):
 * :mod:`~repro.resilience.checkpoint` — the durable
   :class:`CheckpointStore` journal that makes an interrupted
   multiplication resumable across process crashes;
+* :mod:`~repro.resilience.supervisor` — the supervised multiprocess
+  shard executor behind ``execution="processes"`` (heartbeats, crash
+  detection, pair reassignment and quarantine); imported lazily — as
+  ``repro.resilience.supervisor`` — because it reaches back into the
+  engine for the worker-side pair computer;
 * :mod:`~repro.resilience.integrity` — the deep at-rest verifier behind
   ``repro verify`` (structural invariants plus archive checksums).
 
@@ -31,17 +36,20 @@ from .faults import (
     FaultEvent,
     FaultKind,
     FaultPlan,
+    FaultPlanSpec,
     InjectedFaultError,
     active_plan,
+    clear_active,
     fire_corruption,
     fire_hooks,
+    fire_worker_crash,
     inject_faults,
     stable_unit,
     suppress_faults,
     task_scope,
 )
 from .guard import reference_tile_product, validate_tile
-from .report import FailureReport, PairOutcome
+from .report import FailureReport, PairOutcome, WorkerRecord
 from .retry import ResilientPairRunner, RetryPolicy
 
 # Imported last: these reach back into repro.core / repro.formats, whose
@@ -63,15 +71,19 @@ __all__ = [
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
+    "FaultPlanSpec",
     "InjectedFaultError",
     "IntegrityViolation",
     "PairOutcome",
     "ResilientPairRunner",
     "RetryPolicy",
+    "WorkerRecord",
     "active_plan",
     "check_integrity",
+    "clear_active",
     "fire_corruption",
     "fire_hooks",
+    "fire_worker_crash",
     "inject_faults",
     "reference_tile_product",
     "stable_unit",

@@ -23,7 +23,18 @@ Four fault kinds model the failure modes of long-running sparse chains:
 ``CORRUPTION``
     a silent result corruption — a NaN poked into the pair's accumulator
     after a kernel ran — which only the result guard
-    (:mod:`repro.resilience.guard`) can catch.
+    (:mod:`repro.resilience.guard`) can catch;
+``WORKER_CRASH``
+    a hard worker death — ``SIGKILL`` delivered to the current process
+    before a listed pair runs — which only the process supervisor
+    (:mod:`repro.resilience.supervisor`) can survive.  Ignored under
+    thread execution: killing the process would kill the whole run.
+
+Because every decision is a pure function of the seed and the hook-site
+identity, a plan can be reduced to a picklable :class:`FaultPlanSpec`,
+shipped to worker processes, and rebuilt there: ``--inject-faults``
+reproduces the same pair-level failures under ``--execution=processes``
+as under threads.
 
 Hook points live in :func:`repro.kernels.registry.run_tile_product`
 (sites ``"kernel"`` pre-kernel and the post-kernel corruption hook) and
@@ -59,6 +70,7 @@ class FaultKind(enum.Enum):
     STALL = "stall"
     MEMORY_PRESSURE = "memory_pressure"
     CORRUPTION = "corruption"
+    WORKER_CRASH = "worker_crash"
 
 
 @dataclass(frozen=True)
@@ -108,6 +120,8 @@ class FaultPlan:
         stall_seconds: float = 0.005,
         memory_pressure_rate: float = 0.0,
         corruption_rate: float = 0.0,
+        worker_crash_pairs: tuple[tuple[int, int], ...] = (),
+        worker_crash_attempts: int = 1,
     ) -> None:
         self.seed = int(seed)
         self.kernel_error_rate = _rate(kernel_error_rate, "kernel_error_rate")
@@ -117,8 +131,29 @@ class FaultPlan:
         if stall_seconds < 0:
             raise ConfigError(f"stall_seconds must be >= 0, got {stall_seconds}")
         self.stall_seconds = float(stall_seconds)
+        self.worker_crash_pairs = tuple(
+            (int(ti), int(tj)) for ti, tj in worker_crash_pairs
+        )
+        if worker_crash_attempts < 0:
+            raise ConfigError(
+                f"worker_crash_attempts must be >= 0, got {worker_crash_attempts}"
+            )
+        self.worker_crash_attempts = int(worker_crash_attempts)
         self.events: list[FaultEvent] = []
         self._lock = threading.Lock()
+
+    def spec(self) -> FaultPlanSpec:
+        """The picklable description this plan can be rebuilt from."""
+        return FaultPlanSpec(
+            seed=self.seed,
+            kernel_error_rate=self.kernel_error_rate,
+            stall_rate=self.stall_rate,
+            stall_seconds=self.stall_seconds,
+            memory_pressure_rate=self.memory_pressure_rate,
+            corruption_rate=self.corruption_rate,
+            worker_crash_pairs=self.worker_crash_pairs,
+            worker_crash_attempts=self.worker_crash_attempts,
+        )
 
     # -- deterministic decisions -----------------------------------------
     def draw(self, kind: FaultKind, site: str, task: Any, iteration: int, extra: Any) -> float:
@@ -158,6 +193,69 @@ class FaultPlan:
         with self._lock:
             self.events.clear()
 
+    # -- cross-process accounting ----------------------------------------
+    def absorb_wire(self, events: list[dict[str, Any]]) -> None:
+        """Merge events recorded by a worker process (wire format)."""
+        for wire in events:
+            task = wire.get("task")
+            self.record(
+                FaultKind(wire["kind"]),
+                str(wire["site"]),
+                tuple(task) if isinstance(task, list) else task,
+                int(wire["iteration"]),
+                wire.get("extra"),
+            )
+
+
+def event_to_wire(event: FaultEvent) -> dict[str, Any]:
+    """A JSON-safe description of one event (worker → supervisor)."""
+    extra = event.extra
+    if not isinstance(extra, (str, int, float, bool, type(None))):
+        extra = repr(extra)
+    task: Any = event.task
+    if isinstance(task, tuple):
+        task = list(task)
+    return {
+        "kind": event.kind.value,
+        "site": event.site,
+        "task": task,
+        "iteration": event.iteration,
+        "extra": extra,
+    }
+
+
+@dataclass(frozen=True)
+class FaultPlanSpec:
+    """A picklable :class:`FaultPlan` description for worker processes.
+
+    The plan object itself carries a lock and the recorded-event list,
+    so it cannot cross a process boundary; the spec carries only the
+    seed and rates — everything a worker needs to rebuild a plan that
+    makes bit-identical injection decisions.
+    """
+
+    seed: int
+    kernel_error_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.005
+    memory_pressure_rate: float = 0.0
+    corruption_rate: float = 0.0
+    worker_crash_pairs: tuple[tuple[int, int], ...] = ()
+    worker_crash_attempts: int = 1
+
+    def build(self) -> FaultPlan:
+        """A fresh plan making the same decisions as the original."""
+        return FaultPlan(
+            self.seed,
+            kernel_error_rate=self.kernel_error_rate,
+            stall_rate=self.stall_rate,
+            stall_seconds=self.stall_seconds,
+            memory_pressure_rate=self.memory_pressure_rate,
+            corruption_rate=self.corruption_rate,
+            worker_crash_pairs=self.worker_crash_pairs,
+            worker_crash_attempts=self.worker_crash_attempts,
+        )
+
 
 # The active plan is process-global: fault injection is a test/chaos
 # harness, not a per-request feature, and the hook must stay a single
@@ -173,6 +271,42 @@ _SUPPRESS: ContextVar[bool] = ContextVar("repro-fault-suppress", default=False)
 def active_plan() -> FaultPlan | None:
     """The currently installed fault plan, if any."""
     return _ACTIVE
+
+
+def clear_active() -> None:
+    """Drop any installed fault plan (worker-process initialization).
+
+    A forked worker inherits the parent's process-global plan object —
+    including its recorded events and lock — which must not be mutated
+    from the child; workers clear it and install a fresh plan rebuilt
+    from the shipped :class:`FaultPlanSpec`.
+    """
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def fire_worker_crash(pair: tuple[int, int], dispatch_attempt: int) -> None:
+    """Kill the current process if the active plan schedules it.
+
+    Called by supervised workers right before executing ``pair``; the
+    crash fires while ``dispatch_attempt`` (1-based, counted by the
+    supervisor across reassignments) is within the plan's
+    ``worker_crash_attempts`` budget, so a crashing pair eventually
+    succeeds on a later dispatch — or, with a large budget, exercises
+    the supervisor's quarantine path.  A no-op outside the supervisor
+    (thread and sequential execution never call it).
+    """
+    plan = _ACTIVE
+    if plan is None or _SUPPRESS.get():
+        return
+    if (
+        tuple(pair) in plan.worker_crash_pairs
+        and dispatch_attempt <= plan.worker_crash_attempts
+    ):
+        import os
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 @contextmanager

@@ -45,6 +45,22 @@ class PairOutcome:
 
 
 @dataclass
+class WorkerRecord:
+    """Lifecycle of one supervised worker process."""
+
+    worker_id: int
+    pid: int | None = None
+    #: heartbeats observed by the supervisor
+    heartbeats: int = 0
+    #: pairs this worker completed
+    pairs_completed: int = 0
+    #: the worker died (crash, SIGKILL, missed heartbeats, deadline)
+    died: bool = False
+    #: human-readable cause of death, when it died
+    cause: str | None = None
+
+
+@dataclass
 class FailureReport:
     """Aggregate failure statistics of one (possibly resilient) run."""
 
@@ -62,6 +78,14 @@ class FailureReport:
     failures: int = 0
     #: pairs restored from a checkpoint journal instead of re-executed
     pairs_resumed: int = 0
+    #: supervised worker processes that died mid-run
+    worker_deaths: int = 0
+    #: pairs reassigned to a surviving worker after their worker died
+    pairs_reassigned: int = 0
+    #: pairs quarantined after repeatedly killing their worker
+    pairs_quarantined: int = 0
+    #: per-worker lifecycle records (process execution only)
+    workers: dict[int, WorkerRecord] = field(default_factory=dict)
     #: per-pair outcome details (only pairs that needed resilience, plus failures)
     pair_outcomes: dict[tuple[int, int], PairOutcome] = field(default_factory=dict)
     #: ``[(pair, exception), ...]`` captured when running without a policy
@@ -83,6 +107,8 @@ class FailureReport:
             or self.deadline_violations
             or self.fallbacks
             or self.failures
+            or self.worker_deaths
+            or self.pairs_quarantined
             or self.pair_errors
         )
 
@@ -127,6 +153,12 @@ class FailureReport:
             parts.append(f"{self.deadline_violations} deadline violations")
         if self.fallbacks:
             parts.append(f"{self.fallbacks} reference fallbacks")
+        if self.worker_deaths:
+            parts.append(f"{self.worker_deaths} worker deaths")
+        if self.pairs_reassigned:
+            parts.append(f"{self.pairs_reassigned} pairs reassigned")
+        if self.pairs_quarantined:
+            parts.append(f"{self.pairs_quarantined} pairs quarantined")
         if self.failures:
             parts.append(f"{self.failures} failed pairs")
         if self.pair_errors:

@@ -1,0 +1,515 @@
+"""The supervised multiprocess shard executor.
+
+:func:`run_supervised` is the ``execution="processes"`` backend of
+:func:`~repro.engine.executor.execute_plan`: it shards the planned
+tile pairs across OS worker processes (one shard per simulated socket,
+:func:`~repro.engine.shard.assign_shards`), ships the operands through
+the v2 archive serialization, and supervises the workers with per-worker
+heartbeats, per-pair dispatch deadlines and liveness checks.
+
+This is the **only** module in ``src/repro`` allowed to import
+``multiprocessing`` (repro-lint rule RPR008): process lifecycle is a
+resilience concern, and confining it here keeps every other layer
+testable in-process.
+
+Supervision protocol
+--------------------
+Supervisor → worker: one ``SimpleQueue`` per worker carrying
+``((ti, tj), dispatch_attempt)`` tasks and a ``None`` shutdown sentinel.
+Only the supervisor writes these queues and only the owning worker reads
+them, so a SIGKILLed worker cannot corrupt anybody else's channel.
+
+Worker → supervisor: **files only** — heartbeat files, per-pair done
+files, and the shared checkpoint journal, all atomically written.  A
+worker flushes a pair's journal record durably *before* writing its done
+file, so a result the supervisor adopts can never vanish with its
+worker.
+
+Failure handling
+----------------
+A worker is declared dead when its process exits, its heartbeat file
+goes stale, or its current pair exceeds the dispatch deadline (the
+latter two get a SIGKILL first).  Unfinished pairs of a dead worker are
+reassigned to surviving workers; a pair whose execution killed its
+worker twice is *quarantined* — recorded as a failed
+:class:`~repro.resilience.report.PairOutcome` instead of retried
+forever.  When no workers survive and work remains, a replacement
+worker is spawned.  Supervisor-level restarts resume bit-identically
+through the :class:`~repro.resilience.checkpoint.CheckpointStore`
+journal: recomputing a reassigned pair is deterministic, and adopted
+tiles round-trip through the journal's exact float bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import tempfile
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from ..core.report import ParallelReport
+from ..core.tile import Tile
+from ..errors import TaskFailedError
+from ..observe import Observation
+from ..observe import session as observe_session
+from ..resilience.report import PairOutcome, WorkerRecord, aggregate_message
+from .checkpoint import CheckpointStore
+from .faults import active_plan
+from .retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import SystemConfig
+    from ..core.atmatrix import ATMatrix
+    from ..cost.model import CostModel
+    from ..engine.plan import ExecutionPlan
+    from ..engine.shard import PairCoords
+
+__all__ = ["processes_available", "run_supervised"]
+
+_span = observe_session.tracer_span
+
+#: Heartbeats may be late by this factor before a worker counts as hung.
+_HEARTBEAT_GRACE = 5.0
+
+#: Allowance (seconds) for a worker that has not heartbeat *yet*: spawn
+#: platforms re-import the world before ``worker_main`` runs, and the
+#: staleness window alone would bury a slow-starting worker unborn.
+_STARTUP_GRACE = 10.0
+
+#: A pair that killed its worker this many times is quarantined.
+_QUARANTINE_KILLS = 2
+
+#: Supervisor poll cadence (seconds): done files and liveness checks.
+_POLL_SECONDS = 0.005
+
+
+def processes_available() -> bool:
+    """Whether this platform can run the multiprocess backend.
+
+    ``multiprocessing`` needs working OS semaphores; platforms without
+    them (some containers, WebAssembly builds) raise ``ImportError`` on
+    the synchronize module, and callers fall back to threads.
+    """
+    try:
+        import multiprocessing.synchronize  # noqa: F401 — probe only
+    except ImportError:  # pragma: no cover - platform-specific
+        return False
+    return True
+
+
+class _Worker:
+    """Supervisor-side state of one worker process."""
+
+    def __init__(
+        self, worker_id: int, process: Any, queue: Any, shard_index: int = 0
+    ) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.queue = queue
+        self.shard_index = shard_index
+        self.record = WorkerRecord(worker_id=worker_id, pid=process.pid)
+        #: dispatched-but-unconfirmed tasks, oldest first:
+        #: ``[coords, dispatch_attempt, head_since]``
+        self.in_flight: list[list[Any]] = []
+        self.last_beat = 0
+        self.last_beat_change = time.monotonic()
+        self.sentinel_sent = False
+
+    def alive(self) -> bool:
+        return bool(self.process.is_alive())
+
+
+def run_supervised(
+    plan: ExecutionPlan,
+    at_a: ATMatrix,
+    at_b: ATMatrix,
+    *,
+    config: SystemConfig,
+    cost_model: CostModel,
+    resilience: RetryPolicy | None = None,
+    obs: Observation | None = None,
+    workers: int = 2,
+    heartbeat_interval: float = 0.25,
+    pair_deadline_seconds: float | None = None,
+    checkpoint: CheckpointStore | None = None,
+    checkpoint_flush_pairs: int = 1,
+) -> tuple[ATMatrix, ParallelReport]:
+    """Execute ``plan`` on supervised worker processes.
+
+    Returns the same ``(ATMatrix, ParallelReport)`` shape as the thread
+    backend; ``report.failure`` additionally carries ``worker_deaths``,
+    ``pairs_reassigned``, ``pairs_quarantined`` and per-worker
+    :class:`~repro.resilience.report.WorkerRecord` entries.
+
+    ``checkpoint_flush_pairs`` is accepted for interface parity but the
+    journal is flushed after *every* pair here: the journal doubles as
+    the worker → supervisor result channel, so durability per pair is
+    what makes a worker death lose nothing.
+    """
+    del checkpoint_flush_pairs  # journal-as-IPC forces per-pair flushes
+    # Imported here, not at module top: engine.shard pulls in the
+    # executor, which lazily imports this module for mode dispatch.
+    from ..core.atmatrix import ATMatrix as _ATMatrix
+    from ..engine import shard
+
+    worker_count = max(1, int(workers))
+    report = ParallelReport(workers=worker_count, observation=obs)
+    failure = report.failure
+    if obs is not None:
+        obs.metrics.gauge("workers").set(worker_count)
+    report.pairs = len(plan.pairs)
+
+    with tempfile.TemporaryDirectory(prefix="repro-shard-") as tmp:
+        run_dir = Path(tmp)
+        store = checkpoint if checkpoint is not None else CheckpointStore(
+            run_dir / "journal"
+        )
+        completed: dict[PairCoords, Tile | None] = store.begin(plan)
+        for coords in completed:
+            failure.pairs_resumed += 1
+        pending: list[Any] = [
+            pair for pair in plan.pairs if (pair.ti, pair.tj) not in completed
+        ]
+
+        parent_plan = active_plan()
+        shard_config = shard.ShardConfig(
+            config=config,
+            cost_model=cost_model,
+            resilience=resilience,
+            heartbeat_interval=heartbeat_interval,
+            journal_dir=str(store.directory),
+            fault_spec=parent_plan.spec() if parent_plan is not None else None,
+            b_is_a=at_b is at_a,
+        )
+
+        start = time.perf_counter()
+        done_pairs: dict[PairCoords, dict[str, Any]] = {}
+        quarantined: set[PairCoords] = set()
+        if pending:
+            shard.prepare_run_dir(run_dir, plan, at_a, at_b, shard_config)
+            done_pairs, quarantined = _supervise(
+                plan, pending, run_dir, store, shard_config, report, obs,
+                worker_count, pair_deadline_seconds,
+            )
+        report.wall_seconds = time.perf_counter() - start
+
+        result_tiles: list[Tile] = []
+        for pair in plan.pairs:
+            coords = (pair.ti, pair.tj)
+            if coords in completed:
+                tile = completed[coords]
+            elif coords in done_pairs and not done_pairs[coords].get("failed"):
+                tile = store.load_pair(coords)
+            else:
+                continue
+            if tile is not None:
+                result_tiles.append(tile)
+
+    result = _ATMatrix(plan.shape[0], plan.shape[1], config, result_tiles)
+    limit = plan.memory_limit_bytes
+    if limit is not None:
+        from ..core.atmult import enforce_memory_limit
+
+        enforce_start = time.perf_counter()
+        with _span(obs, "memory_limit_enforce"):
+            enforce_memory_limit(result, limit)
+        report.add_phase("optimize", time.perf_counter() - enforce_start)
+    if failure.pair_errors:
+        raise TaskFailedError(
+            aggregate_message(failure.pair_errors, len(plan.pairs)),
+            pair_errors=failure.pair_errors,
+            report=report,
+        )
+    return result, report
+
+
+def _make_context() -> Any:
+    """Fork where possible (workers inherit loaded modules), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _supervise(
+    plan: ExecutionPlan,
+    pending: list[Any],
+    run_dir: Path,
+    store: CheckpointStore,
+    shard_config: Any,
+    report: ParallelReport,
+    obs: Observation | None,
+    worker_count: int,
+    pair_deadline_seconds: float | None,
+) -> tuple[dict[PairCoords, dict[str, Any]], set[PairCoords]]:
+    """The dispatch-and-liveness loop; returns (done, quarantined)."""
+    from ..engine import shard
+
+    failure = report.failure
+    ctx = _make_context()
+    shards = shard.assign_shards(pending, worker_count)
+    #: pairs killed back into the pool by a worker death, dispatched first
+    retry_pool: list[PairCoords] = []
+    dispatch_counts: dict[PairCoords, int] = {}
+    kill_blame: dict[PairCoords, int] = {}
+    done_pairs: dict[PairCoords, dict[str, Any]] = {}
+    quarantined: set[PairCoords] = set()
+    total = len(pending)
+    worker_flushes: dict[int, int] = {}
+    worker_conversions: dict[int, int] = {}
+    next_worker_id = 0
+    workers: dict[int, _Worker] = {}
+
+    def spawn_worker(shard_index: int) -> _Worker:
+        nonlocal next_worker_id
+        worker_id = next_worker_id
+        next_worker_id += 1
+        queue = ctx.SimpleQueue()
+        process = ctx.Process(
+            target=shard.worker_main,
+            args=(worker_id, str(run_dir), queue),
+            name=f"repro-shard-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        worker = _Worker(worker_id, process, queue, shard_index)
+        worker.record.pid = process.pid
+        workers[worker_id] = worker
+        failure.workers[worker_id] = worker.record
+        return worker
+
+    def next_task(worker: _Worker) -> PairCoords | None:
+        if retry_pool:
+            return retry_pool.pop(0)
+        # A worker starts on its own socket's shard and steals from the
+        # others once that drains (replacements steal from everywhere).
+        own = worker.shard_index % worker_count
+        order = [own] + [i for i in range(worker_count) if i != own]
+        for index in order:
+            if shards[index]:
+                return shards[index].pop(0)
+        return None
+
+    def dispatch(worker: _Worker) -> bool:
+        coords = next_task(worker)
+        if coords is None:
+            return False
+        dispatch_counts[coords] = dispatch_counts.get(coords, 0) + 1
+        attempt = dispatch_counts[coords]
+        head_since = time.monotonic() if not worker.in_flight else None
+        worker.in_flight.append([coords, attempt, head_since])
+        with _span(
+            obs, "shard.dispatch", "shard",
+            {"worker": worker.worker_id, "ti": coords[0], "tj": coords[1],
+             "attempt": attempt} if obs is not None else None,
+        ):
+            worker.queue.put((coords, attempt))
+        return True
+
+    def adopt_done(worker: _Worker, payload: dict[str, Any]) -> None:
+        coords = (int(payload["pair"][0]), int(payload["pair"][1]))
+        done_pairs[coords] = payload
+        outcome = payload.get("outcome") or {}
+        failure.merge_outcome(
+            PairOutcome(
+                pair=coords,
+                attempts=int(outcome.get("attempts", 1)),
+                retries=int(outcome.get("retries", 0)),
+                degradations=int(outcome.get("degradations", 0)),
+                deadline_violations=int(outcome.get("deadline_violations", 0)),
+                fallbacks=int(outcome.get("fallbacks", 0)),
+                late=bool(outcome.get("late", False)),
+                failed=bool(outcome.get("failed", False)),
+                error=outcome.get("error"),
+            )
+        )
+        parent_plan = active_plan()
+        if parent_plan is not None and payload.get("events"):
+            parent_plan.absorb_wire(payload["events"])
+        busy = float(payload.get("busy_seconds", 0.0))
+        lane = f"shard-{worker.worker_id}"
+        report.worker_busy_seconds[lane] = (
+            report.worker_busy_seconds.get(lane, 0.0) + busy
+        )
+        worker_flushes[worker.worker_id] = int(payload.get("flushes", 0))
+        worker_conversions[worker.worker_id] = int(payload.get("conversions", 0))
+        if obs is not None:
+            obs.metrics.counter(f"worker.busy_seconds.{lane}").inc(busy)
+        if payload.get("failed"):
+            failure.record_error(
+                coords, TaskFailedError(str(payload.get("error")), pair=coords)
+            )
+        else:
+            report.products += int(payload.get("products", 0))
+            report.pairs_executed += 1
+            report.merge_kernel_counts(
+                {str(k): int(v) for k, v in payload.get("kernel_counts", {}).items()}
+            )
+            worker.record.pairs_completed += 1
+
+    def read_done(coords: PairCoords) -> dict[str, Any] | None:
+        path = shard.done_file(run_dir, coords)
+        if not path.exists():
+            return None
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):  # pragma: no cover - torn read impossible
+            return None                # (atomic writes), racing unlink only
+        path.unlink(missing_ok=True)
+        return loaded if isinstance(loaded, dict) else None
+
+    def check_heartbeat(worker: _Worker) -> bool:
+        """Refresh heartbeat state; False when the worker looks hung."""
+        path = shard.heartbeat_file(run_dir, worker.worker_id)
+        if path.exists():
+            try:
+                beat = int(
+                    json.loads(path.read_text(encoding="utf-8")).get("beat", 0)
+                )
+            except (OSError, ValueError):
+                beat = worker.last_beat
+            if beat != worker.last_beat:
+                worker.last_beat = beat
+                worker.last_beat_change = time.monotonic()
+                worker.record.heartbeats = beat
+                if obs is not None:
+                    obs.tracer.instant(
+                        "worker.heartbeat", "shard",
+                        {"worker": worker.worker_id, "beat": beat},
+                    )
+        stale_after = max(
+            _HEARTBEAT_GRACE * shard_config.heartbeat_interval, 1.0
+        )
+        if worker.last_beat == 0:
+            # No first beat yet: the worker is still importing/starting.
+            stale_after = max(stale_after, _STARTUP_GRACE)
+        return time.monotonic() - worker.last_beat_change <= stale_after
+
+    def bury(worker: _Worker, cause: str) -> None:
+        """Account a dead worker and reassign or quarantine its pairs."""
+        if worker.alive():
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+        worker.record.died = True
+        worker.record.cause = cause
+        failure.worker_deaths += 1
+        observe_session.counter("supervisor.worker_deaths").inc()
+        blamed = False
+        for coords, _attempt, _head in list(worker.in_flight):
+            late = read_done(coords)
+            if late is not None:
+                # The pair actually finished (and flushed) before death.
+                adopt_done(worker, late)
+                continue
+            if not blamed:
+                # Oldest unfinished task is the one that was executing.
+                blamed = True
+                kill_blame[coords] = kill_blame.get(coords, 0) + 1
+                if kill_blame[coords] >= _QUARANTINE_KILLS:
+                    quarantined.add(coords)
+                    failure.pairs_quarantined += 1
+                    observe_session.counter("supervisor.pairs_quarantined").inc()
+                    error = TaskFailedError(
+                        f"pair {coords} quarantined after killing "
+                        f"{kill_blame[coords]} workers",
+                        pair=coords,
+                    )
+                    failure.merge_outcome(
+                        PairOutcome(
+                            pair=coords,
+                            attempts=dispatch_counts.get(coords, 0),
+                            failed=True,
+                            error=repr(error),
+                        )
+                    )
+                    failure.record_error(coords, error)
+                    continue
+            retry_pool.append(coords)
+            failure.pairs_reassigned += 1
+            observe_session.counter("supervisor.pairs_reassigned").inc()
+            with _span(
+                obs, "shard.reassign", "shard",
+                {"worker": worker.worker_id, "ti": coords[0], "tj": coords[1]}
+                if obs is not None else None,
+            ):
+                pass
+        worker.in_flight.clear()
+        del workers[worker.worker_id]
+
+    def remaining() -> int:
+        return total - len(done_pairs) - len(quarantined)
+
+    crew = [spawn_worker(index) for index in range(worker_count)]
+    try:
+        for worker in crew:
+            # Pipeline depth 2: the worker always has the next pair
+            # queued, so it never idles on the supervisor's poll cadence.
+            dispatch(worker)
+            dispatch(worker)
+        while remaining() > 0:
+            now = time.monotonic()
+            for worker in list(workers.values()):
+                # Adopt results head-first, in dispatch order.
+                while worker.in_flight:
+                    head = worker.in_flight[0]
+                    payload = read_done(head[0])
+                    if payload is None:
+                        break
+                    worker.in_flight.pop(0)
+                    if worker.in_flight and worker.in_flight[0][2] is None:
+                        worker.in_flight[0][2] = time.monotonic()
+                    adopt_done(worker, payload)
+                    dispatch(worker)
+                if not worker.alive():
+                    bury(worker, "process exited")
+                    continue
+                if not check_heartbeat(worker):
+                    bury(
+                        worker,
+                        f"missed heartbeats for "
+                        f"{now - worker.last_beat_change:.2f}s",
+                    )
+                    continue
+                if (
+                    pair_deadline_seconds is not None
+                    and worker.in_flight
+                    and worker.in_flight[0][2] is not None
+                    and now - worker.in_flight[0][2] > pair_deadline_seconds
+                ):
+                    bury(
+                        worker,
+                        f"pair {worker.in_flight[0][0]} exceeded the "
+                        f"{pair_deadline_seconds}s dispatch deadline",
+                    )
+                    continue
+                if not worker.in_flight:
+                    dispatch(worker)
+            if remaining() > 0 and not workers:
+                replacement = spawn_worker(0)
+                dispatch(replacement)
+                dispatch(replacement)
+            time.sleep(_POLL_SECONDS)
+    except KeyboardInterrupt:
+        for worker in workers.values():
+            worker.process.kill()
+        for worker in workers.values():
+            worker.process.join(timeout=5.0)
+        store.flush()
+        report.checkpoint_flushes = sum(worker_flushes.values()) + store.flushes
+        raise
+    finally:
+        for worker in workers.values():
+            if not worker.sentinel_sent:
+                worker.sentinel_sent = True
+                worker.queue.put(None)
+        deadline = time.monotonic() + 10.0
+        for worker in workers.values():
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.alive():  # pragma: no cover - stuck worker backstop
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+
+    store.flush()
+    report.conversions = sum(worker_conversions.values())
+    report.checkpoint_flushes = sum(worker_flushes.values()) + store.flushes
+    return done_pairs, quarantined

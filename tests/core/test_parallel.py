@@ -118,3 +118,53 @@ class TestParallelReport:
         )
         # One plain CSR operand tile converted at most once per operand.
         assert report.conversions <= 2
+
+
+class TestInterruptTeardown:
+    """Satellite contract: Ctrl-C flushes the checkpoint buffer."""
+
+    def interrupt_after(self, monkeypatch, pairs_before_interrupt):
+        from repro.engine.executor import PairComputer
+
+        original = PairComputer.run_pair
+        calls = {"count": 0}
+
+        def interrupting(self, pair):
+            calls["count"] += 1
+            if calls["count"] > pairs_before_interrupt:
+                raise KeyboardInterrupt
+            return original(self, pair)
+
+        monkeypatch.setattr(PairComputer, "run_pair", interrupting)
+
+    def test_interrupt_flushes_buffered_checkpoint_records(
+        self, rng, tmp_path, monkeypatch
+    ):
+        from repro.engine import MultiplyOptions
+        from repro.resilience.checkpoint import CheckpointStore
+
+        at = build(heterogeneous_array(rng, 96, 96))
+        topology = SystemTopology(sockets=1, cores_per_socket=1)
+        store = CheckpointStore(tmp_path / "ckpt")
+        # A huge flush interval leaves every record buffered: only the
+        # interrupt path can make them durable.
+        options = MultiplyOptions(
+            config=CONFIG, checkpoint=store, checkpoint_flush_pairs=10_000
+        )
+        self.interrupt_after(monkeypatch, 3)
+        with pytest.raises(KeyboardInterrupt):
+            parallel_atmult(at, at, topology=topology, options=options)
+        monkeypatch.undo()
+
+        resume_store = CheckpointStore(tmp_path / "ckpt", resume=True)
+        resumed, report = parallel_atmult(
+            at, at, topology=topology,
+            options=MultiplyOptions(config=CONFIG, checkpoint=resume_store),
+        )
+        sequential, _ = atmult(at, at, config=CONFIG)
+        np.testing.assert_array_equal(
+            resumed.to_dense(), sequential.to_dense()
+        )
+        # The three pairs computed before Ctrl-C were flushed on the way
+        # out and are restored instead of re-executed.
+        assert report.failure.pairs_resumed == 3

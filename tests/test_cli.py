@@ -135,6 +135,59 @@ class TestArgumentValidation:
         assert "error" in capsys.readouterr().err
 
 
+class TestExecutionFlags:
+    def test_thread_backend_runs_and_reports_workers(self, mtx_file, capsys):
+        path, array = mtx_file
+        assert main(
+            ["multiply", str(path), str(path), "--execution", "threads"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "execution: threads, 2 workers" in out
+        assert f"nnz={np.count_nonzero(array @ array)}" in out
+
+    def test_process_backend_runs_supervised(self, mtx_file, capsys):
+        path, array = mtx_file
+        assert main(
+            [
+                "multiply", str(path), str(path),
+                "--execution", "processes",
+                "--workers", "2",
+                "--heartbeat-interval", "0.05",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "execution: processes, 2 workers" in out
+        assert f"nnz={np.count_nonzero(array @ array)}" in out
+
+    def test_workers_without_execution_rejected(self, mtx_file, capsys):
+        path, _ = mtx_file
+        code = main(["multiply", str(path), str(path), "--workers", "2"])
+        assert code == 1
+        assert "--workers requires --execution" in capsys.readouterr().err
+
+    def test_zero_workers_rejected(self, mtx_file, capsys):
+        path, _ = mtx_file
+        code = main(
+            [
+                "multiply", str(path), str(path),
+                "--execution", "threads", "--workers", "0",
+            ]
+        )
+        assert code == 1
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_non_positive_heartbeat_rejected(self, mtx_file, capsys):
+        path, _ = mtx_file
+        code = main(
+            [
+                "multiply", str(path), str(path),
+                "--execution", "processes", "--heartbeat-interval", "0",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestCheckpointFlags:
     def test_checkpointed_multiply_writes_journal(self, mtx_file, tmp_path, capsys):
         path, _ = mtx_file

@@ -1,0 +1,18 @@
+"""RPR008 fixture: ad-hoc process management, four flavors."""
+
+import concurrent.futures
+import multiprocessing
+import multiprocessing.pool
+from multiprocessing import Process
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fork_unsupervised(target):
+    worker = Process(target=target)
+    worker.start()
+    return worker
+
+
+def pool_unsupervised(tasks):
+    with concurrent.futures.ProcessPoolExecutor() as pool:
+        return list(pool.map(lambda task: task(), tasks))

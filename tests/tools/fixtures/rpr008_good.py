@@ -1,0 +1,17 @@
+"""RPR008 fixture: thread pools and lazy supervisor imports are fine."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def run_threaded(tasks):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(lambda task: task(), tasks))
+
+
+def run_supervised_lazily(plan):
+    # Routing through the supervisor is the sanctioned way to get
+    # worker processes: it owns heartbeats, crash detection, and
+    # pair reassignment.
+    from repro.resilience.supervisor import run_supervised
+
+    return run_supervised(plan)

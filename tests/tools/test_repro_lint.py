@@ -185,6 +185,48 @@ class TestAtomicWriteRule:
         assert check_source(source, "tests/test_store.py", [rule]) == []
 
 
+class TestProcessBoundaryRule:
+    PATH = "src/repro/core/parallel.py"
+
+    def test_threads_and_lazy_supervisor_import_are_clean(self):
+        assert run_rule("RPR008", "rpr008_good.py", self.PATH) == []
+
+    def test_each_process_management_flavor_is_flagged(self):
+        violations = run_rule("RPR008", "rpr008_bad.py", self.PATH)
+        assert [(v.code, v.line) for v in violations] == [
+            ("RPR008", 4),  # import multiprocessing
+            ("RPR008", 5),  # import multiprocessing.pool
+            ("RPR008", 6),  # from multiprocessing import Process
+            ("RPR008", 7),  # from concurrent.futures import ProcessPoolExecutor
+            ("RPR008", 17),  # concurrent.futures.ProcessPoolExecutor attribute
+        ]
+        assert "supervisor" in violations[0].message
+        assert "reassigned" in violations[0].message
+
+    def test_the_supervisor_itself_is_exempt(self):
+        source = fixture("rpr008_bad.py")
+        rule = RULES_BY_CODE["RPR008"]
+        assert (
+            check_source(
+                source, "src/repro/resilience/supervisor.py", [rule]
+            )
+            == []
+        )
+
+    def test_rule_only_applies_inside_src(self):
+        source = fixture("rpr008_bad.py")
+        rule = RULES_BY_CODE["RPR008"]
+        assert check_source(source, "tests/test_parallel.py", [rule]) == []
+
+    def test_real_supervisor_is_the_only_importer(self):
+        result = check_paths(
+            [REPO_ROOT / "src"],
+            [RULES_BY_CODE["RPR008"]],
+            base=REPO_ROOT,
+        )
+        assert result.all_violations == []
+
+
 class TestSuppression:
     def test_same_line_disable_comment_drops_the_violation(self):
         source = (

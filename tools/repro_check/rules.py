@@ -893,6 +893,72 @@ class AtomicWriteRule:
 
 
 # ---------------------------------------------------------------------------
+# RPR008: process management stays inside the supervisor
+# ---------------------------------------------------------------------------
+
+#: The one module allowed to import ``multiprocessing``.
+_RPR008_ALLOWED = "resilience/supervisor.py"
+
+
+@dataclass
+class ProcessBoundaryRule:
+    """Only ``resilience/supervisor.py`` may use ``multiprocessing``.
+
+    The supervised shard executor owns every process-lifecycle concern:
+    start method selection, queue plumbing, heartbeat liveness, crash
+    detection and reassignment.  A second ad-hoc ``multiprocessing``
+    call site would fork workers that no supervisor watches — exactly
+    the unrecoverable hang class the supervisor exists to rule out.
+    Detected: any ``import multiprocessing``/``from multiprocessing
+    import ...`` (including submodules) and any use of
+    ``ProcessPoolExecutor``, outside the allowed module.
+    """
+
+    code: str = "RPR008"
+    summary: str = "multiprocessing is used only by resilience/supervisor.py"
+
+    def applies(self, path: str) -> bool:
+        return _in_src(path) and not path.endswith(_RPR008_ALLOWED)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "multiprocessing":
+                        violations.append(self._flag(alias.name, path, node))
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.split(".")[0] == "multiprocessing":
+                    violations.append(self._flag(module, path, node))
+                elif module.startswith("concurrent.futures"):
+                    for alias in node.names:
+                        if alias.name == "ProcessPoolExecutor":
+                            violations.append(
+                                self._flag("ProcessPoolExecutor", path, node)
+                            )
+            elif isinstance(node, ast.Attribute):
+                if (
+                    node.attr == "ProcessPoolExecutor"
+                    and _name_chain(node).startswith("concurrent.futures.")
+                ):
+                    violations.append(
+                        self._flag("ProcessPoolExecutor", path, node)
+                    )
+        return violations
+
+    def _flag(self, what: str, path: str, node: ast.AST) -> Violation:
+        return _violation(
+            self.code,
+            f"{what} used outside resilience/supervisor.py; worker "
+            "processes must be spawned through the supervised shard "
+            "executor so crashes are detected and pairs reassigned",
+            path,
+            node,
+        )
+
+
+# ---------------------------------------------------------------------------
 
 ALL_RULES: tuple[object, ...] = (
     KernelRegistryRule(),
@@ -902,6 +968,7 @@ ALL_RULES: tuple[object, ...] = (
     SpanCoverageRule(),
     AnnotationRule(),
     AtomicWriteRule(),
+    ProcessBoundaryRule(),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
