@@ -75,7 +75,7 @@ def run_planned(matrix, rhs) -> tuple[float, dict]:
     )
     elapsed = time.perf_counter() - start
     assert outcome.iterations == ITERATIONS
-    return elapsed, session.cache_stats()
+    return elapsed, session.cache_stats().as_dict()
 
 
 def run_replanning(matrix, rhs) -> float:

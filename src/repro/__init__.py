@@ -24,6 +24,7 @@ True
 from .config import DEFAULT_CONFIG, S_DENSE, S_SPARSE, SystemConfig
 from .kinds import StorageKind, kernel_name
 from .errors import (
+    AdmissionError,
     ConfigError,
     FormatError,
     IntegrityError,
@@ -31,12 +32,16 @@ from .errors import (
     ParseError,
     PartitionError,
     PlanMismatchError,
+    QuotaExceededError,
     ReproError,
     ResultCorruptionError,
     RetryExhaustedError,
     SchedulerError,
+    ServiceError,
     ShapeError,
     TaskFailedError,
+    UnknownJobError,
+    UnknownMatrixError,
 )
 from .observe import (
     CostAccuracyTracker,
@@ -104,6 +109,7 @@ from .resilience import (
     verify_at_matrix,
 )
 from .engine import (
+    CacheStats,
     ExecutionPlan,
     MultiplyOptions,
     PlanCache,
@@ -114,6 +120,13 @@ from .engine import (
     execute,
     plan,
     structure_fingerprint,
+)
+from .service import (
+    JobSpec,
+    JobState,
+    JobStatus,
+    MatrixRegistry,
+    MatrixService,
 )
 from .expr import M, MatrixExpr
 from .solve import SolveResult, conjugate_gradient, jacobi, richardson
@@ -148,6 +161,11 @@ __all__ = [
     "RetryExhaustedError",
     "ResultCorruptionError",
     "IntegrityError",
+    "ServiceError",
+    "AdmissionError",
+    "QuotaExceededError",
+    "UnknownMatrixError",
+    "UnknownJobError",
     "CheckpointStore",
     "FailureReport",
     "FaultKind",
@@ -200,6 +218,7 @@ __all__ = [
     "MultiplyOptions",
     "PlanCache",
     "PlanKey",
+    "CacheStats",
     "ExecutionPlan",
     "plan",
     "execute",
@@ -226,6 +245,12 @@ __all__ = [
     "profile_topology",
     "Recommendation",
     "TopologyProfile",
+    # -- the multi-tenant matrix service ----------------------------------
+    "MatrixService",
+    "MatrixRegistry",
+    "JobSpec",
+    "JobState",
+    "JobStatus",
     "M",
     "MatrixExpr",
     "conjugate_gradient",

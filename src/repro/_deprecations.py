@@ -1,0 +1,58 @@
+"""One funnel for every deprecation warning the library still emits.
+
+Before this module each deprecated surface — the legacy multiply
+keywords, the ``return_report=False`` result shapes, the pre-redesign
+report attribute aliases — called :func:`warnings.warn` on its own
+schedule, which meant a migration-era application saw the same warning
+on every call of a hot loop.  Now every deprecated path routes through
+:func:`warn_once`, keyed by a stable *site* string, so each distinct
+deprecated usage warns exactly once per process and stays silent
+afterwards.
+
+The site registry is process-global and thread-safe.  Tests that assert
+warning behavior reset it between cases with :func:`reset` (the test
+suite does this from an autouse fixture); library code never resets.
+
+The removal schedule for everything funneled through here is documented
+in docs/API.md ("Deprecation policy and removal schedule").
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+#: Release in which every surface warned about through this module is
+#: scheduled for removal (see docs/API.md for the per-surface table).
+REMOVAL_RELEASE = "2.0"
+
+_seen: set[str] = set()
+_lock = threading.Lock()
+
+
+def warn_once(site: str, message: str, *, stacklevel: int = 3) -> bool:
+    """Emit ``message`` as a :class:`DeprecationWarning`, once per site.
+
+    ``site`` identifies the deprecated usage (e.g. ``"atmult:legacy:\
+    memory_limit_bytes"`` or ``"BaseReport.wall_seconds"``); the first
+    call for a site warns, every later call is a no-op.  Returns whether
+    the warning was emitted.
+    """
+    with _lock:
+        if site in _seen:
+            return False
+        _seen.add(site)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def seen_sites() -> frozenset[str]:
+    """The deprecated sites that have warned so far (diagnostics)."""
+    with _lock:
+        return frozenset(_seen)
+
+
+def reset() -> None:
+    """Forget every warned site so the next use warns again (tests)."""
+    with _lock:
+        _seen.clear()

@@ -86,6 +86,14 @@ def _validate_args(args: argparse.Namespace) -> None:
     heartbeat = getattr(args, "heartbeat_interval", None)
     if heartbeat is not None:
         validate_positive(heartbeat, "--heartbeat-interval")
+    sla = getattr(args, "memory_sla_mb", None)
+    if sla is not None:
+        validate_positive(sla, "--memory-sla-mb")
+    for name in ("serve_workers", "tenant_quota", "queue_depth"):
+        bound = getattr(args, name, None)
+        if bound is not None and bound < 1:
+            flag = "--" + name.replace("_", "-")
+            raise ConfigError(f"{flag} must be >= 1, got {bound}")
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -365,6 +373,52 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant matrix service (see docs/SERVICE.md)."""
+    import asyncio
+
+    from .service import MatrixRegistry, MatrixService
+    from .service import serve as serve_endpoint
+
+    config = _config_from_args(args)
+    registry = MatrixRegistry(config=config)
+    for assignment in args.matrix:
+        name, _, path = assignment.partition("=")
+        if not name or not path:
+            raise ConfigError(
+                f"--matrix expects NAME=PATH, got {assignment!r}"
+            )
+        registry.register_file(name, path)
+    limit = (
+        args.memory_sla_mb * 1024 * 1024 if args.memory_sla_mb is not None else None
+    )
+    service = MatrixService(
+        registry,
+        job_dir=args.job_dir,
+        memory_limit_bytes=limit,
+        workers=args.serve_workers,
+        tenant_quota=args.tenant_quota,
+        max_queue_depth=args.queue_depth,
+    )
+
+    async def run() -> None:
+        server = await serve_endpoint(service, host=args.host, port=args.port)
+        sockets = server.sockets or []
+        for sock in sockets:
+            host, port = sock.getsockname()[:2]
+            print(f"serving on {host}:{port}", flush=True)
+        print(
+            f"matrices: {', '.join(registry.names()) or '(none)'}; "
+            f"job dir: {args.job_dir}",
+            flush=True,
+        )
+        async with server:
+            await server.serve_forever()
+
+    asyncio.run(run())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -469,6 +523,34 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate_cmd.add_argument("--size", type=int, default=256)
     calibrate_cmd.add_argument("--repeats", type=int, default=3)
     calibrate_cmd.set_defaults(handler=cmd_calibrate)
+
+    serve = commands.add_parser(
+        "serve", help="run the multi-tenant matrix job service"
+    )
+    serve.add_argument("--matrix", action="append", default=[],
+                       metavar="NAME=PATH",
+                       help="register a matrix under NAME from a .mtx file "
+                            "or .npz archive (repeatable)")
+    serve.add_argument("--job-dir", required=True, metavar="DIR",
+                       help="job journal/checkpoint/result directory; reuse "
+                            "a previous server's DIR to recover its "
+                            "unfinished jobs")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0: ephemeral, printed on start)")
+    serve.add_argument("--serve-workers", dest="serve_workers", type=int,
+                       default=2, metavar="N",
+                       help="concurrent job workers (default 2)")
+    serve.add_argument("--memory-sla-mb", type=float, default=None,
+                       help="memory SLA enforced by water-level admission "
+                            "control (default: no SLA)")
+    serve.add_argument("--tenant-quota", type=int, default=8, metavar="N",
+                       help="max queued-or-running jobs per tenant (default 8)")
+    serve.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                       help="global pending-job bound before load shedding "
+                            "(default 64)")
+    _add_config_arguments(serve)
+    serve.set_defaults(handler=cmd_serve)
 
     return parser
 

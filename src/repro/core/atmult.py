@@ -40,9 +40,9 @@ every hook is a strict no-op.
 from __future__ import annotations
 
 import logging
-import warnings
 from typing import Any
 
+from .. import _deprecations
 from ..config import SystemConfig
 from ..cost.model import CostModel
 from ..engine.api import resolve_plan
@@ -254,11 +254,10 @@ def multiply(
     """
     result, report = atmult(a, b, **kwargs)
     if not return_report:
-        warnings.warn(
+        _deprecations.warn_once(
+            "multiply:return_report",
             "multiply(return_report=False) is deprecated; the default now "
             "returns (result, report) like atmult",
-            DeprecationWarning,
-            stacklevel=2,
         )
         return result
     return result, report

@@ -16,7 +16,6 @@ is itself an adaptive tile matrix with cost-optimized kernels.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -24,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..observe import Observation
     from ..resilience.retry import RetryPolicy
 
+from .. import _deprecations
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..cost.model import CostModel
 from ..density.estimate import estimate_product_density
@@ -242,12 +242,11 @@ def multiply_chain(
         observer=observer,
     )
     if not return_report:
-        warnings.warn(
+        _deprecations.warn_once(
+            "multiply_chain:return_report",
             "multiply_chain(return_report=False) is deprecated; the default "
             "now returns (result, ChainReport) — the report exposes the "
             "ChainPlan as report.plan",
-            DeprecationWarning,
-            stacklevel=2,
         )
     resolved_config = opts.resolved_config()
     resolved_model = opts.resolved_cost_model()

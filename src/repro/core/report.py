@@ -19,8 +19,9 @@ those breakdowns independently and diverged; now both extend one
 The pre-redesign attribute names (``estimate_seconds``,
 ``optimize_seconds``, ``multiply_seconds``, ``wall_seconds``) remain
 available as property aliases over ``phase_seconds`` — they are
-**deprecated** in favor of ``phase_seconds``/``total_seconds`` but will
-keep working; new code and new phases should use the dict.
+**deprecated** in favor of ``phase_seconds``/``total_seconds`` and warn
+once per attribute through :mod:`repro._deprecations`; new code and new
+phases should use the dict.
 """
 
 from __future__ import annotations
@@ -28,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from .. import _deprecations
 from ..density.water_level import WaterLevelResult
 from ..observe import Observation
 from ..resilience.report import FailureReport
@@ -100,32 +102,47 @@ class BaseReport:
 
     # -- deprecated aliases ----------------------------------------------
     # Old code read/wrote these as plain dataclass fields; they now view
-    # phase_seconds so both spellings stay consistent forever.
+    # phase_seconds (so both spellings stay consistent forever) and warn
+    # once per attribute through the shared deprecation funnel.
+    def _alias_warning(self, name: str, phase: str) -> None:
+        _deprecations.warn_once(
+            f"BaseReport.{name}",
+            f"report.{name} is deprecated; use "
+            f'report.phase_seconds["{phase}"] / report.add_phase(...) instead',
+            stacklevel=4,
+        )
+
     @property
     def estimate_seconds(self) -> float:
         """Deprecated alias of ``phase_seconds["estimate"]``."""
+        self._alias_warning("estimate_seconds", PHASE_ESTIMATE)
         return self.phase(PHASE_ESTIMATE)
 
     @estimate_seconds.setter
     def estimate_seconds(self, value: float) -> None:
+        self._alias_warning("estimate_seconds", PHASE_ESTIMATE)
         self.phase_seconds[PHASE_ESTIMATE] = value
 
     @property
     def optimize_seconds(self) -> float:
         """Deprecated alias of ``phase_seconds["optimize"]``."""
+        self._alias_warning("optimize_seconds", PHASE_OPTIMIZE)
         return self.phase(PHASE_OPTIMIZE)
 
     @optimize_seconds.setter
     def optimize_seconds(self, value: float) -> None:
+        self._alias_warning("optimize_seconds", PHASE_OPTIMIZE)
         self.phase_seconds[PHASE_OPTIMIZE] = value
 
     @property
     def multiply_seconds(self) -> float:
         """Deprecated alias of ``phase_seconds["multiply"]``."""
+        self._alias_warning("multiply_seconds", PHASE_MULTIPLY)
         return self.phase(PHASE_MULTIPLY)
 
     @multiply_seconds.setter
     def multiply_seconds(self, value: float) -> None:
+        self._alias_warning("multiply_seconds", PHASE_MULTIPLY)
         self.phase_seconds[PHASE_MULTIPLY] = value
 
     @property
@@ -178,16 +195,18 @@ class ParallelReport(BaseReport):
     @property
     def wall_seconds(self) -> float:
         """Deprecated alias of ``phase_seconds["multiply"]``."""
+        self._alias_warning("wall_seconds", PHASE_MULTIPLY)
         return self.phase(PHASE_MULTIPLY)
 
     @wall_seconds.setter
     def wall_seconds(self, value: float) -> None:
+        self._alias_warning("wall_seconds", PHASE_MULTIPLY)
         self.phase_seconds[PHASE_MULTIPLY] = value
 
     @property
     def parallel_efficiency(self) -> float:
         """Total busy time over (workers x pair-loop wall time)."""
-        wall = self.wall_seconds
+        wall = self.phase(PHASE_MULTIPLY)
         if not self.worker_busy_seconds or wall == 0.0:
             return 1.0
         busy = sum(self.worker_busy_seconds.values())

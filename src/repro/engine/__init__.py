@@ -9,7 +9,7 @@ the consolidated :class:`MultiplyOptions` / :class:`Session` API.
 """
 
 from .api import execute, plan, resolve_plan
-from .cache import PlanCache, PlanKey
+from .cache import CacheStats, PlanCache, PlanKey
 from .executor import EXECUTION_MODES, PairComputer, execute_plan
 from .fingerprint import config_fingerprint, structure_fingerprint
 from .options import LEGACY_OPTION_KEYWORDS, UNSET, MultiplyOptions, coerce_options
@@ -19,6 +19,7 @@ from .shard import ShardConfig, assign_shards
 
 __all__ = [
     "EXECUTION_MODES",
+    "CacheStats",
     "ExecutionPlan",
     "LEGACY_OPTION_KEYWORDS",
     "MultiplyOptions",

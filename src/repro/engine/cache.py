@@ -10,23 +10,63 @@ result is cacheable: :class:`PlanCache` maps
 
 The cache is LRU over an approximate byte budget
 (:meth:`ExecutionPlan.memory_bytes`), thread-safe, and observable: hits,
-misses and evictions land both in local counters (``cache.stats()``)
-and, when an observation session is active, in the
-``plan_cache.hits`` / ``plan_cache.misses`` / ``plan_cache.evictions``
-metrics.
+misses and evictions land both in local counters (``cache.stats()``
+returns a frozen :class:`CacheStats` snapshot) and, when an observation
+session is active, in the ``plan_cache.hits`` / ``plan_cache.misses`` /
+``plan_cache.evictions`` metrics.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Any
 
 from ..observe import session as observe_session
 from .plan import ExecutionPlan
 
 #: Default byte budget: roomy enough for hundreds of realistic plans.
 DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of one :class:`PlanCache`'s counters.
+
+    ``stats()`` used to return a raw dict; the dataclass names the shape
+    so callers (and the service metrics endpoint) can rely on it.  The
+    mapping-style ``stats["hits"]`` spelling keeps working via
+    :meth:`__getitem__`.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    bytes: int
+    max_bytes: int
+
+    @property
+    def lookups(self) -> int:
+        """Total cache probes (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before the first probe."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain JSON-serializable dict."""
+        return asdict(self)
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            value: Any = getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+        return value
 
 
 @dataclass(frozen=True)
@@ -105,14 +145,14 @@ class PlanCache:
             self._plans.clear()
             self._bytes = 0
 
-    def stats(self) -> dict[str, int]:
-        """Snapshot of the cache counters and occupancy."""
+    def stats(self) -> CacheStats:
+        """Frozen snapshot of the cache counters and occupancy."""
         with self._lock:
-            return {
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-                "entries": len(self._plans),
-                "bytes": self._bytes,
-                "max_bytes": self.max_bytes,
-            }
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                entries=len(self._plans),
+                bytes=self._bytes,
+                max_bytes=self.max_bytes,
+            )

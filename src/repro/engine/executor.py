@@ -45,7 +45,12 @@ import numpy as np
 from ..config import SystemConfig
 from ..cost.model import CostModel
 from ..core.atmatrix import ATMatrix
-from ..core.report import MultiplyReport, ParallelReport
+from ..core.report import (
+    PHASE_MULTIPLY,
+    PHASE_OPTIMIZE,
+    MultiplyReport,
+    ParallelReport,
+)
 from ..core.tile import Tile, TilePayload
 from ..errors import ConfigError, MemoryLimitError, PlanMismatchError, TaskFailedError
 from ..formats.convert import csr_to_dense, dense_to_csr
@@ -576,7 +581,7 @@ def execute_plan(
             raise
         finally:
             pool.shutdown(wait=True)
-        report.wall_seconds = time.perf_counter() - start
+        report.phase_seconds[PHASE_MULTIPLY] = time.perf_counter() - start
         report.conversions = computer.conversions.conversions
         if checkpoint is not None:
             checkpoint.flush()
@@ -596,8 +601,8 @@ def execute_plan(
                     continue
                 outcome = computer.run_pair(pair)
                 stats = outcome.stats
-                report.optimize_seconds += stats.optimize_seconds
-                report.multiply_seconds += stats.multiply_seconds
+                report.add_phase(PHASE_OPTIMIZE, stats.optimize_seconds)
+                report.add_phase(PHASE_MULTIPLY, stats.multiply_seconds)
                 report.merge_kernel_counts(stats.kernel_counts)
                 report.tasks.extend(stats.tasks)
                 report.pairs_executed += 1

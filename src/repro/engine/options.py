@@ -11,18 +11,20 @@ all accept as ``options=``.
 The legacy keywords keep working through :func:`coerce_options`, the
 shared coercion helper every entry point calls: any legacy keyword that
 was explicitly supplied is folded into the options object and **one**
-consolidated :class:`DeprecationWarning` is emitted per call, naming the
-keywords to migrate (never one warning per keyword).  Explicitly
-supplied legacy values override the corresponding ``options`` fields, so
-mixed calls behave predictably during migration.
+consolidated :class:`DeprecationWarning` is emitted through
+:mod:`repro._deprecations` — once per (entry point, keyword set) site,
+naming the keywords to migrate (never one warning per keyword, never a
+repeat on every loop iteration).  Explicitly supplied legacy values
+override the corresponding ``options`` fields, so mixed calls behave
+predictably during migration.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Any
 
+from .. import _deprecations
 from ..config import DEFAULT_CONFIG, SystemConfig
 from ..cost.model import CostModel
 from ..observe import Observation
@@ -165,8 +167,10 @@ def coerce_options(
 
     ``legacy`` holds the raw values of the deprecated keywords with
     :data:`UNSET` marking "not passed".  Supplying any of them emits one
-    consolidated :class:`DeprecationWarning` for the call; explicitly
-    supplied values override the matching ``options`` fields.  The
+    consolidated :class:`DeprecationWarning` through
+    :func:`repro._deprecations.warn_once` (so a migration-era loop warns
+    on its first iteration only); explicitly supplied values override
+    the matching ``options`` fields.  The
     ``config``/``cost_model``/``plan_cache`` keywords are part of the
     redesigned surface and are folded in silently when given.
     """
@@ -179,11 +183,11 @@ def coerce_options(
         raise TypeError(f"{where}() got unexpected keyword(s): {sorted(unknown)}")
     if supplied:
         names = ", ".join(sorted(supplied))
-        warnings.warn(
+        _deprecations.warn_once(
+            f"{where}:legacy:{names}",
             f"{where}(): the keyword(s) {names} are deprecated; pass "
             f"options=MultiplyOptions(...) instead",
-            DeprecationWarning,
-            stacklevel=stacklevel,
+            stacklevel=stacklevel + 1,
         )
         base = base.replace(**supplied)
     explicit = {

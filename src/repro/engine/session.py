@@ -11,15 +11,23 @@ everything:
 >>> from repro import Session
 >>> session = Session()
 >>> # result, report = session.multiply(a, b)
->>> # outcome = session.conjugate_gradient(a, rhs)  # plans A once
+>>> # outcome = session.solve(a, rhs, method="cg")  # plans A once
 
 Solvers driven through a session multiply via the engine, so iterations
 2..N of a solve replay the cached plan instead of re-estimating and
 re-optimizing (see docs/API.md).
+
+A session is also a context manager: ``with Session(...) as s:`` closes
+it on exit, which exports the session's observation to the paths given
+as ``metrics_out`` / ``trace_out`` (creating an
+:class:`~repro.observe.Observation` automatically when either path is
+set and no observer was passed).
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
+from types import TracebackType
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -27,10 +35,11 @@ import numpy as np
 from ..config import SystemConfig
 from ..core.operands import MatrixOperand, as_at_matrix
 from ..cost.model import CostModel
+from ..errors import ConfigError
 from ..formats.dense import DenseMatrix
-from ..observe import Observation
+from ..observe import Observation, write_chrome_trace, write_json
 from .api import plan as plan_api
-from .cache import PlanCache
+from .cache import CacheStats, PlanCache
 from .options import MultiplyOptions
 from .plan import ExecutionPlan
 
@@ -58,6 +67,11 @@ class Session:
     observer:
         An :class:`~repro.observe.Observation` recorded into by every
         call made through the session.
+    metrics_out, trace_out:
+        Paths the session's observation is exported to on
+        :meth:`close` (JSON summary and Chrome trace respectively).
+        Setting either without an explicit ``observer`` makes the
+        session create its own :class:`~repro.observe.Observation`.
     """
 
     def __init__(
@@ -68,6 +82,8 @@ class Session:
         options: MultiplyOptions | None = None,
         plan_cache: PlanCache | None = None,
         observer: Observation | None = None,
+        metrics_out: str | None = None,
+        trace_out: str | None = None,
     ) -> None:
         base = options if options is not None else MultiplyOptions()
         overrides: dict[str, Any] = {}
@@ -75,11 +91,48 @@ class Session:
             overrides["config"] = config
         if cost_model is not None:
             overrides["cost_model"] = cost_model
+        if observer is None and (metrics_out or trace_out):
+            observer = Observation()
         if observer is not None:
             overrides["observer"] = observer
         cache = plan_cache if plan_cache is not None else base.plan_cache
         overrides["plan_cache"] = cache if cache is not None else PlanCache()
         self.options = base.replace(**overrides)
+        self.metrics_out = metrics_out
+        self.trace_out = trace_out
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> Session:
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush the session: export its observation to the given paths.
+
+        Idempotent; called automatically when the session is used as a
+        context manager.  A session without an observer (or without
+        export paths) closes as a no-op, and the plan cache stays usable
+        so a closed session can still multiply — closing only concludes
+        the observability story.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        observer = self.observer
+        if observer is None:
+            return
+        if self.metrics_out is not None:
+            write_json(observer, self.metrics_out)
+        if self.trace_out is not None:
+            write_chrome_trace(observer, self.trace_out)
 
     # -- resolved components ----------------------------------------------
     @property
@@ -100,9 +153,13 @@ class Session:
     def observer(self) -> Observation | None:
         return self.options.observer
 
-    def cache_stats(self) -> dict[str, int]:
-        """Hit/miss/eviction counters of the session's plan cache."""
+    def cache_stats(self) -> CacheStats:
+        """Frozen snapshot of the session's plan-cache counters."""
         return self.plan_cache.stats()
+
+    def clear_cache(self) -> None:
+        """Drop every cached plan (counters keep their history)."""
+        self.plan_cache.clear()
 
     # -- operators ---------------------------------------------------------
     def plan(self, a: MatrixOperand, b: MatrixOperand) -> ExecutionPlan:
@@ -152,26 +209,59 @@ class Session:
         return result.to_dense().ravel()
 
     # -- solvers -----------------------------------------------------------
+    #: ``method=`` spellings accepted by :meth:`solve`.
+    SOLVE_METHODS = ("cg", "jacobi", "richardson")
+
+    def solve(
+        self,
+        a: MatrixOperand,
+        b: np.ndarray,
+        *,
+        method: str = "cg",
+        **kwargs: Any,
+    ) -> SolveResult:
+        """Solve ``A x = b`` with the named iterative method.
+
+        ``method`` is one of ``"cg"`` (conjugate gradients, the default;
+        ``"conjugate_gradient"`` is accepted as a long spelling),
+        ``"jacobi"`` or ``"richardson"``.  Extra keywords go to the
+        underlying solver (``tol``, ``max_iterations``, ``omega``, ...);
+        every iteration multiplies through this session, so the matrix
+        is planned once and replayed.
+        """
+        from ..solve import conjugate_gradient, jacobi, richardson
+
+        drivers: dict[str, Callable[..., SolveResult]] = {
+            "cg": conjugate_gradient,
+            "conjugate_gradient": conjugate_gradient,
+            "jacobi": jacobi,
+            "richardson": richardson,
+        }
+        driver = drivers.get(method)
+        if driver is None:
+            raise ConfigError(
+                f"unknown solve method {method!r}; expected one of "
+                f"{', '.join(self.SOLVE_METHODS)}"
+            )
+        return driver(a, b, session=self, **kwargs)
+
     def richardson(
         self, matrix: MatrixOperand, rhs: np.ndarray, **kwargs: Any
     ) -> SolveResult:
-        from ..solve import richardson
-
-        return richardson(matrix, rhs, session=self, **kwargs)
+        """Thin delegate of ``solve(..., method="richardson")``."""
+        return self.solve(matrix, rhs, method="richardson", **kwargs)
 
     def jacobi(
         self, matrix: MatrixOperand, rhs: np.ndarray, **kwargs: Any
     ) -> SolveResult:
-        from ..solve import jacobi
-
-        return jacobi(matrix, rhs, session=self, **kwargs)
+        """Thin delegate of ``solve(..., method="jacobi")``."""
+        return self.solve(matrix, rhs, method="jacobi", **kwargs)
 
     def conjugate_gradient(
         self, matrix: MatrixOperand, rhs: np.ndarray, **kwargs: Any
     ) -> SolveResult:
-        from ..solve import conjugate_gradient
-
-        return conjugate_gradient(matrix, rhs, session=self, **kwargs)
+        """Thin delegate of ``solve(..., method="cg")``."""
+        return self.solve(matrix, rhs, method="cg", **kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         stats = self.cache_stats()

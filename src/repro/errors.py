@@ -18,14 +18,21 @@ Hierarchy::
     ├── TaskFailedError       (RuntimeError) tile-product task(s) failed
     │   └── RetryExhaustedError              one task failed every allowed attempt
     ├── ResultCorruptionError (RuntimeError) a finished tile failed validation
-    └── IntegrityError        (RuntimeError) at-rest data failed verification
+    ├── IntegrityError        (RuntimeError) at-rest data failed verification
+    └── ServiceError          (RuntimeError) matrix service request failed
+        ├── AdmissionError                   job footprint breaches the memory SLA
+        ├── QuotaExceededError               tenant queue quota / depth exhausted
+        ├── UnknownMatrixError               request names an unregistered matrix
+        └── UnknownJobError                  request names an unknown job id
 
 The task-execution errors carry structured context for the resilience
 layer (:mod:`repro.resilience`): :class:`TaskFailedError` aggregates
 per-pair failures from a parallel run (``pair_errors``, ``report``),
 :class:`RetryExhaustedError` names the failing pair and its attempt
 count, and :class:`ResultCorruptionError` describes why a finished tile
-was rejected by the result guard.
+was rejected by the result guard.  The service errors are the typed
+rejections of :mod:`repro.service` — each carries the offending tenant
+and, where meaningful, the byte accounting behind the refusal.
 """
 
 from __future__ import annotations
@@ -188,3 +195,81 @@ class IntegrityError(ReproError, RuntimeError):
     def __init__(self, message: str, *, violations: list[Any] | None = None) -> None:
         super().__init__(message)
         self.violations = list(violations or [])
+
+
+class ServiceError(ReproError, RuntimeError):
+    """A matrix-service request was refused or failed.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose request triggered the error (``None`` when the
+        error is not tenant-specific).
+    """
+
+    def __init__(self, message: str, *, tenant: str | None = None) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+
+
+class AdmissionError(ServiceError):
+    """A job's estimated result footprint breaches the service memory SLA.
+
+    Raised by the admission controller when even the job's sparsest
+    water-level layout cannot fit the configured budget, so queueing
+    would never help.
+
+    Attributes
+    ----------
+    estimated_bytes:
+        The job's minimal estimated result footprint.
+    limit_bytes:
+        The service's memory SLA in bytes.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        estimated_bytes: float = 0.0,
+        limit_bytes: float = 0.0,
+    ) -> None:
+        super().__init__(message, tenant=tenant)
+        self.estimated_bytes = estimated_bytes
+        self.limit_bytes = limit_bytes
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant's queue quota (or the global queue depth) is exhausted.
+
+    This is the load-shedding rejection: transient by design — the same
+    job resubmitted after the backlog drains is admitted.
+
+    Attributes
+    ----------
+    pending:
+        Jobs the tenant (or service) already has queued or running.
+    quota:
+        The limit that was hit.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        pending: int = 0,
+        quota: int = 0,
+    ) -> None:
+        super().__init__(message, tenant=tenant)
+        self.pending = pending
+        self.quota = quota
+
+
+class UnknownMatrixError(ServiceError):
+    """A request referenced a matrix name the registry does not hold."""
+
+
+class UnknownJobError(ServiceError):
+    """A request referenced a job id the service does not know."""

@@ -49,7 +49,7 @@ import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
-from ..core.report import ParallelReport
+from ..core.report import PHASE_MULTIPLY, ParallelReport
 from ..core.tile import Tile
 from ..errors import TaskFailedError
 from ..observe import Observation
@@ -193,7 +193,7 @@ def run_supervised(
                 plan, pending, run_dir, store, shard_config, report, obs,
                 worker_count, pair_deadline_seconds,
             )
-        report.wall_seconds = time.perf_counter() - start
+        report.phase_seconds[PHASE_MULTIPLY] = time.perf_counter() - start
 
         result_tiles: list[Tile] = []
         for pair in plan.pairs:

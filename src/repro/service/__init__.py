@@ -1,0 +1,45 @@
+"""Multi-tenant matrix service: named matrices, jobs, admission, recovery.
+
+The service layer turns the library's :class:`~repro.engine.session.Session`
+into a long-running server: tenants submit ``multiply`` / ``matvec`` /
+``solve`` jobs against *named* matrices held in a
+:class:`MatrixRegistry`, a bounded worker pool executes them through one
+shared plan cache, and every job is journaled to a
+:class:`~repro.service.jobs.JobStore` so a killed server resumes its
+in-flight work bit-identically on restart.
+
+Three request fates, all typed (:mod:`repro.errors`):
+
+* **admitted** — the job's estimated result footprint fits the memory
+  SLA; it queues and runs (possibly waiting for in-flight jobs to free
+  budget).
+* **rejected** (:class:`~repro.errors.AdmissionError`) — the water-level
+  sweep proves even the sparsest layout breaches the SLA; queueing would
+  never help.
+* **shed** (:class:`~repro.errors.QuotaExceededError`) — the tenant's
+  queue quota or the global depth is exhausted; resubmit after the
+  backlog drains.
+
+Entry points: the in-process :class:`MatrixService` client API, the
+JSON-lines TCP front end (:func:`~repro.service.protocol.serve`) and the
+``repro serve`` CLI.  See docs/SERVICE.md.
+"""
+
+from .admission import AdmissionController, AdmissionTicket
+from .jobs import JobRecord, JobSpec, JobState, JobStore
+from .registry import MatrixRegistry
+from .server import JobStatus, MatrixService
+from .protocol import serve
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobStatus",
+    "JobStore",
+    "MatrixRegistry",
+    "MatrixService",
+    "serve",
+]

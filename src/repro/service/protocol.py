@@ -1,0 +1,143 @@
+"""JSON-lines TCP front end for the matrix service.
+
+One request per line, one response per line — trivially scriptable with
+``nc`` and language-agnostic.  Requests are JSON objects with an ``op``
+field:
+
+* ``{"op": "submit", "tenant": T, "job": {"op": "multiply", "a": ...,
+  "b": ...}}`` → ``{"ok": true, "job_id": ...}``
+* ``{"op": "status", "job_id": J}`` → ``{"ok": true, "status": {...}}``
+* ``{"op": "result", "job_id": J}`` → ``{"ok": true, "result":
+  {"shape": [r, c], "values": [...], "crc32c": N}}`` — the flattened
+  row-major values plus their CRC-32C digest, so clients can verify
+  bit-identical recovery end to end.
+* ``{"op": "cancel", "job_id": J}`` → ``{"ok": true, "cancelled": bool}``
+* ``{"op": "metrics"}`` → the :meth:`MatrixService.metrics` export.
+* ``{"op": "matrices"}`` → the registered matrix names.
+* ``{"op": "ping"}`` → liveness probe.
+
+Every :class:`~repro.errors.ReproError` maps to ``{"ok": false,
+"error": {"type": <class name>, "message": ...}}`` with the connection
+kept open, so one tenant's rejected job never disturbs another tenant's
+stream.  Connections are served concurrently by asyncio; the service's
+worker pool bounds the actual compute.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Any
+
+import numpy as np
+
+from ..errors import FormatError, ReproError
+from ..ioutil import crc32c
+from .server import MatrixService
+
+#: Per-line stream buffer: result payloads carry whole (small) matrices
+#: as JSON, far past asyncio's 64 KiB default.
+STREAM_LIMIT_BYTES = 64 * 1024 * 1024
+
+
+def _error_payload(error: ReproError) -> dict[str, Any]:
+    return {
+        "ok": False,
+        "error": {"type": type(error).__name__, "message": str(error)},
+    }
+
+
+def _result_payload(values: np.ndarray) -> dict[str, Any]:
+    array = np.ascontiguousarray(values, dtype=np.float64)
+    return {
+        "shape": list(array.shape),
+        "values": [float(x) for x in array.ravel()],
+        "crc32c": crc32c(array.tobytes()),
+    }
+
+
+async def _dispatch(service: MatrixService, request: dict[str, Any]) -> dict[str, Any]:
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "pong": True}
+    if op == "matrices":
+        return {"ok": True, "matrices": service.registry.names()}
+    if op == "metrics":
+        return {"ok": True, "metrics": service.metrics()}
+    if op == "submit":
+        job = request.get("job")
+        if not isinstance(job, dict):
+            raise FormatError("submit requests need a 'job' object")
+        job_id = await service.submit(
+            tenant=str(request.get("tenant", "anonymous")),
+            op=str(job.get("op", "")),
+            a=str(job.get("a", "")),
+            b=job.get("b"),
+            rhs=job.get("rhs"),
+            params=job.get("params"),
+            job_id=job.get("job_id"),
+        )
+        return {"ok": True, "job_id": job_id}
+    if op in ("status", "result", "cancel"):
+        job_id = str(request.get("job_id", ""))
+        if op == "status":
+            status = await service.status(job_id)
+            return {"ok": True, "status": status.to_json_dict()}
+        if op == "result":
+            values = await service.result(job_id)
+            return {"ok": True, "result": _result_payload(values)}
+        cancelled = await service.cancel(job_id)
+        return {"ok": True, "cancelled": cancelled}
+    raise FormatError(f"unknown request op {op!r}")
+
+
+async def _handle_connection(
+    service: MatrixService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise FormatError("requests must be JSON objects")
+                response = await _dispatch(service, request)
+            except ReproError as error:
+                response = _error_payload(error)
+            except (ValueError, TypeError, KeyError) as error:
+                response = {
+                    "ok": False,
+                    "error": {"type": "BadRequest", "message": str(error)},
+                }
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+
+
+async def serve(
+    service: MatrixService, *, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Start the service (if needed) and bind the JSON-lines endpoint.
+
+    ``port=0`` binds an ephemeral port; read the bound address from the
+    returned server's ``sockets``.  The caller owns the loop:
+    ``async with server: await server.serve_forever()``.
+    """
+    await service.start()
+
+    async def handler(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await _handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(
+        handler, host=host, port=port, limit=STREAM_LIMIT_BYTES
+    )

@@ -1,0 +1,94 @@
+"""The named-matrix registry behind the service endpoints.
+
+Tenants address operands by *name*, not by payload: matrices are
+registered once (from an in-memory operand or a file) and every job
+references them by their registry name.  Besides keeping request
+payloads small, this is what makes the shared plan cache effective —
+all tenants multiplying ``"web_graph"`` hit the same
+:class:`~repro.engine.cache.PlanKey` because they literally share the
+one :class:`~repro.core.atmatrix.ATMatrix` instance and therefore its
+structure fingerprint.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from ..config import DEFAULT_CONFIG, SystemConfig
+from ..core.atmatrix import ATMatrix
+from ..core.operands import MatrixOperand, as_at_matrix
+from ..errors import FormatError, UnknownMatrixError
+from ..formats.coo import COOMatrix
+
+
+class MatrixRegistry:
+    """Thread-safe name → :class:`ATMatrix` store.
+
+    Matrices are adaptively partitioned on registration (via
+    :func:`~repro.core.operands.as_at_matrix` under the registry's
+    configuration), so job execution starts from ready AT Matrices.
+    """
+
+    def __init__(self, *, config: SystemConfig | None = None) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self._matrices: dict[str, ATMatrix] = {}
+        self._lock = threading.Lock()
+
+    def register(self, name: str, operand: MatrixOperand | COOMatrix) -> ATMatrix:
+        """Register ``operand`` under ``name`` (replacing any holder).
+
+        Staged :class:`~repro.formats.coo.COOMatrix` input is adaptively
+        partitioned into an AT Matrix; ready operands (AT/CSR/dense) are
+        wrapped as-is.
+        """
+        if not name:
+            raise FormatError("matrix name must be non-empty")
+        if isinstance(operand, COOMatrix):
+            from ..core.builder import build_at_matrix
+
+            at = build_at_matrix(operand, self.config)
+        else:
+            at = as_at_matrix(operand, self.config)
+        with self._lock:
+            self._matrices[name] = at
+        return at
+
+    def register_file(self, name: str, path: str | Path) -> ATMatrix:
+        """Register a matrix loaded from ``path``.
+
+        ``.mtx`` files are parsed as Matrix Market; anything else is
+        treated as a repro ``.npz`` AT-Matrix archive.
+        """
+        from ..formats import load_at_matrix, read_matrix_market
+
+        source = Path(path)
+        operand: MatrixOperand | COOMatrix
+        if source.suffix.lower() == ".mtx":
+            operand = read_matrix_market(source)
+        else:
+            operand = load_at_matrix(source)
+        return self.register(name, operand)
+
+    def get(self, name: str) -> ATMatrix:
+        """The matrix registered under ``name``."""
+        with self._lock:
+            matrix = self._matrices.get(name)
+        if matrix is None:
+            raise UnknownMatrixError(
+                f"no matrix registered under {name!r}; "
+                f"known: {sorted(self.names()) or '(none)'}"
+            )
+        return matrix
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._matrices)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._matrices
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._matrices)

@@ -1,0 +1,410 @@
+"""The in-process matrix service: session, queue, workers, recovery.
+
+:class:`MatrixService` wraps one :class:`~repro.engine.session.Session`
+— and therefore one shared :class:`~repro.engine.cache.PlanCache` — in
+an asyncio job server.  Tenants submit ``multiply`` / ``matvec`` /
+``solve`` jobs against named matrices; a bounded pool of worker tasks
+executes them (the numeric work runs in the event loop's thread-pool
+executor so the loop stays responsive); every job is journaled through
+a :class:`~repro.service.jobs.JobStore` so a SIGKILL'd server resumes
+its in-flight jobs bit-identically on restart.
+
+Request fates and limits:
+
+* :class:`~repro.errors.UnknownMatrixError` — the spec names a matrix
+  the registry does not hold;
+* :class:`~repro.errors.QuotaExceededError` — the tenant already has
+  ``tenant_quota`` jobs pending, or the service queue is at
+  ``max_queue_depth`` (global load shedding);
+* :class:`~repro.errors.AdmissionError` — the water-level sweep proves
+  the job's ρ̂_C footprint breaches the memory SLA (see
+  :mod:`repro.service.admission`).
+
+Metric catalogue (``service.*``): ``queue_depth`` gauge,
+``admission.admitted`` / ``admission.rejected`` / ``shed`` counters,
+``admission.in_flight_bytes`` gauge, ``jobs_completed`` /
+``jobs_failed`` counters, per-tenant ``latency_seconds.<tenant>``
+histograms — all in the service observer's registry, exported by
+:meth:`MatrixService.metrics` next to the plan-cache hit rate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..engine.options import MultiplyOptions
+from ..engine.session import Session
+from ..errors import QuotaExceededError, ReproError, UnknownJobError
+from ..observe import Observation
+from ..resilience.checkpoint import CheckpointStore
+from .admission import AdmissionController
+from .jobs import JobRecord, JobSpec, JobState, JobStore, new_job_id
+from .registry import MatrixRegistry
+
+#: How long a worker sleeps between footprint-acquisition retries.
+_ACQUIRE_POLL_SECONDS = 0.02
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Snapshot of one job as reported to clients."""
+
+    job_id: str
+    tenant: str
+    op: str
+    state: JobState
+    error: str | None
+    error_type: str | None
+    reserved_bytes: float
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "op": self.op,
+            "state": self.state.value,
+            "error": self.error,
+            "error_type": self.error_type,
+            "reserved_bytes": self.reserved_bytes,
+        }
+
+
+class MatrixService:
+    """Async multi-tenant job server over one shared Session.
+
+    Parameters
+    ----------
+    registry:
+        The named matrices tenants may reference.
+    job_dir:
+        Directory for job journals, checkpoints and results; reusing a
+        previous server's directory recovers its unfinished jobs on
+        :meth:`start`.
+    memory_limit_bytes:
+        The service memory SLA enforced by admission control and, per
+        job, by the engine's water-level method (``None``: no SLA).
+    workers:
+        Number of concurrent worker tasks (bounded pool).
+    tenant_quota:
+        Maximum queued-or-running jobs per tenant.
+    max_queue_depth:
+        Global pending-job bound; submissions beyond it are shed.
+    config, options, observer:
+        Forwarded to the underlying :class:`Session`; the observer
+        (created automatically when omitted) receives every span and
+        metric the engine and the service emit.
+    """
+
+    def __init__(
+        self,
+        registry: MatrixRegistry,
+        *,
+        job_dir: str | Path,
+        memory_limit_bytes: float | None = None,
+        workers: int = 2,
+        tenant_quota: int = 8,
+        max_queue_depth: int = 64,
+        config: SystemConfig | None = None,
+        options: MultiplyOptions | None = None,
+        observer: Observation | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.registry = registry
+        self.store = JobStore(job_dir)
+        self.observer = observer if observer is not None else Observation()
+        self.session = Session(
+            config=config or registry.config,
+            options=options,
+            observer=self.observer,
+        )
+        self.admission = AdmissionController(
+            memory_limit_bytes,
+            config=self.session.config,
+            metrics=self.observer.metrics,
+        )
+        self.tenant_quota = tenant_quota
+        self.max_queue_depth = max_queue_depth
+        self.workers = workers
+        self._records: dict[str, JobRecord] = {}
+        self._queue: asyncio.Queue[str] = asyncio.Queue()
+        self._tasks: list[asyncio.Task[None]] = []
+        self._job_counter = 0
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> int:
+        """Recover unfinished jobs and launch the worker pool.
+
+        Returns the number of jobs recovered from the job directory.
+        """
+        if self._started:
+            return 0
+        self._started = True
+        recovered = 0
+        for record in self.store.load_all():
+            self._records[record.spec.job_id] = record
+            if not record.state.terminal:
+                record.state = JobState.QUEUED
+                self.store.save(record)
+                self._queue.put_nowait(record.spec.job_id)
+                recovered += 1
+        self._gauge_queue_depth()
+        for index in range(self.workers):
+            task = asyncio.create_task(self._worker(), name=f"svc-worker-{index}")
+            self._tasks.append(task)
+        return recovered
+
+    async def stop(self, *, drain: bool = False) -> None:
+        """Stop the worker pool (``drain=True``: finish queued jobs first)."""
+        if drain:
+            await self._queue.join()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks.clear()
+        self._started = False
+
+    async def __aenter__(self) -> MatrixService:
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    # -- client API --------------------------------------------------------
+    async def submit(
+        self,
+        *,
+        tenant: str,
+        op: str,
+        a: str,
+        b: str | None = None,
+        rhs: Any = None,
+        params: dict[str, Any] | None = None,
+        job_id: str | None = None,
+    ) -> str:
+        """Validate, admit, persist and enqueue one job; returns its id.
+
+        Raises the typed service errors documented on the class; a
+        raised submission leaves no trace in the job directory.
+        """
+        self._job_counter += 1
+        if job_id is None:
+            job_id = new_job_id(self._job_counter, tenant)
+        rhs_tuple = (
+            tuple(float(x) for x in np.asarray(rhs, dtype=np.float64).ravel())
+            if rhs is not None
+            else None
+        )
+        spec = JobSpec(
+            job_id=job_id,
+            tenant=tenant,
+            op=op,
+            a=a,
+            b=b,
+            rhs=rhs_tuple,
+            params=dict(params or {}),
+        )
+        self._check_quota(tenant)
+        matrix_a = self.registry.get(spec.a)
+        if spec.op == "multiply":
+            assert spec.b is not None  # JobSpec validation guarantees it
+            matrix_b = self.registry.get(spec.b)
+            ticket = self.admission.check_multiply(matrix_a, matrix_b, tenant=tenant)
+        else:
+            ticket = self.admission.check_vector(matrix_a, tenant=tenant)
+        record = JobRecord(
+            spec=spec,
+            state=JobState.QUEUED,
+            submitted_at=time.time(),
+            reserved_bytes=ticket.reserved_bytes,
+        )
+        self.store.create(record)
+        self._records[job_id] = record
+        self._queue.put_nowait(job_id)
+        self._gauge_queue_depth()
+        return job_id
+
+    async def status(self, job_id: str) -> JobStatus:
+        record = self._record(job_id)
+        return JobStatus(
+            job_id=record.spec.job_id,
+            tenant=record.spec.tenant,
+            op=record.spec.op,
+            state=record.state,
+            error=record.error,
+            error_type=record.error_type,
+            reserved_bytes=record.reserved_bytes,
+        )
+
+    async def result(self, job_id: str) -> np.ndarray:
+        """The finished job's dense result values (CRC-verified).
+
+        Raises :class:`UnknownJobError` for unknown ids and
+        :class:`ReproError` subclasses replaying a failed job's error.
+        """
+        record = self._record(job_id)
+        if record.state is JobState.FAILED:
+            raise ReproError(
+                f"job {job_id} failed ({record.error_type}): {record.error}"
+            )
+        if record.state is not JobState.DONE:
+            raise UnknownJobError(
+                f"job {job_id} has no result yet (state: {record.state.value})"
+            )
+        return self.store.load_result(job_id)
+
+    async def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; running/terminal jobs are not touched."""
+        record = self._record(job_id)
+        if record.state is not JobState.QUEUED:
+            return False
+        record.state = JobState.CANCELLED
+        record.finished_at = time.time()
+        self.store.save(record)
+        self._gauge_queue_depth()
+        return True
+
+    async def wait(self, job_id: str, *, timeout: float = 60.0) -> JobStatus:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = await self.status(job_id)
+            if status.state.terminal:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {status.state.value}")
+            await asyncio.sleep(0.01)
+
+    def metrics(self) -> dict[str, Any]:
+        """JSON-serializable export of the service's whole metric surface."""
+        states: dict[str, int] = {}
+        for record in self._records.values():
+            states[record.state.value] = states.get(record.state.value, 0) + 1
+        cache = self.session.cache_stats()
+        return {
+            "queue_depth": self._pending_count(),
+            "jobs": states,
+            "admission": {
+                "memory_limit_bytes": self.admission.memory_limit_bytes,
+                "in_flight_bytes": self.admission.in_flight_bytes,
+                "admitted": self.observer.metrics.value("service.admission.admitted"),
+                "rejected": self.observer.metrics.value("service.admission.rejected"),
+                "shed": self.observer.metrics.value("service.shed"),
+            },
+            "plan_cache": {**cache.as_dict(), "hit_rate": cache.hit_rate},
+            "metrics": self.observer.metrics.as_dict(),
+        }
+
+    # -- internals ---------------------------------------------------------
+    def _record(self, job_id: str) -> JobRecord:
+        record = self._records.get(job_id)
+        if record is None:
+            raise UnknownJobError(f"unknown job id {job_id!r}")
+        return record
+
+    def _pending_count(self, tenant: str | None = None) -> int:
+        return sum(
+            1
+            for record in self._records.values()
+            if not record.state.terminal
+            and (tenant is None or record.spec.tenant == tenant)
+        )
+
+    def _check_quota(self, tenant: str) -> None:
+        pending = self._pending_count(tenant)
+        if pending >= self.tenant_quota:
+            self.observer.metrics.counter("service.shed").inc()
+            raise QuotaExceededError(
+                f"tenant {tenant!r} already has {pending} jobs pending "
+                f"(quota: {self.tenant_quota})",
+                tenant=tenant,
+                pending=pending,
+                quota=self.tenant_quota,
+            )
+        total = self._pending_count()
+        if total >= self.max_queue_depth:
+            self.observer.metrics.counter("service.shed").inc()
+            raise QuotaExceededError(
+                f"service queue is full ({total} jobs pending, "
+                f"depth limit: {self.max_queue_depth})",
+                tenant=tenant,
+                pending=total,
+                quota=self.max_queue_depth,
+            )
+
+    def _gauge_queue_depth(self) -> None:
+        self.observer.metrics.gauge("service.queue_depth").set(self._pending_count())
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job_id = await self._queue.get()
+            try:
+                record = self._records.get(job_id)
+                if record is None or record.state is not JobState.QUEUED:
+                    continue  # cancelled (or lost) while queued
+                while not self.admission.try_acquire(record.reserved_bytes):
+                    await asyncio.sleep(_ACQUIRE_POLL_SECONDS)
+                record.state = JobState.RUNNING
+                self.store.save(record)
+                started = time.monotonic()
+                try:
+                    values = await loop.run_in_executor(None, self._execute, record)
+                    self.store.save_result(job_id, values)
+                    record.state = JobState.DONE
+                    self.observer.metrics.counter("service.jobs_completed").inc()
+                except Exception as error:  # noqa: BLE001 — jobs must land FAILED
+                    record.state = JobState.FAILED
+                    record.error = str(error)
+                    record.error_type = type(error).__name__
+                    self.observer.metrics.counter("service.jobs_failed").inc()
+                finally:
+                    self.admission.release(record.reserved_bytes)
+                    record.finished_at = time.time()
+                    self.store.save(record)
+                    elapsed = time.monotonic() - started
+                    self.observer.metrics.histogram(
+                        f"service.latency_seconds.{record.spec.tenant}"
+                    ).observe(elapsed)
+                    self._gauge_queue_depth()
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, record: JobRecord) -> np.ndarray:
+        """Run one job to completion (called in the executor thread)."""
+        spec = record.spec
+        matrix_a = self.registry.get(spec.a)
+        if spec.op == "multiply":
+            assert spec.b is not None
+            matrix_b = self.registry.get(spec.b)
+            checkpoint = CheckpointStore(
+                self.store.checkpoint_dir(spec.job_id), resume=True
+            )
+            options = self.session.options.replace(
+                memory_limit_bytes=self.admission.memory_limit_bytes,
+                checkpoint=checkpoint,
+            )
+            from ..core.atmult import atmult
+
+            result, _ = atmult(matrix_a, matrix_b, options=options)
+            return result.to_dense()
+        assert spec.rhs is not None
+        rhs = np.asarray(spec.rhs, dtype=np.float64)
+        if spec.op == "matvec":
+            return self.session.matvec(matrix_a, rhs)
+        outcome = self.session.solve(matrix_a, rhs, **spec.params)
+        outcome.raise_if_failed()
+        return np.asarray(outcome.solution, dtype=np.float64)

@@ -5,8 +5,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import COOMatrix, SystemConfig
+from repro import COOMatrix, SystemConfig, _deprecations
 from repro.formats import coo_to_csr, coo_to_dense
+
+
+@pytest.fixture(autouse=True)
+def _fresh_deprecation_registry():
+    """Warn-once sites are process-global; isolate them per test."""
+    _deprecations.reset()
+    yield
+    _deprecations.reset()
 
 
 @pytest.fixture

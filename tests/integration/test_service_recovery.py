@@ -1,0 +1,171 @@
+"""Service crash recovery: SIGKILL the server mid-job, restart, resume.
+
+The service-layer headline guarantee: a server killed with SIGKILL while
+a checkpointed multiply job is running can be restarted on the same job
+directory and finishes the job with a result bit-identical to an
+uninterrupted run.  As in ``test_crash_recovery``, the child kills
+*itself* from inside ``CheckpointStore.flush`` after a fixed number of
+flushes, making the kill point deterministic.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+KILL_AFTER_FLUSHES = 3
+JOB_ID = "recovery-job"
+
+# Both server runs build identical operands from this module, so the
+# plan fingerprint matches and the job's checkpoint journal is accepted.
+WORKLOAD = '''\
+"""Deterministic workload shared by the killed and the resumed server."""
+import numpy as np
+
+from repro import COOMatrix, SystemConfig
+from repro.service import MatrixRegistry
+
+CONFIG = SystemConfig(llc_bytes=8 * 1024, b_atomic=16)
+
+
+def build_registry():
+    rng = np.random.default_rng(20260808)
+
+    def heterogeneous(rows, cols):
+        mask = rng.random((rows, cols)) < 0.06
+        array = np.where(mask, rng.uniform(0.1, 1.0, (rows, cols)), 0.0)
+        block = min(rows, cols) // 3
+        array[:block, :block] = rng.uniform(0.1, 1.0, (block, block))
+        return array
+
+    registry = MatrixRegistry(config=CONFIG)
+    registry.register("A", COOMatrix.from_dense(heterogeneous(96, 72)))
+    registry.register("B", COOMatrix.from_dense(heterogeneous(72, 88)))
+    return registry
+'''
+
+CHILD = '''\
+"""Run the matrix service; optionally SIGKILL ourselves after N flushes."""
+import asyncio
+import os
+import signal
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from workload import CONFIG, build_registry
+
+from repro import CheckpointStore, MultiplyOptions
+from repro.service import JobState, MatrixService
+
+job_dir, job_id, kill_after = sys.argv[1], sys.argv[2], int(sys.argv[3])
+
+if kill_after:
+    original_flush = CheckpointStore.flush
+
+    def killing_flush(self):
+        written = original_flush(self)
+        if self.flushes >= kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return written
+
+    CheckpointStore.flush = killing_flush
+
+
+async def main():
+    service = MatrixService(
+        build_registry(),
+        job_dir=job_dir,
+        workers=1,
+        options=MultiplyOptions(config=CONFIG, checkpoint_flush_pairs=1),
+    )
+    await service.start()
+    try:
+        await service.status(job_id)  # resumed run: job already recovered
+    except Exception:
+        await service.submit(
+            tenant="t1", op="multiply", a="A", b="B", job_id=job_id
+        )
+    status = await service.wait(job_id, timeout=120.0)
+    await service.stop()
+    if status.state is not JobState.DONE:
+        raise SystemExit(f"job ended {status.state.value}: {status.error}")
+
+
+asyncio.run(main())
+'''
+
+
+@pytest.fixture
+def scripts(tmp_path):
+    (tmp_path / "workload.py").write_text(WORKLOAD, encoding="utf-8")
+    child = tmp_path / "child.py"
+    child.write_text(CHILD, encoding="utf-8")
+    return child
+
+
+def load_workload(tmp_path):
+    spec = importlib.util.spec_from_file_location(
+        "service_recovery_workload", tmp_path / "workload.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_child(scripts, job_dir, kill_after: int) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_SRC)] + env.get("PYTHONPATH", "").split(os.pathsep)
+    ).rstrip(os.pathsep)
+    return subprocess.run(
+        [sys.executable, str(scripts), str(job_dir), JOB_ID, str(kill_after)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestServiceSigkillResume:
+    def test_restarted_server_resumes_bit_identically(self, scripts, tmp_path):
+        from repro import MultiplyOptions, atmult
+        from repro.service import JobState, JobStore
+
+        job_dir = tmp_path / "jobs"
+        killed = run_child(scripts, job_dir, KILL_AFTER_FLUSHES)
+        assert killed.returncode == -signal.SIGKILL, killed.stderr
+
+        store = JobStore(job_dir)
+        record = store.load(JOB_ID)
+        assert record.state is JobState.RUNNING  # died mid-flight
+        survivors = sorted(
+            store.checkpoint_dir(JOB_ID).glob("pairs/pair-*.npz")
+        )
+        assert len(survivors) == KILL_AFTER_FLUSHES
+
+        resumed = run_child(scripts, job_dir, 0)
+        assert resumed.returncode == 0, resumed.stderr
+
+        record = store.load(JOB_ID)
+        assert record.state is JobState.DONE
+
+        workload = load_workload(tmp_path)
+        registry = workload.build_registry()
+        reference, report = atmult(
+            registry.get("A"),
+            registry.get("B"),
+            options=MultiplyOptions(config=workload.CONFIG),
+        )
+        assert report.pairs_executed > KILL_AFTER_FLUSHES
+        # CRC-checked on load; bit-identical to the uninterrupted run.
+        assert np.array_equal(store.load_result(JOB_ID), reference.to_dense())

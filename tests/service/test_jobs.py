@@ -1,0 +1,137 @@
+"""Job model + store: validation, persistence, recovery, result integrity."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import IntegrityError, UnknownJobError
+from repro.errors import FormatError
+from repro.service import JobRecord, JobSpec, JobState, JobStore
+
+
+def spec(job_id: str = "j-1", **overrides) -> JobSpec:
+    payload = {
+        "job_id": job_id,
+        "tenant": "t1",
+        "op": "multiply",
+        "a": "A",
+        "b": "B",
+    }
+    payload.update(overrides)
+    return JobSpec(**payload)
+
+
+class TestJobSpec:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(FormatError, match="unknown job op"):
+            spec(op="transpose")
+
+    def test_multiply_needs_b(self):
+        with pytest.raises(FormatError, match="second matrix"):
+            spec(b=None)
+
+    def test_matvec_needs_rhs(self):
+        with pytest.raises(FormatError, match="rhs"):
+            spec(op="matvec", b=None)
+
+    def test_json_round_trip(self):
+        original = spec(
+            op="solve",
+            b=None,
+            rhs=(1.0, 2.0, 3.0),
+            params={"method": "jacobi", "tol": 1e-8},
+        )
+        # through actual JSON text, as the wire protocol would
+        restored = JobSpec.from_json_dict(
+            json.loads(json.dumps(original.to_json_dict()))
+        )
+        assert restored == original
+
+
+class TestJobStore:
+    def test_create_save_load(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = JobRecord(spec=spec(), submitted_at=123.0, reserved_bytes=42.0)
+        store.create(record)
+        loaded = store.load("j-1")
+        assert loaded.spec == record.spec
+        assert loaded.state is JobState.QUEUED
+        assert loaded.reserved_bytes == 42.0
+
+    def test_state_transitions_persist(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = JobRecord(spec=spec())
+        store.create(record)
+        record.state = JobState.FAILED
+        record.error = "boom"
+        record.error_type = "MemoryLimitError"
+        store.save(record)
+        loaded = store.load("j-1")
+        assert loaded.state is JobState.FAILED
+        assert loaded.error == "boom"
+        assert loaded.error_type == "MemoryLimitError"
+
+    def test_recover_returns_only_unfinished(self, tmp_path):
+        store = JobStore(tmp_path)
+        for job_id, state in [
+            ("j-1", JobState.DONE),
+            ("j-2", JobState.RUNNING),
+            ("j-3", JobState.QUEUED),
+            ("j-4", JobState.CANCELLED),
+        ]:
+            record = JobRecord(spec=spec(job_id), state=state)
+            store.create(record)
+        recovered = {record.spec.job_id for record in store.recover()}
+        assert recovered == {"j-2", "j-3"}
+
+    def test_load_all_sorted_by_submission(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create(JobRecord(spec=spec("j-b"), submitted_at=2.0))
+        store.create(JobRecord(spec=spec("j-a"), submitted_at=1.0))
+        assert [r.spec.job_id for r in store.load_all()] == ["j-a", "j-b"]
+
+    def test_unknown_job_id(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(UnknownJobError):
+            store.load("ghost")
+
+    def test_invalid_job_ids_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        for bad in ("", "../escape", ".hidden"):
+            with pytest.raises(FormatError):
+                store.job_dir(bad)
+
+
+class TestResults:
+    def test_result_round_trip_is_bit_identical(self, tmp_path, rng):
+        store = JobStore(tmp_path)
+        store.create(JobRecord(spec=spec()))
+        values = rng.random((16, 16))
+        digest = store.save_result("j-1", values)
+        assert digest != 0
+        assert store.has_result("j-1")
+        loaded = store.load_result("j-1")
+        assert np.array_equal(loaded, values)
+
+    def test_corrupted_result_is_detected(self, tmp_path, rng):
+        store = JobStore(tmp_path)
+        store.create(JobRecord(spec=spec()))
+        store.save_result("j-1", rng.random((8, 8)))
+        path = tmp_path / "j-1" / "result.npz"
+        with np.load(path) as archive:
+            values, crc = archive["values"], archive["crc"]
+        values = values.copy()
+        values[0, 0] += 1.0  # silent bit-rot: values change, stored CRC doesn't
+        np.savez(path, values=values, crc=crc)
+        with pytest.raises(IntegrityError, match="CRC-32C"):
+            store.load_result("j-1")
+
+    def test_missing_result(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create(JobRecord(spec=spec()))
+        assert not store.has_result("j-1")
+        with pytest.raises(UnknownJobError):
+            store.load_result("j-1")

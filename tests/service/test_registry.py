@@ -1,0 +1,66 @@
+"""Named-matrix registry: registration, lookup, file loading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import COOMatrix, SystemConfig, UnknownMatrixError
+from repro.core.atmatrix import ATMatrix
+from repro.errors import FormatError
+from repro.formats import write_matrix_market
+from repro.service import MatrixRegistry
+
+from ..conftest import as_csr, random_sparse_array
+
+
+@pytest.fixture
+def registry(small_config: SystemConfig) -> MatrixRegistry:
+    return MatrixRegistry(config=small_config)
+
+
+class TestRegistration:
+    def test_coo_input_is_partitioned(self, registry, rng):
+        raw = random_sparse_array(rng, 64, 64, 0.2)
+        at = registry.register("A", COOMatrix.from_dense(raw))
+        assert isinstance(at, ATMatrix)
+        np.testing.assert_allclose(at.to_dense(), raw)
+
+    def test_csr_input_is_wrapped(self, registry, rng):
+        raw = random_sparse_array(rng, 32, 32, 0.2)
+        at = registry.register("A", as_csr(raw))
+        assert registry.get("A") is at
+
+    def test_reregistration_replaces(self, registry, rng):
+        first = random_sparse_array(rng, 32, 32, 0.2)
+        second = random_sparse_array(rng, 16, 16, 0.5)
+        registry.register("A", COOMatrix.from_dense(first))
+        registry.register("A", COOMatrix.from_dense(second))
+        assert registry.get("A").shape == (16, 16)
+
+    def test_empty_name_rejected(self, registry, rng):
+        raw = random_sparse_array(rng, 8, 8, 0.5)
+        with pytest.raises(FormatError):
+            registry.register("", COOMatrix.from_dense(raw))
+
+    def test_names_and_contains(self, registry, rng):
+        raw = random_sparse_array(rng, 16, 16, 0.3)
+        registry.register("b_matrix", COOMatrix.from_dense(raw))
+        registry.register("a_matrix", COOMatrix.from_dense(raw))
+        assert registry.names() == ["a_matrix", "b_matrix"]
+        assert "a_matrix" in registry
+        assert "other" not in registry
+        assert len(registry) == 2
+
+
+class TestLookup:
+    def test_unknown_name_is_typed_error(self, registry):
+        with pytest.raises(UnknownMatrixError, match="no matrix registered"):
+            registry.get("ghost")
+
+    def test_register_file_mtx(self, registry, rng, tmp_path):
+        raw = random_sparse_array(rng, 32, 32, 0.2)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(COOMatrix.from_dense(raw), path)
+        at = registry.register_file("M", path)
+        np.testing.assert_allclose(at.to_dense(), raw)
