@@ -110,11 +110,14 @@ from .resilience import (
 )
 from .engine import (
     CacheStats,
+    ChainKey,
     ExecutionPlan,
+    FusedChainPlan,
     MultiplyOptions,
     PlanCache,
     PlanKey,
     Session,
+    build_chain_plan,
     build_plan,
     config_fingerprint,
     execute,
@@ -227,6 +230,9 @@ __all__ = [
     "config_fingerprint",
     "ChainPlan",
     "ChainReport",
+    "ChainKey",
+    "FusedChainPlan",
+    "build_chain_plan",
     "plan_chain",
     "multiply_chain",
     "align_to_operand",

@@ -17,6 +17,7 @@ is itself an adaptive tile matrix with cost-optimized kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import pairwise
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -35,6 +36,7 @@ from ..kinds import StorageKind
 from ..observe import session as observe_session
 from .atmatrix import ATMatrix
 from .atmult import MatrixOperand, atmult, operand_density_map
+from .operands import as_at_matrix
 from .report import BaseReport, MultiplyReport
 
 
@@ -88,6 +90,7 @@ def plan_chain(
     *,
     config: SystemConfig | None = None,
     cost_model: CostModel | None = None,
+    structural: bool = False,
 ) -> ChainPlan:
     """Find the cheapest parenthesization of ``A1 @ A2 @ ... @ An``.
 
@@ -95,23 +98,31 @@ def plan_chain(
     the density estimate of every sub-chain result feeds both the cost
     of the enclosing products and their own estimates — mirroring how a
     relational optimizer propagates cardinalities through join trees.
+
+    ``structural=True`` scores the DP on the planner's structural
+    density view (dense payloads contribute their fingerprint-quantized
+    density), making the returned plan a pure function of the operands'
+    structure fingerprints — what the fused chain cache requires.
     """
     config = config or DEFAULT_CONFIG
     cost_model = cost_model or CostModel()
     n = len(operands)
     if n == 0:
-        raise ShapeError("empty matrix chain")
-    for left, right in zip(operands, operands[1:], strict=False):
+        raise ShapeError(
+            "empty matrix chain: need at least one operand, got 0"
+        )
+    for position, (left, right) in enumerate(pairwise(operands)):
         if left.cols != right.rows:
             raise ShapeError(
-                f"chain dimension mismatch: {left.shape} then {right.shape}"
+                f"chain dimension mismatch at operand {position}: "
+                f"{left.shape} then {right.shape}"
             )
 
     maps: list[list[DensityMap | None]] = [[None] * n for _ in range(n)]
     costs = [[0.0] * n for _ in range(n)]
     splits = [[0] * n for _ in range(n)]
     for i, operand in enumerate(operands):
-        maps[i][i] = operand_density_map(operand, config)
+        maps[i][i] = operand_density_map(operand, config, structural=structural)
 
     for length in range(2, n + 1):
         for i in range(0, n - length + 1):
@@ -171,6 +182,14 @@ class ChainReport(BaseReport):
 
     plan: ChainPlan | None = None
     steps: list[MultiplyReport] = field(default_factory=list)
+    #: whether the chain replayed as one fused interleaved execution
+    fused: bool = False
+    #: whether the whole fused plan came from one ``PlanCache`` hit
+    plan_cache_hit: bool = False
+    #: intermediate tiles released eagerly during fused execution
+    intermediates_freed: int = 0
+    #: peak bytes of intermediate tiles resident during fused execution
+    peak_intermediate_bytes: int = 0
 
     def _plan(self) -> ChainPlan:
         assert self.plan is not None
@@ -224,11 +243,38 @@ def multiply_chain(
     benefiting from the tile-granular optimization; with a plan cache in
     ``options`` every step's plan is reused across repeated chain runs.
 
+    With a plan cache (and no resilience/checkpoint/memory-limit
+    context), the chain routes through the engine's fused chain planner:
+    the first run records a whole-chain
+    :class:`~repro.engine.plan.FusedChainPlan` and every later run of
+    the same chain replays it from one cache hit with cross-hop
+    interleaved execution (``report.fused`` / ``report.plan_cache_hit``
+    say which path ran).
+
     ``return_report=False`` restores the pre-redesign
-    ``(product, ChainPlan)`` shape and is **deprecated**; the legacy
-    execution keywords (``memory_limit_bytes`` etc.) are likewise
-    deprecated in favor of ``options=MultiplyOptions(...)``.
+    ``(product, ChainPlan)`` shape and is **deprecated** (documented
+    2.0 removal); the legacy execution keywords (``memory_limit_bytes``
+    etc.) and the ``config=``/``cost_model=``/``plan_cache=`` context
+    parameters are likewise deprecated in favor of
+    ``options=MultiplyOptions(...)`` or :class:`~repro.engine.session.Session`.
     """
+    supplied_context = [
+        name
+        for name, value in (
+            ("config", config),
+            ("cost_model", cost_model),
+            ("plan_cache", plan_cache),
+        )
+        if value is not None
+    ]
+    if supplied_context:
+        names = ", ".join(supplied_context)
+        _deprecations.warn_once(
+            f"multiply_chain:context:{names}",
+            f"multiply_chain(): the {names} parameter(s) are deprecated; "
+            "fold them into options=MultiplyOptions(...) or use "
+            "Session.multiply_chain",
+        )
     opts = coerce_options(
         options,
         where="multiply_chain",
@@ -250,6 +296,21 @@ def multiply_chain(
         )
     resolved_config = opts.resolved_config()
     resolved_model = opts.resolved_cost_model()
+
+    fusable = (
+        len(operands) >= 2
+        and opts.plan_cache is not None
+        and opts.resilience is None
+        and opts.checkpoint is None
+        and opts.memory_limit_bytes is None
+    )
+    if fusable:
+        from ..engine.api import run_chain
+
+        with observe_session.resolve(opts.observer) as obs:
+            product, report, _fused = run_chain(operands, options=opts, obs=obs)
+        return (product, report) if return_report else (product, report._plan())
+
     with observe_session.resolve(opts.observer) as obs:
         report = ChainReport(observation=obs)
         with observe_session.tracer_span(obs, "chain_plan"):
@@ -258,8 +319,6 @@ def multiply_chain(
             )
         report.plan = plan
         if len(operands) == 1:
-            from .operands import as_at_matrix
-
             single = as_at_matrix(operands[0], resolved_config)
             return (single, report) if return_report else (single, plan)
 

@@ -8,36 +8,66 @@ by operand-structure fingerprints plus a configuration hash
 the consolidated :class:`MultiplyOptions` / :class:`Session` API.
 """
 
-from .api import execute, plan, resolve_plan
-from .cache import CacheStats, PlanCache, PlanKey
-from .executor import EXECUTION_MODES, PairComputer, execute_plan
-from .fingerprint import config_fingerprint, structure_fingerprint
+from .api import execute, plan, resolve_plan, run_chain
+from .cache import CacheStats, ChainKey, PlanCache, PlanKey
+from .executor import (
+    EXECUTION_MODES,
+    FusedChainOutcome,
+    PairComputer,
+    execute_fused_chain,
+    execute_plan,
+)
+from .fingerprint import (
+    chain_fingerprint,
+    config_fingerprint,
+    structure_fingerprint,
+)
 from .options import LEGACY_OPTION_KEYWORDS, UNSET, MultiplyOptions, coerce_options
-from .plan import ExecutionPlan, PlannedPair, PlannedProduct, build_plan
+from .plan import (
+    ExecutionPlan,
+    FusedChainPlan,
+    HopSource,
+    PlannedHop,
+    PlannedPair,
+    PlannedProduct,
+    build_chain_plan,
+    build_plan,
+    fused_chain_schedule,
+)
 from .session import Session
 from .shard import ShardConfig, assign_shards
 
 __all__ = [
     "EXECUTION_MODES",
     "CacheStats",
+    "ChainKey",
     "ExecutionPlan",
+    "FusedChainOutcome",
+    "FusedChainPlan",
+    "HopSource",
     "LEGACY_OPTION_KEYWORDS",
     "MultiplyOptions",
     "PairComputer",
     "PlanCache",
     "PlanKey",
+    "PlannedHop",
     "PlannedPair",
     "PlannedProduct",
     "Session",
     "ShardConfig",
     "UNSET",
     "assign_shards",
+    "build_chain_plan",
     "build_plan",
+    "chain_fingerprint",
     "coerce_options",
     "config_fingerprint",
     "execute",
+    "execute_fused_chain",
     "execute_plan",
+    "fused_chain_schedule",
     "plan",
     "resolve_plan",
+    "run_chain",
     "structure_fingerprint",
 ]

@@ -24,10 +24,14 @@ from dataclasses import asdict, dataclass
 from typing import Any
 
 from ..observe import session as observe_session
-from .plan import ExecutionPlan
+from .plan import ExecutionPlan, FusedChainPlan
 
 #: Default byte budget: roomy enough for hundreds of realistic plans.
 DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: What a :class:`PlanCache` stores: single-product plans keyed by
+#: :class:`PlanKey`, whole fused chains keyed by :class:`ChainKey`.
+CachedPlan = ExecutionPlan | FusedChainPlan
 
 
 @dataclass(frozen=True)
@@ -78,8 +82,25 @@ class PlanKey:
     setup_key: str
 
 
+@dataclass(frozen=True)
+class ChainKey:
+    """Full identity of a fused chain plan.
+
+    Every leaf operand's structure fingerprint in chain order plus the
+    setup key.  The parenthesization is *not* part of the key: the chain
+    DP is deterministic given the leaf structures and the configuration,
+    so the key's inputs already determine it.
+    """
+
+    operand_fingerprints: tuple[str, ...]
+    setup_key: str
+
+
+CacheKey = PlanKey | ChainKey
+
+
 class PlanCache:
-    """LRU cache of :class:`ExecutionPlan` under a byte budget.
+    """LRU cache of single-product and fused chain plans (byte budget).
 
     >>> cache = PlanCache(max_bytes=1 << 20)
     >>> cache.stats()["hits"]
@@ -90,7 +111,7 @@ class PlanCache:
         if max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.max_bytes = max_bytes
-        self._plans: OrderedDict[PlanKey, ExecutionPlan] = OrderedDict()
+        self._plans: OrderedDict[CacheKey, CachedPlan] = OrderedDict()
         self._bytes = 0
         self._lock = threading.Lock()
         self.hits = 0
@@ -106,7 +127,7 @@ class PlanCache:
         with self._lock:
             return self._bytes
 
-    def get(self, key: PlanKey) -> ExecutionPlan | None:
+    def get(self, key: CacheKey) -> CachedPlan | None:
         """The cached plan for ``key``, bumped to most-recently-used."""
         with self._lock:
             plan = self._plans.get(key)
@@ -119,7 +140,7 @@ class PlanCache:
             observe_session.counter("plan_cache.hits").inc()
             return plan
 
-    def put(self, key: PlanKey, plan: ExecutionPlan) -> None:
+    def put(self, key: CacheKey, plan: CachedPlan) -> None:
         """Insert ``plan``, evicting least-recently-used entries to fit.
 
         A plan larger than the whole budget is not cached at all (it

@@ -38,7 +38,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -68,8 +68,14 @@ from ..resilience.guard import reference_tile_product, validate_tile
 from ..resilience.report import FailureReport, aggregate_message
 from ..resilience.retry import ResilientPairRunner, RetryPolicy
 from ..topology.trace import TaskRecord
-from .fingerprint import structure_fingerprint
-from .plan import ExecutionPlan, PlannedPair, _DecisionMemo
+from .fingerprint import payload_fingerprint, structure_fingerprint
+from .plan import (
+    ExecutionPlan,
+    FusedChainPlan,
+    HopSource,
+    PlannedPair,
+    _DecisionMemo,
+)
 
 _span = observe_session.tracer_span
 
@@ -137,6 +143,25 @@ class _ConversionCache:
         return converted
 
 
+@dataclass
+class TileListView:
+    """A growing result-tile list standing in for an operand.
+
+    The fused chain executor feeds each hop's freshly produced C-tiles
+    to the consuming hop as A/B tiles before the producing hop has
+    finished; plans reference operand tiles by index, which is all
+    :class:`PairComputer` reads, so this minimal view is enough to
+    multiply against an intermediate that is still being materialized.
+    """
+
+    tiles: list[Tile] = field(default_factory=list)
+
+
+#: What :class:`PairComputer` multiplies: complete AT Matrices or the
+#: fused executor's in-flight intermediates.
+TileOperand = ATMatrix | TileListView
+
+
 def check_plan_applies(
     plan: ExecutionPlan, at_a: ATMatrix, at_b: ATMatrix
 ) -> None:
@@ -173,8 +198,8 @@ class PairComputer:
     def __init__(
         self,
         plan: ExecutionPlan,
-        at_a: ATMatrix,
-        at_b: ATMatrix,
+        at_a: TileOperand,
+        at_b: TileOperand,
         *,
         cost_model: CostModel,
         at_c: ATMatrix | None = None,
@@ -631,6 +656,163 @@ def execute_plan(
             enforce_memory_limit(result, limit)
         report.add_phase("optimize", time.perf_counter() - start)
     return result, report
+
+
+@dataclass
+class FusedChainOutcome:
+    """Execution-side summary of one fused chain replay.
+
+    One sequential-style :class:`~repro.core.report.MultiplyReport` per
+    hop (in hop order), plus the lifetime accounting the eager freeing
+    produced: how many intermediate tiles were released before the end
+    of the run and the peak number of intermediate bytes ever resident.
+    """
+
+    steps: list[MultiplyReport]
+    intermediates_freed: int = 0
+    peak_intermediate_bytes: int = 0
+
+
+def execute_fused_chain(
+    fused: FusedChainPlan,
+    leaves: Sequence[ATMatrix],
+    *,
+    config: SystemConfig,
+    cost_model: CostModel,
+    obs: Observation | None = None,
+    check_fingerprints: bool = True,
+) -> tuple[ATMatrix, FusedChainOutcome]:
+    """Replay a fused chain plan against matching leaf operands.
+
+    Walks the plan's interleaved ``(hop, pair)`` schedule: a pair whose
+    operand side is an earlier hop reads that hop's freshly produced
+    tiles through a :class:`TileListView`, so intermediates are consumed
+    while still resident instead of hop-by-hop behind barriers, and
+    ``fused.frees`` releases each intermediate the moment its last
+    consumer pair has run.
+
+    Intermediate topology depends on operand *values* (cancellation,
+    density quantization), not only on the leaf structures the chain is
+    keyed by, so every produced tile is validated incrementally against
+    the plan's recorded geometry/kind/payload fingerprint; any
+    divergence raises :class:`~repro.errors.PlanMismatchError` and the
+    caller falls back to a cold rebuild.
+    """
+    if len(leaves) != len(fused.operand_fingerprints):
+        raise PlanMismatchError(
+            f"fused chain plan expects {len(fused.operand_fingerprints)} "
+            f"operands, got {len(leaves)}"
+        )
+    if check_fingerprints:
+        for index, (leaf, expected_fp) in enumerate(
+            zip(leaves, fused.operand_fingerprints, strict=True)
+        ):
+            fp = structure_fingerprint(leaf)
+            if fp != expected_fp:
+                raise PlanMismatchError(
+                    f"chain operand {index} topology does not match the "
+                    f"fused plan ({fp[:12]} vs {expected_fp[:12]}); re-plan "
+                    "against the new operands"
+                )
+
+    views = [TileListView() for _ in fused.hops]
+
+    def operand_of(source: HopSource) -> TileOperand:
+        if source.kind == "leaf":
+            return leaves[source.index]
+        return views[source.index]
+
+    computers: list[PairComputer | None] = [None] * len(fused.hops)
+    reports: list[MultiplyReport] = []
+    for hop in fused.hops:
+        report = MultiplyReport(observation=obs)
+        report.write_threshold = hop.plan.write_threshold
+        report.water_level = hop.plan.water_level
+        reports.append(report)
+
+    root = len(fused.hops) - 1
+    current_bytes = 0
+    peak_bytes = 0
+    freed = 0
+    attrs = (
+        {"hops": len(fused.hops), "steps": len(fused.schedule)}
+        if obs is not None
+        else None
+    )
+    with _span(obs, "fused_execute", attrs=attrs):
+        for step, (h, p) in enumerate(fused.schedule):
+            hop = fused.hops[h]
+            computer = computers[h]
+            if computer is None:
+                computer = PairComputer(
+                    hop.plan,
+                    operand_of(hop.a_source),
+                    operand_of(hop.b_source),
+                    cost_model=cost_model,
+                    obs=obs,
+                    record_tasks=True,
+                )
+                computers[h] = computer
+            pair = hop.plan.pairs[p]
+            outcome = computer.run_pair(pair)
+            stats = outcome.stats
+            report = reports[h]
+            report.add_phase(PHASE_OPTIMIZE, stats.optimize_seconds)
+            report.add_phase(PHASE_MULTIPLY, stats.multiply_seconds)
+            report.merge_kernel_counts(stats.kernel_counts)
+            report.tasks.extend(stats.tasks)
+            report.pairs_executed += 1
+
+            tile = outcome.tile
+            expected_index = hop.tile_of_pair[p]
+            if (tile is None) != (expected_index is None):
+                raise PlanMismatchError(
+                    f"hop {h} pair {p} produced "
+                    f"{'a tile' if tile is not None else 'no tile'} where the "
+                    "fused plan recorded the opposite; operand values changed "
+                    "the intermediate topology — re-plan the chain"
+                )
+            if tile is not None:
+                assert expected_index is not None
+                expected = hop.expected_tiles[expected_index]
+                produced = (
+                    tile.row0,
+                    tile.col0,
+                    tile.rows,
+                    tile.cols,
+                    tile.kind.value,
+                    payload_fingerprint(tile.data),
+                )
+                if produced != expected:
+                    raise PlanMismatchError(
+                        f"hop {h} pair {p} produced tile {produced[:5]} with "
+                        f"fingerprint {produced[5][:12]}, expected "
+                        f"{expected[:5]} / {expected[5][:12]}; operand values "
+                        "changed the intermediate topology — re-plan the chain"
+                    )
+                views[h].tiles.append(tile)
+                if h != root:
+                    current_bytes += tile.memory_bytes()
+                    peak_bytes = max(peak_bytes, current_bytes)
+            for dead in fused.frees[step]:
+                view = views[dead]
+                current_bytes -= sum(t.memory_bytes() for t in view.tiles)
+                freed += len(view.tiles)
+                view.tiles.clear()
+                if obs is not None:
+                    obs.metrics.counter("fused.intermediates_freed").inc()
+
+    for h, computer in enumerate(computers):
+        if computer is not None:
+            reports[h].conversions = computer.conversions.conversions
+    result = ATMatrix(fused.shape[0], fused.shape[1], config, views[root].tiles)
+    if obs is not None:
+        obs.metrics.gauge("fused.peak_intermediate_bytes").set(peak_bytes)
+    return result, FusedChainOutcome(
+        steps=reports,
+        intermediates_freed=freed,
+        peak_intermediate_bytes=peak_bytes,
+    )
 
 
 def _payload_kind(payload: TilePayload) -> StorageKind:

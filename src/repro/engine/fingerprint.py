@@ -103,6 +103,26 @@ def structure_fingerprint(operand: ATMatrix | CSRMatrix | DenseMatrix) -> str:
     return fp
 
 
+def chain_fingerprint(
+    operand_fingerprints: tuple[str, ...], setup_key: str
+) -> str:
+    """Stable identity of a fused chain across processes.
+
+    Digest of every leaf operand's structure fingerprint, in chain
+    order, plus the setup key — the same inputs a
+    :class:`~repro.engine.cache.ChainKey` carries, so the fingerprint
+    identifies a :class:`~repro.engine.plan.FusedChainPlan` exactly as
+    :attr:`~repro.engine.plan.ExecutionPlan.fingerprint` identifies a
+    single-product plan.
+    """
+    chunks: list[bytes] = [b"chain", struct.pack("<q", len(operand_fingerprints))]
+    for fingerprint in operand_fingerprints:
+        chunks.append(fingerprint.encode("utf-8"))
+        chunks.append(b"\x00")
+    chunks.append(setup_key.encode("utf-8"))
+    return _digest(*chunks)
+
+
 def config_fingerprint(
     config: SystemConfig,
     cost_model: CostModel,

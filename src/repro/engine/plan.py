@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -39,7 +40,12 @@ from ..kernels.window import Window
 from ..kinds import StorageKind, kernel_name
 from ..observe import Observation
 from ..observe import session as observe_session
-from .fingerprint import config_fingerprint, structure_fingerprint
+from .fingerprint import chain_fingerprint, config_fingerprint, structure_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.chain import ChainPlan
+    from ..core.operands import MatrixOperand
+    from .options import MultiplyOptions
 
 _span = observe_session.tracer_span
 
@@ -376,3 +382,234 @@ def build_plan(
         optimize_seconds=optimize_seconds,
         decisions=decisions,
     )
+
+
+@dataclass(frozen=True)
+class HopSource:
+    """Where one operand side of a fused hop comes from.
+
+    ``kind`` is ``"leaf"`` (``index`` into the chain's operand list) or
+    ``"hop"`` (``index`` of an earlier :class:`PlannedHop` whose output
+    feeds this side).
+    """
+
+    kind: str
+    index: int
+
+
+@dataclass(frozen=True)
+class PlannedHop:
+    """One multiplication of a fused chain, with its replay metadata.
+
+    ``(i, k, j)`` is the :class:`~repro.core.chain.ChainPlan` triple
+    (``result(i..j) = result(i..k) @ result(k+1..j)``); ``plan`` is the
+    hop's :class:`ExecutionPlan` built against the operand topologies the
+    cold run materialized.  ``tile_of_pair`` maps each planned pair to
+    the index of the output tile it yields (``None`` for an all-zero
+    pair), and ``expected_tiles`` records each output tile's geometry,
+    storage kind and payload fingerprint — the fused executor validates
+    every produced intermediate tile against these, because intermediate
+    topology is a function of operand *values* (cancellation, density
+    quantization), not just of the leaf structure the chain is keyed on.
+    """
+
+    i: int
+    k: int
+    j: int
+    a_source: HopSource
+    b_source: HopSource
+    plan: ExecutionPlan
+    out_fingerprint: str
+    tile_of_pair: tuple[int | None, ...]
+    expected_tiles: tuple[tuple[int, int, int, int, str, str], ...]
+
+
+@dataclass
+class FusedChainPlan:
+    """A whole matrix chain resolved into one replayable plan.
+
+    The chain-level member of the :class:`ExecutionPlan` family: the
+    optimized parenthesization (``chain``), one :class:`PlannedHop` per
+    multiplication, and a static ``schedule`` of ``(hop, pair)`` steps
+    that interleaves tile-pair execution *across* hops — the C-tiles a
+    worker team just produced for hop ``t`` are consumed as that team's
+    A-tiles for hop ``t + 1`` while still resident, instead of running
+    the hops barrier-to-barrier.  ``frees[step]`` lists the hops whose
+    intermediate output is dead once that step completes, so the fused
+    executor can release it eagerly.
+
+    Cached in a :class:`~repro.engine.cache.PlanCache` under a
+    :class:`~repro.engine.cache.ChainKey` (every leaf fingerprint plus
+    the setup key), so repeated chain runs — and every iteration of a
+    solver loop — replay the whole chain from one cache hit.
+    """
+
+    operand_fingerprints: tuple[str, ...]
+    setup_key: str
+    chain: ChainPlan
+    hops: tuple[PlannedHop, ...]
+    schedule: tuple[tuple[int, int], ...]
+    frees: tuple[tuple[int, ...], ...]
+    shape: tuple[int, int]
+    _memory_bytes: int = field(default=0, repr=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable chain identity: every leaf fingerprint plus the setup."""
+        return chain_fingerprint(self.operand_fingerprints, self.setup_key)
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.hops)
+
+    @property
+    def num_pairs(self) -> int:
+        return sum(len(hop.plan.pairs) for hop in self.hops)
+
+    @property
+    def num_products(self) -> int:
+        return sum(hop.plan.num_products for hop in self.hops)
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint (plan-cache byte accounting)."""
+        if self._memory_bytes:
+            return self._memory_bytes
+        total = 512 + 16 * len(self.schedule)
+        total += sum(
+            hop.plan.memory_bytes()
+            + 64 * len(hop.expected_tiles)
+            + 8 * len(hop.tile_of_pair)
+            for hop in self.hops
+        )
+        self._memory_bytes = total
+        return total
+
+    def describe(self) -> dict:
+        """JSON-friendly summary (CLI / debugging)."""
+        return {
+            "shape": list(self.shape),
+            "hops": self.num_hops,
+            "pairs": self.num_pairs,
+            "products": self.num_products,
+            "schedule_steps": len(self.schedule),
+            "parenthesization": self.chain.parenthesization(),
+            "memory_bytes": self.memory_bytes(),
+        }
+
+
+def fused_chain_schedule(
+    hops: tuple[PlannedHop, ...],
+) -> tuple[tuple[tuple[int, int], ...], tuple[tuple[int, ...], ...]]:
+    """The interleaved ``(hop, pair)`` schedule and per-step free lists.
+
+    Hops arrive in :class:`~repro.core.chain.ChainPlan` execution order,
+    which is topological (every hop's intermediate sources precede it).
+    A consumer pair is *ready* once each intermediate source has
+    completed every pair that produces a tile in the consumer's A/B
+    strip; within one hop, pairs run in plan order, so readiness reduces
+    to a completed-pair-count threshold per source hop.  The greedy walk
+    always advances the most-downstream ready pair, which is exactly the
+    "consume hop ``t``'s fresh C-tiles as hop ``t + 1``'s A-tiles"
+    interleaving; the earliest unfinished hop is always ready, so the
+    walk cannot stall.  ``frees[step]`` holds the hop indices whose
+    output is fully consumed once that step finishes (the root is the
+    chain result and is never freed).
+    """
+    n = len(hops)
+    # Per hop, per pair: (source hop, completed-pair count required).
+    needs: list[list[tuple[tuple[int, int], ...]]] = []
+    for hop in hops:
+        producer_of_tile: dict[int, dict[int, int]] = {}
+        for source in (hop.a_source, hop.b_source):
+            if source.kind != "hop":
+                continue
+            producer_of_tile[source.index] = {
+                tile_index: pair_index
+                for pair_index, tile_index in enumerate(
+                    hops[source.index].tile_of_pair
+                )
+                if tile_index is not None
+            }
+        hop_needs: list[tuple[tuple[int, int], ...]] = []
+        for pair in hop.plan.pairs:
+            pair_needs: list[tuple[int, int]] = []
+            for source, strip in (
+                (hop.a_source, pair.a_strip),
+                (hop.b_source, pair.b_strip),
+            ):
+                if source.kind != "hop" or not strip:
+                    continue
+                producers = producer_of_tile[source.index]
+                pair_needs.append(
+                    (source.index, max(producers[t] for t in strip) + 1)
+                )
+            hop_needs.append(tuple(pair_needs))
+        needs.append(hop_needs)
+
+    next_pair = [0] * n
+    completed = [0] * n
+    remaining = sum(len(hop.plan.pairs) for hop in hops)
+    schedule: list[tuple[int, int]] = []
+    while remaining:
+        chosen = None
+        for h in range(n - 1, -1, -1):
+            p = next_pair[h]
+            if p >= len(hops[h].plan.pairs):
+                continue
+            if all(completed[g] >= count for g, count in needs[h][p]):
+                chosen = h
+                break
+        assert chosen is not None  # the earliest unfinished hop is ready
+        schedule.append((chosen, next_pair[chosen]))
+        next_pair[chosen] += 1
+        completed[chosen] += 1
+        remaining -= 1
+
+    # Free each intermediate after its consumer's last scheduled pair.
+    # A consumer with zero pairs (a cancelled-to-empty product) never
+    # touches its sources, so they simply stay resident until the end.
+    last_step = {h: step for step, (h, _) in enumerate(schedule)}
+    frees: list[list[int]] = [[] for _ in schedule]
+    for h, hop in enumerate(hops):
+        step = last_step.get(h)
+        if step is None:
+            continue
+        for source in (hop.a_source, hop.b_source):
+            if source.kind == "hop":
+                frees[step].append(source.index)
+    return tuple(schedule), tuple(tuple(sorted(dead)) for dead in frees)
+
+
+def build_chain_plan(
+    operands: list[MatrixOperand],
+    *,
+    options: MultiplyOptions | None = None,
+    config: SystemConfig | None = None,
+    cost_model: CostModel | None = None,
+) -> FusedChainPlan:
+    """Resolve a whole matrix chain into one :class:`FusedChainPlan`.
+
+    Plans the parenthesization with the density-propagating chain DP,
+    then resolves every hop into an :class:`ExecutionPlan` and builds the
+    cross-hop interleaved schedule.  Because each hop is planned against
+    the *materialized* topology of its intermediate operands, this runs
+    the chain's kernels once (a cold run); the point of the returned
+    object is replay — through ``options.plan_cache`` every later run of
+    the same chain (and every solver iteration) is a single cache hit.
+    """
+    from ..errors import ShapeError
+    from .api import run_chain
+    from .options import coerce_options
+
+    if len(operands) < 2:
+        raise ShapeError(
+            "a fused chain needs at least two operands, got "
+            f"{len(operands)}"
+        )
+    opts = coerce_options(
+        options, where="build_chain_plan", config=config, cost_model=cost_model
+    )
+    with observe_session.resolve(opts.observer) as obs:
+        _result, _report, fused = run_chain(operands, options=opts, obs=obs)
+    assert fused is not None  # guaranteed for two or more operands
+    return fused

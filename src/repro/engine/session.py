@@ -47,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.atmatrix import ATMatrix
     from ..core.chain import ChainReport
     from ..core.report import MultiplyReport, ParallelReport
+    from ..expr import MatrixExpr
     from ..solve import SolveResult
     from ..topology.system import SystemTopology
 
@@ -192,10 +193,28 @@ class Session:
     def multiply_chain(
         self, operands: list[MatrixOperand]
     ) -> tuple["ATMatrix", "ChainReport"]:
-        """Optimally-parenthesized chain product through the plan cache."""
+        """Optimally-parenthesized chain product through the fused planner.
+
+        A session always has a plan cache, so chains of two or more
+        operands route through the engine's fused chain planner: the
+        first run records one whole-chain
+        :class:`~repro.engine.plan.FusedChainPlan`, every later run of
+        the same chain replays it from a single cache hit with cross-hop
+        interleaved execution (``report.fused`` / ``report.plan_cache_hit``).
+        """
         from ..core.chain import multiply_chain
 
         return multiply_chain(operands, options=self.options)
+
+    def evaluate(self, expr: MatrixExpr) -> "ATMatrix":
+        """Evaluate a :class:`~repro.expr.MatrixExpr` under this session.
+
+        The single front door for expression work: products flatten into
+        chains routed through the fused chain planner and this session's
+        plan cache; additions, scalings and transposes run under the
+        session's configuration.
+        """
+        return expr.evaluate(session=self)
 
     def matvec(self, matrix: MatrixOperand, vector: np.ndarray) -> np.ndarray:
         """``A @ x`` through the engine, so repeated products reuse one plan.

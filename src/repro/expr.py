@@ -10,13 +10,14 @@ re-parenthesized with the density-aware chain planner, and every product
 runs through ATMULT.
 
 >>> import numpy as np
->>> from repro import COOMatrix, SystemConfig, build_at_matrix
+>>> from repro import COOMatrix, Session, SystemConfig, build_at_matrix
 >>> from repro.expr import M
 >>> config = SystemConfig(llc_bytes=8 * 1024, b_atomic=16)
 >>> rng = np.random.default_rng(0)
 >>> raw = np.where(rng.random((32, 32)) < 0.3, 1.0, 0.0)
 >>> a = M(build_at_matrix(COOMatrix.from_dense(raw), config))
->>> result = (a @ a.T + 2.0 * a).evaluate(config=config)
+>>> session = Session(config=config)
+>>> result = session.evaluate(a @ a.T + 2.0 * a)
 >>> bool(np.allclose(result.to_dense(), raw @ raw.T + 2.0 * raw))
 True
 """
@@ -26,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from . import _deprecations
 from .config import SystemConfig
 from .core.arith import add as at_add
 from .core.arith import scale as at_scale
@@ -86,12 +88,31 @@ class MatrixExpr:
 
         Execution context, highest precedence first: ``session`` (its
         options — plan cache included — drive every product), then
-        ``options``, then a default :class:`MultiplyOptions`;
-        ``config``/``cost_model`` override the corresponding fields of
-        whichever applies.  With a plan cache attached, re-evaluating an
-        expression over same-topology operands replays cached plans for
-        every product in its chains.
+        ``options``, then a default :class:`MultiplyOptions`.  The
+        ``config``/``cost_model`` parameters override the corresponding
+        fields of whichever applies but are **deprecated** — fold them
+        into ``options=MultiplyOptions(...)`` or evaluate through
+        :meth:`Session.evaluate <repro.Session.evaluate>`.  With a plan
+        cache attached (a session always has one), product chains route
+        through the fused chain planner, so re-evaluating an expression
+        over same-topology operands replays whole fused chain plans.
         """
+        supplied_context = [
+            name
+            for name, value in (
+                ("config", config),
+                ("cost_model", cost_model),
+            )
+            if value is not None
+        ]
+        if supplied_context:
+            names = ", ".join(supplied_context)
+            _deprecations.warn_once(
+                f"MatrixExpr.evaluate:context:{names}",
+                f"MatrixExpr.evaluate(): the {names} parameter(s) are "
+                "deprecated; fold them into options=MultiplyOptions(...) "
+                "or evaluate through Session.evaluate",
+            )
         if session is not None:
             base = session.options
         elif options is not None:

@@ -11,12 +11,14 @@ Two execution paths:
 
 * plain (default): matrix-vector products run through the light
   :func:`~repro.core.atmv.atmv` tile loop;
-* engine (``session=`` or ``options=``): products run through
-  :func:`~repro.core.atmult.atmult` with the caller's
-  :class:`~repro.engine.options.MultiplyOptions` — with a plan cache
-  attached (a :class:`~repro.Session` always has one), iterations 2..N
-  replay the cached :class:`~repro.engine.plan.ExecutionPlan` and skip
-  estimation/partitioning/optimization entirely.
+* engine (``session=`` or ``options=``): products run ``A @ x`` through
+  the engine with the caller's
+  :class:`~repro.engine.options.MultiplyOptions`.  With a plan cache
+  attached (a :class:`~repro.Session` always has one), the loop *pins*
+  one fused matvec plan for the entire iteration: the first iteration
+  records a :class:`~repro.engine.plan.FusedChainPlan`, the second
+  retrieves it from the cache — one hit, after which the pinned plan
+  replays directly without touching the cache or re-planning at all.
 
 Provided methods:
 
@@ -39,11 +41,12 @@ from .config import DEFAULT_CONFIG
 from .core.atmv import atmv
 from .core.operands import MatrixOperand, as_at_matrix
 from .engine.options import MultiplyOptions
-from .errors import ReproError, ShapeError
+from .errors import PlanMismatchError, ReproError, ShapeError
 from .formats.dense import DenseMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .core.atmatrix import ATMatrix
+    from .engine.plan import FusedChainPlan
     from .engine.session import Session
 
 
@@ -78,6 +81,60 @@ def _check_system(matrix: MatrixOperand, rhs: np.ndarray) -> np.ndarray:
     return rhs
 
 
+class _PinnedMatvec:
+    """One fused matvec plan pinned across a whole solver loop.
+
+    Each call multiplies ``A @ x`` with the vector riding as a dense
+    ``n x 1`` operand — dense topology is fingerprinted by shape plus
+    quantized density, and a solve's iterates are fully populated, so
+    every iteration shares one chain identity.  The first call records
+    the :class:`~repro.engine.plan.FusedChainPlan` (a cache miss + put),
+    the second retrieves it (the loop's single cache hit) and pins it;
+    every later call replays the pinned plan directly — no cache probe,
+    no re-planning.  A :class:`~repro.errors.PlanMismatchError` (e.g. a
+    degenerate iterate changing the intermediate topology) unpins and
+    falls back to the cache-mediated path for that call.
+    """
+
+    def __init__(self, at: ATMatrix, options: MultiplyOptions) -> None:
+        self._at = at
+        self._options = options
+        self._config = options.resolved_config()
+        self._model = options.resolved_cost_model()
+        self._pinned: FusedChainPlan | None = None
+        self.pinned_replays = 0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        from .engine.api import run_chain
+        from .engine.executor import execute_fused_chain
+        from .observe import session as observe_session
+
+        column = np.asarray(x, dtype=np.float64).reshape(-1, 1)
+        dense = DenseMatrix(column, copy=False)
+        with observe_session.resolve(self._options.observer) as obs:
+            if self._pinned is not None:
+                at_x = as_at_matrix(dense, self._config)
+                try:
+                    result, _ = execute_fused_chain(
+                        self._pinned,
+                        [self._at, at_x],
+                        config=self._config,
+                        cost_model=self._model,
+                        obs=obs,
+                    )
+                except PlanMismatchError:
+                    self._pinned = None
+                else:
+                    self.pinned_replays += 1
+                    return result.to_dense().ravel()
+            result, report, fused = run_chain(
+                [self._at, dense], options=self._options, obs=obs
+            )
+            if report.plan_cache_hit and fused is not None:
+                self._pinned = fused
+        return result.to_dense().ravel()
+
+
 def _matvec_driver(
     matrix: MatrixOperand,
     session: Session | None,
@@ -88,20 +145,26 @@ def _matvec_driver(
     The operand is wrapped with :func:`as_at_matrix` exactly once, here,
     before any iteration runs (the regression tests count
     ``operand.wraps.*`` metric increments to pin this down).  Without a
-    session/options the product is the plain :func:`atmv` tile loop;
-    with one, each product runs ``A @ x`` through the engine, where the
-    vector rides as a dense ``n x 1`` operand — dense topology is
-    fingerprinted by shape plus quantized density, and a solve's
-    iterates are fully populated, so every iteration hits the same
-    cached :class:`~repro.engine.plan.ExecutionPlan`.
+    session/options the product is the plain :func:`atmv` tile loop.
+    With a plan cache (and no resilience/checkpoint/memory-limit
+    context) the loop gets a :class:`_PinnedMatvec`; otherwise each
+    product runs through plain :func:`~repro.core.atmult.atmult`.
     """
     opts = session.options if session is not None else options
     if opts is None:
         at = as_at_matrix(matrix, DEFAULT_CONFIG)
         return at, lambda x: atmv(at, x)
-    from .core.atmult import atmult
 
     at = as_at_matrix(matrix, opts.resolved_config())
+    pinnable = (
+        opts.plan_cache is not None
+        and opts.resilience is None
+        and opts.checkpoint is None
+        and opts.memory_limit_bytes is None
+    )
+    if pinnable:
+        return at, _PinnedMatvec(at, opts)
+    from .core.atmult import atmult
 
     def matvec(x: np.ndarray) -> np.ndarray:
         column = np.asarray(x, dtype=np.float64).reshape(-1, 1)

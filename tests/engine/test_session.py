@@ -58,7 +58,7 @@ class TestSessionBasics:
 
 
 class TestSolverPlanReuse:
-    def test_cg_hits_cache_at_least_iterations_minus_one(self, rng, config):
+    def test_cg_pins_one_fused_matvec_plan(self, rng, config):
         array = spd_system(rng, 64)
         matrix = build_at_matrix(COOMatrix.from_dense(array), config)
         rhs = rng.random(64)
@@ -67,9 +67,14 @@ class TestSolverPlanReuse:
         assert outcome.converged
         assert outcome.iterations >= 2
         stats = session.cache_stats()
-        assert stats["hits"] >= outcome.iterations - 1
-        # all iterations share ONE matvec plan
-        assert stats["misses"] == 1
+        # Iteration 1 records the fused matvec plan (one chain miss plus
+        # one per-hop plan miss); iteration 2's single hit pins it, and
+        # iterations 3..N replay the pinned plan without probing the
+        # cache at all — far fewer lookups than iterations.
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats.hit_rate > 0
+        assert stats["hits"] < outcome.iterations
 
     def test_cg_estimates_and_optimizes_exactly_once(self, rng, config):
         array = spd_system(rng, 64)
