@@ -149,11 +149,12 @@ class MatrixService:
             return 0
         self._started = True
         recovered = 0
-        for record in self.store.load_all():
+        loop = asyncio.get_running_loop()
+        for record in await loop.run_in_executor(None, self.store.load_all):
             self._records[record.spec.job_id] = record
             if not record.state.terminal:
                 record.state = JobState.QUEUED
-                self.store.save(record)
+                await loop.run_in_executor(None, self.store.save, record)
                 self._queue.put_nowait(record.spec.job_id)
                 recovered += 1
         self._gauge_queue_depth()
@@ -231,7 +232,8 @@ class MatrixService:
             submitted_at=time.time(),
             reserved_bytes=ticket.reserved_bytes,
         )
-        self.store.create(record)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.store.create, record)
         self._records[job_id] = record
         self._queue.put_nowait(job_id)
         self._gauge_queue_depth()
@@ -264,7 +266,8 @@ class MatrixService:
             raise UnknownJobError(
                 f"job {job_id} has no result yet (state: {record.state.value})"
             )
-        return self.store.load_result(job_id)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.store.load_result, job_id)
 
     async def cancel(self, job_id: str) -> bool:
         """Cancel a queued job; running/terminal jobs are not touched."""
@@ -273,7 +276,8 @@ class MatrixService:
             return False
         record.state = JobState.CANCELLED
         record.finished_at = time.time()
-        self.store.save(record)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.store.save, record)
         self._gauge_queue_depth()
         return True
 
@@ -359,11 +363,13 @@ class MatrixService:
                 while not self.admission.try_acquire(record.reserved_bytes):
                     await asyncio.sleep(_ACQUIRE_POLL_SECONDS)
                 record.state = JobState.RUNNING
-                self.store.save(record)
+                await loop.run_in_executor(None, self.store.save, record)
                 started = time.monotonic()
                 try:
                     values = await loop.run_in_executor(None, self._execute, record)
-                    self.store.save_result(job_id, values)
+                    await loop.run_in_executor(
+                        None, self.store.save_result, job_id, values
+                    )
                     record.state = JobState.DONE
                     self.observer.metrics.counter("service.jobs_completed").inc()
                 except Exception as error:  # noqa: BLE001 — jobs must land FAILED
@@ -374,7 +380,13 @@ class MatrixService:
                 finally:
                     self.admission.release(record.reserved_bytes)
                     record.finished_at = time.time()
-                    self.store.save(record)
+                    # wait() observes the in-memory terminal state, so the
+                    # service may be stopped (and this task cancelled) while
+                    # the persist below is in flight — shield it so the
+                    # on-disk record cannot be left behind at RUNNING.
+                    await asyncio.shield(
+                        loop.run_in_executor(None, self.store.save, record)
+                    )
                     elapsed = time.monotonic() - started
                     self.observer.metrics.histogram(
                         f"service.latency_seconds.{record.spec.tenant}"

@@ -2,11 +2,43 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
+import os
+import sys
+from pathlib import Path
 
-from repro import COOMatrix, SystemConfig, _deprecations
-from repro.formats import coo_to_csr, coo_to_dense
+# The lock-order sanitizer must patch the threading factories BEFORE
+# ``repro`` is imported: module-level locks (``_deprecations._lock``)
+# are created at import time.  Off by default; REPRO_SANITIZE=1 enables
+# it (see docs/STATIC_ANALYSIS.md).
+_SANITIZE = os.environ.get("REPRO_SANITIZE") == "1"
+if _SANITIZE:
+    _repo_root = str(Path(__file__).resolve().parent.parent)
+    if _repo_root not in sys.path:
+        sys.path.insert(0, _repo_root)
+    from tools.repro_check import sanitize as _sanitize
+
+    _sanitize.install()
+
+import numpy as np  # noqa: E402
+import pytest  # noqa: E402
+
+from repro import COOMatrix, SystemConfig, _deprecations  # noqa: E402
+from repro.formats import coo_to_csr, coo_to_dense  # noqa: E402
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_order_sanitizer():
+    """Cross-check observed lock orders against RPR009's static graph.
+
+    Active only under ``REPRO_SANITIZE=1``.  Raises at session teardown
+    if any lock-order inversion (a latent deadlock) was observed, and
+    prints a one-line summary either way.
+    """
+    yield
+    if not _SANITIZE:
+        return
+    report = _sanitize.verify()
+    print(f"\n{report.summary()}")
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,24 @@
+"""The other half of the cycle: acquires alpha's lock while holding ours."""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from alpha import Alpha
+
+
+class Beta:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.back: Alpha | None = None
+
+    def ping(self) -> None:
+        with self._lock:
+            if self.back is not None:
+                self.back.poke()
+
+    def poke(self) -> None:
+        with self._lock:
+            pass

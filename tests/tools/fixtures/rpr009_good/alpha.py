@@ -1,0 +1,21 @@
+"""Consistent lock order: alpha's lock is always taken before beta's."""
+
+from __future__ import annotations
+
+import threading
+
+from beta import Beta
+
+
+class Alpha:
+    def __init__(self, other: Beta) -> None:
+        self._lock = threading.Lock()
+        self.other = other
+
+    def ping(self) -> None:
+        with self._lock:
+            self.other.poke()
+
+    def poke(self) -> None:
+        with self._lock:
+            pass

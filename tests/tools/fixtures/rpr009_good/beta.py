@@ -1,0 +1,15 @@
+"""Beta never calls back into alpha while holding its own lock."""
+
+from __future__ import annotations
+
+import threading
+
+
+class Beta:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.pokes = 0
+
+    def poke(self) -> None:
+        with self._lock:
+            self.pokes += 1

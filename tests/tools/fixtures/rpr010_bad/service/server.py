@@ -1,0 +1,24 @@
+"""Deliberate RPR010 violations: blocking work on the event loop."""
+
+from __future__ import annotations
+
+import time
+
+from store import JobStore
+
+
+def render(job_id: str) -> str:
+    with open(job_id) as handle:
+        return handle.read()
+
+
+class Service:
+    def __init__(self, root: str) -> None:
+        self.store = JobStore(root)
+
+    async def submit(self, job_id: str) -> None:
+        self.store.create(job_id)
+        time.sleep(0.01)
+
+    async def result(self, job_id: str) -> str:
+        return render(job_id)

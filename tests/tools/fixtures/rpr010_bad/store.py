@@ -1,0 +1,16 @@
+"""A synchronous persistence layer (names match the real JobStore)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+class JobStore:
+    def __init__(self, root: str) -> None:
+        self.root = Path(root)
+
+    def create(self, job_id: str) -> None:
+        (self.root / job_id).write_text("{}")
+
+    def load_result(self, job_id: str) -> str:
+        return (self.root / job_id).read_text()

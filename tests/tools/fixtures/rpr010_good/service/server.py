@@ -1,0 +1,24 @@
+"""Blocking work correctly deferred to executor threads."""
+
+from __future__ import annotations
+
+import asyncio
+
+from store import JobStore
+
+
+def render(job_id: str) -> str:
+    with open(job_id) as handle:
+        return handle.read()
+
+
+class Service:
+    def __init__(self, root: str) -> None:
+        self.store = JobStore(root)
+
+    async def submit(self, job_id: str) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.store.create, job_id)
+
+    async def result(self, job_id: str) -> str:
+        return await asyncio.to_thread(render, job_id)

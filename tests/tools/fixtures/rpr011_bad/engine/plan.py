@@ -1,0 +1,9 @@
+"""Plan construction calling into a helper that reads the wall clock."""
+
+from __future__ import annotations
+
+from helper import order_tiles, stamp
+
+
+def build_plan(pairs: list[tuple[int, int]]) -> dict[str, object]:
+    return {"pairs": order_tiles(pairs), "stamp": stamp()}

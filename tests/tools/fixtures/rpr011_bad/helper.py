@@ -1,0 +1,13 @@
+"""Deliberate RPR011 violations: nondeterminism outside the RPR002 scope."""
+
+from __future__ import annotations
+
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def order_tiles(pairs: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    return [pair for pair in set(pairs)]

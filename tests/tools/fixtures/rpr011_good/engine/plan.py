@@ -1,0 +1,9 @@
+"""Plan construction whose helpers stay deterministic."""
+
+from __future__ import annotations
+
+from helper import order_tiles
+
+
+def build_plan(pairs: list[tuple[int, int]]) -> dict[str, object]:
+    return {"pairs": order_tiles(pairs)}

@@ -1,0 +1,7 @@
+"""Deterministic helpers: sorted iteration, no ambient entropy."""
+
+from __future__ import annotations
+
+
+def order_tiles(pairs: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    return sorted(dict.fromkeys(pairs))

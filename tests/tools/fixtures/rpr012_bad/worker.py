@@ -1,0 +1,21 @@
+"""Deliberate RPR012 violations: thread-visible writes with no lock."""
+
+from __future__ import annotations
+
+import threading
+
+COUNTS: dict[str, int] = {}
+
+
+class Runner:
+    def __init__(self) -> None:
+        self.total = 0
+
+    def start(self) -> threading.Thread:
+        thread = threading.Thread(target=self._run)
+        thread.start()
+        return thread
+
+    def _run(self) -> None:
+        self.total += 1
+        COUNTS["runs"] = self.total

@@ -1,0 +1,26 @@
+"""Thread-visible state mutated only under the owning lock."""
+
+from __future__ import annotations
+
+import threading
+
+COUNTS: dict[str, int] = {}
+_COUNTS_LOCK = threading.Lock()
+
+
+class Runner:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def start(self) -> threading.Thread:
+        thread = threading.Thread(target=self._run)
+        thread.start()
+        return thread
+
+    def _run(self) -> None:
+        with self._lock:
+            self.total += 1
+            snapshot = self.total
+        with _COUNTS_LOCK:
+            COUNTS["runs"] = snapshot

@@ -266,6 +266,55 @@ class TestSuppression:
         assert result.violations == []
         assert result.exit_code == 0
 
+    def test_disable_inside_multiline_with_suppresses_first_line(self):
+        # RPR007 anchors at the statement's first line (2); the disable
+        # comment sits on a later line of the same multi-line header.
+        source = (
+            "def dump(path, data):\n"
+            "    with open(\n"
+            "        path,\n"
+            '        "w",  # repro-lint: disable=RPR007\n'
+            "    ) as handle:\n"
+            "        handle.write(data)\n"
+        )
+        rule = RULES_BY_CODE["RPR007"]
+        assert check_source(source, "src/repro/engine/x.py", [rule]) == []
+
+    def test_disable_in_header_does_not_cover_the_body(self):
+        source = (
+            "def dump(path, data):\n"
+            "    with open(\n"
+            '        path, "w",  # repro-lint: disable=RPR007\n'
+            "    ) as handle:\n"
+            "        handle.write(data)\n"
+            '    open(path, "a").write(data)\n'
+        )
+        rule = RULES_BY_CODE["RPR007"]
+        violations = check_source(source, "src/repro/engine/x.py", [rule])
+        # The with-statement is suppressed; the separate append on line 6
+        # (inside the function body, outside the with header) still fires.
+        assert [(v.code, v.line) for v in violations] == [("RPR007", 6)]
+
+    def test_disable_file_suppresses_the_code_everywhere(self):
+        source = (
+            "# repro-lint: disable-file=RPR002\n"
+            "import time\n"
+            "A = time.time()\n"
+            "B = time.time()\n"
+        )
+        rule = RULES_BY_CODE["RPR002"]
+        assert check_source(source, "src/repro/engine/plan.py", [rule]) == []
+
+    def test_disable_file_only_covers_the_listed_codes(self):
+        source = (
+            "# repro-lint: disable-file=RPR006\n"
+            "import time\n"
+            "A = time.time()\n"
+        )
+        rule = RULES_BY_CODE["RPR002"]
+        violations = check_source(source, "src/repro/engine/plan.py", [rule])
+        assert [(v.code, v.line) for v in violations] == [("RPR002", 3)]
+
 
 class TestFileWalking:
     def test_fixtures_directories_are_never_scanned(self):
@@ -349,3 +398,132 @@ class TestCli:
     def test_statistics_appends_per_rule_counts(self, bad_file, capsys):
         assert main([str(bad_file), "--statistics"]) == 1
         assert "RPR003: 3" in capsys.readouterr().out
+
+    def test_parse_error_exits_one_as_rpr000(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n", encoding="utf-8")
+        assert main([str(broken)]) == 1
+        assert "RPR000" in capsys.readouterr().out
+
+    def test_json_payload_reports_baselined_count(self, bad_file, capsys):
+        assert main([str(bad_file), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baselined"] == 0
+
+    def test_github_format_emits_error_annotations(self, bad_file, capsys):
+        assert main([str(bad_file), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "line=13" in out
+        assert "title=RPR003" in out
+
+    def test_list_rules_includes_project_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPR009", "RPR010", "RPR011", "RPR012"):
+            assert code in out
+
+    def test_module_entry_point_runs(self, tmp_path):
+        import subprocess
+        import sys
+
+        clean = tmp_path / "clean.py"
+        clean.write_text(fixture("rpr003_good.py"), encoding="utf-8")
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.repro_check", str(clean)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert proc.returncode == 0
+        assert "0 violation(s)" in proc.stdout
+
+
+class TestBaselineFlow:
+    @pytest.fixture
+    def bad_file(self, tmp_path):
+        path = tmp_path / "cache.py"
+        path.write_text(fixture("rpr003_bad.py"), encoding="utf-8")
+        return path
+
+    def test_write_baseline_then_run_is_clean(self, bad_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([str(bad_file), "--write-baseline", str(baseline)]) == 0
+        assert "wrote 3 finding(s)" in capsys.readouterr().out
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert len(payload["findings"]) == 3
+        assert main([str(bad_file), "--baseline", str(baseline)]) == 0
+        assert "3 baselined" in capsys.readouterr().out
+
+    def test_new_finding_still_fails_with_baseline(
+        self, bad_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        assert main([str(bad_file), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        extra = tmp_path / "fresh.py"
+        extra.write_text(fixture("rpr003_bad.py"), encoding="utf-8")
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "3 baselined" in out  # cache.py findings absorbed
+        assert "RPR003" in out  # fresh.py findings still fail
+
+    def test_stale_baseline_entries_are_reported_not_fatal(
+        self, tmp_path, capsys
+    ):
+        clean = tmp_path / "clean.py"
+        clean.write_text(fixture("rpr003_good.py"), encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {
+                            "code": "RPR003",
+                            "path": "gone.py",
+                            "message": "no longer occurs",
+                        }
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert main([str(clean), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_missing_baseline_file_exits_two(self, bad_file, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main([str(bad_file), "--baseline", str(missing)]) == 2
+        assert "baseline not found" in capsys.readouterr().err
+
+    def test_unsupported_baseline_version_exits_two(
+        self, bad_file, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({"version": 99, "findings": []}), encoding="utf-8"
+        )
+        assert main([str(bad_file), "--baseline", str(baseline)]) == 2
+        assert "bad baseline" in capsys.readouterr().err
+
+    def test_committed_baseline_matches_the_repo(self, capsys):
+        # The committed baseline absorbs every finding the whole-program
+        # rules currently produce over src/repro — no more, no less
+        # (stale entries print a note but the gate stays green).
+        assert (
+            main(
+                [
+                    str(REPO_ROOT / "src"),
+                    "--select",
+                    "RPR009,RPR010,RPR011,RPR012",
+                    "--baseline",
+                    str(REPO_ROOT / ".repro-lint-baseline.json"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stale baseline entry" not in out

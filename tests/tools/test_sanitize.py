@@ -1,0 +1,159 @@
+"""Tests for the runtime lock-order sanitizer.
+
+The acceptance bar: at least one test seeds a genuine lock-order
+inversion and shows the recorder catching it.  The rest covers the
+factory patching, project-frame filtering and the cross-check against
+RPR009's static edge graph.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import pytest
+
+from tools.repro_check import sanitize
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_pair(recorder: sanitize.LockOrderRecorder) -> tuple:
+    a = sanitize.SanitizedLock(threading.Lock(), "mod_a.py:10", recorder)
+    b = sanitize.SanitizedLock(threading.Lock(), "mod_b.py:20", recorder)
+    recorder.on_create("mod_a.py:10")
+    recorder.on_create("mod_b.py:20")
+    return a, b
+
+
+class TestRecorder:
+    def test_seeded_inversion_is_detected(self):
+        recorder = sanitize.LockOrderRecorder()
+        a, b = make_pair(recorder)
+        with a, b:
+            pass
+        with b, a:
+            pass
+        inversions = recorder.inversions()
+        assert len(inversions) == 1
+        first, second, _w1, _w2 = inversions[0]
+        assert {first, second} == {"mod_a.py:10", "mod_b.py:20"}
+
+    def test_consistent_order_reports_no_inversion(self):
+        recorder = sanitize.LockOrderRecorder()
+        a, b = make_pair(recorder)
+        with a, b:
+            pass
+        with a, b:
+            pass
+        assert recorder.inversions() == []
+        assert recorder.edge_keys() == {("mod_a.py:10", "mod_b.py:20")}
+
+    def test_held_stacks_are_per_thread(self):
+        recorder = sanitize.LockOrderRecorder()
+        a, b = make_pair(recorder)
+        seen: list[tuple[str, str]] = []
+
+        def other_thread() -> None:
+            with b:
+                pass
+            seen.extend(recorder.edge_keys())
+
+        with a:
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        # The other thread acquired b while this thread held a, but the
+        # held stack is thread-local so no a->b edge is recorded.
+        assert seen == []
+        assert recorder.edge_keys() == set()
+
+    def test_verify_raises_on_inversion(self):
+        recorder = sanitize.LockOrderRecorder()
+        a, b = make_pair(recorder)
+        with a, b:
+            pass
+        with b, a:
+            pass
+        with pytest.raises(AssertionError, match="INVERSION"):
+            sanitize.verify(recorder)
+
+    def test_check_reports_consistent_runs_clean(self):
+        recorder = sanitize.LockOrderRecorder()
+        a, b = make_pair(recorder)
+        with a, b:
+            pass
+        report = sanitize.check(recorder, static_edges=set())
+        assert report.inversions == []
+        assert report.observed_edges == 1
+
+
+class TestSanitizedLock:
+    def test_context_manager_and_locked_delegate(self):
+        recorder = sanitize.LockOrderRecorder()
+        lock = sanitize.SanitizedLock(threading.Lock(), "x.py:1", recorder)
+        assert lock.locked() is False
+        with lock:
+            assert lock.locked() is True
+        assert lock.locked() is False
+
+    def test_rlock_reacquisition_still_works(self):
+        recorder = sanitize.LockOrderRecorder()
+        lock = sanitize.SanitizedLock(threading.RLock(), "x.py:1", recorder)
+        with lock, lock:
+            pass
+        # Re-acquiring the same lock must not count as an ordering edge.
+        assert recorder.edge_keys() == set()
+
+
+class TestInstall:
+    def test_install_patches_factories_and_uninstall_restores(self):
+        originals = (threading.Lock, threading.RLock)
+        recorder = sanitize.install()
+        try:
+            assert sanitize.active_recorder() is recorder
+            assert threading.Lock is not originals[0]
+            assert threading.RLock is not originals[1]
+        finally:
+            sanitize.uninstall()
+        assert (threading.Lock, threading.RLock) == originals
+        assert sanitize.active_recorder() is None
+
+    def test_locks_made_outside_the_project_pass_through(self):
+        sanitize.install()
+        try:
+            # This test file is not under src/repro/, so the factory
+            # must hand back a plain lock and record nothing.
+            lock = threading.Lock()
+            assert not isinstance(lock, sanitize.SanitizedLock)
+        finally:
+            sanitize.uninstall()
+
+    def test_install_is_idempotent(self):
+        first = sanitize.install()
+        second = sanitize.install()
+        try:
+            assert first is second
+        finally:
+            sanitize.uninstall()
+
+
+class TestStaticCrossCheck:
+    def test_static_edges_cover_the_known_cache_metrics_edge(self):
+        edges = sanitize.static_edge_keys(REPO_ROOT)
+        cache_holds = {
+            (held, acquired)
+            for held, acquired in edges
+            if held.startswith("src/repro/engine/cache.py")
+            and acquired.startswith("src/repro/observe/metrics.py")
+        }
+        assert cache_holds, "expected PlanCache -> MetricsRegistry edge"
+
+    def test_unknown_edges_are_surfaced_in_the_report(self):
+        recorder = sanitize.LockOrderRecorder()
+        a, b = make_pair(recorder)
+        with a, b:
+            pass
+        report = sanitize.check(recorder, static_edges=set())
+        assert report.unknown_edges == [("mod_a.py:10", "mod_b.py:20")]
+        assert "1 edge(s) unknown" in report.summary()

@@ -3,18 +3,28 @@
 A *rule* is an object with a ``code`` (``RPRxxx``), a one-line
 ``summary``, an ``applies(path)`` predicate over repo-relative POSIX
 paths, and a ``check(tree, source, path)`` method returning violations.
+*Project rules* additionally implement ``check_project(index)`` and run
+once over a :class:`~tools.repro_check.graph.ProjectIndex` of every
+scanned ``src/repro`` file, so they can reason across module
+boundaries.
+
 The driver parses each file once and hands the same tree to every rule
-whose scope matches, then drops violations suppressed by a same-line
-``# repro-lint: disable=RPRxxx`` comment.
+whose scope matches, then drops violations suppressed by a
+``# repro-lint: disable=RPRxxx`` comment anywhere within the reported
+statement, or by a file-level ``# repro-lint: disable-file=RPRxxx``.
+A committed findings baseline (``.repro-lint-baseline.json``) lets new
+rules land gating-clean while their pre-existing findings are tracked.
 """
 
 from __future__ import annotations
 
 import ast
+import json
 import re
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 from typing import Any, Protocol
 
 #: Directories never scanned: deliberate-violation fixtures and caches.
@@ -23,6 +33,7 @@ EXCLUDED_PARTS = frozenset(
 )
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9,\s]+)")
 
 
 @dataclass(frozen=True)
@@ -61,6 +72,16 @@ class Rule(Protocol):
     ) -> list[Violation]: ...
 
 
+class ProjectRule(Rule, Protocol):
+    """A rule that additionally analyses the whole program at once."""
+
+    def check_project(self, index: Any) -> list[Violation]: ...
+
+
+def is_project_rule(rule: Rule) -> bool:
+    return callable(getattr(rule, "check_project", None))
+
+
 @dataclass
 class CheckResult:
     """Outcome of one run: violations plus scan bookkeeping."""
@@ -68,6 +89,7 @@ class CheckResult:
     violations: list[Violation] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    baselined: int = 0
     errors: list[Violation] = field(default_factory=list)
 
     @property
@@ -86,12 +108,24 @@ class CheckResult:
         return {
             "files_checked": self.files_checked,
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
             "violations": [v.as_dict() for v in self.all_violations],
         }
 
 
-def suppressed_codes(source: str) -> dict[int, set[str]]:
-    """Map line number -> rule codes disabled on that line."""
+def suppressed_codes(
+    source: str, tree: ast.Module | None = None
+) -> dict[int, set[str]]:
+    """Map line number -> rule codes disabled on that line.
+
+    With ``tree``, a disable comment anywhere within a statement also
+    suppresses violations reported on the statement's other lines (a
+    rule reports a multi-line ``with`` at its first line even when the
+    comment sits on a later context-manager line).  For compound
+    statements only the header lines — up to the first body statement —
+    are joined, so a comment deep inside a function body never
+    suppresses the whole function.
+    """
     out: dict[int, set[str]] = {}
     for number, text in enumerate(source.splitlines(), start=1):
         match = _SUPPRESS_RE.search(text)
@@ -99,7 +133,35 @@ def suppressed_codes(source: str) -> dict[int, set[str]]:
             continue
         codes = {code.strip() for code in match.group(1).split(",")}
         out[number] = {code for code in codes if code}
+    if tree is None or not out:
+        return out
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        end = node.end_lineno or node.lineno
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = min(end, body[0].lineno - 1)
+        if end <= node.lineno:
+            continue
+        span = range(node.lineno, end + 1)
+        joined: set[str] = set()
+        for line in span:
+            joined |= out.get(line, set())
+        if joined:
+            for line in span:
+                out.setdefault(line, set()).update(joined)
     return out
+
+
+def file_suppressed_codes(source: str) -> set[str]:
+    """Codes disabled for the whole file via ``disable-file=``."""
+    codes: set[str] = set()
+    for match in _SUPPRESS_FILE_RE.finditer(source):
+        codes.update(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+    return codes
 
 
 def iter_python_files(roots: Iterable[Path]) -> list[Path]:
@@ -136,16 +198,24 @@ def check_source(
     fixture tests use this to point a rule at an arbitrary snippet).
     """
     tree = ast.parse(source, filename=path)
-    suppressions = suppressed_codes(source)
+    suppressions = suppressed_codes(source, tree)
+    file_suppressions = file_suppressed_codes(source)
     violations: list[Violation] = []
     for rule in rules:
         if honor_scope and not rule.applies(path):
             continue
         for violation in rule.check(tree, source, path):
+            if violation.code in file_suppressions:
+                continue
             if violation.code in suppressions.get(violation.line, set()):
                 continue
             violations.append(violation)
     return sorted(violations, key=lambda v: (v.line, v.col, v.code))
+
+
+def in_project_scope(rel: str) -> bool:
+    """True for files that feed the whole-program index (src/repro)."""
+    return rel.startswith("src/repro/") or "/src/repro/" in rel
 
 
 def check_paths(
@@ -154,10 +224,21 @@ def check_paths(
     *,
     base: Path | None = None,
 ) -> CheckResult:
-    """Run rules over files/directories; the CLI entry point's engine."""
+    """Run rules over files/directories; the CLI entry point's engine.
+
+    Per-file rules run on every scanned file; project rules (those with
+    a ``check_project`` method) run once over an index built from the
+    scanned ``src/repro`` files, with the same suppression comments
+    honored at the reported locations.
+    """
     base = base if base is not None else Path.cwd()
     rules = list(rules)
+    file_rules = [rule for rule in rules if not is_project_rule(rule)]
+    project_rules = [rule for rule in rules if is_project_rule(rule)]
     result = CheckResult()
+    project_sources: dict[str, str] = {}
+    suppression_maps: dict[str, dict[int, set[str]]] = {}
+    file_suppression_sets: dict[str, set[str]] = {}
     for file_path in iter_python_files(Path(p) for p in paths):
         rel = relative_posix(file_path, base)
         try:
@@ -170,14 +251,107 @@ def check_paths(
             )
             continue
         result.files_checked += 1
-        suppressions = suppressed_codes(source)
-        for rule in rules:
+        suppressions = suppressed_codes(source, tree)
+        file_suppressions = file_suppressed_codes(source)
+        if project_rules and in_project_scope(rel):
+            project_sources[rel] = source
+            suppression_maps[rel] = suppressions
+            file_suppression_sets[rel] = file_suppressions
+        for rule in file_rules:
             if not rule.applies(rel):
                 continue
             for violation in rule.check(tree, source, rel):
-                if violation.code in suppressions.get(violation.line, set()):
+                if violation.code in file_suppressions or (
+                    violation.code in suppressions.get(violation.line, set())
+                ):
+                    result.suppressed += 1
+                    continue
+                result.violations.append(violation)
+    if project_rules and project_sources:
+        from .graph import ProjectIndex
+
+        index = ProjectIndex.from_sources(project_sources)
+        for rule in project_rules:
+            for violation in rule.check_project(index):
+                if violation.code in file_suppression_sets.get(
+                    violation.path, set()
+                ) or violation.code in suppression_maps.get(
+                    violation.path, {}
+                ).get(violation.line, set()):
                     result.suppressed += 1
                     continue
                 result.violations.append(violation)
     result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return result
+
+
+# ---------------------------------------------------------------------------
+# findings baseline
+# ---------------------------------------------------------------------------
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def baseline_key(violation: Violation) -> tuple[str, str, str]:
+    """Baselines match on (code, path, message) — robust to line drift."""
+    return (violation.code, violation.path, violation.message)
+
+
+def load_baseline(path: str | Path) -> Counter[tuple[str, str, str]]:
+    """The committed findings baseline as a multiset of match keys."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    keys: Counter[tuple[str, str, str]] = Counter()
+    for entry in data.get("findings", []):
+        keys[(entry["code"], entry["path"], entry["message"])] += 1
+    return keys
+
+
+def write_baseline(result: CheckResult, path: str | Path) -> int:
+    """Persist the run's violations as the new baseline; returns count."""
+    findings = [
+        {
+            "code": violation.code,
+            "path": violation.path,
+            "message": violation.message,
+            "line": violation.line,  # informational; matching ignores it
+        }
+        for violation in result.all_violations
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": findings}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(findings)
+
+
+def apply_baseline(
+    result: CheckResult, baseline: Mapping[tuple[str, str, str], int]
+) -> list[Violation]:
+    """Drop baselined findings from ``result`` (mutating it).
+
+    Returns the *stale* baseline entries — expected findings that no
+    longer occur — expanded back into placeholder violations so callers
+    can report them (a stale entry means the baseline needs refreshing,
+    not that the run fails).
+    """
+    remaining = Counter(baseline)
+    kept: list[Violation] = []
+    for violation in result.violations:
+        key = baseline_key(violation)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            result.baselined += 1
+            continue
+        kept.append(violation)
+    result.violations = kept
+    stale: list[Violation] = []
+    for (code, path, message), count in sorted(remaining.items()):
+        for _ in range(count):
+            stale.append(Violation(code, f"[stale baseline] {message}", path, 0))
+    return stale

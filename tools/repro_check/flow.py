@@ -1,0 +1,890 @@
+"""Interprocedural dataflow over the project index.
+
+One pass per function produces a :class:`FunctionSummary` — the lock
+regions it opens, the calls it makes (with the locks held at each call
+site), the shared-state writes it performs, the functions it hands to
+threads, and the blocking / nondeterministic primitives it touches.
+Everything the cross-file rules need is then a graph computation over
+the summaries:
+
+* :func:`effective_acquires` — the fixed point of "locks this function
+  may acquire, directly or through any callee";
+* :func:`lock_order_edges` — the project's lock-acquisition-order
+  graph, each edge carrying the call chain that witnesses it;
+* :func:`find_lock_cycles` — strongly connected components of that
+  graph (every cycle is a potential deadlock, every 2-cycle an
+  inconsistent acquisition order);
+* :func:`reachable_chains` — BFS over call edges with a per-edge
+  filter, returning a witness chain per reached function (the engine
+  behind the async-blocking and determinism-taint rules);
+* :func:`blocking_closure` — the fixed point of "blocking primitives
+  this function may hit, directly or through any sync callee".
+
+The call graph is the index's conservative one: unresolvable calls
+contribute no edges, so chains reported by the rules are always real
+resolution paths through the source.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable, Mapping
+
+from .graph import (
+    ClassInfo,
+    FunctionInfo,
+    LockInfo,
+    ProjectIndex,
+    _dotted,
+    _lock_created_by,
+)
+
+#: Methods that mutate their receiver in place (mirrors rules.py's set).
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "add", "discard", "update", "setdefault", "move_to_end", "sort",
+        "reverse", "appendleft", "extendleft",
+    }
+)
+
+#: Call-name tails that hand their function argument to a worker thread,
+#: mapped to how the target is passed (kwarg name or positional index).
+_THREAD_DISPATCHERS: dict[str, tuple[str | None, int]] = {
+    "Thread": ("target", -1),
+    "submit": (None, 0),
+    "map": (None, 0),
+    "run_in_executor": (None, 1),
+    "to_thread": (None, 0),
+}
+
+#: Direct blocking primitives for the async rule: dotted-name matchers.
+_BLOCKING_EXACT = {
+    "time.sleep": "time.sleep() blocks the event loop",
+    "os.fsync": "os.fsync() blocks on disk flush",
+    "os.replace": "os.replace() performs sync file I/O",
+}
+_BLOCKING_HEADS = {
+    "subprocess": "subprocess call blocks until the child finishes",
+    "shutil": "shutil call performs sync file I/O",
+}
+_BLOCKING_IO_METHODS = frozenset(
+    {"read_text", "read_bytes", "write_text", "write_bytes", "open"}
+)
+_NUMPY_IO = frozenset(
+    {"load", "save", "savez", "savez_compressed", "loadtxt", "savetxt"}
+)
+
+#: Classes whose (sync) methods the async rule treats as blocking sinks.
+BLOCKING_STORE_CLASSES = frozenset({"CheckpointStore", "JobStore"})
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One lock acquisition site inside a function."""
+
+    lock: LockInfo
+    node: ast.AST
+    #: locks already held (lock ids; "?" marks an unresolvable guard)
+    held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: candidate callees plus the locks held."""
+
+    callees: tuple[str, ...]
+    node: ast.AST
+    held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Write:
+    """One shared-state write: a module global or a ``self`` attribute."""
+
+    kind: str  #: "global" | "attr"
+    name: str  #: qualified state name (module.NAME or module.Class.attr)
+    node: ast.AST
+    guarded: bool
+
+
+@dataclass(frozen=True)
+class Op:
+    """One flagged primitive (blocking or nondeterministic)."""
+
+    desc: str
+    node: ast.AST
+
+
+@dataclass
+class FunctionSummary:
+    func: FunctionInfo
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    writes: list[Write] = field(default_factory=list)
+    #: functions this one hands to a worker thread
+    thread_targets: list[tuple[str, ast.AST]] = field(default_factory=list)
+    blocking: list[Op] = field(default_factory=list)
+    nondet: list[Op] = field(default_factory=list)
+
+
+#: Sentinel held-lock id for guards we can see but not identify.
+ANON_GUARD = "?"
+
+
+def summarize_project(index: ProjectIndex) -> dict[str, FunctionSummary]:
+    """One :class:`FunctionSummary` per indexed function."""
+    summaries: dict[str, FunctionSummary] = {}
+    for qualname, func in index.functions.items():
+        summaries[qualname] = _summarize_function(index, func)
+    return summaries
+
+
+# ---------------------------------------------------------------------------
+# per-function summarization
+# ---------------------------------------------------------------------------
+
+
+def _summarize_function(
+    index: ProjectIndex, func: FunctionInfo
+) -> FunctionSummary:
+    module = index.modules[func.module]
+    cls_info = index.class_of(func)
+    summary = FunctionSummary(func)
+    random_names = _ambient_random_imports(module.tree)
+
+    local_types = dict(index.parameter_types(module, func.node))
+    local_locks: dict[str, LockInfo] = {}
+    local_names: set[str] = {
+        arg.arg
+        for arg in [
+            *func.node.args.posonlyargs,
+            *func.node.args.args,
+            *func.node.args.kwonlyargs,
+        ]
+    }
+    global_decls: set[str] = set()
+
+    # Pre-pass: local bindings, local lock objects, declared globals.
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Global):
+            global_decls.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    local_names.add(target.id)
+                    lock = _lock_created_by(
+                        node.value,
+                        f"{func.qualname}.{target.id}",
+                        func.path,
+                    )
+                    if lock is not None:
+                        local_locks[target.id] = lock
+                    else:
+                        types = index._expr_types(
+                            module, node.value, local_types, cls_info
+                        )
+                        if types:
+                            local_types.setdefault(target.id, types)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                local_names.add(node.target.id)
+                if isinstance(node, ast.AnnAssign) and node.annotation is not None:
+                    types = index.annotation_types(module, node.annotation)
+                    if types:
+                        local_types.setdefault(node.target.id, types)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    local_names.add(target.id)
+    local_names -= global_decls
+
+    def resolve_lock(expr: ast.expr) -> LockInfo | None:
+        """The LockInfo an expression denotes, if we can tell."""
+        if isinstance(expr, ast.Name):
+            if expr.id in local_locks:
+                return local_locks[expr.id]
+            if expr.id not in local_names and expr.id in module.locks:
+                return module.locks[expr.id]
+            return None
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                if cls_info is not None:
+                    return index.lookup_lock(cls_info.qualname, expr.attr)
+                return None
+            base_types = index._expr_types(
+                module, expr.value, local_types, cls_info
+            )
+            for base in base_types:
+                lock = index.lookup_lock(base, expr.attr)
+                if lock is not None:
+                    return lock
+        return None
+
+    def resolve_callable_ref(expr: ast.expr) -> str | None:
+        """Qualname of a *function reference* (not a call) expression."""
+        if isinstance(expr, ast.Name):
+            resolved = index.resolve_name(module, expr.id)
+            if resolved in index.functions:
+                return resolved
+            return None
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                if cls_info is not None:
+                    return index.lookup_method(cls_info.qualname, expr.attr)
+                return None
+            dotted = _dotted(expr)
+            if dotted:
+                resolved = index.resolve_name(module, dotted)
+                if resolved in index.functions:
+                    return resolved
+            base_types = index._expr_types(
+                module, expr.value, local_types, cls_info
+            )
+            for base in base_types:
+                method = index.lookup_method(base, expr.attr)
+                if method is not None:
+                    return method
+        return None
+
+    def resolve_call(call: ast.Call) -> tuple[str, ...]:
+        """Candidate callee qualnames of a call expression."""
+        found: list[str] = []
+        direct = resolve_callable_ref(call.func)
+        if direct is not None:
+            found.append(direct)
+        dotted = _dotted(call.func)
+        if dotted:
+            resolved = index.resolve_name(module, dotted)
+            if resolved in index.classes:
+                init = index.lookup_method(resolved, "__init__")
+                found.append(init if init is not None else resolved + ".__init__")
+        if not found and isinstance(call.func, ast.Attribute):
+            # Chained call: ``f(...).method(...)`` through return types.
+            if isinstance(call.func.value, ast.Call):
+                inner = resolve_call(call.func.value)
+                for callee in inner:
+                    returns = _return_types(index, callee)
+                    for cls in returns:
+                        method = index.lookup_method(cls, call.func.attr)
+                        if method is not None:
+                            found.append(method)
+        return tuple(dict.fromkeys(found))
+
+    def thread_target_of(call: ast.Call) -> ast.expr | None:
+        tail = _dotted(call.func).split(".")[-1]
+        if tail not in _THREAD_DISPATCHERS:
+            return None
+        if tail in {"submit", "map", "run_in_executor", "to_thread"} and not (
+            isinstance(call.func, ast.Attribute)
+            or tail == "to_thread"
+        ):
+            return None
+        kwarg, position = _THREAD_DISPATCHERS[tail]
+        if kwarg is not None:
+            for keyword in call.keywords:
+                if keyword.arg == kwarg:
+                    return keyword.value
+        if position >= 0 and len(call.args) > position:
+            return call.args[position]
+        return None
+
+    def record_blocking(call: ast.Call) -> None:
+        dotted = _dotted(call.func)
+        desc = _BLOCKING_EXACT.get(dotted)
+        if desc is None and dotted:
+            head = dotted.split(".")[0]
+            desc = _BLOCKING_HEADS.get(head)
+            parts = dotted.split(".")
+            if (
+                desc is None
+                and len(parts) >= 2
+                and parts[0] in {"np", "numpy"}
+                and parts[-1] in _NUMPY_IO
+            ):
+                desc = f"{dotted}() performs sync file I/O"
+        if desc is None and isinstance(call.func, ast.Name) and call.func.id == "open":
+            desc = "open() performs sync file I/O"
+        if (
+            desc is None
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr in _BLOCKING_IO_METHODS
+        ):
+            desc = f".{call.func.attr}() performs sync file I/O"
+        if desc is not None:
+            summary.blocking.append(Op(desc, call))
+
+    def held_ids(guards: list[LockInfo | None]) -> tuple[str, ...]:
+        return tuple(
+            guard.lock_id if guard is not None else ANON_GUARD
+            for guard in guards
+        )
+
+    def visit(node: ast.AST, guards: list[LockInfo | None]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: list[LockInfo | None] = []
+            for item in node.items:
+                lock = resolve_lock(item.context_expr)
+                if lock is not None:
+                    summary.acquisitions.append(
+                        Acquisition(lock, item.context_expr, held_ids(guards))
+                    )
+                    acquired.append(lock)
+                elif _looks_like_lock(item.context_expr):
+                    acquired.append(None)
+                # The context expressions themselves run under the outer
+                # guard set only.
+                visit_expr(item.context_expr, guards)
+            inner = guards + acquired
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+            node is not func.node
+        ):
+            # Nested function: conservatively inherit the current guards
+            # (closures usually run where they are defined; thread-
+            # dispatched ones are picked up via thread_targets).
+            for child in ast.iter_child_nodes(node):
+                visit(child, guards)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+            _record_writes(
+                node, summary, func, cls_info, module, local_names,
+                global_decls, bool(guards),
+            )
+        if isinstance(node, ast.Call):
+            visit_call(node, guards)
+        record_nondet_single(node)
+        for child in ast.iter_child_nodes(node):
+            visit(child, guards)
+
+    def visit_expr(node: ast.AST, guards: list[LockInfo | None]) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                visit_call(sub, guards, walk_children=False)
+
+    seen_calls: set[int] = set()
+
+    def visit_call(
+        call: ast.Call,
+        guards: list[LockInfo | None],
+        walk_children: bool = True,
+    ) -> None:
+        del walk_children
+        if id(call) in seen_calls:
+            return
+        seen_calls.add(id(call))
+        callees = resolve_call(call)
+        summary.calls.append(CallSite(callees, call, held_ids(guards)))
+        record_blocking(call)
+        target = thread_target_of(call)
+        if target is not None:
+            resolved_target = resolve_callable_ref(target)
+            if resolved_target is not None:
+                summary.thread_targets.append((resolved_target, call))
+        # ``lock.acquire()`` outside a with-statement still orders locks.
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "acquire"
+        ):
+            lock = resolve_lock(call.func.value)
+            if lock is not None:
+                summary.acquisitions.append(
+                    Acquisition(lock, call, held_ids(guards))
+                )
+        # Mutator-method writes (self.attr.append(...), NAME.update(...)).
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _MUTATOR_METHODS
+        ):
+            _record_mutation_write(
+                call.func.value, summary, func, cls_info, module,
+                local_names, global_decls, bool(guards), call,
+            )
+
+    nondet_seen: set[int] = set()
+
+    def record_nondet_single(node: ast.AST) -> None:
+        if id(node) in nondet_seen:
+            return
+        nondet_seen.add(id(node))
+        summary.nondet.extend(_scan_nondet_node(node, random_names))
+
+    for stmt in func.node.body:
+        visit(stmt, [])
+    return summary
+
+
+def _record_writes(
+    node: ast.Assign | ast.AugAssign | ast.AnnAssign | ast.Delete,
+    summary: FunctionSummary,
+    func: FunctionInfo,
+    cls_info: ClassInfo | None,
+    module: object,
+    local_names: set[str],
+    global_decls: set[str],
+    guarded: bool,
+) -> None:
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    else:
+        targets = [node.target]
+    for target in targets:
+        base = target
+        if isinstance(base, ast.Subscript):
+            base = base.value
+        _record_mutation_write(
+            base, summary, func, cls_info, module, local_names,
+            global_decls, guarded, node, direct=not isinstance(target, ast.Subscript),
+        )
+
+
+def _record_mutation_write(
+    base: ast.expr,
+    summary: FunctionSummary,
+    func: FunctionInfo,
+    cls_info: ClassInfo | None,
+    module: object,
+    local_names: set[str],
+    global_decls: set[str],
+    guarded: bool,
+    node: ast.AST,
+    direct: bool = False,
+) -> None:
+    module_vars: set[str] = getattr(module, "module_vars", set())
+    module_name: str = getattr(module, "name", "")
+    module_locks: dict[str, LockInfo] = getattr(module, "locks", {})
+    if isinstance(base, ast.Name):
+        name = base.id
+        if name in module_locks:
+            return
+        is_global_write = name in global_decls or (
+            not direct and name not in local_names and name in module_vars
+        )
+        if is_global_write:
+            summary.writes.append(
+                Write("global", f"{module_name}.{name}", node, guarded)
+            )
+        return
+    if (
+        isinstance(base, ast.Attribute)
+        and isinstance(base.value, ast.Name)
+        and base.value.id == "self"
+        and cls_info is not None
+    ):
+        if base.attr in cls_info.locks:
+            return
+        summary.writes.append(
+            Write(
+                "attr",
+                f"{cls_info.qualname}.{base.attr}",
+                node,
+                guarded,
+            )
+        )
+
+
+def _looks_like_lock(expr: ast.expr) -> bool:
+    """Textual fallback: a guard we cannot resolve but should respect."""
+    tail = _dotted(expr).split(".")[-1].lower()
+    if "lock" in tail or "mutex" in tail:
+        return True
+    return (
+        isinstance(expr, ast.Call)
+        and "lock" in _dotted(expr.func).split(".")[-1].lower()
+    )
+
+
+def _return_types(index: ProjectIndex, qualname: str) -> tuple[str, ...]:
+    func = index.functions.get(qualname)
+    if func is None:
+        return ()
+    return index.annotation_types(
+        index.modules[func.module], func.node.returns
+    )
+
+
+# ---------------------------------------------------------------------------
+# nondeterminism scanning (the interprocedural twin of RPR002)
+# ---------------------------------------------------------------------------
+
+
+def _ambient_random_imports(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            names.update(alias.asname or alias.name for alias in node.names)
+    return names
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+def _is_bare_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    )
+
+
+def _scan_nondet_node(node: ast.AST, random_names: set[str]) -> list[Op]:
+    """Nondeterminism sources introduced *at* this node (not recursive)."""
+    out: list[Op] = []
+    if isinstance(node, ast.Call):
+        chain = _dotted(node.func)
+        if chain in {"time.time", "time.time_ns"}:
+            out.append(Op(f"{chain}() reads the wall clock", node))
+        if chain == "os.urandom":
+            out.append(Op("os.urandom() draws entropy", node))
+        head = chain.split(".")[0]
+        if head == "random" or chain in random_names:
+            out.append(Op(f"{chain}() draws from ambient RNG state", node))
+        parts = chain.split(".")
+        if (
+            len(parts) >= 3
+            and parts[0] in {"np", "numpy"}
+            and parts[1] == "random"
+            and parts[2] != "default_rng"
+        ):
+            out.append(Op(f"{chain}() uses numpy's global RNG", node))
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"get", "setdefault", "pop"}
+            and node.args
+            and _is_id_call(node.args[0])
+        ):
+            out.append(Op("id()-keyed lookup", node))
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in {"list", "tuple", "enumerate", "iter"}
+            and node.args
+            and _is_bare_set_expr(node.args[0])
+        ):
+            out.append(Op("materializing a set in arbitrary order", node))
+    elif isinstance(node, (ast.Dict, ast.DictComp)):
+        keys = node.keys if isinstance(node, ast.Dict) else [node.key]
+        if any(key is not None and _is_id_call(key) for key in keys):
+            out.append(Op("id()-keyed dict", node))
+    elif isinstance(node, ast.Subscript) and _is_id_call(node.slice):
+        out.append(Op("id()-keyed subscript", node))
+    elif isinstance(node, (ast.For, ast.comprehension)):
+        if _is_bare_set_expr(node.iter):
+            out.append(Op("iteration over a set has no deterministic order", node.iter))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# interprocedural analyses
+# ---------------------------------------------------------------------------
+
+
+def effective_acquires(
+    summaries: Mapping[str, FunctionSummary],
+) -> dict[str, set[str]]:
+    """Fixed point: lock ids each function may acquire, transitively."""
+    acquires: dict[str, set[str]] = {
+        name: {acq.lock.lock_id for acq in summary.acquisitions}
+        for name, summary in summaries.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, summary in summaries.items():
+            current = acquires[name]
+            before = len(current)
+            for call in summary.calls:
+                for callee in call.callees:
+                    callee_set = acquires.get(callee)
+                    if callee_set:
+                        current |= callee_set
+            if len(current) != before:
+                changed = True
+    return acquires
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """``held`` was held while ``acquired`` was (transitively) acquired."""
+
+    held: str
+    acquired: str
+    func: str  #: function whose body witnesses the edge
+    node: ast.AST  #: acquisition or call site inside the held region
+    via: tuple[str, ...]  #: call chain from the region to the acquisition
+
+
+def lock_order_edges(
+    summaries: Mapping[str, FunctionSummary],
+    locks: Mapping[str, LockInfo],
+) -> list[OrderEdge]:
+    """Every held -> acquired ordering the project exhibits."""
+    acquires = effective_acquires(summaries)
+    direct_holders: dict[str, list[str]] = {}
+    for name, summary in summaries.items():
+        for acq in summary.acquisitions:
+            direct_holders.setdefault(acq.lock.lock_id, []).append(name)
+
+    edges: list[OrderEdge] = []
+    seen: set[tuple[str, str, str, int]] = set()
+
+    def add(
+        held: str, acquired: str, func: str, node: ast.AST, via: tuple[str, ...]
+    ) -> None:
+        key = (held, acquired, func, getattr(node, "lineno", 0))
+        if key in seen:
+            return
+        seen.add(key)
+        edges.append(OrderEdge(held, acquired, func, node, via))
+
+    for name, summary in summaries.items():
+        for acq in summary.acquisitions:
+            for held in acq.held:
+                if held != ANON_GUARD:
+                    add(held, acq.lock.lock_id, name, acq.node, ())
+        for call in summary.calls:
+            held_locks = [h for h in call.held if h != ANON_GUARD]
+            if not held_locks:
+                continue
+            for callee in call.callees:
+                for lock_id in sorted(acquires.get(callee, set())):
+                    if lock_id not in locks:
+                        continue
+                    chain = _witness_chain(
+                        summaries, callee, lock_id, acquires
+                    )
+                    for held in held_locks:
+                        add(held, lock_id, name, call.node, chain)
+    return edges
+
+
+def _witness_chain(
+    summaries: Mapping[str, FunctionSummary],
+    start: str,
+    lock_id: str,
+    acquires: Mapping[str, set[str]],
+) -> tuple[str, ...]:
+    """Shortest call chain from ``start`` to a direct acquirer of the lock."""
+    queue: list[tuple[str, tuple[str, ...]]] = [(start, (start,))]
+    visited = {start}
+    while queue:
+        current, chain = queue.pop(0)
+        summary = summaries.get(current)
+        if summary is None:
+            continue
+        if any(acq.lock.lock_id == lock_id for acq in summary.acquisitions):
+            return chain
+        for call in summary.calls:
+            for callee in call.callees:
+                if callee in visited:
+                    continue
+                if lock_id not in acquires.get(callee, set()):
+                    continue
+                visited.add(callee)
+                queue.append((callee, chain + (callee,)))
+    return (start,)
+
+
+def find_lock_cycles(edges: Iterable[OrderEdge]) -> list[list[str]]:
+    """Cycles in the lock-order graph, self-loops excluded, deduplicated.
+
+    Each cycle is returned as a lock-id list ``[a, b, ..., a]`` rotated
+    so the lexicographically smallest id leads, which makes reporting
+    deterministic.
+    """
+    graph: dict[str, set[str]] = {}
+    for edge in edges:
+        if edge.held == edge.acquired:
+            continue
+        graph.setdefault(edge.held, set()).add(edge.acquired)
+        graph.setdefault(edge.acquired, set())
+
+    cycles: list[list[str]] = []
+    seen_keys: set[tuple[str, ...]] = set()
+
+    for component in _sccs(graph):
+        if len(component) < 2:
+            continue
+        members = set(component)
+        start = min(component)
+        cycle = _cycle_through(graph, start, members)
+        if cycle is None:
+            continue
+        key = tuple(sorted(set(cycle)))
+        if key in seen_keys:
+            continue
+        seen_keys.add(key)
+        cycles.append(cycle)
+    return sorted(cycles)
+
+
+def _sccs(graph: Mapping[str, set[str]]) -> list[list[str]]:
+    """Tarjan's strongly connected components, iteratively."""
+    index_counter = 0
+    indices: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[list[str]] = []
+
+    for root in sorted(graph):
+        if root in indices:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                indices[node] = low[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = sorted(graph.get(node, set()))
+            for offset in range(child_index, len(children)):
+                child = children[offset]
+                if child not in indices:
+                    work[-1] = (node, offset + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], indices[child])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == indices[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return result
+
+
+def _cycle_through(
+    graph: Mapping[str, set[str]], start: str, members: set[str]
+) -> list[str] | None:
+    """A concrete cycle through ``start`` inside one SCC."""
+    path = [start]
+    visited = {start}
+
+    def dfs(node: str) -> list[str] | None:
+        for child in sorted(graph.get(node, set())):
+            if child == start and len(path) > 1:
+                return path + [start]
+            if child in members and child not in visited:
+                visited.add(child)
+                path.append(child)
+                found = dfs(child)
+                if found is not None:
+                    return found
+                path.pop()
+        return None
+
+    return dfs(start)
+
+
+def self_deadlock_edges(
+    edges: Iterable[OrderEdge], locks: Mapping[str, LockInfo]
+) -> list[OrderEdge]:
+    """Held -> same-lock acquisitions on non-reentrant locks."""
+    return [
+        edge
+        for edge in edges
+        if edge.held == edge.acquired
+        and edge.held in locks
+        and not locks[edge.held].reentrant
+    ]
+
+
+def reachable_chains(
+    summaries: Mapping[str, FunctionSummary],
+    roots: Iterable[str],
+    *,
+    follow: Callable[[FunctionSummary, CallSite, str], bool],
+) -> dict[str, tuple[str, ...]]:
+    """BFS over call edges; returns reached function -> witness chain.
+
+    ``follow(summary, call_site, callee)`` decides whether an edge is
+    traversed.  Roots map to single-element chains.
+    """
+    chains: dict[str, tuple[str, ...]] = {}
+    queue: list[str] = []
+    for root in roots:
+        if root not in chains and root in summaries:
+            chains[root] = (root,)
+            queue.append(root)
+    while queue:
+        current = queue.pop(0)
+        summary = summaries[current]
+        for call in summary.calls:
+            for callee in call.callees:
+                if callee in chains or callee not in summaries:
+                    continue
+                if not follow(summary, call, callee):
+                    continue
+                chains[callee] = chains[current] + (callee,)
+                queue.append(callee)
+    return chains
+
+
+def blocking_closure(
+    summaries: Mapping[str, FunctionSummary],
+) -> dict[str, list[tuple[str, tuple[str, ...]]]]:
+    """Fixed point of blocking primitives reachable through sync calls.
+
+    Maps each function to ``[(description, chain), ...]`` where the
+    chain walks from the function itself to the one containing the
+    primitive.  Async callees stop propagation (they suspend, not
+    block), as does anything the call graph cannot resolve.
+    """
+    closure: dict[str, dict[str, tuple[str, ...]]] = {}
+    for name, summary in summaries.items():
+        direct: dict[str, tuple[str, ...]] = {}
+        for op in summary.blocking:
+            direct.setdefault(op.desc, (name,))
+        for call in summary.calls:
+            for callee in call.callees:
+                info = summaries.get(callee)
+                if info is not None and info.func.class_name in BLOCKING_STORE_CLASSES:
+                    direct.setdefault(
+                        f"sync {info.func.short()}() store call", (name,)
+                    )
+        closure[name] = direct
+    changed = True
+    while changed:
+        changed = False
+        for name, summary in summaries.items():
+            if summary.func.is_async:
+                continue
+            current = closure[name]
+            for call in summary.calls:
+                for callee in call.callees:
+                    info = summaries.get(callee)
+                    if info is None or info.func.is_async:
+                        continue
+                    for desc, chain in closure[callee].items():
+                        if desc not in current:
+                            current[desc] = (name,) + chain
+                            changed = True
+    return {
+        name: sorted(entries.items())
+        for name, entries in closure.items()
+    }

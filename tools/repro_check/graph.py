@@ -1,0 +1,541 @@
+"""Whole-program index: modules, symbols, types, and a call graph.
+
+The per-file rules see one ``ast.Module`` at a time; the cross-file
+rules (RPR009-RPR012) need to know *what a call lands on* — which class
+``self.store`` holds, which function ``observe_session.counter`` is,
+which locks a callee acquires.  :class:`ProjectIndex` answers those
+questions conservatively, from nothing but the parsed sources:
+
+* a **module table** mapping dotted module names to their trees and
+  their import bindings (``from ..ioutil import atomic_write_text``
+  resolves through the package layout, including relative imports);
+* a **symbol table** of every top-level function, class, method and
+  module-level assignment, keyed by qualified name
+  (``repro.engine.cache.PlanCache.get``);
+* a light **type model**: instance-attribute types recovered from
+  ``__init__`` assignments, dataclass field annotations and parameter
+  annotations; local-variable types from constructor calls; function
+  return annotations (so ``observe_session.counter(...).inc()``
+  resolves through the union return type to ``Counter.inc``);
+* a **lock model**: every ``threading.Lock()`` / ``threading.RLock()``
+  bound to a module-level name, an instance attribute or a function
+  local, with its creation site — the same (path, line) identity the
+  runtime sanitizer records, so static and dynamic evidence line up.
+
+Resolution is *conservative by refusal*: a call the type model cannot
+pin down resolves to no callees at all rather than to every method of
+that name in the project.  The cross-file rules are therefore
+under-approximate (they can miss) but precise (what they report is
+backed by a resolvable chain) — the right trade for a gating linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable, Mapping
+
+#: Names whose call creates a lock object (the last attribute segment).
+_LOCK_FACTORIES = {"Lock": False, "RLock": True}
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One lock object the project creates, with its creation site."""
+
+    lock_id: str  #: e.g. ``repro.engine.cache.PlanCache._lock``
+    path: str
+    line: int
+    reentrant: bool
+
+    def short(self) -> str:
+        """The lock id without the leading package segments."""
+        parts = self.lock_id.split(".")
+        return ".".join(parts[-2:]) if len(parts) > 1 else self.lock_id
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def short(self) -> str:
+        parts = self.qualname.split(".")
+        return ".".join(parts[-2:]) if self.class_name else parts[-1]
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, recovered attribute types, owned locks."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    methods: dict[str, str] = field(default_factory=dict)
+    #: attribute name -> candidate class qualnames (from ``__init__``
+    #: assignments, dataclass fields and annotations)
+    attr_types: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: lock-holding attribute name -> LockInfo
+    locks: dict[str, LockInfo] = field(default_factory=dict)
+    #: base-class qualnames resolved within the project
+    bases: tuple[str, ...] = ()
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its name-resolution environment."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source: str
+    #: local name -> fully qualified target (module or module.symbol)
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, str] = field(default_factory=dict)
+    classes: dict[str, str] = field(default_factory=dict)
+    #: module-level lock name -> LockInfo
+    locks: dict[str, LockInfo] = field(default_factory=dict)
+    #: names assigned at module level (shared mutable state candidates)
+    module_vars: set[str] = field(default_factory=set)
+    #: module-level ``NAME: Annotation`` declarations (raw nodes;
+    #: resolved lazily once imports are in place)
+    var_annotations: dict[str, ast.expr] = field(default_factory=dict)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a repo-relative POSIX path.
+
+    ``src/repro/engine/cache.py`` -> ``repro.engine.cache``; virtual
+    fixture paths follow the same rule when they contain a ``repro/``
+    segment, and otherwise fall back to the file stem so single-file
+    fixture projects still index cleanly.
+    """
+    posix = Path(path).as_posix()
+    parts = posix.split("/")
+    if "repro" in parts:
+        tail = parts[parts.index("repro"):]
+    elif parts[0] == "src" and len(parts) > 1:
+        tail = parts[1:]
+    else:
+        tail = [parts[-1]]
+    if tail[-1].endswith(".py"):
+        tail[-1] = tail[-1][:-3]
+    if tail[-1] == "__init__":
+        tail = tail[:-1]
+    return ".".join(tail) or Path(path).stem
+
+
+class ProjectIndex:
+    """The whole-program symbol/type/call index the project rules consume."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: path of every indexed file, in indexing order
+        self.paths: list[str] = []
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> ProjectIndex:
+        """Build an index from ``{repo-relative path: source}``.
+
+        Unparsable files are skipped (the per-file driver already
+        reports them as RPR000).
+        """
+        index = cls()
+        for path, source in sources.items():
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError:
+                continue
+            name = module_name_for(path)
+            index.modules[name] = ModuleInfo(name, path, tree, source)
+            index.paths.append(path)
+        for info in index.modules.values():
+            index._collect_module(info)
+        for info in index.modules.values():
+            index._resolve_imports(info)
+        for cls_info in index.classes.values():
+            index._resolve_class(cls_info)
+        return index
+
+    @classmethod
+    def from_files(
+        cls, files: Iterable[Path], *, base: Path | None = None
+    ) -> ProjectIndex:
+        from .core import relative_posix
+
+        base = base if base is not None else Path.cwd()
+        sources: dict[str, str] = {}
+        for file_path in files:
+            try:
+                sources[relative_posix(file_path, base)] = file_path.read_text(
+                    encoding="utf-8"
+                )
+            except (OSError, UnicodeDecodeError):
+                continue
+        return cls.from_sources(sources)
+
+    def _collect_module(self, info: ModuleInfo) -> None:
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{info.name}.{node.name}"
+                info.functions[node.name] = qualname
+                self.functions[qualname] = FunctionInfo(
+                    qualname, info.name, info.path, node
+                )
+            elif isinstance(node, ast.ClassDef):
+                qualname = f"{info.name}.{node.name}"
+                info.classes[node.name] = qualname
+                cls_info = ClassInfo(qualname, info.name, info.path, node)
+                self.classes[qualname] = cls_info
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method_qualname = f"{qualname}.{item.name}"
+                        cls_info.methods[item.name] = method_qualname
+                        self.functions[method_qualname] = FunctionInfo(
+                            method_qualname, info.name, info.path, item, node.name
+                        )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        info.module_vars.add(target.id)
+                        if isinstance(node, ast.AnnAssign):
+                            info.var_annotations[target.id] = node.annotation
+                        lock = _lock_created_by(
+                            node.value if node.value is not None else None,
+                            f"{info.name}.{target.id}",
+                            info.path,
+                        )
+                        if lock is not None:
+                            info.locks[target.id] = lock
+
+    def _resolve_imports(self, info: ModuleInfo) -> None:
+        package = info.name.rsplit(".", 1)[0] if "." in info.name else info.name
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    info.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        info.imports[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                module = self._absolute_module(node, package)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    info.imports[alias.asname or alias.name] = (
+                        f"{module}.{alias.name}" if module else alias.name
+                    )
+
+    @staticmethod
+    def _absolute_module(node: ast.ImportFrom, package: str) -> str:
+        if node.level == 0:
+            return node.module or ""
+        parts = package.split(".")
+        # level=1 strips nothing beyond the current package, level=2 one
+        # parent, and so on; ``package`` is already the containing package.
+        if node.level > 1:
+            parts = parts[: -(node.level - 1)] if node.level - 1 < len(parts) else []
+        base = ".".join(parts)
+        if node.module:
+            return f"{base}.{node.module}" if base else node.module
+        return base
+
+    def _resolve_class(self, cls_info: ClassInfo) -> None:
+        module = self.modules[cls_info.module]
+        bases: list[str] = []
+        for base in cls_info.node.bases:
+            resolved = self.resolve_name(module, _dotted(base))
+            if resolved in self.classes:
+                bases.append(resolved)
+        cls_info.bases = tuple(bases)
+
+        # Dataclass-style field annotations on the class body.
+        for item in cls_info.node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                types = self.annotation_types(module, item.annotation)
+                if types:
+                    cls_info.attr_types[item.target.id] = types
+
+        init = self.functions.get(f"{cls_info.qualname}.__init__")
+        if init is None:
+            return
+        param_types = self.parameter_types(module, init.node)
+        for node in ast.walk(init.node):
+            value: ast.expr | None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                attr = target.attr
+                if isinstance(node, ast.AnnAssign):
+                    types = self.annotation_types(module, node.annotation)
+                    if types:
+                        cls_info.attr_types.setdefault(attr, types)
+                if value is None:
+                    continue
+                lock = _lock_created_by(
+                    value, f"{cls_info.qualname}.{attr}", cls_info.path
+                )
+                if lock is not None:
+                    cls_info.locks[attr] = lock
+                    continue
+                inferred = self._expr_types(module, value, param_types, cls_info)
+                if inferred and attr not in cls_info.locks:
+                    existing = cls_info.attr_types.get(attr, ())
+                    merged = tuple(dict.fromkeys(existing + inferred))
+                    cls_info.attr_types[attr] = merged
+
+    # -- name and type resolution -----------------------------------------
+    def resolve_name(self, module: ModuleInfo, dotted: str) -> str:
+        """Fully qualified name for ``dotted`` as seen from ``module``.
+
+        Walks the import table for the head segment, then appends the
+        rest: ``observe_session.counter`` ->
+        ``repro.observe.session.counter``.  Unresolvable names return
+        the input unchanged (callers test membership in the tables).
+        """
+        if not dotted:
+            return dotted
+        head, _, rest = dotted.partition(".")
+        if head in module.functions and not rest:
+            return module.functions[head]
+        if head in module.classes:
+            return (
+                f"{module.classes[head]}.{rest}" if rest else module.classes[head]
+            )
+        target = module.imports.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def annotation_types(
+        self, module: ModuleInfo, annotation: ast.expr | None
+    ) -> tuple[str, ...]:
+        """Class qualnames an annotation can denote (unions unpacked)."""
+        if annotation is None:
+            return ()
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return ()
+        found: list[str] = []
+
+        def visit(node: ast.expr) -> None:
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+                visit(node.left)
+                visit(node.right)
+                return
+            if isinstance(node, ast.Subscript):
+                # Optional[X] / Union[X, Y] unpack; other generics keep
+                # the container (list[X] is a list, not an X).
+                head = _dotted(node.value).split(".")[-1]
+                if head in {"Optional", "Union"}:
+                    inner = node.slice
+                    elements = (
+                        inner.elts if isinstance(inner, ast.Tuple) else [inner]
+                    )
+                    for element in elements:
+                        visit(element)
+                    return
+                visit(node.value)
+                return
+            dotted = _dotted(node)
+            if not dotted or dotted in {"None", "Any"}:
+                return
+            resolved = self.resolve_name(module, dotted)
+            if resolved in self.classes:
+                found.append(resolved)
+
+        visit(annotation)
+        return tuple(dict.fromkeys(found))
+
+    def parameter_types(
+        self, module: ModuleInfo, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[str, tuple[str, ...]]:
+        types: dict[str, tuple[str, ...]] = {}
+        args = func.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            resolved = self.annotation_types(module, arg.annotation)
+            if resolved:
+                types[arg.arg] = resolved
+        return types
+
+    def _expr_types(
+        self,
+        module: ModuleInfo,
+        value: ast.expr,
+        local_types: Mapping[str, tuple[str, ...]],
+        cls_info: ClassInfo | None,
+    ) -> tuple[str, ...]:
+        """Candidate class qualnames for the value of an expression."""
+        if isinstance(value, ast.Call):
+            callee = self.resolve_name(module, _dotted(value.func))
+            if callee in self.classes:
+                return (callee,)
+            func = self.functions.get(callee)
+            if func is not None:
+                return self.annotation_types(
+                    self.modules[func.module], func.node.returns
+                )
+            return ()
+        if isinstance(value, ast.Name):
+            found = local_types.get(value.id, ())
+            if not found and value.id in module.var_annotations:
+                found = self.annotation_types(
+                    module, module.var_annotations[value.id]
+                )
+            return found
+        if isinstance(value, ast.Attribute):
+            base_types = self._expr_types(
+                module, value.value, local_types, cls_info
+            )
+            if (
+                not base_types
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and cls_info is not None
+            ):
+                base_types = (cls_info.qualname,)
+            found: list[str] = []
+            for base in base_types:
+                attr_types = self.attribute_types(base, value.attr)
+                found.extend(attr_types)
+            return tuple(dict.fromkeys(found))
+        if isinstance(value, (ast.IfExp,)):
+            return tuple(
+                dict.fromkeys(
+                    self._expr_types(module, value.body, local_types, cls_info)
+                    + self._expr_types(module, value.orelse, local_types, cls_info)
+                )
+            )
+        return ()
+
+    def attribute_types(self, class_qualname: str, attr: str) -> tuple[str, ...]:
+        """Types of ``<instance of class>.<attr>``, searching base classes."""
+        for qualname in self._mro(class_qualname):
+            cls_info = self.classes.get(qualname)
+            if cls_info is not None and attr in cls_info.attr_types:
+                return cls_info.attr_types[attr]
+        return ()
+
+    def lookup_method(self, class_qualname: str, method: str) -> str | None:
+        """Qualname of ``method`` on the class or its project bases."""
+        for qualname in self._mro(class_qualname):
+            cls_info = self.classes.get(qualname)
+            if cls_info is not None and method in cls_info.methods:
+                return cls_info.methods[method]
+        return None
+
+    def lookup_lock(self, class_qualname: str, attr: str) -> LockInfo | None:
+        for qualname in self._mro(class_qualname):
+            cls_info = self.classes.get(qualname)
+            if cls_info is not None and attr in cls_info.locks:
+                return cls_info.locks[attr]
+        return None
+
+    def _mro(self, class_qualname: str) -> list[str]:
+        """Depth-first base-class order (cycles tolerated)."""
+        order: list[str] = []
+        stack = [class_qualname]
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            order.append(current)
+            cls_info = self.classes.get(current)
+            if cls_info is not None:
+                stack = list(cls_info.bases) + stack
+        return order
+
+    def class_of(self, func: FunctionInfo) -> ClassInfo | None:
+        if func.class_name is None:
+            return None
+        return self.classes.get(f"{func.module}.{func.class_name}")
+
+    def functions_under(self, path_parts: tuple[str, ...]) -> list[FunctionInfo]:
+        """Every indexed function whose path contains any given part."""
+        return [
+            func
+            for func in self.functions.values()
+            if any(part in func.path for part in path_parts)
+        ]
+
+    def all_locks(self) -> dict[str, LockInfo]:
+        """Every class- and module-owned lock, keyed by lock id."""
+        locks: dict[str, LockInfo] = {}
+        for module in self.modules.values():
+            for lock in module.locks.values():
+                locks[lock.lock_id] = lock
+        for cls_info in self.classes.values():
+            for lock in cls_info.locks.values():
+                locks[lock.lock_id] = lock
+        return locks
+
+
+def _dotted(node: ast.AST) -> str:
+    """Dotted name of a Name/Attribute chain, or '' when not one."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _lock_created_by(
+    value: ast.expr | None, lock_id: str, path: str
+) -> LockInfo | None:
+    """A LockInfo when ``value`` constructs a threading lock."""
+    if value is None:
+        return None
+    for sub in ast.walk(value):
+        if isinstance(sub, ast.Call):
+            tail = _dotted(sub.func).split(".")[-1]
+            if tail in _LOCK_FACTORIES:
+                return LockInfo(
+                    lock_id,
+                    path,
+                    getattr(sub, "lineno", 0),
+                    _LOCK_FACTORIES[tail],
+                )
+    return None

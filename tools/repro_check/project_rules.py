@@ -1,0 +1,415 @@
+"""Cross-file rules RPR009-RPR012 over the whole-program index.
+
+Unlike the per-file rules, these implement ``check_project(index)`` and
+see every module at once: the lock-order graph (RPR009), blocking work
+reachable from the service's async handlers (RPR010), nondeterminism
+taint flowing into plan construction (RPR011), and shared mutable state
+written from thread entrypoints without a lock (RPR012).
+
+The analyses all run off one set of function summaries per index, cached
+on the index itself so the four rules share a single dataflow pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .core import Violation
+from .graph import FunctionInfo, ProjectIndex
+from .flow import (
+    BLOCKING_STORE_CLASSES,
+    FunctionSummary,
+    blocking_closure,
+    find_lock_cycles,
+    lock_order_edges,
+    reachable_chains,
+    self_deadlock_edges,
+    summarize_project,
+)
+from .rules import _RPR002_SCOPE
+
+#: Files whose functions seed the determinism-taint walk (RPR011).
+_PLAN_ROOT_FILES = (
+    "engine/plan.py",
+    "engine/fingerprint.py",
+    "engine/cache.py",
+)
+
+
+@dataclass
+class _Analysis:
+    """The shared dataflow products the project rules consume."""
+
+    summaries: dict[str, FunctionSummary]
+
+
+def _analysis(index: ProjectIndex) -> _Analysis:
+    cached = getattr(index, "_repro_flow_analysis", None)
+    if cached is None:
+        cached = _Analysis(summarize_project(index))
+        index._repro_flow_analysis = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def _violation(
+    code: str, message: str, func: FunctionInfo, node: ast.AST
+) -> Violation:
+    return Violation(
+        code,
+        message,
+        func.path,
+        getattr(node, "lineno", func.node.lineno),
+        getattr(node, "col_offset", 0),
+    )
+
+
+def _chain_text(chain: tuple[str, ...]) -> str:
+    return " -> ".join(_short(name) for name in chain)
+
+
+def _short(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+
+# ---------------------------------------------------------------------------
+# RPR009: lock-order consistency
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LockOrderRule:
+    """Lock acquisitions must follow one global order, with no cycles.
+
+    Builds the project's lock-order graph — an edge ``A -> B`` whenever
+    some execution path acquires ``B`` (directly or through any callee)
+    while holding ``A`` — and flags every edge that participates in a
+    cycle, plus any non-reentrant lock re-acquired while already held
+    (a guaranteed self-deadlock).
+    """
+
+    code: str = "RPR009"
+    summary: str = (
+        "lock-order consistency: no cycles in the project's "
+        "lock-acquisition graph, no non-reentrant re-acquisition"
+    )
+
+    def applies(self, path: str) -> bool:
+        del path
+        return False  # project-level only
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> list[Violation]:
+        del tree, source, path
+        return []
+
+    def check_project(self, index: ProjectIndex) -> list[Violation]:
+        summaries = _analysis(index).summaries
+        locks = index.all_locks()
+        edges = lock_order_edges(summaries, locks)
+        violations: list[Violation] = []
+
+        for edge in self_deadlock_edges(edges, locks):
+            func = index.functions[edge.func]
+            via = f" via {_chain_text(edge.via)}" if edge.via else ""
+            violations.append(
+                _violation(
+                    self.code,
+                    f"non-reentrant lock {_lock_short(edge.held)} is "
+                    f"acquired while already held in {func.short()}{via}; "
+                    "this self-deadlocks",
+                    func,
+                    edge.node,
+                )
+            )
+
+        cycles = find_lock_cycles(edges)
+        reported: set[tuple[str, str]] = set()
+        for cycle in cycles:
+            cycle_text = " -> ".join(_lock_short(lock) for lock in cycle)
+            cycle_pairs = set(zip(cycle, cycle[1:]))
+            for edge in edges:
+                pair = (edge.held, edge.acquired)
+                if pair not in cycle_pairs or pair in reported:
+                    continue
+                reported.add(pair)
+                func = index.functions[edge.func]
+                via = f" via {_chain_text(edge.via)}" if edge.via else ""
+                violations.append(
+                    _violation(
+                        self.code,
+                        f"lock-order cycle {cycle_text}: this site "
+                        f"acquires {_lock_short(edge.acquired)} while "
+                        f"holding {_lock_short(edge.held)}{via}",
+                        func,
+                        edge.node,
+                    )
+                )
+        return violations
+
+
+def _lock_short(lock_id: str) -> str:
+    parts = lock_id.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else lock_id
+
+
+# ---------------------------------------------------------------------------
+# RPR010: no blocking calls reachable from async service code
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AsyncBlockingRule:
+    """``async def`` in ``service/`` must not reach blocking primitives.
+
+    Sync file I/O, ``time.sleep``, ``subprocess``, and the synchronous
+    ``CheckpointStore`` / ``JobStore`` methods stall the event loop for
+    every connected tenant; they belong behind ``run_in_executor`` /
+    ``asyncio.to_thread`` (handing a function *reference* to an executor
+    creates no call edge, so properly deferred work passes).
+    """
+
+    code: str = "RPR010"
+    summary: str = (
+        "async service handlers must not reach blocking calls "
+        "(sync I/O, sleep, subprocess, sync store methods)"
+    )
+
+    def applies(self, path: str) -> bool:
+        del path
+        return False
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> list[Violation]:
+        del tree, source, path
+        return []
+
+    def check_project(self, index: ProjectIndex) -> list[Violation]:
+        summaries = _analysis(index).summaries
+        closure = blocking_closure(summaries)
+        violations: list[Violation] = []
+        for name, summary in sorted(summaries.items()):
+            func = summary.func
+            if not func.is_async or "service/" not in func.path:
+                continue
+            flagged_nodes: set[int] = set()
+            for op in summary.blocking:
+                flagged_nodes.add(id(op.node))
+                violations.append(
+                    _violation(
+                        self.code,
+                        f"blocking call in async {func.short()}: {op.desc}; "
+                        "wrap it in run_in_executor/to_thread",
+                        func,
+                        op.node,
+                    )
+                )
+            for call in summary.calls:
+                if id(call.node) in flagged_nodes:
+                    continue
+                for callee in call.callees:
+                    info = summaries.get(callee)
+                    if info is None or info.func.is_async:
+                        continue
+                    if info.func.class_name in BLOCKING_STORE_CLASSES:
+                        flagged_nodes.add(id(call.node))
+                        violations.append(
+                            _violation(
+                                self.code,
+                                f"async {func.short()} calls sync store "
+                                f"method {info.func.short()}(); wrap it in "
+                                "run_in_executor/to_thread",
+                                func,
+                                call.node,
+                            )
+                        )
+                        break
+                    reaches = closure.get(callee, [])
+                    if reaches:
+                        desc, chain = reaches[0]
+                        flagged_nodes.add(id(call.node))
+                        violations.append(
+                            _violation(
+                                self.code,
+                                f"async {func.short()} reaches a blocking "
+                                f"call: {desc} (via {_chain_text(chain)}); "
+                                "wrap it in run_in_executor/to_thread",
+                                func,
+                                call.node,
+                            )
+                        )
+                        break
+        return violations
+
+
+# ---------------------------------------------------------------------------
+# RPR011: determinism taint into plan construction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DeterminismTaintRule:
+    """Plan construction must not *reach* nondeterminism, even remotely.
+
+    RPR002 checks the plan/fingerprint/cache/density files themselves;
+    this rule walks the call graph outward from every function defined
+    in those plan-construction files and flags nondeterministic
+    primitives (wall clock, ambient RNG, ``id()`` keys, unordered-set
+    iteration) in any *other* module they reach — the cached-plan replay
+    contract taints everything the planner calls.
+    """
+
+    code: str = "RPR011"
+    summary: str = (
+        "determinism taint: plan/fingerprint construction must not reach "
+        "wall-clock, RNG, id() keys or unordered-set iteration"
+    )
+
+    def applies(self, path: str) -> bool:
+        del path
+        return False
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> list[Violation]:
+        del tree, source, path
+        return []
+
+    def check_project(self, index: ProjectIndex) -> list[Violation]:
+        summaries = _analysis(index).summaries
+        roots = sorted(
+            name
+            for name, summary in summaries.items()
+            if summary.func.path.endswith(_PLAN_ROOT_FILES)
+        )
+        chains = reachable_chains(
+            summaries, roots, follow=lambda s, call, callee: True
+        )
+        violations: list[Violation] = []
+        seen: set[tuple[str, int]] = set()
+        for name in sorted(chains):
+            summary = summaries[name]
+            if _in_rpr002_scope(summary.func.path):
+                continue  # the per-file determinism rule owns these
+            for op in summary.nondet:
+                key = (name, getattr(op.node, "lineno", 0))
+                if key in seen:
+                    continue
+                seen.add(key)
+                violations.append(
+                    _violation(
+                        self.code,
+                        f"nondeterminism reachable from plan construction: "
+                        f"{op.desc} (via {_chain_text(chains[name])})",
+                        summary.func,
+                        op.node,
+                    )
+                )
+        return violations
+
+
+def _in_rpr002_scope(path: str) -> bool:
+    return any(part in path for part in _RPR002_SCOPE)
+
+
+# ---------------------------------------------------------------------------
+# RPR012: shared mutable state written from threads without a lock
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SharedStateRule:
+    """State visible across threads must be written under a lock.
+
+    Roots the walk at every function handed to a worker thread
+    (``threading.Thread(target=...)``, ``pool.submit/map``,
+    ``run_in_executor``, ``asyncio.to_thread`` — but *not*
+    ``Process(target=...)``, which shares no memory), follows only
+    call edges made while no lock is held, and flags writes to module
+    globals or to instance attributes of lock-less classes.
+    ``__init__`` and ``*_locked`` methods are exempt by convention.
+    """
+
+    code: str = "RPR012"
+    summary: str = (
+        "shared mutable state must not be written from thread "
+        "entrypoints outside a lock"
+    )
+
+    def applies(self, path: str) -> bool:
+        del path
+        return False
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> list[Violation]:
+        del tree, source, path
+        return []
+
+    def check_project(self, index: ProjectIndex) -> list[Violation]:
+        summaries = _analysis(index).summaries
+        roots = sorted(
+            {
+                target
+                for summary in summaries.values()
+                for target, _node in summary.thread_targets
+            }
+        )
+        chains = reachable_chains(
+            summaries,
+            roots,
+            follow=lambda s, call, callee: not call.held,
+        )
+        violations: list[Violation] = []
+        seen: set[tuple[str, int, str]] = set()
+        for name in sorted(chains):
+            summary = summaries[name]
+            func = summary.func
+            if func.name == "__init__" or func.name.endswith("_locked"):
+                continue
+            for write in summary.writes:
+                if write.guarded:
+                    continue
+                if write.kind == "attr" and _class_has_lock(
+                    index, write.name.rsplit(".", 1)[0]
+                ):
+                    # RPR003 (per-file) enforces discipline for
+                    # lock-owning classes; here we only catch classes
+                    # with no lock at all touched from threads.
+                    continue
+                key = (name, getattr(write.node, "lineno", 0), write.name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                violations.append(
+                    _violation(
+                        self.code,
+                        f"shared state {_short(write.name)} written without "
+                        f"a lock on a thread path "
+                        f"(via {_chain_text(chains[name])})",
+                        func,
+                        write.node,
+                    )
+                )
+        return violations
+
+
+def _class_has_lock(index: ProjectIndex, class_qualname: str) -> bool:
+    for qualname in index._mro(class_qualname):
+        cls_info = index.classes.get(qualname)
+        if cls_info is not None and cls_info.locks:
+            return True
+    return False
+
+
+PROJECT_RULES: tuple[object, ...] = (
+    LockOrderRule(),
+    AsyncBlockingRule(),
+    DeterminismTaintRule(),
+    SharedStateRule(),
+)
+
+PROJECT_RULES_BY_CODE = {rule.code: rule for rule in PROJECT_RULES}
