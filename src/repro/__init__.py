@@ -25,10 +25,14 @@ from .config import DEFAULT_CONFIG, S_DENSE, S_SPARSE, SystemConfig
 from .kinds import StorageKind, kernel_name
 from .errors import (
     AdmissionError,
+    CircuitOpenError,
     ConfigError,
+    DeadlineExceededError,
     FormatError,
+    FrameTooLargeError,
     IntegrityError,
     MemoryLimitError,
+    OperationCancelledError,
     ParseError,
     PartitionError,
     PlanMismatchError,
@@ -38,8 +42,10 @@ from .errors import (
     RetryExhaustedError,
     SchedulerError,
     ServiceError,
+    ServiceUnavailableError,
     ShapeError,
     TaskFailedError,
+    TransportError,
     UnknownJobError,
     UnknownMatrixError,
 )
@@ -97,6 +103,7 @@ from .core import (
 # After .core: the resilience package's checkpoint/integrity modules
 # reach back into repro.core / repro.formats at import time.
 from .resilience import (
+    CancelToken,
     CheckpointStore,
     FailureReport,
     FaultKind,
@@ -125,11 +132,14 @@ from .engine import (
     structure_fingerprint,
 )
 from .service import (
+    CircuitBreaker,
+    Deadline,
     JobSpec,
     JobState,
     JobStatus,
     MatrixRegistry,
     MatrixService,
+    ServiceClient,
 )
 from .expr import M, MatrixExpr
 from .solve import SolveResult, conjugate_gradient, jacobi, richardson
@@ -169,6 +179,13 @@ __all__ = [
     "QuotaExceededError",
     "UnknownMatrixError",
     "UnknownJobError",
+    "OperationCancelledError",
+    "DeadlineExceededError",
+    "ServiceUnavailableError",
+    "TransportError",
+    "CircuitOpenError",
+    "FrameTooLargeError",
+    "CancelToken",
     "CheckpointStore",
     "FailureReport",
     "FaultKind",
@@ -254,6 +271,9 @@ __all__ = [
     # -- the multi-tenant matrix service ----------------------------------
     "MatrixService",
     "MatrixRegistry",
+    "ServiceClient",
+    "Deadline",
+    "CircuitBreaker",
     "JobSpec",
     "JobState",
     "JobStatus",

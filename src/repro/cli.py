@@ -86,6 +86,12 @@ def _validate_args(args: argparse.Namespace) -> None:
     heartbeat = getattr(args, "heartbeat_interval", None)
     if heartbeat is not None:
         validate_positive(heartbeat, "--heartbeat-interval")
+    grace = getattr(args, "startup_grace", None)
+    if grace is not None:
+        validate_positive(grace, "--startup-grace")
+    drain_timeout = getattr(args, "drain_timeout", None)
+    if drain_timeout is not None:
+        validate_positive(drain_timeout, "--drain-timeout")
     sla = getattr(args, "memory_sla_mb", None)
     if sla is not None:
         validate_positive(sla, "--memory-sla-mb")
@@ -209,6 +215,7 @@ def cmd_multiply(args: argparse.Namespace) -> int:
             execution=args.execution or "threads",
             workers=args.workers,
             heartbeat_interval_seconds=args.heartbeat_interval,
+            startup_grace_seconds=args.startup_grace,
         )
         start = time.perf_counter()
         with context:
@@ -374,9 +381,18 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the multi-tenant matrix service (see docs/SERVICE.md)."""
-    import asyncio
+    """Run the multi-tenant matrix service (see docs/SERVICE.md).
 
+    SIGTERM triggers a graceful drain: the listener closes, queued jobs
+    stay journaled on disk for the next server, running jobs get
+    ``--drain-timeout`` seconds to finish before being checkpoint-
+    cancelled, and the process exits 0.
+    """
+    import asyncio
+    import contextlib
+    import signal
+
+    from .engine import MultiplyOptions
     from .service import MatrixRegistry, MatrixService
     from .service import serve as serve_endpoint
 
@@ -399,6 +415,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.serve_workers,
         tenant_quota=args.tenant_quota,
         max_queue_depth=args.queue_depth,
+        options=MultiplyOptions(
+            config=config, startup_grace_seconds=args.startup_grace
+        ),
     )
 
     async def run() -> None:
@@ -412,8 +431,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"job dir: {args.job_dir}",
             flush=True,
         )
+        drain_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        with contextlib.suppress(NotImplementedError):  # non-Unix loops
+            loop.add_signal_handler(signal.SIGTERM, drain_requested.set)
         async with server:
-            await server.serve_forever()
+            # start_server already accepts connections; block until the
+            # drain signal (SIGINT surfaces as KeyboardInterrupt → 130).
+            await drain_requested.wait()
+            print(
+                f"SIGTERM: draining (timeout {args.drain_timeout:g}s)...",
+                flush=True,
+            )
+            server.close()
+            await server.wait_closed()
+            await service.drain(timeout=args.drain_timeout)
+        print("drained; queued jobs will resume on the next server", flush=True)
 
     asyncio.run(run())
     return 0
@@ -479,6 +512,11 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="SECONDS",
                           help="worker heartbeat cadence under "
                                "--execution=processes (default 0.25)")
+    multiply.add_argument("--startup-grace", type=float, default=10.0,
+                          metavar="SECONDS",
+                          help="grace before a silent worker process counts "
+                               "as dead during startup (default 10; raise on "
+                               "slow spawn-platform imports)")
     _add_config_arguments(multiply)
     multiply.set_defaults(handler=cmd_multiply)
 
@@ -549,6 +587,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queue-depth", type=int, default=64, metavar="N",
                        help="global pending-job bound before load shedding "
                             "(default 64)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="on SIGTERM, seconds running jobs get to finish "
+                            "before being checkpoint-cancelled (default 30)")
+    serve.add_argument("--startup-grace", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="worker-process startup heartbeat grace for "
+                            "process-backend jobs (default 10)")
     _add_config_arguments(serve)
     serve.set_defaults(handler=cmd_serve)
 

@@ -166,6 +166,7 @@ def atmult(
             check_fingerprints=False,  # resolve_plan keyed/built on these operands
             checkpoint=opts.checkpoint,
             checkpoint_flush_pairs=opts.checkpoint_flush_pairs,
+            cancel=opts.cancel,
         )
         assert isinstance(report, MultiplyReport)
         if fresh:

@@ -159,6 +159,8 @@ def parallel_atmult(
             check_fingerprints=False,  # resolve_plan keyed/built on these operands
             checkpoint=opts.checkpoint,
             checkpoint_flush_pairs=opts.checkpoint_flush_pairs,
+            cancel=opts.cancel,
+            startup_grace_seconds=opts.startup_grace_seconds,
         )
         assert isinstance(report, ParallelReport)
         if fresh:

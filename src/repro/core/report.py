@@ -67,8 +67,15 @@ class BaseReport:
         return sum(self.phase_seconds.values())
 
     def add_phase(self, name: str, seconds: float) -> None:
-        """Accumulate ``seconds`` into the named phase."""
-        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+        """Accumulate ``seconds`` into the named phase.
+
+        Only the orchestrating thread writes phases; worker threads
+        report their timings through ``busy_hook``/``merge_outcome``
+        under the executor's ``busy_lock``.
+        """
+        self.phase_seconds[name] = (  # repro-lint: disable=RPR012
+            self.phase_seconds.get(name, 0.0) + seconds
+        )
 
     def phase(self, name: str) -> float:
         """Duration of one phase (0.0 when the phase never ran)."""
@@ -80,7 +87,12 @@ class BaseReport:
         return self.phase(name) / total if total else 0.0
 
     def count_kernel(self, name: str, count: int = 1) -> None:
-        self.kernel_counts[name] = self.kernel_counts.get(name, 0) + count
+        # Threaded pair execution merges its per-attempt kernel counts
+        # through run_pair_captured under the executor's busy_lock; the
+        # sequential/supervisor paths are single-writer.
+        self.kernel_counts[name] = (  # repro-lint: disable=RPR012
+            self.kernel_counts.get(name, 0) + count
+        )
 
     def merge_kernel_counts(self, counts: dict[str, int]) -> None:
         for name, count in counts.items():

@@ -173,6 +173,7 @@ def execute(
             check_fingerprints=True,
             checkpoint=opts.checkpoint,
             checkpoint_flush_pairs=opts.checkpoint_flush_pairs,
+            cancel=opts.cancel,
         )
     assert isinstance(report, MultiplyReport)
     return result, report
@@ -266,6 +267,7 @@ def _run_chain_cold(
             cost_model=cost_model,
             obs=obs,
             check_fingerprints=False,
+            cancel=options.cancel,
         )
         assert isinstance(step_report, MultiplyReport)
         if fresh:

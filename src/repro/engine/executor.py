@@ -52,7 +52,13 @@ from ..core.report import (
     ParallelReport,
 )
 from ..core.tile import Tile, TilePayload
-from ..errors import ConfigError, MemoryLimitError, PlanMismatchError, TaskFailedError
+from ..errors import (
+    ConfigError,
+    MemoryLimitError,
+    OperationCancelledError,
+    PlanMismatchError,
+    TaskFailedError,
+)
 from ..formats.convert import csr_to_dense, dense_to_csr
 from ..formats.csr import CSRMatrix
 from ..formats.dense import DenseMatrix
@@ -61,6 +67,7 @@ from ..kernels.registry import run_tile_product
 from ..kinds import StorageKind, kernel_name
 from ..observe import Observation
 from ..observe import session as observe_session
+from ..resilience.cancel import CancelToken
 from ..resilience.checkpoint import CheckpointStore
 from ..resilience.degrade import DegradationState
 from ..resilience.faults import fire_hooks, task_scope
@@ -209,6 +216,7 @@ class PairComputer:
         resilience: RetryPolicy | None = None,
         record_tasks: bool = False,
         busy_hook: Callable[[float], None] | None = None,
+        cancel: CancelToken | None = None,
     ) -> None:
         self.plan = plan
         self.at_a = at_a
@@ -218,6 +226,7 @@ class PairComputer:
         self.obs = obs
         self.record_tasks = record_tasks
         self.busy_hook = busy_hook
+        self.cancel = cancel
         self.conversions = _ConversionCache()
         self.memo = _DecisionMemo(cost_model, plan.dynamic_conversion)
         self.degradation: DegradationState | None = None
@@ -233,13 +242,18 @@ class PairComputer:
         """
         if self._policy is None:
             return
-        self.degradation = DegradationState(
+        # Both writes happen on the orchestrating thread before any
+        # worker thread is started; threaded pair execution only reads
+        # these attributes, so no lock is needed.
+        self.degradation = DegradationState(  # repro-lint: disable=RPR012
             self.plan.estimate,
             self.plan.memory_limit_bytes,
             config,
             self.plan.write_threshold,
         )
-        self.runner = ResilientPairRunner(self._policy, failure, self.degradation)
+        self.runner = ResilientPairRunner(  # repro-lint: disable=RPR012
+            self._policy, failure, self.degradation
+        )
 
     # -- per-pair execution ----------------------------------------------
     def compute(
@@ -405,7 +419,15 @@ class PairComputer:
         )
 
     def run_pair(self, pair: PlannedPair) -> _PairOutcome:
-        """Execute one pair under the resilience policy, if any."""
+        """Execute one pair under the resilience policy, if any.
+
+        Checks the cancel token first, so cancellation/deadline expiry
+        is observed at tile-pair granularity: a pair that already
+        started runs to completion (and is journaled), the next one
+        raises before doing any work.
+        """
+        if self.cancel is not None:
+            self.cancel.check()
         coords = (pair.ti, pair.tj)
         if self.runner is None:
             with task_scope(coords, 1):
@@ -445,6 +467,8 @@ def execute_plan(
     check_fingerprints: bool = True,
     checkpoint: CheckpointStore | None = None,
     checkpoint_flush_pairs: int = 1,
+    cancel: CancelToken | None = None,
+    startup_grace_seconds: float = 10.0,
 ) -> tuple[ATMatrix, MultiplyReport | ParallelReport]:
     """Execute a plan against operands of matching topology.
 
@@ -467,6 +491,16 @@ def execute_plan(
     :class:`KeyboardInterrupt` in any backend flushes the buffered
     records before propagating, so Ctrl-C costs nothing that was
     already computed.
+
+    A ``cancel`` token is polled at tile-pair boundaries in every
+    backend; when it trips, the run flushes the checkpoint exactly like
+    Ctrl-C and unwinds with
+    :class:`~repro.errors.OperationCancelledError` (or its
+    :class:`~repro.errors.DeadlineExceededError` specialization), so a
+    cancelled or deadline-expired multiplication is resumable.
+    ``startup_grace_seconds`` only affects ``execution="processes"``:
+    it bounds how long a fresh worker may take to post its first
+    heartbeat.
     """
     mode = execution if execution is not None else (
         "threads" if parallel else "sequential"
@@ -497,6 +531,8 @@ def execute_plan(
             pair_deadline_seconds=pair_deadline_seconds,
             checkpoint=checkpoint,
             checkpoint_flush_pairs=checkpoint_flush_pairs,
+            cancel=cancel,
+            startup_grace_seconds=startup_grace_seconds,
         )
 
     parallel = mode == "threads"
@@ -536,6 +572,7 @@ def execute_plan(
         resilience=resilience,
         record_tasks=not parallel,
         busy_hook=thread_busy_hook if parallel else None,
+        cancel=cancel,
     )
     computer.bind_resilience(config, report.failure)
 
@@ -576,6 +613,11 @@ def execute_plan(
         def run_pair_captured(pair: PlannedPair) -> Tile | None:
             try:
                 outcome = computer.run_pair(pair)
+            except OperationCancelledError:
+                # Not a pair failure: the token tripped before this pair
+                # started.  The post-drain check() re-raises once, with
+                # everything that did finish journaled.
+                return None
             except Exception as error:  # noqa: BLE001 — aggregated after the pool drains
                 with busy_lock:
                     report.failure.record_error((pair.ti, pair.tj), error)
@@ -613,6 +655,8 @@ def execute_plan(
         if checkpoint is not None:
             checkpoint.flush()
             report.checkpoint_flushes = checkpoint.flushes
+        if cancel is not None and cancel.cancelled:
+            cancel.check()
         if report.failure.pair_errors:
             raise TaskFailedError(
                 aggregate_message(report.failure.pair_errors, len(plan.pairs)),
@@ -638,7 +682,7 @@ def execute_plan(
                     computer.note_completed(pair, outcome.tile)
                 if checkpoint is not None:
                     journal_pair(pair, outcome.tile)
-        except KeyboardInterrupt:
+        except (KeyboardInterrupt, OperationCancelledError):
             flush_on_interrupt()
             raise
         report.conversions = computer.conversions.conversions

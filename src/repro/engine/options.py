@@ -31,6 +31,7 @@ from ..observe import Observation
 from ..resilience.retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.cancel import CancelToken
     from ..resilience.checkpoint import CheckpointStore
     from .cache import PlanCache
 
@@ -112,6 +113,17 @@ class MultiplyOptions:
         Flush the checkpoint journal after this many completed pairs
         (default 1: flush every pair — maximally durable).  Larger
         values trade recovery granularity for fewer fsyncs.
+    cancel:
+        A :class:`~repro.resilience.CancelToken` polled at tile-pair
+        boundaries; when it trips (explicit cancel or deadline expiry)
+        the run flushes its checkpoint and unwinds with
+        :class:`~repro.errors.OperationCancelledError` /
+        :class:`~repro.errors.DeadlineExceededError`.
+    startup_grace_seconds:
+        Under ``execution="processes"``, how long a freshly spawned
+        worker may take to post its first heartbeat before it is
+        declared stale (covers interpreter + import cost on cold
+        machines).
     """
 
     config: SystemConfig | None = None
@@ -128,6 +140,8 @@ class MultiplyOptions:
     plan_cache: PlanCache | None = field(default=None, compare=False)
     checkpoint: CheckpointStore | None = field(default=None, compare=False)
     checkpoint_flush_pairs: int = 1
+    cancel: CancelToken | None = field(default=None, compare=False)
+    startup_grace_seconds: float = 10.0
 
     def replace(self, **changes: Any) -> MultiplyOptions:
         """A copy with the given fields replaced."""

@@ -101,6 +101,10 @@ class ShardConfig:
     #: the B operand is the same object as A (self-product): ship one
     #: archive and alias it in the worker
     b_is_a: bool = False
+    #: how long a freshly spawned worker may take to post its first
+    #: heartbeat before the supervisor declares it stale (spawn
+    #: platforms re-import the world before ``worker_main`` runs)
+    startup_grace: float = 10.0
 
 
 def assign_shards(

@@ -19,11 +19,17 @@ Hierarchy::
     │   └── RetryExhaustedError              one task failed every allowed attempt
     ├── ResultCorruptionError (RuntimeError) a finished tile failed validation
     ├── IntegrityError        (RuntimeError) at-rest data failed verification
+    ├── OperationCancelledError (RuntimeError) cooperative cancellation observed
+    │   └── DeadlineExceededError            the operation's deadline expired
     └── ServiceError          (RuntimeError) matrix service request failed
         ├── AdmissionError                   job footprint breaches the memory SLA
         ├── QuotaExceededError               tenant queue quota / depth exhausted
         ├── UnknownMatrixError               request names an unregistered matrix
-        └── UnknownJobError                  request names an unknown job id
+        ├── UnknownJobError                  request names an unknown job id
+        ├── FrameTooLargeError               a protocol frame exceeds the size cap
+        ├── ServiceUnavailableError          server is draining / not ready
+        ├── TransportError                   client could not reach the server
+        └── CircuitOpenError                 client circuit breaker is open
 
 The task-execution errors carry structured context for the resilience
 layer (:mod:`repro.resilience`): :class:`TaskFailedError` aggregates
@@ -197,6 +203,37 @@ class IntegrityError(ReproError, RuntimeError):
         self.violations = list(violations or [])
 
 
+class OperationCancelledError(ReproError, RuntimeError):
+    """A long-running operation observed a cooperative cancellation.
+
+    Raised from within ``execute_plan``/the supervisor loop at the next
+    tile-pair boundary after a :class:`~repro.resilience.CancelToken`
+    fires.  The checkpoint (when configured) is flushed before the error
+    propagates, so the interrupted work is resumable and a resubmission
+    completes bit-identically.
+
+    Attributes
+    ----------
+    reason:
+        Free-form explanation recorded when the token was cancelled
+        (e.g. ``"drain"``, ``"client request"``).
+    """
+
+    def __init__(self, message: str, *, reason: str | None = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class DeadlineExceededError(OperationCancelledError):
+    """The operation's total deadline budget expired.
+
+    A specialization of :class:`OperationCancelledError` raised when the
+    cancellation was triggered by an expired deadline rather than an
+    explicit cancel request.  The service maps this onto
+    ``JobState.DEADLINE_EXCEEDED`` (still resumable via resubmission).
+    """
+
+
 class ServiceError(ReproError, RuntimeError):
     """A matrix-service request was refused or failed.
 
@@ -273,3 +310,83 @@ class UnknownMatrixError(ServiceError):
 
 class UnknownJobError(ServiceError):
     """A request referenced a job id the service does not know."""
+
+
+class FrameTooLargeError(ServiceError):
+    """A JSON-lines protocol frame exceeded the configured size cap.
+
+    Raised server-side when a request line overruns the stream limit
+    (the connection stays usable — the oversized frame is discarded and
+    a typed error payload is returned) and client-side when a response
+    frame does the same.
+
+    Attributes
+    ----------
+    limit_bytes:
+        The frame-size cap that was exceeded.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        limit_bytes: int = 0,
+    ) -> None:
+        super().__init__(message, tenant=tenant)
+        self.limit_bytes = limit_bytes
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service refused new work because it is draining or not ready.
+
+    Transient by design: the same request against a healthy server (or
+    the restarted server, for drained-but-queued jobs) succeeds.
+    """
+
+
+class TransportError(ServiceError):
+    """The service client could not complete a network exchange.
+
+    Wraps connect failures, timeouts, resets and truncated frames so the
+    retry loop has a single retryable category distinct from typed
+    server-side rejections (which must *not* be retried blindly).
+
+    Attributes
+    ----------
+    cause:
+        The underlying transport exception, when one exists.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        cause: Exception | None = None,
+    ) -> None:
+        super().__init__(message, tenant=tenant)
+        self.cause = cause
+
+
+class CircuitOpenError(ServiceError):
+    """The client circuit breaker is open; the request was not attempted.
+
+    Opens after ``failure_threshold`` consecutive transport failures and
+    half-opens after ``reset_seconds``; a successful probe closes it.
+
+    Attributes
+    ----------
+    retry_after_seconds:
+        Time remaining until the breaker half-opens and allows a probe.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        retry_after_seconds: float = 0.0,
+    ) -> None:
+        super().__init__(message, tenant=tenant)
+        self.retry_after_seconds = retry_after_seconds

@@ -24,13 +24,17 @@ makes the engine safe to run unattended (see ``docs/RESILIENCE.md``):
   ``repro.resilience.supervisor`` — because it reaches back into the
   engine for the worker-side pair computer;
 * :mod:`~repro.resilience.integrity` — the deep at-rest verifier behind
-  ``repro verify`` (structural invariants plus archive checksums).
+  ``repro verify`` (structural invariants plus archive checksums);
+* :mod:`~repro.resilience.cancel` — :class:`CancelToken`, the
+  cooperative cancellation/deadline signal the executors poll at
+  tile-pair boundaries (checkpoint flushed before the run unwinds).
 
 Pass ``resilience=RetryPolicy(...)`` to
 :func:`~repro.core.atmult.atmult` or
 :func:`~repro.core.parallel.parallel_atmult` to enable all of it.
 """
 
+from .cancel import CancelToken
 from .degrade import DegradationState
 from .faults import (
     FaultEvent,
@@ -65,6 +69,7 @@ from .integrity import (  # noqa: E402
 )
 
 __all__ = [
+    "CancelToken",
     "CheckpointStore",
     "DegradationState",
     "FailureReport",

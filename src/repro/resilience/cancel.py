@@ -1,0 +1,116 @@
+"""Cooperative cancellation tokens with optional deadlines.
+
+A :class:`CancelToken` is the one-way signal a coordinator (the matrix
+service worker, a drain handler, a CLI signal handler) hands to a
+long-running multiplication.  The execution layers never poll wall-clock
+deadlines themselves; they call :meth:`CancelToken.check` at tile-pair
+boundaries and let the token decide whether the run should stop — either
+because someone called :meth:`CancelToken.cancel` or because the token's
+deadline budget expired.
+
+Deadlines are measured against :func:`time.monotonic` captured at
+construction, so a token created with ``deadline_seconds=30`` expires 30
+seconds later regardless of wall-clock adjustments.  Tokens are
+thread-safe: the service's asyncio loop cancels them while executor
+threads and the supervisor dispatch loop poll them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import DeadlineExceededError, OperationCancelledError
+
+__all__ = ["CancelToken"]
+
+
+class CancelToken:
+    """Thread-safe cooperative cancellation flag with an optional deadline.
+
+    Parameters
+    ----------
+    deadline_seconds:
+        Total budget from *now* (monotonic).  ``None`` means no deadline;
+        the token only trips via :meth:`cancel`.
+
+    The token is one-way: once cancelled (explicitly or by deadline
+    expiry) it never resets.  ``cancelled`` / ``check`` report deadline
+    expiry even if nobody called :meth:`cancel`.
+    """
+
+    def __init__(self, *, deadline_seconds: float | None = None) -> None:
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be positive, got {deadline_seconds}"
+            )
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._reason: str | None = None
+        self._deadline: float | None = (
+            time.monotonic() + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
+
+    def cancel(self, reason: str | None = None) -> None:
+        """Trip the token.  The first recorded reason wins."""
+        with self._lock:
+            if not self._cancelled:
+                self._cancelled = True
+                self._reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancelled explicitly or past the deadline."""
+        with self._lock:
+            return self._cancelled_locked()
+
+    @property
+    def reason(self) -> str | None:
+        """The reason recorded by :meth:`cancel` (``None`` for deadline)."""
+        with self._lock:
+            return self._reason
+
+    @property
+    def deadline_expired(self) -> bool:
+        """True when the deadline (if any) has passed."""
+        with self._lock:
+            return self._deadline_expired_locked()
+
+    def remaining(self) -> float | None:
+        """Seconds left in the deadline budget (``None`` = unbounded).
+
+        Never negative: an expired deadline reports ``0.0``.
+        """
+        with self._lock:
+            if self._deadline is None:
+                return None
+            return max(0.0, self._deadline - time.monotonic())
+
+    def check(self) -> None:
+        """Raise if the token has tripped; otherwise return.
+
+        Raises :class:`~repro.errors.DeadlineExceededError` when the
+        deadline expired and :class:`~repro.errors.OperationCancelledError`
+        for explicit cancellation.  Deadline expiry takes precedence so a
+        drain-cancelled job whose deadline also lapsed reports the
+        stronger condition.
+        """
+        with self._lock:
+            if self._deadline_expired_locked():
+                raise DeadlineExceededError(
+                    "operation deadline expired", reason=self._reason
+                )
+            if self._cancelled:
+                raise OperationCancelledError(
+                    "operation cancelled"
+                    + (f": {self._reason}" if self._reason else ""),
+                    reason=self._reason,
+                )
+
+    def _cancelled_locked(self) -> bool:
+        return self._cancelled or self._deadline_expired_locked()
+
+    def _deadline_expired_locked(self) -> bool:
+        return self._deadline is not None and time.monotonic() >= self._deadline

@@ -112,18 +112,25 @@ class FailureReport:
             or self.pair_errors
         )
 
+    # Concurrent callers serialize these mutators externally: threaded
+    # retries go through ResilientPairRunner._finish (which holds its
+    # _lock) or the executor's busy_lock, and the supervisor's dispatch
+    # loop is the sole writer of its report.  The report itself stays a
+    # plain value object so it pickles cleanly across process shards.
     def record_error(self, pair: tuple[int, int], error: BaseException) -> None:
-        self.pair_errors.append((pair, error))
+        self.pair_errors.append((pair, error))  # repro-lint: disable=RPR012
 
     def merge_outcome(self, outcome: PairOutcome) -> None:
         """Fold one pair's outcome into the aggregate counters."""
-        self.attempts += outcome.attempts
-        self.retries += outcome.retries
-        self.degradations += outcome.degradations
-        self.deadline_violations += outcome.deadline_violations
-        self.fallbacks += outcome.fallbacks
+        self.attempts += outcome.attempts  # repro-lint: disable=RPR012
+        self.retries += outcome.retries  # repro-lint: disable=RPR012
+        self.degradations += outcome.degradations  # repro-lint: disable=RPR012
+        self.deadline_violations += (  # repro-lint: disable=RPR012
+            outcome.deadline_violations
+        )
+        self.fallbacks += outcome.fallbacks  # repro-lint: disable=RPR012
         if outcome.failed:
-            self.failures += 1
+            self.failures += 1  # repro-lint: disable=RPR012
         if (
             outcome.retries
             or outcome.degradations
@@ -132,7 +139,7 @@ class FailureReport:
             or outcome.failed
             or outcome.late
         ):
-            self.pair_outcomes[outcome.pair] = outcome
+            self.pair_outcomes[outcome.pair] = outcome  # repro-lint: disable=RPR012
 
     def summary(self) -> str:
         """One-line human-readable digest."""

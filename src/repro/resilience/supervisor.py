@@ -51,10 +51,11 @@ from typing import TYPE_CHECKING, Any
 
 from ..core.report import PHASE_MULTIPLY, ParallelReport
 from ..core.tile import Tile
-from ..errors import TaskFailedError
+from ..errors import OperationCancelledError, TaskFailedError
 from ..observe import Observation
 from ..observe import session as observe_session
 from ..resilience.report import PairOutcome, WorkerRecord, aggregate_message
+from .cancel import CancelToken
 from .checkpoint import CheckpointStore
 from .faults import active_plan
 from .retry import RetryPolicy
@@ -73,9 +74,11 @@ _span = observe_session.tracer_span
 #: Heartbeats may be late by this factor before a worker counts as hung.
 _HEARTBEAT_GRACE = 5.0
 
-#: Allowance (seconds) for a worker that has not heartbeat *yet*: spawn
-#: platforms re-import the world before ``worker_main`` runs, and the
-#: staleness window alone would bury a slow-starting worker unborn.
+#: Default allowance (seconds) for a worker that has not heartbeat
+#: *yet*: spawn platforms re-import the world before ``worker_main``
+#: runs, and the staleness window alone would bury a slow-starting
+#: worker unborn.  Configurable per run via
+#: ``MultiplyOptions.startup_grace_seconds`` / ``--startup-grace``.
 _STARTUP_GRACE = 10.0
 
 #: A pair that killed its worker this many times is quarantined.
@@ -135,6 +138,8 @@ def run_supervised(
     pair_deadline_seconds: float | None = None,
     checkpoint: CheckpointStore | None = None,
     checkpoint_flush_pairs: int = 1,
+    cancel: CancelToken | None = None,
+    startup_grace_seconds: float = _STARTUP_GRACE,
 ) -> tuple[ATMatrix, ParallelReport]:
     """Execute ``plan`` on supervised worker processes.
 
@@ -147,6 +152,13 @@ def run_supervised(
     journal is flushed after *every* pair here: the journal doubles as
     the worker → supervisor result channel, so durability per pair is
     what makes a worker death lose nothing.
+
+    A tripped ``cancel`` token is observed at the dispatch loop's poll
+    cadence: workers are killed, the journal is flushed (already
+    per-pair durable) and the run unwinds with
+    :class:`~repro.errors.OperationCancelledError`, leaving every
+    adopted pair resumable.  ``startup_grace_seconds`` bounds how long
+    a fresh worker may take to post its first heartbeat.
     """
     del checkpoint_flush_pairs  # journal-as-IPC forces per-pair flushes
     # Imported here, not at module top: engine.shard pulls in the
@@ -182,6 +194,7 @@ def run_supervised(
             journal_dir=str(store.directory),
             fault_spec=parent_plan.spec() if parent_plan is not None else None,
             b_is_a=at_b is at_a,
+            startup_grace=startup_grace_seconds,
         )
 
         start = time.perf_counter()
@@ -191,7 +204,7 @@ def run_supervised(
             shard.prepare_run_dir(run_dir, plan, at_a, at_b, shard_config)
             done_pairs, quarantined = _supervise(
                 plan, pending, run_dir, store, shard_config, report, obs,
-                worker_count, pair_deadline_seconds,
+                worker_count, pair_deadline_seconds, cancel,
             )
         report.phase_seconds[PHASE_MULTIPLY] = time.perf_counter() - start
 
@@ -241,6 +254,7 @@ def _supervise(
     obs: Observation | None,
     worker_count: int,
     pair_deadline_seconds: float | None,
+    cancel: CancelToken | None = None,
 ) -> tuple[dict[PairCoords, dict[str, Any]], set[PairCoords]]:
     """The dispatch-and-liveness loop; returns (done, quarantined)."""
     from ..engine import shard
@@ -382,7 +396,7 @@ def _supervise(
         )
         if worker.last_beat == 0:
             # No first beat yet: the worker is still importing/starting.
-            stale_after = max(stale_after, _STARTUP_GRACE)
+            stale_after = max(stale_after, shard_config.startup_grace)
         return time.monotonic() - worker.last_beat_change <= stale_after
 
     def bury(worker: _Worker, cause: str) -> None:
@@ -447,6 +461,11 @@ def _supervise(
             dispatch(worker)
             dispatch(worker)
         while remaining() > 0:
+            if cancel is not None:
+                # Cancellation lands between dispatches: pairs already
+                # on a worker finish and are adopted via their durable
+                # done files on the *next* run's resume.
+                cancel.check()
             now = time.monotonic()
             for worker in list(workers.values()):
                 # Adopt results head-first, in dispatch order.
@@ -489,7 +508,7 @@ def _supervise(
                 dispatch(replacement)
                 dispatch(replacement)
             time.sleep(_POLL_SECONDS)
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, OperationCancelledError):
         for worker in workers.values():
             worker.process.kill()
         for worker in workers.values():

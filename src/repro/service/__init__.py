@@ -26,6 +26,7 @@ JSON-lines TCP front end (:func:`~repro.service.protocol.serve`) and the
 """
 
 from .admission import AdmissionController, AdmissionTicket
+from .client import CircuitBreaker, Deadline, ServiceClient
 from .jobs import JobRecord, JobSpec, JobState, JobStore
 from .registry import MatrixRegistry
 from .server import JobStatus, MatrixService
@@ -34,6 +35,8 @@ from .protocol import serve
 __all__ = [
     "AdmissionController",
     "AdmissionTicket",
+    "CircuitBreaker",
+    "Deadline",
     "JobRecord",
     "JobSpec",
     "JobState",
@@ -41,5 +44,6 @@ __all__ = [
     "JobStore",
     "MatrixRegistry",
     "MatrixService",
+    "ServiceClient",
     "serve",
 ]

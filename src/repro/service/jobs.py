@@ -43,10 +43,26 @@ class JobState(str, enum.Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    DEADLINE_EXCEEDED = "deadline_exceeded"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        return self in (
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.DEADLINE_EXCEEDED,
+        )
+
+    @property
+    def resumable(self) -> bool:
+        """Terminal states a resubmission may restart from.
+
+        Cancelled and deadline-expired jobs keep their checkpoint
+        directory, so resubmitting the same job id resumes the multiply
+        from the journal and completes bit-identically.
+        """
+        return self in (JobState.CANCELLED, JobState.DEADLINE_EXCEEDED)
 
 
 @dataclass(frozen=True)
@@ -57,6 +73,13 @@ class JobSpec:
     :class:`~repro.service.registry.MatrixRegistry`; ``rhs`` carries the
     vector operand of ``matvec``/``solve`` jobs inline.  ``params`` goes
     verbatim to the solver (``method``, ``tol``, ``max_iterations``...).
+
+    ``deadline_seconds`` is the job's total execution budget measured
+    from submission; an expired budget cancels the job cooperatively
+    (``JobState.DEADLINE_EXCEEDED``, checkpoint kept).
+    ``idempotency_key`` is a client-chosen token the server dedupes
+    submissions by: resubmitting the same key returns the original job
+    instead of executing twice.
     """
 
     job_id: str
@@ -66,6 +89,8 @@ class JobSpec:
     b: str | None = None
     rhs: tuple[float, ...] | None = None
     params: dict[str, Any] = field(default_factory=dict)
+    deadline_seconds: float | None = None
+    idempotency_key: str | None = None
 
     def __post_init__(self) -> None:
         if self.op not in JOB_OPS:
@@ -74,6 +99,10 @@ class JobSpec:
             raise FormatError("multiply jobs need a second matrix name 'b'")
         if self.op in ("matvec", "solve") and self.rhs is None:
             raise FormatError(f"{self.op} jobs need an inline 'rhs' vector")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise FormatError(
+                f"deadline_seconds must be positive, got {self.deadline_seconds}"
+            )
 
     def to_json_dict(self) -> dict[str, Any]:
         payload = asdict(self)
@@ -92,6 +121,16 @@ class JobSpec:
             b=payload.get("b"),
             rhs=tuple(float(x) for x in rhs) if rhs is not None else None,
             params=dict(payload.get("params") or {}),
+            deadline_seconds=(
+                float(payload["deadline_seconds"])
+                if payload.get("deadline_seconds") is not None
+                else None
+            ),
+            idempotency_key=(
+                str(payload["idempotency_key"])
+                if payload.get("idempotency_key") is not None
+                else None
+            ),
         )
 
 

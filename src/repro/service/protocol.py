@@ -15,12 +15,25 @@ field:
 * ``{"op": "metrics"}`` → the :meth:`MatrixService.metrics` export.
 * ``{"op": "matrices"}`` → the registered matrix names.
 * ``{"op": "ping"}`` → liveness probe.
+* ``{"op": "health"}`` → :meth:`MatrixService.health` liveness detail.
+* ``{"op": "ready"}`` → :meth:`MatrixService.ready` readiness gate
+  (started, not draining, registry loaded, queue headroom).
+
+Submit jobs may carry ``deadline_seconds`` (total budget, propagated
+into the engine's cooperative cancellation) and ``idempotency_key``
+(server-side dedupe: a retried submit never double-executes).
 
 Every :class:`~repro.errors.ReproError` maps to ``{"ok": false,
 "error": {"type": <class name>, "message": ...}}`` with the connection
 kept open, so one tenant's rejected job never disturbs another tenant's
 stream.  Connections are served concurrently by asyncio; the service's
 worker pool bounds the actual compute.
+
+Frames are bounded: a request line longer than
+:data:`STREAM_LIMIT_BYTES` is discarded (the connection survives) and
+answered with a typed ``FrameTooLargeError`` payload instead of growing
+the buffer without bound; a frame truncated by a mid-line disconnect
+closes that connection without disturbing the server.
 """
 
 from __future__ import annotations
@@ -32,12 +45,13 @@ from typing import Any
 
 import numpy as np
 
-from ..errors import FormatError, ReproError
+from ..errors import FormatError, FrameTooLargeError, ReproError
 from ..ioutil import crc32c
 from .server import MatrixService
 
-#: Per-line stream buffer: result payloads carry whole (small) matrices
-#: as JSON, far past asyncio's 64 KiB default.
+#: Per-line stream buffer and frame-size cap: result payloads carry
+#: whole (small) matrices as JSON, far past asyncio's 64 KiB default.
+#: Requests beyond this are rejected with ``FrameTooLargeError``.
 STREAM_LIMIT_BYTES = 64 * 1024 * 1024
 
 
@@ -46,6 +60,40 @@ def _error_payload(error: ReproError) -> dict[str, Any]:
         "ok": False,
         "error": {"type": type(error).__name__, "message": str(error)},
     }
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """One newline-terminated request frame, size-capped.
+
+    Returns ``None`` on clean EOF (including a disconnect that
+    truncated the frame mid-line — the client is gone; there is nobody
+    to answer).  An oversized frame is *discarded* — buffered bytes
+    through the terminating newline are consumed so the connection
+    stays usable — and reported as
+    :class:`~repro.errors.FrameTooLargeError` for a typed response.
+    """
+    try:
+        return await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as error:
+        # EOF before the newline: a final unterminated frame (legacy
+        # clients) is still served; an empty tail is a clean close.
+        return error.partial or None
+    except asyncio.LimitOverrunError as error:
+        consumed = error.consumed
+        while True:
+            try:
+                if consumed:
+                    await reader.readexactly(consumed)
+                await reader.readuntil(b"\n")
+                break  # drained through the newline; connection usable
+            except asyncio.LimitOverrunError as again:
+                consumed = again.consumed
+            except asyncio.IncompleteReadError:
+                return None  # EOF inside the oversized frame
+        raise FrameTooLargeError(
+            f"request frame exceeds the {STREAM_LIMIT_BYTES} byte cap",
+            limit_bytes=STREAM_LIMIT_BYTES,
+        ) from None
 
 
 def _result_payload(values: np.ndarray) -> dict[str, Any]:
@@ -61,6 +109,10 @@ async def _dispatch(service: MatrixService, request: dict[str, Any]) -> dict[str
     op = request.get("op")
     if op == "ping":
         return {"ok": True, "pong": True}
+    if op == "health":
+        return {"ok": True, "health": service.health()}
+    if op == "ready":
+        return {"ok": True, "ready": service.ready()}
     if op == "matrices":
         return {"ok": True, "matrices": service.registry.names()}
     if op == "metrics":
@@ -77,6 +129,16 @@ async def _dispatch(service: MatrixService, request: dict[str, Any]) -> dict[str
             rhs=job.get("rhs"),
             params=job.get("params"),
             job_id=job.get("job_id"),
+            deadline_seconds=(
+                float(job["deadline_seconds"])
+                if job.get("deadline_seconds") is not None
+                else None
+            ),
+            idempotency_key=(
+                str(job["idempotency_key"])
+                if job.get("idempotency_key") is not None
+                else None
+            ),
         )
         return {"ok": True, "job_id": job_id}
     if op in ("status", "result", "cancel"):
@@ -99,7 +161,12 @@ async def _handle_connection(
 ) -> None:
     try:
         while True:
-            line = await reader.readline()
+            try:
+                line = await _read_frame(reader)
+            except FrameTooLargeError as error:
+                writer.write(json.dumps(_error_payload(error)).encode() + b"\n")
+                await writer.drain()
+                continue
             if not line:
                 break
             try:

@@ -23,9 +23,20 @@ Request fates and limits:
 Metric catalogue (``service.*``): ``queue_depth`` gauge,
 ``admission.admitted`` / ``admission.rejected`` / ``shed`` counters,
 ``admission.in_flight_bytes`` gauge, ``jobs_completed`` /
-``jobs_failed`` counters, per-tenant ``latency_seconds.<tenant>``
-histograms — all in the service observer's registry, exported by
-:meth:`MatrixService.metrics` next to the plan-cache hit rate.
+``jobs_failed`` / ``jobs_cancelled`` / ``jobs_deadline_exceeded``
+counters, the ``draining`` gauge, per-tenant
+``latency_seconds.<tenant>`` histograms — all in the service observer's
+registry, exported by :meth:`MatrixService.metrics` next to the
+plan-cache hit rate.
+
+Deadlines and cancellation: a submission may carry ``deadline_seconds``
+(total budget from submission) and an ``idempotency_key`` (dedupe token
+for safe client retries).  Running jobs hold a
+:class:`~repro.resilience.CancelToken` that :meth:`MatrixService.cancel`
+and :meth:`MatrixService.drain` trip; the engine observes it at
+tile-pair boundaries, flushes the job checkpoint, and the job lands
+``CANCELLED`` / ``DEADLINE_EXCEEDED`` — both resumable by resubmitting
+the same job id.
 """
 
 from __future__ import annotations
@@ -41,8 +52,17 @@ import numpy as np
 from ..config import SystemConfig
 from ..engine.options import MultiplyOptions
 from ..engine.session import Session
-from ..errors import QuotaExceededError, ReproError, UnknownJobError
+from ..errors import (
+    DeadlineExceededError,
+    OperationCancelledError,
+    QuotaExceededError,
+    ReproError,
+    ServiceError,
+    ServiceUnavailableError,
+    UnknownJobError,
+)
 from ..observe import Observation
+from ..resilience.cancel import CancelToken
 from ..resilience.checkpoint import CheckpointStore
 from .admission import AdmissionController
 from .jobs import JobRecord, JobSpec, JobState, JobStore, new_job_id
@@ -138,6 +158,11 @@ class MatrixService:
         self._tasks: list[asyncio.Task[None]] = []
         self._job_counter = 0
         self._started = False
+        self._draining = False
+        #: cancel tokens of currently running jobs, by job id
+        self._cancel_tokens: dict[str, CancelToken] = {}
+        #: idempotency key -> job id, rebuilt from the store on start
+        self._idempotency: dict[str, str] = {}
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> int:
@@ -152,6 +177,8 @@ class MatrixService:
         loop = asyncio.get_running_loop()
         for record in await loop.run_in_executor(None, self.store.load_all):
             self._records[record.spec.job_id] = record
+            if record.spec.idempotency_key is not None:
+                self._idempotency[record.spec.idempotency_key] = record.spec.job_id
             if not record.state.terminal:
                 record.state = JobState.QUEUED
                 await loop.run_in_executor(None, self.store.save, record)
@@ -177,6 +204,71 @@ class MatrixService:
         self._tasks.clear()
         self._started = False
 
+    async def drain(self, *, timeout: float = 30.0) -> None:
+        """Graceful shutdown: settle in-flight jobs, strand nothing.
+
+        Flips the service into draining mode (new submissions are
+        refused with :class:`~repro.errors.ServiceUnavailableError`,
+        queued jobs stay ``QUEUED`` on disk for the next server to
+        re-enqueue), gives running jobs ``timeout`` seconds to finish,
+        then trips their cancel tokens with reason ``"drain"`` — each
+        job checkpoints at the next tile-pair boundary and its record
+        reverts to ``QUEUED`` so no ``RUNNING`` record is stranded.
+        Finally stops the worker pool.
+        """
+        self._draining = True
+        self.observer.metrics.gauge("service.draining").set(1)
+
+        def running() -> bool:
+            return any(
+                record.state is JobState.RUNNING
+                for record in self._records.values()
+            )
+
+        deadline = time.monotonic() + timeout
+        while running() and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        for token in list(self._cancel_tokens.values()):
+            token.cancel("drain")
+        # Cancelled jobs unwind within about one tile-pair; bound the
+        # wait anyway so a wedged kernel cannot hold shutdown hostage.
+        grace = time.monotonic() + max(5.0, timeout)
+        while running() and time.monotonic() < grace:
+            await asyncio.sleep(0.02)
+        await self.stop()
+
+    def health(self) -> dict[str, Any]:
+        """Liveness snapshot: cheap, lock-free, safe to poll."""
+        return {
+            "status": "ok",
+            "started": self._started,
+            "draining": self._draining,
+            "jobs": len(self._records),
+            "queue_depth": self._pending_count(),
+        }
+
+    def ready(self) -> dict[str, Any]:
+        """Readiness gate: can this server accept a submission right now?
+
+        Ready means started, not draining, at least one registered
+        matrix to serve, and queue headroom below ``max_queue_depth``.
+        """
+        pending = self._pending_count()
+        ready = (
+            self._started
+            and not self._draining
+            and len(self.registry) > 0
+            and pending < self.max_queue_depth
+        )
+        return {
+            "ready": ready,
+            "started": self._started,
+            "draining": self._draining,
+            "registered_matrices": len(self.registry),
+            "queue_depth": pending,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
     async def __aenter__(self) -> MatrixService:
         await self.start()
         return self
@@ -195,12 +287,31 @@ class MatrixService:
         rhs: Any = None,
         params: dict[str, Any] | None = None,
         job_id: str | None = None,
+        deadline_seconds: float | None = None,
+        idempotency_key: str | None = None,
     ) -> str:
         """Validate, admit, persist and enqueue one job; returns its id.
 
         Raises the typed service errors documented on the class; a
         raised submission leaves no trace in the job directory.
+
+        An ``idempotency_key`` the service has already seen returns the
+        original job id without executing anything — a client-side retry
+        of a submit whose response was lost never double-executes.
+        Resubmitting an explicit ``job_id`` whose previous run ended
+        ``CANCELLED``/``DEADLINE_EXCEEDED`` re-enqueues it; the job's
+        checkpoint directory survived, so the rerun resumes from the
+        journal and completes bit-identically.
         """
+        if self._draining:
+            raise ServiceUnavailableError(
+                "service is draining; resubmit to the restarted server",
+                tenant=tenant,
+            )
+        if idempotency_key is not None:
+            known = self._idempotency.get(idempotency_key)
+            if known is not None:
+                return known
         self._job_counter += 1
         if job_id is None:
             job_id = new_job_id(self._job_counter, tenant)
@@ -217,7 +328,16 @@ class MatrixService:
             b=b,
             rhs=rhs_tuple,
             params=dict(params or {}),
+            deadline_seconds=deadline_seconds,
+            idempotency_key=idempotency_key,
         )
+        existing = self._records.get(job_id)
+        if existing is not None and not existing.state.resumable:
+            raise ServiceError(
+                f"job id {job_id!r} already exists "
+                f"(state: {existing.state.value})",
+                tenant=tenant,
+            )
         self._check_quota(tenant)
         matrix_a = self.registry.get(spec.a)
         if spec.op == "multiply":
@@ -226,15 +346,31 @@ class MatrixService:
             ticket = self.admission.check_multiply(matrix_a, matrix_b, tenant=tenant)
         else:
             ticket = self.admission.check_vector(matrix_a, tenant=tenant)
-        record = JobRecord(
-            spec=spec,
-            state=JobState.QUEUED,
-            submitted_at=time.time(),
-            reserved_bytes=ticket.reserved_bytes,
-        )
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(None, self.store.create, record)
+        if existing is not None:
+            # Resubmission of a cancelled/deadline-expired job: reuse
+            # the record (and its checkpoint directory) with a fresh
+            # deadline budget.
+            existing.spec = spec
+            existing.state = JobState.QUEUED
+            existing.error = None
+            existing.error_type = None
+            existing.submitted_at = time.time()
+            existing.finished_at = None
+            existing.reserved_bytes = ticket.reserved_bytes
+            record = existing
+            await loop.run_in_executor(None, self.store.save, record)
+        else:
+            record = JobRecord(
+                spec=spec,
+                state=JobState.QUEUED,
+                submitted_at=time.time(),
+                reserved_bytes=ticket.reserved_bytes,
+            )
+            await loop.run_in_executor(None, self.store.create, record)
         self._records[job_id] = record
+        if idempotency_key is not None:
+            self._idempotency[idempotency_key] = job_id
         self._queue.put_nowait(job_id)
         self._gauge_queue_depth()
         return job_id
@@ -270,12 +406,25 @@ class MatrixService:
         return await loop.run_in_executor(None, self.store.load_result, job_id)
 
     async def cancel(self, job_id: str) -> bool:
-        """Cancel a queued job; running/terminal jobs are not touched."""
+        """Cancel a queued or running job; terminal jobs are not touched.
+
+        A queued job lands ``CANCELLED`` immediately.  A running job's
+        :class:`~repro.resilience.CancelToken` is tripped: the multiply
+        stops at the next tile-pair boundary, flushes its checkpoint and
+        the worker records ``CANCELLED`` — resumable via resubmission.
+        """
         record = self._record(job_id)
+        if record.state is JobState.RUNNING:
+            token = self._cancel_tokens.get(job_id)
+            if token is None:
+                return False
+            token.cancel("client request")
+            return True
         if record.state is not JobState.QUEUED:
             return False
         record.state = JobState.CANCELLED
         record.finished_at = time.time()
+        self.observer.metrics.counter("service.jobs_cancelled").inc()
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.store.save, record)
         self._gauge_queue_depth()
@@ -300,6 +449,7 @@ class MatrixService:
         cache = self.session.cache_stats()
         return {
             "queue_depth": self._pending_count(),
+            "draining": self._draining,
             "jobs": states,
             "admission": {
                 "memory_limit_bytes": self.admission.memory_limit_bytes,
@@ -360,26 +510,87 @@ class MatrixService:
                 record = self._records.get(job_id)
                 if record is None or record.state is not JobState.QUEUED:
                     continue  # cancelled (or lost) while queued
-                while not self.admission.try_acquire(record.reserved_bytes):
+                if self._draining:
+                    # Leave the record QUEUED on disk: the restarted
+                    # server re-enqueues it in start().
+                    continue
+                remaining: float | None = None
+                if record.spec.deadline_seconds is not None:
+                    remaining = (
+                        record.submitted_at
+                        + record.spec.deadline_seconds
+                        - time.time()
+                    )
+                    if remaining <= 0:
+                        await self._finish_deadline_exceeded(
+                            record, "deadline expired while queued"
+                        )
+                        continue
+                token = CancelToken(deadline_seconds=remaining)
+                self._cancel_tokens[job_id] = token
+                acquired = False
+                while not (
+                    acquired := self.admission.try_acquire(record.reserved_bytes)
+                ):
+                    if (
+                        self._draining
+                        or token.cancelled
+                        or record.state is not JobState.QUEUED
+                    ):
+                        break
                     await asyncio.sleep(_ACQUIRE_POLL_SECONDS)
+                if not acquired:
+                    self._cancel_tokens.pop(job_id, None)
+                    if record.state is JobState.QUEUED and token.deadline_expired:
+                        await self._finish_deadline_exceeded(
+                            record, "deadline expired awaiting admission"
+                        )
+                    # Drain leaves the record QUEUED; an external cancel
+                    # already persisted CANCELLED.
+                    continue
                 record.state = JobState.RUNNING
                 await loop.run_in_executor(None, self.store.save, record)
                 started = time.monotonic()
                 try:
-                    values = await loop.run_in_executor(None, self._execute, record)
+                    values = await loop.run_in_executor(
+                        None, self._execute, record, token
+                    )
                     await loop.run_in_executor(
                         None, self.store.save_result, job_id, values
                     )
                     record.state = JobState.DONE
                     self.observer.metrics.counter("service.jobs_completed").inc()
+                except DeadlineExceededError as error:
+                    record.state = JobState.DEADLINE_EXCEEDED
+                    record.error = str(error)
+                    record.error_type = type(error).__name__
+                    self.observer.metrics.counter(
+                        "service.jobs_deadline_exceeded"
+                    ).inc()
+                except OperationCancelledError as error:
+                    if error.reason == "drain":
+                        # The checkpoint flushed; hand the job back to
+                        # the queue so the next server resumes it.
+                        record.state = JobState.QUEUED
+                        record.error = None
+                        record.error_type = None
+                    else:
+                        record.state = JobState.CANCELLED
+                        record.error = str(error)
+                        record.error_type = type(error).__name__
+                        self.observer.metrics.counter(
+                            "service.jobs_cancelled"
+                        ).inc()
                 except Exception as error:  # noqa: BLE001 — jobs must land FAILED
                     record.state = JobState.FAILED
                     record.error = str(error)
                     record.error_type = type(error).__name__
                     self.observer.metrics.counter("service.jobs_failed").inc()
                 finally:
+                    self._cancel_tokens.pop(job_id, None)
                     self.admission.release(record.reserved_bytes)
-                    record.finished_at = time.time()
+                    if record.state.terminal:
+                        record.finished_at = time.time()
                     # wait() observes the in-memory terminal state, so the
                     # service may be stopped (and this task cancelled) while
                     # the persist below is in flight — shield it so the
@@ -395,8 +606,30 @@ class MatrixService:
             finally:
                 self._queue.task_done()
 
-    def _execute(self, record: JobRecord) -> np.ndarray:
-        """Run one job to completion (called in the executor thread)."""
+    async def _finish_deadline_exceeded(
+        self, record: JobRecord, message: str
+    ) -> None:
+        """Land a job whose budget ran out before it ever executed."""
+        record.state = JobState.DEADLINE_EXCEEDED
+        record.error = message
+        record.error_type = DeadlineExceededError.__name__
+        record.finished_at = time.time()
+        self.observer.metrics.counter("service.jobs_deadline_exceeded").inc()
+        loop = asyncio.get_running_loop()
+        await asyncio.shield(
+            loop.run_in_executor(None, self.store.save, record)
+        )
+        self._gauge_queue_depth()
+
+    def _execute(self, record: JobRecord, cancel: CancelToken) -> np.ndarray:
+        """Run one job to completion (called in the executor thread).
+
+        The cancel token threads through ``MultiplyOptions`` into
+        ``execute_plan``, which polls it at tile-pair boundaries; a
+        tripped token flushes the job's checkpoint before unwinding, so
+        the journal under ``ckpt/`` stays resumable.
+        """
+        cancel.check()
         spec = record.spec
         matrix_a = self.registry.get(spec.a)
         if spec.op == "multiply":
@@ -408,6 +641,7 @@ class MatrixService:
             options = self.session.options.replace(
                 memory_limit_bytes=self.admission.memory_limit_bytes,
                 checkpoint=checkpoint,
+                cancel=cancel,
             )
             from ..core.atmult import atmult
 
